@@ -1,0 +1,86 @@
+//! Experiments A3/A4: delegation chain depth and threshold (k-of-n)
+//! scaling for the §4.2 constructs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbtrust::Workspace;
+use lbtrust_datalog::{Symbol, Value};
+
+/// Chain of `k` re-delegations with depth budgets, fully local (one
+/// workspace) so the bench isolates the rule engine, not the network.
+fn delegation_chain(k: usize) -> Workspace {
+    let mut ws = Workspace::new("root");
+    ws.load("deleg", lbtrust::delegation::DELEGATES).unwrap();
+    ws.assert_fact(Symbol::intern("prin"), vec![Value::sym("root")]);
+    // Fan-out: root delegates to p0 .. pk. The del1 meta-rule generates
+    // one activation rule per delegation.
+    for i in 0..k {
+        ws.assert_fact(Symbol::intern("prin"), vec![Value::sym(&format!("p{i}"))]);
+        ws.assert_fact(
+            Symbol::intern("delegates"),
+            vec![
+                Value::sym("root"),
+                Value::sym(&format!("p{i}")),
+                Value::sym("perm"),
+            ],
+        );
+    }
+    ws
+}
+
+fn chain_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_delegation_depth");
+    group.sample_size(10);
+    for &k in &[4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("delegations", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut ws = delegation_chain(k);
+                ws.evaluate().unwrap();
+                ws.active_rules().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Threshold agreement: n voters, threshold k = n/2, single workspace
+/// aggregation (A4). A bare workspace isolates the count aggregation
+/// from the network/auth pipeline.
+fn threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_threshold");
+    group.sample_size(10);
+    for &n in &[8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("k_of_n", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut ws = Workspace::new("bank");
+                ws.load(
+                    "th",
+                    &lbtrust::delegation::threshold_rules("grp", "ok", n / 2),
+                )
+                .unwrap();
+                for i in 0..n {
+                    let member = Value::sym(&format!("v{i}"));
+                    ws.assert_fact(
+                        Symbol::intern("pringroup"),
+                        vec![member.clone(), Value::sym("grp")],
+                    );
+                    ws.assert_fact(
+                        Symbol::intern("says"),
+                        vec![
+                            member,
+                            Value::sym("bank"),
+                            Value::Quote(std::sync::Arc::new(
+                                lbtrust_datalog::parse_rule("ok(cust).").unwrap(),
+                            )),
+                        ],
+                    );
+                }
+                ws.evaluate().unwrap();
+                ws.holds_src("ok(cust)").unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, chain_depth, threshold);
+criterion_main!(benches);

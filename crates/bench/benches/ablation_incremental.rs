@@ -1,0 +1,70 @@
+//! Experiment A7: incremental recomputation ("active rules", §3.1) vs
+//! full re-evaluation when one fact is asserted into a populated
+//! workspace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbtrust_bench::workloads::{chain_edges, edge_db, TC_PROGRAM};
+use lbtrust_datalog::{parse_program, Builtins, Database, Engine, Symbol, Value};
+
+fn incremental_vs_full(c: &mut Criterion) {
+    let program = parse_program(TC_PROGRAM).unwrap();
+    let builtins = Builtins::new();
+    let edge = Symbol::intern("edge");
+    let mut group = c.benchmark_group("ablation_incremental");
+    group.sample_size(10);
+    for &n in &[64usize, 128] {
+        // Pre-materialize the closure of an n-chain.
+        let mut warm: Database = edge_db(&chain_edges(n));
+        Engine::new(&program.rules, &builtins).run(&mut warm).unwrap();
+        let new_edge = vec![
+            Value::sym(&format!("n{}", n - 1)),
+            Value::sym(&format!("x{n}")), // fresh tail node
+        ];
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| {
+                let mut db = warm.clone();
+                let mark = db.count(edge);
+                db.insert(edge, new_edge.clone());
+                Engine::new(&program.rules, &builtins)
+                    .run_incremental(&mut db, &[(edge, mark)])
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("from_scratch", n), &n, |b, _| {
+            b.iter(|| {
+                let mut db = edge_db(&chain_edges(n));
+                db.insert(edge, new_edge.clone());
+                Engine::new(&program.rules, &builtins).run(&mut db).unwrap()
+            })
+        });
+        // Deletion: DRed-repair vs re-deriving from scratch.
+        let victim = vec![
+            Value::sym(&format!("n{}", n / 2 - 1)),
+            Value::sym(&format!("n{}", n / 2)),
+        ];
+        group.bench_with_input(BenchmarkId::new("dred_retract", n), &n, |b, _| {
+            b.iter(|| {
+                let mut db = warm.clone();
+                lbtrust_datalog::dred::retract(
+                    &program.rules,
+                    &mut db,
+                    &builtins,
+                    &[(edge, victim.clone())],
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("retract_from_scratch", n), &n, |b, _| {
+            b.iter(|| {
+                let mut db = edge_db(&chain_edges(n));
+                db.relation_mut(edge)
+                    .remove_tuples(&std::collections::HashSet::from([victim.clone()]));
+                Engine::new(&program.rules, &builtins).run(&mut db).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, incremental_vs_full);
+criterion_main!(benches);

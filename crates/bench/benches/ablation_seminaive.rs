@@ -1,0 +1,33 @@
+//! Experiment A1: naive vs semi-naive evaluation (the LogicBlox
+//! execution model of §3.1) on transitive closure over chain graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbtrust_bench::workloads::{chain_edges, edge_db, TC_PROGRAM};
+use lbtrust_datalog::eval::run_naive;
+use lbtrust_datalog::{parse_program, Builtins, Engine};
+
+fn seminaive_vs_naive(c: &mut Criterion) {
+    let program = parse_program(TC_PROGRAM).unwrap();
+    let builtins = Builtins::new();
+    let mut group = c.benchmark_group("ablation_seminaive");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let base = edge_db(&chain_edges(n));
+        group.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
+            b.iter(|| {
+                let mut db = base.clone();
+                Engine::new(&program.rules, &builtins).run(&mut db).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| {
+                let mut db = base.clone();
+                run_naive(&program.rules, &mut db, &builtins).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, seminaive_vs_naive);
+criterion_main!(benches);

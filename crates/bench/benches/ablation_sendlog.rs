@@ -1,0 +1,41 @@
+//! Experiment A5: SeNDlog reachability scaling over network size, with
+//! and without authentication — the declarative-networking side of the
+//! paper (§5.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbtrust::AuthScheme;
+use lbtrust_sendlog::{SendlogNetwork, REACHABILITY};
+
+fn ring_network(n: usize, scheme: AuthScheme) -> SendlogNetwork {
+    let names: Vec<String> = (0..n).map(|i| format!("r{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut net = SendlogNetwork::new(&refs, REACHABILITY, scheme, 512).unwrap();
+    for i in 0..n {
+        net.add_bidi_link(&names[i], &names[(i + 1) % n]).unwrap();
+    }
+    net
+}
+
+fn reachability_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sendlog_reachability");
+    group.sample_size(10);
+    for &n in &[4usize, 6, 8] {
+        for scheme in [AuthScheme::Plaintext, AuthScheme::HmacSha1, AuthScheme::Rsa] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("ring_{scheme}"), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        let mut net = ring_network(n, scheme);
+                        net.run(256).unwrap();
+                        net.system().net_stats().sent
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, reachability_scaling);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Experiment A6: raw cost of the cryptographic primitives behind each
+//! authentication scheme — this is what separates the Figure 2 curves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbtrust_crypto::hmac::hmac_sha1;
+use lbtrust_crypto::sha1::Sha1;
+use lbtrust_crypto::KeyPair;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn primitives(c: &mut Criterion) {
+    let msg = b"export[bob](alice,[| payload(42). |],#)"; // typical wire size
+    let key = b"a-32-byte-shared-secret-material";
+    let kp1024 = KeyPair::generate(1024, &mut StdRng::seed_from_u64(1));
+    let sig = kp1024.private.sign(msg).unwrap();
+
+    let mut group = c.benchmark_group("crypto_primitives");
+    group.bench_function("sha1_64B", |b| {
+        b.iter(|| Sha1::digest(black_box(msg)))
+    });
+    group.bench_function("hmac_sha1_64B", |b| {
+        b.iter(|| hmac_sha1(black_box(key), black_box(msg)))
+    });
+    group.bench_function("rsa1024_sign", |b| {
+        b.iter(|| kp1024.private.sign(black_box(msg)).unwrap())
+    });
+    group.bench_function("rsa1024_verify", |b| {
+        b.iter(|| kp1024.public_key().verify(black_box(msg), black_box(&sig)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, primitives);
+criterion_main!(benches);

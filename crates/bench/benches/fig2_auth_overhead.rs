@@ -1,0 +1,27 @@
+//! Criterion version of Figure 2 (experiment Fig.2 in DESIGN.md):
+//! per-scheme cost of the export→transfer→import→verify pipeline.
+//!
+//! Smaller message counts than the paper's 10k sweep keep criterion's
+//! repeated sampling tractable; the `fig2` binary runs the full sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbtrust::AuthScheme;
+use lbtrust_bench::fig2_point;
+
+fn auth_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_auth_overhead");
+    group.sample_size(10);
+    for &messages in &[100usize, 400] {
+        for scheme in [AuthScheme::Rsa, AuthScheme::HmacSha1, AuthScheme::Plaintext] {
+            group.bench_with_input(
+                BenchmarkId::new(scheme.to_string(), messages),
+                &messages,
+                |b, &n| b.iter(|| fig2_point(scheme, n, 1024)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, auth_overhead);
+criterion_main!(benches);

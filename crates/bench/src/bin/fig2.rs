@@ -1,0 +1,45 @@
+//! Regenerates Figure 2 of the paper: execution time over number of
+//! messages for RSA, HMAC, and Plaintext authentication.
+//!
+//! The paper sweeps 0–10k messages on a Xeon cluster; this harness runs
+//! the same alice/bob Binder micro-benchmark on the simulated substrate.
+//! Absolute times differ from the paper's (different hardware, engine,
+//! and crypto implementation); the *shape* — linear growth, RSA ≫ HMAC ≳
+//! Plaintext — is the reproduced result. See EXPERIMENTS.md.
+//!
+//! Run with: `cargo run -p lbtrust-bench --release --bin fig2`
+//! Optional args: `fig2 <max_k> <step_k> <rsa_bits>` (defaults 10 1 1024).
+
+use lbtrust::AuthScheme;
+use lbtrust_bench::fig2_point;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let max_k: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let step_k: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let rsa_bits: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1024);
+
+    println!("Figure 2: Execution Time over Number of Messages");
+    println!("(two principals; each message is exported, transferred, imported, verified)");
+    println!("(RSA modulus: {rsa_bits} bits — the paper uses 1024)\n");
+    println!(
+        "{:>12} {:>14} {:>14} {:>14}",
+        "messages(k)", "RSA (s)", "HMAC (s)", "Plaintext (s)"
+    );
+
+    let mut k = 0;
+    while k <= max_k {
+        let n = k * 1000;
+        let mut row = format!("{k:>12}");
+        for scheme in [AuthScheme::Rsa, AuthScheme::HmacSha1, AuthScheme::Plaintext] {
+            let point = fig2_point(scheme, n, rsa_bits);
+            row.push_str(&format!(" {:>14.3}", point.elapsed.as_secs_f64()));
+        }
+        println!("{row}");
+        k += step_k.max(1);
+    }
+
+    println!("\nExpected shape (paper §6): linear in message count;");
+    println!("RSA most expensive (public-key crypto), HMAC a slight increase");
+    println!("over Plaintext.");
+}

@@ -1,0 +1,112 @@
+//! Figure 2: "Execution Time over Number of Messages" (§6 of the paper).
+//!
+//! "Our evaluation consists of a micro benchmark, in which two principals
+//! alice and bob each execute a Binder rule. Together, the two principals
+//! export and import authenticated facts from each other's context via
+//! the says construct." Each message incurs one signature generation
+//! (export at alice) and one verification (import at bob) under the
+//! configured scheme: Plaintext (no signature), HMAC (160-bit SHA-1 MAC),
+//! or RSA (1024-bit signatures).
+
+use lbtrust::{AuthScheme, System};
+use lbtrust_datalog::{Symbol, Value};
+use std::time::{Duration, Instant};
+
+/// One measured point of Figure 2.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig2Point {
+    /// Authentication scheme.
+    pub scheme: AuthScheme,
+    /// Number of messages exported+imported.
+    pub messages: usize,
+    /// End-to-end execution time (local fixpoints + export + import +
+    /// verification).
+    pub elapsed: Duration,
+    /// Messages accepted at bob (sanity: must equal `messages`).
+    pub accepted: usize,
+    /// Bytes on the (simulated) wire.
+    pub wire_bytes: usize,
+}
+
+/// Runs one experimental run: alice exports `messages` authenticated
+/// facts to bob, who imports and verifies each. Returns the measured
+/// point. `rsa_bits` is 1024 in the paper's setup.
+pub fn fig2_point(scheme: AuthScheme, messages: usize, rsa_bits: usize) -> Fig2Point {
+    let mut sys = System::new().with_rsa_bits(rsa_bits);
+    let alice = sys.add_principal("alice", "host1").expect("alice");
+    let bob = sys.add_principal("bob", "host2").expect("bob");
+    sys.establish_shared_secret(alice, bob).expect("secret");
+    sys.set_auth_scheme(alice, scheme).expect("scheme alice");
+    sys.set_auth_scheme(bob, scheme).expect("scheme bob");
+
+    // Alice's Binder rule: every queued item is said to bob.
+    sys.workspace_mut(alice)
+        .unwrap()
+        .load("policy", "says(me,bob,[| payload(I). |]) <- item(I).")
+        .expect("alice policy");
+    // Bob's Binder rule: imported payloads are recorded.
+    sys.workspace_mut(bob)
+        .unwrap()
+        .load("policy", "received(I) <- says(alice,me,[| payload(I) |]).")
+        .expect("bob policy");
+
+    // Queue the items (outside the timed region: the paper measures
+    // query execution, not workload setup).
+    let item = Symbol::intern("item");
+    {
+        let ws = sys.workspace_mut(alice).unwrap();
+        for i in 0..messages {
+            ws.assert_fact(item, vec![Value::Int(i as i64)]);
+        }
+    }
+
+    let start = Instant::now();
+    let stats = sys.run_to_quiescence(64).expect("quiescence");
+    let elapsed = start.elapsed();
+
+    let received = sys.workspace(bob).unwrap().tuples(Symbol::intern("received"));
+    assert_eq!(
+        received.len(),
+        messages,
+        "{scheme}: bob imported {} of {} messages",
+        received.len(),
+        messages
+    );
+
+    Fig2Point {
+        scheme,
+        messages,
+        elapsed,
+        accepted: stats.messages_accepted,
+        wire_bytes: sys.net_stats().bytes_sent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_points_run_for_all_schemes() {
+        for scheme in AuthScheme::ALL {
+            let p = fig2_point(scheme, 10, 512);
+            assert_eq!(p.accepted, 10, "{scheme}");
+            assert!(p.wire_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn rsa_costs_more_than_plaintext() {
+        // The ordering Figure 2 reports. Use enough messages that the
+        // crypto dominates constant overheads, and debug-build slowness
+        // doesn't matter since both sides pay it.
+        let plain = fig2_point(AuthScheme::Plaintext, 50, 512);
+        let rsa = fig2_point(AuthScheme::Rsa, 50, 512);
+        assert!(
+            rsa.elapsed > plain.elapsed,
+            "rsa {:?} <= plaintext {:?}",
+            rsa.elapsed,
+            plain.elapsed
+        );
+    }
+}

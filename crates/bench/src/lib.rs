@@ -1,0 +1,20 @@
+//! # lbtrust-bench — workloads for regenerating the paper's evaluation
+//!
+//! One entry per experiment in DESIGN.md §4:
+//!
+//! * [`fig2`] — the paper's only measured figure: execution time over
+//!   number of messages for RSA / HMAC / Plaintext authentication (§6).
+//! * [`workloads`] — graph and access-control generators behind the
+//!   ablation benches (A1–A7).
+//!
+//! The `fig2` *binary* (`cargo run -p lbtrust-bench --release --bin
+//! fig2`) prints the same series Figure 2 plots; the criterion benches
+//! measure the same code paths with statistical rigor at smaller sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig2;
+pub mod workloads;
+
+pub use fig2::{fig2_point, Fig2Point};

@@ -1,0 +1,229 @@
+//! Binder certificates.
+//!
+//! "To authenticate facts asserted by principals, Binder uses
+//! certificates signed with the private key of the sending principal.
+//! Certificates are imported by prefixing the says operator with a public
+//! key representing the context to import from" (§5.1 of the paper).
+//!
+//! A [`Certificate`] bundles a set of exported facts with an RSA
+//! signature over their canonical text; importing verifies the signature
+//! against the issuer's public key (identified by fingerprint, the
+//! paper's `rsa:3:c1ebab5d` style) and asserts `says(issuer, me, fact)`
+//! for each fact.
+
+use lbtrust::principal::{Principal, SharedKeys};
+use lbtrust::workspace::{Workspace, WsError};
+use lbtrust_crypto::RsaError;
+use lbtrust_datalog::ast::Rule;
+use lbtrust_datalog::{parse_program, Symbol, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// Certificate errors.
+#[derive(Debug)]
+pub enum CertError {
+    /// The issuer has no key in the directory.
+    UnknownIssuer(Principal),
+    /// Signature creation/verification failed.
+    Rsa(RsaError),
+    /// The certificate body failed to parse or contained non-facts.
+    BadBody(String),
+    /// Workspace import failed.
+    Workspace(WsError),
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertError::UnknownIssuer(p) => write!(f, "no key material for issuer {p}"),
+            CertError::Rsa(e) => write!(f, "certificate signature: {e}"),
+            CertError::BadBody(m) => write!(f, "bad certificate body: {m}"),
+            CertError::Workspace(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+impl From<RsaError> for CertError {
+    fn from(e: RsaError) -> Self {
+        CertError::Rsa(e)
+    }
+}
+
+impl From<WsError> for CertError {
+    fn from(e: WsError) -> Self {
+        CertError::Workspace(e)
+    }
+}
+
+/// One certified fact: the fact plus the issuer's RSA signature over
+/// its canonical bytes — the same bytes the declarative `exp3`
+/// verification constraint checks, so certificate-imported facts flow
+/// through the standard authenticated-import pipeline.
+#[derive(Clone, Debug)]
+pub struct CertifiedFact {
+    /// The exported fact (a ground, bodyless rule).
+    pub rule: Arc<Rule>,
+    /// Per-fact RSA signature over `rule_bytes(rule)`.
+    pub signature: Vec<u8>,
+}
+
+/// A signed set of exported facts.
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// The signing principal.
+    pub issuer: Principal,
+    /// Fingerprint of the issuer's public key (display/lookup aid).
+    pub key_fingerprint: String,
+    /// The exported facts with per-fact signatures.
+    pub facts: Vec<CertifiedFact>,
+    /// RSA signature over the whole canonical body (batch integrity).
+    pub signature: Vec<u8>,
+}
+
+/// The byte string behind the batch signature: issuer name, newline,
+/// facts in canonical text, one per line.
+fn signing_bytes(issuer: Principal, facts: &[CertifiedFact]) -> Vec<u8> {
+    let mut out = format!("binder-certificate:{issuer}\n").into_bytes();
+    for f in facts {
+        out.extend_from_slice(f.rule.to_string().as_bytes());
+        out.push(b'\n');
+    }
+    out
+}
+
+impl Certificate {
+    /// Issues a certificate over the facts in `facts_src` (e.g.
+    /// `"good(carol). good(dave)."`), signed with `issuer`'s private key.
+    pub fn issue(keys: &SharedKeys, issuer: Principal, facts_src: &str) -> Result<Self, CertError> {
+        let program = parse_program(facts_src).map_err(|e| CertError::BadBody(e.to_string()))?;
+        if !program.constraints.is_empty() {
+            return Err(CertError::BadBody("certificates carry facts only".into()));
+        }
+        let guard = keys.read();
+        let pair = guard.rsa(issuer).ok_or(CertError::UnknownIssuer(issuer))?;
+        let mut facts = Vec::with_capacity(program.rules.len());
+        for rule in program.rules {
+            if !rule.is_fact() {
+                return Err(CertError::BadBody(format!("'{rule}' is not a ground fact")));
+            }
+            let signature = pair.private.sign(&lbtrust_net::rule_bytes(&rule))?;
+            facts.push(CertifiedFact {
+                rule: Arc::new(rule),
+                signature,
+            });
+        }
+        let signature = pair.private.sign(&signing_bytes(issuer, &facts))?;
+        let key_fingerprint = pair.public_key().fingerprint();
+        Ok(Certificate {
+            issuer,
+            key_fingerprint,
+            facts,
+            signature,
+        })
+    }
+
+    /// Verifies the signature against the issuer's public key.
+    pub fn verify(&self, keys: &SharedKeys) -> Result<(), CertError> {
+        let guard = keys.read();
+        let pair = guard
+            .rsa(self.issuer)
+            .ok_or(CertError::UnknownIssuer(self.issuer))?;
+        pair.public_key()
+            .verify(&signing_bytes(self.issuer, &self.facts), &self.signature)?;
+        for fact in &self.facts {
+            pair.public_key()
+                .verify(&lbtrust_net::rule_bytes(&fact.rule), &fact.signature)?;
+        }
+        Ok(())
+    }
+
+    /// Verifies and imports: asserts `export[me](issuer, fact, sig)` (so
+    /// a workspace running the RSA `exp2`/`exp3` pipeline imports and
+    /// re-verifies declaratively) *and* `says(issuer, me, fact)` (so
+    /// bare workspaces without the auth prelude can consume certified
+    /// facts directly), then re-evaluates.
+    pub fn import_into(&self, ws: &mut Workspace, keys: &SharedKeys) -> Result<(), CertError> {
+        self.verify(keys)?;
+        let says = Symbol::intern("says");
+        let export = Symbol::intern("export");
+        let me = ws.me();
+        for fact in &self.facts {
+            ws.assert_fact(
+                export,
+                vec![
+                    Value::Sym(me),
+                    Value::Sym(self.issuer),
+                    Value::Quote(fact.rule.clone()),
+                    Value::bytes(&fact.signature),
+                ],
+            );
+            ws.assert_fact(
+                says,
+                vec![
+                    Value::Sym(self.issuer),
+                    Value::Sym(me),
+                    Value::Quote(fact.rule.clone()),
+                ],
+            );
+        }
+        ws.evaluate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbtrust::principal::shared_keys;
+
+    fn keys_with(issuer: &str) -> (SharedKeys, Principal) {
+        let keys = shared_keys();
+        let p = Symbol::intern(issuer);
+        keys.write().generate_rsa(p, 512, 9);
+        (keys, p)
+    }
+
+    #[test]
+    fn issue_verify_roundtrip() {
+        let (keys, bob) = keys_with("bob");
+        let cert = Certificate::issue(&keys, bob, "good(carol). good(dave).").unwrap();
+        assert_eq!(cert.facts.len(), 2);
+        assert_eq!(cert.key_fingerprint.len(), 8);
+        cert.verify(&keys).unwrap();
+    }
+
+    #[test]
+    fn tampered_certificate_rejected() {
+        let (keys, bob) = keys_with("bob");
+        let mut cert = Certificate::issue(&keys, bob, "good(carol).").unwrap();
+        let old_sig = cert.facts[0].signature.clone();
+        cert.facts = vec![CertifiedFact {
+            rule: Arc::new(lbtrust_datalog::parse_rule("good(mallory).").unwrap()),
+            signature: old_sig,
+        }];
+        assert!(cert.verify(&keys).is_err());
+    }
+
+    #[test]
+    fn non_fact_body_rejected() {
+        let (keys, bob) = keys_with("bob");
+        assert!(Certificate::issue(&keys, bob, "p(X) <- q(X).").is_err());
+    }
+
+    #[test]
+    fn import_asserts_says_facts() {
+        let (keys, bob) = keys_with("bob");
+        let cert = Certificate::issue(&keys, bob, "good(carol).").unwrap();
+        let mut ws = Workspace::new("alice");
+        // Binder's b2: access on bob's word.
+        ws.load(
+            "policy",
+            "access(P,o,read) <- says(bob,me,[| good(P) |]).",
+        )
+        .unwrap();
+        cert.import_into(&mut ws, &keys).unwrap();
+        assert!(ws.holds_src("access(carol,o,read)").unwrap());
+    }
+}

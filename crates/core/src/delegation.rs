@@ -1,0 +1,132 @@
+//! Delegation constructs (§4.2 of the paper): `delegates`, delegation
+//! depth and width restriction, and threshold structures.
+
+/// `del0`/`del1`: predicate-restricted delegation. When
+/// `delegates(me,U2,P)` holds, activate any rule said by `U2` whose head
+/// predicate is `P` (the speaks-for construct "where U2 speaks for U1
+/// with respect to P").
+///
+/// Divergence note: the paper's `del1` writes the delegated predicate as
+/// a *quote* in `delegates`' third argument; we bind the head functor
+/// meta-variable `P` to the delegated predicate name directly, which is
+/// equivalent under our entity encoding (predicate entity = name symbol)
+/// and avoids a doubly-nested template.
+pub const DELEGATES: &str = "\
+    delegates(U1,U2,P) -> prin(U1), prin(U2).\n\
+    active([| active(R) <- says(U2,me,R), R = [| P(T*) <- A*. |]. |]) <- delegates(me,U2,P).\n";
+
+/// `dd0`–`dd3`: delegation-depth bookkeeping. `delDepth(me,U,P,N)`
+/// restricts the chain below `U` for predicate `P` to length `N`.
+///
+/// Interpretation note: the paper's `dd2`/`dd3` recursion is entirely
+/// grantor-local and never ships the initial budget to the delegatee, so
+/// taken literally no depth information would ever reach the principal
+/// that must observe `dd4`. We implement the stated *intent* ("the
+/// recursive case … a new limit of N-1 is inferred between U2 and U3"):
+///
+/// * the grantor records and **sends** the budget to its delegatee;
+/// * a principal holding budget `N > 0` that re-delegates ships `N-1`;
+/// * received budget facts self-activate (selective activation, so this
+///   works without the blanket `says1`);
+/// * `dd4` rejects delegation by a principal whose budget is 0.
+pub const DELEGATION_DEPTH: &str = "\
+    inferredDelDepth(me,U,P,N) <- delDepth(me,U,P,N).\n\
+    says(me,U,[| inferredDelDepth(me,U,P,N). |]) <- delDepth(me,U,P,N).\n\
+    says(me,U2,[| inferredDelDepth(me,U2,P,N-1). |]) <- inferredDelDepth(_,me,P,N), delegates(me,U2,P), N > 0.\n\
+    active(R) <- says(_,me,R), R = [| inferredDelDepth(T*). |].\n";
+
+/// `dd4`: the depth-violation constraint — a principal holding an
+/// inferred depth of 0 must not delegate further.
+pub const DELEGATION_DEPTH_CONSTRAINT: &str =
+    "inferredDelDepth(_,me,P,0) -> !delegates(me,_,P).\n";
+
+/// Delegation *width* (§4.2.1): only principals in `delWidth(me,P,U)` may
+/// appear in the chain — enforced by refusing delegation to anyone
+/// outside the allowed set.
+pub const DELEGATION_WIDTH_CONSTRAINT: &str =
+    "delegates(me,U,P), delWidthRestricted(me,P) -> delWidth(me,P,U).\n";
+
+/// Unweighted threshold (`wd0`–`wd2`, §4.2.2): `creditOK(C)` when at
+/// least `K` distinct principals in group `G` say so. This returns the
+/// general pattern specialized by name.
+pub fn threshold_rules(group: &str, pred: &str, k: usize) -> String {
+    format!(
+        "{pred}Count(C,N) <- agg<<N = count(U)>> pringroup(U,{group}), says(U,me,[| {pred}(C). |]).\n\
+         {pred}(C) <- {pred}Count(C,N), N >= {k}.\n"
+    )
+}
+
+/// A cycle-free threshold variant for listeners that also *derive*
+/// `says` facts (exports).
+///
+/// The paper's `wd2` aggregates directly over `says`. Graph-level
+/// stratification cannot tell incoming `says` tuples (which the
+/// aggregation reads) apart from outgoing ones (which export rules
+/// derive), so a principal that both counts votes and exports anything
+/// would be rejected as unstratifiable. This variant routes votes
+/// through meta-level *activation* — exactly the mechanism of `says1` —
+/// which transfers facts between relations without creating a dependency
+/// edge: group members say `[| <pred>Vote(<member>, C). |]`, the quote is
+/// activated into a local `<pred>Vote` relation, a constraint pins the
+/// vote's first argument to its actual sender, and the aggregation runs
+/// over the local relation.
+pub fn threshold_vote_rules(group: &str, pred: &str, k: usize) -> String {
+    format!(
+        "active(R) <- says(U,me,R), pringroup(U,{group}), R = [| {pred}Vote(T*). |].\n\
+         says(U2,me,[| {pred}Vote(U,C) |]) -> U2 = U.\n\
+         {pred}Count(C,N) <- agg<<N = count(U)>> {pred}Vote(U,C), pringroup(U,{group}).\n\
+         {pred}(C) <- {pred}Count(C,N), N >= {k}.\n"
+    )
+}
+
+/// Weighted threshold (§4.2.2): like [`threshold_rules`] but each
+/// principal's vote carries its `weight(U,W)`, and the total must reach
+/// `k`.
+pub fn weighted_threshold_rules(group: &str, pred: &str, k: i64) -> String {
+    format!(
+        "{pred}Weight(C,N) <- agg<<N = total(W)>> pringroup(U,{group}), weight(U,W), says(U,me,[| {pred}(C). |]).\n\
+         {pred}(C) <- {pred}Weight(C,N), N >= {k}.\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbtrust_datalog::parse_program;
+
+    #[test]
+    fn preludes_parse() {
+        let p = parse_program(DELEGATES).unwrap();
+        assert_eq!(p.rules.len(), 1);
+        assert_eq!(p.constraints.len(), 1);
+        let p = parse_program(DELEGATION_DEPTH).unwrap();
+        assert_eq!(p.rules.len(), 4);
+        assert_eq!(
+            parse_program(DELEGATION_DEPTH_CONSTRAINT).unwrap().constraints.len(),
+            1
+        );
+        assert_eq!(
+            parse_program(DELEGATION_WIDTH_CONSTRAINT).unwrap().constraints.len(),
+            1
+        );
+    }
+
+    #[test]
+    fn threshold_sources_parse() {
+        let src = threshold_rules("creditBureau", "creditOK", 3);
+        let p = parse_program(&src).unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert!(p.rules[0].agg.is_some());
+        let src = weighted_threshold_rules("creditBureau", "creditOK", 5);
+        let p = parse_program(&src).unwrap();
+        assert_eq!(p.rules.len(), 2);
+    }
+
+    #[test]
+    fn threshold_vote_source_parses() {
+        let src = threshold_vote_rules("accessMgrGroup", "mayread", 2);
+        let p = parse_program(&src).unwrap();
+        assert_eq!(p.rules.len(), 3);
+        assert_eq!(p.constraints.len(), 1);
+    }
+}

@@ -1,0 +1,581 @@
+//! The multi-principal runtime: workspaces + keys + simulated network.
+//!
+//! A [`System`] plays the role of the paper's deployed environment
+//! (§3.5): each principal owns a workspace (its *context*), principals
+//! are placed on physical nodes (the `loc` mapping; one or many
+//! principals per node), and `export` partitions are drained into the
+//! network and imported on delivery. `run_to_quiescence` alternates local
+//! fixpoints with message delivery until nothing moves — the
+//! distributed fixpoint of the declarative-networking execution model.
+
+use crate::auth::{register_crypto_builtins, AuthScheme};
+use crate::principal::{
+    rsa_priv_handle, rsa_pub_handle, shared_keys, shared_secret_handle, Principal, SharedKeys,
+};
+use crate::says::SAYS_DECLS;
+use crate::workspace::{Workspace, WsError};
+use lbtrust_datalog::{Symbol, Tuple, Value};
+use lbtrust_net::{NetworkConfig, NodeId, SimNetwork, WireMessage};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// System-level errors.
+#[derive(Debug)]
+pub enum SysError {
+    /// No such principal registered.
+    UnknownPrincipal(Principal),
+    /// A workspace operation failed.
+    Workspace(WsError),
+    /// The distributed fixpoint did not quiesce within the step budget.
+    NoQuiescence {
+        /// Steps executed.
+        steps: usize,
+    },
+}
+
+impl fmt::Display for SysError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SysError::UnknownPrincipal(p) => write!(f, "unknown principal {p}"),
+            SysError::Workspace(e) => write!(f, "{e}"),
+            SysError::NoQuiescence { steps } => {
+                write!(f, "system did not quiesce after {steps} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SysError {}
+
+impl From<WsError> for SysError {
+    fn from(e: WsError) -> Self {
+        SysError::Workspace(e)
+    }
+}
+
+/// Counters for the harness (message rejections feed the tamper tests).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SystemStats {
+    /// Messages exported into the network.
+    pub messages_sent: usize,
+    /// Messages imported successfully.
+    pub messages_accepted: usize,
+    /// Messages rejected (verification constraint violation).
+    pub messages_rejected: usize,
+    /// Local fixpoints that violated a constraint and rolled back
+    /// (e.g. facts asserted between steps that a policy forbids).
+    pub local_rollbacks: usize,
+    /// Distributed fixpoint steps executed.
+    pub steps: usize,
+}
+
+/// RSA modulus size used for principals (the paper's §6 uses 1024-bit).
+pub const DEFAULT_RSA_BITS: usize = 1024;
+
+/// The multi-principal LBTrust runtime.
+pub struct System {
+    keys: SharedKeys,
+    workspaces: HashMap<Principal, Workspace>,
+    /// Registration order, for deterministic iteration.
+    order: Vec<Principal>,
+    /// Placement: principal -> physical node (the `loc` relation).
+    placement: HashMap<Principal, NodeId>,
+    net: SimNetwork,
+    /// Export tuples already shipped, per principal.
+    drained: HashMap<Principal, HashSet<Tuple>>,
+    rsa_bits: usize,
+    auth: HashMap<Principal, AuthScheme>,
+    stats: SystemStats,
+    seed: u64,
+}
+
+impl System {
+    /// Creates a system over a perfect network.
+    pub fn new() -> System {
+        System::with_network(NetworkConfig::default(), 0)
+    }
+
+    /// Creates a system with the given network behaviour and RNG seed
+    /// (key generation derives per-principal seeds from it).
+    pub fn with_network(config: NetworkConfig, seed: u64) -> System {
+        System {
+            keys: shared_keys(),
+            workspaces: HashMap::new(),
+            order: Vec::new(),
+            placement: HashMap::new(),
+            net: SimNetwork::new(config, seed),
+            drained: HashMap::new(),
+            rsa_bits: DEFAULT_RSA_BITS,
+            auth: HashMap::new(),
+            stats: SystemStats::default(),
+            seed,
+        }
+    }
+
+    /// Overrides the RSA modulus size (tests use 512 for speed; the
+    /// Figure 2 harness keeps the paper's 1024).
+    pub fn with_rsa_bits(mut self, bits: usize) -> Self {
+        self.rsa_bits = bits;
+        self
+    }
+
+    /// Shared key directory (for inspection).
+    pub fn keys(&self) -> &SharedKeys {
+        &self.keys
+    }
+
+    /// Network statistics.
+    pub fn net_stats(&self) -> lbtrust_net::NetworkStats {
+        self.net.stats()
+    }
+
+    /// System statistics.
+    pub fn stats(&self) -> SystemStats {
+        self.stats
+    }
+
+    /// Registered principals in registration order.
+    pub fn principals(&self) -> &[Principal] {
+        &self.order
+    }
+
+    // ---- setup -------------------------------------------------------------
+
+    /// Registers a principal, generating its RSA keypair, placing it on
+    /// `node`, installing the `says` declarations and the default
+    /// authentication scheme (RSA, §5.1), and introducing it (name and
+    /// public key handle) to every existing principal.
+    pub fn add_principal(&mut self, name: &str, node: &str) -> Result<Principal, SysError> {
+        let me = Symbol::intern(name);
+        if self.workspaces.contains_key(&me) {
+            return Ok(me);
+        }
+        let key_seed = self.seed.wrapping_add(me.index() as u64).wrapping_mul(0x9E37_79B9);
+        self.keys.write().generate_rsa(me, self.rsa_bits, key_seed);
+
+        let mut ws = Workspace::new(name);
+        register_crypto_builtins(ws.builtins_mut(), me, self.keys.clone());
+        ws.load("says-decls", SAYS_DECLS)?;
+        ws.load("auth", &AuthScheme::Rsa.prelude())?;
+        self.auth.insert(me, AuthScheme::Rsa);
+
+        // Introduce everyone to everyone (prin facts + key handles).
+        ws.assert_fact(Symbol::intern("prin"), vec![Value::Sym(me)]);
+        ws.assert_fact(
+            Symbol::intern("rsaprivkey"),
+            vec![Value::Sym(me), rsa_priv_handle(me)],
+        );
+        ws.assert_fact(
+            Symbol::intern("rsapubkey"),
+            vec![Value::Sym(me), rsa_pub_handle(me)],
+        );
+        for &other in &self.order {
+            ws.assert_fact(Symbol::intern("prin"), vec![Value::Sym(other)]);
+            ws.assert_fact(
+                Symbol::intern("rsapubkey"),
+                vec![Value::Sym(other), rsa_pub_handle(other)],
+            );
+            let other_ws = self.workspaces.get_mut(&other).expect("registered");
+            other_ws.assert_fact(Symbol::intern("prin"), vec![Value::Sym(me)]);
+            other_ws.assert_fact(
+                Symbol::intern("rsapubkey"),
+                vec![Value::Sym(me), rsa_pub_handle(me)],
+            );
+        }
+
+        // Commit a baseline so any later constraint violation rolls back
+        // to a fully introduced workspace, not an empty one.
+        ws.evaluate().map_err(SysError::Workspace)?;
+        for &other in &self.order {
+            self.workspaces
+                .get_mut(&other)
+                .expect("registered")
+                .evaluate()
+                .map_err(SysError::Workspace)?;
+        }
+        self.placement.insert(me, NodeId::new(node));
+        self.workspaces.insert(me, ws);
+        self.order.push(me);
+        self.drained.insert(me, HashSet::new());
+        Ok(me)
+    }
+
+    /// Establishes a pairwise shared secret (required by the HMAC scheme
+    /// and the confidentiality builtins) and tells both workspaces.
+    pub fn establish_shared_secret(&mut self, a: Principal, b: Principal) -> Result<(), SysError> {
+        let seed = self
+            .seed
+            .wrapping_add(a.index() as u64)
+            .wrapping_mul(31)
+            .wrapping_add(b.index() as u64);
+        self.keys.write().generate_shared_secret(a, b, seed);
+        let handle = shared_secret_handle(a, b);
+        for (me, other) in [(a, b), (b, a)] {
+            let ws = self
+                .workspaces
+                .get_mut(&me)
+                .ok_or(SysError::UnknownPrincipal(me))?;
+            ws.assert_fact(
+                Symbol::intern("sharedsecret"),
+                vec![Value::Sym(me), Value::Sym(other), handle.clone()],
+            );
+            ws.evaluate().map_err(SysError::Workspace)?;
+        }
+        Ok(())
+    }
+
+    /// Swaps `who`'s authentication scheme — the paper's two-rule
+    /// reconfiguration (§4.1.2). Policies using `says` are untouched.
+    pub fn set_auth_scheme(&mut self, who: Principal, scheme: AuthScheme) -> Result<(), SysError> {
+        let ws = self
+            .workspaces
+            .get_mut(&who)
+            .ok_or(SysError::UnknownPrincipal(who))?;
+        ws.replace_tag("auth", &scheme.prelude())?;
+        self.auth.insert(who, scheme);
+        Ok(())
+    }
+
+    /// The current scheme of `who`.
+    pub fn auth_scheme(&self, who: Principal) -> Option<AuthScheme> {
+        self.auth.get(&who).copied()
+    }
+
+    /// Re-places a principal onto a different node (the `loc` relation
+    /// is data: "users can easily enforce various distribution plans by
+    /// modifying the loc table", §5.2).
+    pub fn place(&mut self, who: Principal, node: &str) {
+        self.placement.insert(who, NodeId::new(node));
+    }
+
+    /// The node hosting `who`.
+    pub fn location(&self, who: Principal) -> Option<NodeId> {
+        self.placement.get(&who).copied()
+    }
+
+    // ---- workspace access ----------------------------------------------------
+
+    /// Borrows a principal's workspace.
+    pub fn workspace(&self, who: Principal) -> Result<&Workspace, SysError> {
+        self.workspaces
+            .get(&who)
+            .ok_or(SysError::UnknownPrincipal(who))
+    }
+
+    /// Mutably borrows a principal's workspace.
+    pub fn workspace_mut(&mut self, who: Principal) -> Result<&mut Workspace, SysError> {
+        self.workspaces
+            .get_mut(&who)
+            .ok_or(SysError::UnknownPrincipal(who))
+    }
+
+    // ---- the distributed fixpoint ---------------------------------------------
+
+    /// Runs every workspace to its local fixpoint, ships export tuples,
+    /// delivers messages (triggering imports), and repeats until no
+    /// workspace derives anything new and the network is empty.
+    ///
+    /// Messages whose import violates the receiver's verification
+    /// constraint are rejected (the receiving workspace rolls back) and
+    /// counted in [`SystemStats::messages_rejected`].
+    pub fn run_to_quiescence(&mut self, max_steps: usize) -> Result<SystemStats, SysError> {
+        let export = Symbol::intern("export");
+        for step in 0..max_steps {
+            self.stats.steps += 1;
+            // 1. Local fixpoints. A constraint violation rolls the
+            // offending workspace back to its last good state (the
+            // paper's fail-with-error semantics) and the system carries
+            // on.
+            for &p in &self.order.clone() {
+                let ws = self.workspaces.get_mut(&p).expect("registered");
+                match ws.evaluate() {
+                    Ok(_) => {}
+                    Err(WsError::Constraint(_)) => self.stats.local_rollbacks += 1,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            // 1b. Data-driven placement (§5.2 ld1/ld2): `loc(P, N)`
+            // facts derived in any workspace update the placement map —
+            // "users can easily enforce various distribution plans by
+            // modifying the loc table".
+            let loc = Symbol::intern("loc");
+            for &p in &self.order.clone() {
+                let tuples = self.workspaces.get(&p).expect("registered").tuples(loc);
+                for t in tuples {
+                    if let [Value::Sym(who), Value::Sym(node)] = t.as_slice() {
+                        self.placement.insert(*who, NodeId::from(*node));
+                    }
+                }
+            }
+            // 2. Drain fresh export tuples into the network.
+            let mut shipped = 0usize;
+            for &p in &self.order.clone() {
+                let tuples: Vec<Tuple> = {
+                    let ws = self.workspaces.get(&p).expect("registered");
+                    ws.tuples(export)
+                };
+                let seen = self.drained.get_mut(&p).expect("registered");
+                for tuple in tuples {
+                    if seen.contains(&tuple) {
+                        continue;
+                    }
+                    seen.insert(tuple.clone());
+                    let Some(msg) = export_tuple_to_message(&tuple) else {
+                        continue;
+                    };
+                    // Tuples addressed *to* this principal are received
+                    // imports sitting in its own export[me] partition,
+                    // not outgoing traffic.
+                    if msg.to == p {
+                        continue;
+                    }
+                    let from_node = self.placement.get(&p).copied().unwrap_or_else(|| {
+                        NodeId::new(p.as_str())
+                    });
+                    let to_node = self
+                        .placement
+                        .get(&msg.to)
+                        .copied()
+                        .unwrap_or_else(|| NodeId::new(msg.to.as_str()));
+                    self.net.send(from_node, to_node, lbtrust_net::encode(&msg));
+                    self.stats.messages_sent += 1;
+                    shipped += 1;
+                }
+            }
+            // 3. Deliver and import. Deliveries are batched per
+            // destination (one evaluation per workspace per step); when a
+            // batch trips the verification constraint, the batch rolls
+            // back and messages are retried one at a time so only the
+            // offending ones are rejected.
+            let mut delivered = 0usize;
+            let mut inbox: HashMap<Principal, Vec<Tuple>> = HashMap::new();
+            while let Some(envelope) = self.net.deliver_next() {
+                delivered += 1;
+                let Ok(msg) = lbtrust_net::decode(&envelope.payload) else {
+                    self.stats.messages_rejected += 1;
+                    continue;
+                };
+                if !self.workspaces.contains_key(&msg.to) {
+                    self.stats.messages_rejected += 1;
+                    continue;
+                }
+                inbox.entry(msg.to).or_default().push(vec![
+                    Value::Sym(msg.to),
+                    Value::Sym(msg.from),
+                    Value::Quote(msg.rule.clone()),
+                    Value::bytes(&msg.auth),
+                ]);
+            }
+            for (to, tuples) in inbox {
+                let ws = self.workspaces.get_mut(&to).expect("checked above");
+                let n = tuples.len();
+                for tuple in &tuples {
+                    ws.assert_fact(export, tuple.clone());
+                }
+                match ws.evaluate() {
+                    Ok(_) => self.stats.messages_accepted += n,
+                    Err(WsError::Constraint(_)) => {
+                        // Batch rolled back; isolate the poisoned
+                        // message(s).
+                        for tuple in tuples {
+                            ws.assert_fact(export, tuple);
+                            match ws.evaluate() {
+                                Ok(_) => self.stats.messages_accepted += 1,
+                                Err(WsError::Constraint(_)) => {
+                                    self.stats.messages_rejected += 1
+                                }
+                                Err(e) => return Err(e.into()),
+                            }
+                        }
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            // Quiescent when nothing was shipped or delivered this step
+            // (local fixpoints already ran).
+            if shipped == 0 && delivered == 0 {
+                let _ = step;
+                return Ok(self.stats);
+            }
+        }
+        Err(SysError::NoQuiescence { steps: max_steps })
+    }
+}
+
+impl Default for System {
+    fn default() -> Self {
+        System::new()
+    }
+}
+
+/// Decodes an `export[to](from, R, S)` tuple into a wire message.
+fn export_tuple_to_message(tuple: &[Value]) -> Option<WireMessage> {
+    match tuple {
+        [Value::Sym(to), Value::Sym(from), Value::Quote(rule), Value::Bytes(auth)] => {
+            Some(WireMessage {
+                from: *from,
+                to: *to,
+                rule: rule.clone(),
+                auth: auth.to_vec(),
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    /// Two principals, RSA auth: alice says a fact to bob; bob's policy
+    /// uses it (the bex1' flow of §5.1).
+    #[test]
+    fn rsa_says_end_to_end() {
+        let mut sys = System::new().with_rsa_bits(512);
+        let alice = sys.add_principal("alice", "n1").unwrap();
+        let bob = sys.add_principal("bob", "n2").unwrap();
+
+        // Alice: say good(carol) to bob whenever vouched(carol).
+        sys.workspace_mut(alice)
+            .unwrap()
+            .load("policy", "says(me,bob,[| good(X). |]) <- vouched(X).")
+            .unwrap();
+        sys.workspace_mut(alice)
+            .unwrap()
+            .assert_src("vouched(carol).")
+            .unwrap();
+
+        // Bob: grant read access to anyone alice says is good.
+        sys.workspace_mut(bob)
+            .unwrap()
+            .load(
+                "policy",
+                "access(P,file1,read) <- says(alice,me,[| good(P) |]).",
+            )
+            .unwrap();
+
+        sys.run_to_quiescence(16).unwrap();
+        assert!(sys
+            .workspace(bob)
+            .unwrap()
+            .holds_src("access(carol,file1,read)")
+            .unwrap());
+        assert_eq!(sys.stats().messages_sent, 1);
+        assert_eq!(sys.stats().messages_accepted, 1);
+        assert_eq!(sys.stats().messages_rejected, 0);
+    }
+
+    #[test]
+    fn hmac_scheme_works_after_two_rule_swap() {
+        let mut sys = System::new().with_rsa_bits(512);
+        let alice = sys.add_principal("alice", "n1").unwrap();
+        let bob = sys.add_principal("bob", "n2").unwrap();
+        sys.establish_shared_secret(alice, bob).unwrap();
+        sys.set_auth_scheme(alice, AuthScheme::HmacSha1).unwrap();
+        sys.set_auth_scheme(bob, AuthScheme::HmacSha1).unwrap();
+
+        sys.workspace_mut(alice)
+            .unwrap()
+            .load("policy", "says(me,bob,[| good(X). |]) <- vouched(X).")
+            .unwrap();
+        sys.workspace_mut(alice)
+            .unwrap()
+            .assert_src("vouched(dave).")
+            .unwrap();
+        sys.workspace_mut(bob)
+            .unwrap()
+            .load(
+                "policy",
+                "access(P,file1,read) <- says(alice,me,[| good(P) |]).",
+            )
+            .unwrap();
+
+        sys.run_to_quiescence(16).unwrap();
+        assert!(sys
+            .workspace(bob)
+            .unwrap()
+            .holds_src("access(dave,file1,read)")
+            .unwrap());
+    }
+
+    #[test]
+    fn plaintext_scheme() {
+        let mut sys = System::new().with_rsa_bits(512);
+        let alice = sys.add_principal("alice", "n1").unwrap();
+        let bob = sys.add_principal("bob", "n1").unwrap(); // co-located
+        sys.set_auth_scheme(alice, AuthScheme::Plaintext).unwrap();
+        sys.set_auth_scheme(bob, AuthScheme::Plaintext).unwrap();
+
+        sys.workspace_mut(alice)
+            .unwrap()
+            .load("policy", "says(me,bob,[| note(N). |]) <- memo(N).")
+            .unwrap();
+        sys.workspace_mut(alice)
+            .unwrap()
+            .assert_src("memo(hello).")
+            .unwrap();
+        sys.workspace_mut(bob)
+            .unwrap()
+            .load("policy", "received(N) <- says(alice,me,[| note(N) |]).")
+            .unwrap();
+        sys.run_to_quiescence(16).unwrap();
+        assert!(sys
+            .workspace(bob)
+            .unwrap()
+            .holds(sym("received"), &[Value::sym("hello")]));
+    }
+
+    #[test]
+    fn loc_facts_drive_placement() {
+        // ld1/ld2 (§5.2): asserting loc(P,N) relocates P's partition.
+        let mut sys = System::new().with_rsa_bits(512);
+        let alice = sys.add_principal("alice", "n1").unwrap();
+        let bob = sys.add_principal("bob", "n2").unwrap();
+        assert_eq!(sys.location(bob).unwrap().name(), "n2");
+        sys.workspace_mut(alice)
+            .unwrap()
+            .assert_src("loc(bob, rack42).")
+            .unwrap();
+        sys.run_to_quiescence(8).unwrap();
+        assert_eq!(sys.location(bob).unwrap().name(), "rack42");
+    }
+
+    #[test]
+    fn scheme_mismatch_rejects() {
+        // Alice signs with HMAC but bob expects RSA: bob's exp3 cannot
+        // verify, so the message is rejected and bob learns nothing.
+        let mut sys = System::new().with_rsa_bits(512);
+        let alice = sys.add_principal("alice", "n1").unwrap();
+        let bob = sys.add_principal("bob", "n2").unwrap();
+        sys.establish_shared_secret(alice, bob).unwrap();
+        sys.set_auth_scheme(alice, AuthScheme::HmacSha1).unwrap();
+        // bob stays on RSA.
+
+        sys.workspace_mut(alice)
+            .unwrap()
+            .load("policy", "says(me,bob,[| good(X). |]) <- vouched(X).")
+            .unwrap();
+        sys.workspace_mut(alice)
+            .unwrap()
+            .assert_src("vouched(eve).")
+            .unwrap();
+        sys.workspace_mut(bob)
+            .unwrap()
+            .load(
+                "policy",
+                "access(P,f,read) <- says(alice,me,[| good(P) |]).",
+            )
+            .unwrap();
+        sys.run_to_quiescence(16).unwrap();
+        assert_eq!(sys.stats().messages_rejected, 1);
+        assert!(!sys
+            .workspace(bob)
+            .unwrap()
+            .holds_src("access(eve,f,read)")
+            .unwrap());
+    }
+}

@@ -1,0 +1,840 @@
+//! Arbitrary-precision unsigned integer arithmetic.
+//!
+//! [`BigUint`] stores magnitudes as little-endian `u64` limbs and provides
+//! the operations the RSA implementation needs: schoolbook multiplication,
+//! Knuth Algorithm D division, Montgomery modular exponentiation, extended
+//! Euclid modular inverses, and big-endian byte conversions.
+//!
+//! The implementation is deliberately simple and is **not constant time**;
+//! see the crate-level documentation for the threat model.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Invariant: `limbs` never has trailing zero limbs (the canonical zero is
+/// the empty limb vector), so equality and ordering can compare limb slices
+/// directly.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds a value from a single `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Builds a value from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Parses a big-endian byte string (as produced by [`Self::to_bytes_be`]).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// Serializes to big-endian bytes with no leading zeros (zero ⇒ `[0]`).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return vec![0];
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zeros of the most significant limb.
+                let first = bytes.iter().position(|&b| b != 0).unwrap_or(7);
+                out.extend_from_slice(&bytes[first..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Serializes to exactly `len` big-endian bytes, left-padding with
+    /// zeros. Returns `None` if the value does not fit.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Option<Vec<u8>> {
+        let raw = self.to_bytes_be();
+        let raw = if raw == [0] { Vec::new() } else { raw };
+        if raw.len() > len {
+            return None;
+        }
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        Some(out)
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix, case-insensitive).
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let mut limbs = Vec::new();
+        let digits: Vec<u64> = s
+            .chars()
+            .map(|c| c.to_digit(16).map(u64::from))
+            .collect::<Option<Vec<_>>>()?;
+        for &d in &digits {
+            // value = value * 16 + d
+            let mut carry = d;
+            for limb in limbs.iter_mut() {
+                let v = (*limb as u128) * 16 + carry as u128;
+                *limb = v as u64;
+                carry = (v >> 64) as u64;
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        Some(Self::from_limbs(limbs))
+    }
+
+    /// Renders as lowercase hexadecimal with no leading zeros.
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::new();
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:016x}"));
+            }
+        }
+        s
+    }
+
+    /// Whether this value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether this value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Whether the low bit is set.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// Whether the low bit is clear (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        !self.is_odd()
+    }
+
+    /// Number of significant bits (zero has zero bits).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (counting from the least significant bit).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Returns the low 64 bits.
+    pub fn low_u64(&self) -> u64 {
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        #[allow(clippy::needless_range_loop)] // indexes two slices in lockstep
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        Self::from_limbs(out)
+    }
+
+    /// `self - other`. Panics if `other > self` (callers uphold ordering).
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(
+            self.cmp_big(other) != Ordering::Less,
+            "BigUint::sub underflow"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        Self::from_limbs(out)
+    }
+
+    /// `self * other` (schoolbook, O(n·m) limb products).
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        Self::from_limbs(out)
+    }
+
+    /// `self << bits`.
+    pub fn shl(&self, bits: usize) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let (limb_shift, bit_shift) = (bits / 64, bits % 64);
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        Self::from_limbs(out)
+    }
+
+    /// `self >> bits`.
+    pub fn shr(&self, bits: usize) -> Self {
+        let (limb_shift, bit_shift) = (bits / 64, bits % 64);
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let mut out: Vec<u64> = self.limbs[limb_shift..].to_vec();
+        if bit_shift != 0 {
+            let mut carry = 0u64;
+            for l in out.iter_mut().rev() {
+                let new = (*l >> bit_shift) | carry;
+                carry = *l << (64 - bit_shift);
+                *l = new;
+            }
+        }
+        Self::from_limbs(out)
+    }
+
+    /// Total ordering on magnitudes.
+    pub fn cmp_big(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// `(self / divisor, self % divisor)` via Knuth Algorithm D.
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "division by zero");
+        match self.cmp_big(divisor) {
+            Ordering::Less => return (Self::zero(), self.clone()),
+            Ordering::Equal => return (Self::one(), Self::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, Self::from_u64(r));
+        }
+
+        // D1: normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let u = self.shl(shift);
+        let v = divisor.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+
+        let mut un = u.limbs.clone();
+        un.push(0); // extra high limb for the algorithm
+        let vn = &v.limbs;
+        let v_top = vn[n - 1];
+        let v_next = vn[n - 2];
+
+        let mut q_limbs = vec![0u64; m + 1];
+
+        // D2..D7: compute one quotient limb per iteration, most significant
+        // first.
+        for j in (0..=m).rev() {
+            // D3: estimate q̂ from the top two limbs of the current remainder.
+            let num = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut qhat = num / v_top as u128;
+            let mut rhat = num % v_top as u128;
+            while qhat >> 64 != 0
+                || qhat * v_next as u128 > ((rhat << 64) | un[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v_top as u128;
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            }
+
+            // D4: multiply and subtract q̂·v from the remainder window.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * vn[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = un[j + i] as i128 - (p as u64) as i128 + borrow;
+                un[j + i] = sub as u64;
+                borrow = sub >> 64; // arithmetic shift: 0 or -1
+            }
+            let sub = un[j + n] as i128 - carry as i128 + borrow;
+            un[j + n] = sub as u64;
+            borrow = sub >> 64;
+
+            // D5/D6: if we subtracted too much, add v back once.
+            if borrow != 0 {
+                qhat -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let s = un[j + i] as u128 + vn[i] as u128 + carry;
+                    un[j + i] = s as u64;
+                    carry = s >> 64;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry as u64);
+            }
+            q_limbs[j] = qhat as u64;
+        }
+
+        // D8: denormalize the remainder.
+        un.truncate(n);
+        let rem = Self::from_limbs(un).shr(shift);
+        (Self::from_limbs(q_limbs), rem)
+    }
+
+    /// Divides by a single limb, returning `(quotient, remainder)`.
+    pub fn div_rem_u64(&self, divisor: u64) -> (Self, u64) {
+        assert!(divisor != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            out[i] = (cur / divisor as u128) as u64;
+            rem = cur % divisor as u128;
+        }
+        (Self::from_limbs(out), rem as u64)
+    }
+
+    /// `self mod modulus`.
+    pub fn rem(&self, modulus: &Self) -> Self {
+        self.div_rem(modulus).1
+    }
+
+    /// `(self * other) mod modulus` without building huge intermediates
+    /// beyond the double-width product.
+    pub fn mulmod(&self, other: &Self, modulus: &Self) -> Self {
+        self.mul(other).rem(modulus)
+    }
+
+    /// `(self + other) mod modulus`, assuming both inputs are `< modulus`.
+    pub fn addmod(&self, other: &Self, modulus: &Self) -> Self {
+        let s = self.add(other);
+        if s.cmp_big(modulus) == Ordering::Less {
+            s
+        } else {
+            s.sub(modulus)
+        }
+    }
+
+    /// `(self - other) mod modulus`, assuming both inputs are `< modulus`.
+    pub fn submod(&self, other: &Self, modulus: &Self) -> Self {
+        if self.cmp_big(other) != Ordering::Less {
+            self.sub(other)
+        } else {
+            self.add(modulus).sub(other)
+        }
+    }
+
+    /// `self^exponent mod modulus`.
+    ///
+    /// Uses Montgomery multiplication when the modulus is odd (the RSA and
+    /// Miller–Rabin case) and falls back to square-and-multiply with
+    /// explicit reductions otherwise.
+    pub fn modpow(&self, exponent: &Self, modulus: &Self) -> Self {
+        assert!(!modulus.is_zero(), "modpow modulus must be nonzero");
+        if modulus.is_one() {
+            return Self::zero();
+        }
+        if exponent.is_zero() {
+            return Self::one();
+        }
+        if modulus.is_odd() {
+            return Montgomery::new(modulus).modpow(&self.rem(modulus), exponent);
+        }
+        // Generic square-and-multiply for even moduli (not used by RSA).
+        let mut base = self.rem(modulus);
+        let mut result = Self::one();
+        for i in 0..exponent.bits() {
+            if exponent.bit(i) {
+                result = result.mulmod(&base, modulus);
+            }
+            base = base.mulmod(&base, modulus);
+        }
+        result
+    }
+
+    /// Greatest common divisor (binary-free Euclid).
+    pub fn gcd(&self, other: &Self) -> Self {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse: the `x` with `self·x ≡ 1 (mod modulus)`, or `None`
+    /// when `gcd(self, modulus) ≠ 1`.
+    pub fn modinv(&self, modulus: &Self) -> Option<Self> {
+        // Extended Euclid tracking only the coefficient of `self`, with the
+        // sign carried separately to stay in unsigned arithmetic.
+        let mut r0 = modulus.clone();
+        let mut r1 = self.rem(modulus);
+        let mut t0 = (Self::zero(), false); // (magnitude, negative?)
+        let mut t1 = (Self::one(), false);
+        while !r1.is_zero() {
+            let (q, r2) = r0.div_rem(&r1);
+            // t2 = t0 - q * t1
+            let qt1 = q.mul(&t1.0);
+            let t2 = match (t0.1, t1.1) {
+                (false, false) => {
+                    if t0.0.cmp_big(&qt1) != Ordering::Less {
+                        (t0.0.sub(&qt1), false)
+                    } else {
+                        (qt1.sub(&t0.0), true)
+                    }
+                }
+                (false, true) => (t0.0.add(&qt1), false),
+                (true, false) => (t0.0.add(&qt1), true),
+                (true, true) => {
+                    if t0.0.cmp_big(&qt1) != Ordering::Less {
+                        (t0.0.sub(&qt1), true)
+                    } else {
+                        (qt1.sub(&t0.0), false)
+                    }
+                }
+            };
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if !r0.is_one() {
+            return None;
+        }
+        let (mag, neg) = t0;
+        let mag = mag.rem(modulus);
+        Some(if neg && !mag.is_zero() {
+            modulus.sub(&mag)
+        } else {
+            mag
+        })
+    }
+
+    /// Uniform random value in `[0, bound)` drawn from `rng`.
+    pub fn random_below<R: rand::Rng>(rng: &mut R, bound: &Self) -> Self {
+        assert!(!bound.is_zero());
+        let bits = bound.bits();
+        loop {
+            let v = Self::random_bits(rng, bits);
+            if v.cmp_big(bound) == Ordering::Less {
+                return v;
+            }
+        }
+    }
+
+    /// Uniform random value with at most `bits` bits.
+    pub fn random_bits<R: rand::Rng>(rng: &mut R, bits: usize) -> Self {
+        let limbs = bits.div_ceil(64);
+        let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+        let extra = limbs * 64 - bits;
+        if extra > 0 {
+            if let Some(top) = v.last_mut() {
+                *top >>= extra;
+            }
+        }
+        Self::from_limbs(v)
+    }
+}
+
+/// Montgomery-form modular arithmetic over a fixed odd modulus.
+///
+/// Precomputes `n0' = -n^{-1} mod 2^64` and `R^2 mod n` so that repeated
+/// multiplications inside [`BigUint::modpow`] avoid full divisions.
+struct Montgomery {
+    n: Vec<u64>,
+    n0_inv: u64,
+    r2: BigUint,
+    modulus: BigUint,
+}
+
+impl Montgomery {
+    fn new(modulus: &BigUint) -> Self {
+        debug_assert!(modulus.is_odd());
+        let n = modulus.limbs.clone();
+        // Newton iteration for the inverse of n[0] mod 2^64.
+        let mut inv = 1u64;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n[0].wrapping_mul(inv)));
+        }
+        let n0_inv = inv.wrapping_neg();
+        // R^2 mod n where R = 2^(64 * len).
+        let r2 = BigUint::one().shl(n.len() * 128).rem(modulus);
+        Montgomery {
+            n,
+            n0_inv,
+            r2,
+            modulus: modulus.clone(),
+        }
+    }
+
+    /// Montgomery product: `a · b · R^{-1} mod n` (CIOS method).
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let len = self.n.len();
+        let mut t = vec![0u64; len + 2];
+        for i in 0..len {
+            let ai = a.get(i).copied().unwrap_or(0);
+            // t += ai * b
+            let mut carry = 0u128;
+            #[allow(clippy::needless_range_loop)] // reads b while writing t
+            for j in 0..len {
+                let bj = b.get(j).copied().unwrap_or(0);
+                let cur = t[j] as u128 + ai as u128 * bj as u128 + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[len] as u128 + carry;
+            t[len] = cur as u64;
+            t[len + 1] = (cur >> 64) as u64;
+
+            // m = t[0] * n0' mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let cur = t[0] as u128 + m as u128 * self.n[0] as u128;
+            let mut carry = cur >> 64;
+            #[allow(clippy::needless_range_loop)] // shifts t while indexing n
+            for j in 1..len {
+                let cur = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[len] as u128 + carry;
+            t[len - 1] = cur as u64;
+            t[len] = t[len + 1].wrapping_add((cur >> 64) as u64);
+            t[len + 1] = 0;
+        }
+        t.truncate(len + 1);
+        // Conditional final subtraction to bring the result below n.
+        let mut res = BigUint::from_limbs(t);
+        if res.cmp_big(&self.modulus) != Ordering::Less {
+            res = res.sub(&self.modulus);
+        }
+        let mut out = res.limbs;
+        out.resize(len, 0);
+        out
+    }
+
+    fn modpow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        let len = self.n.len();
+        let mut base_limbs = base.limbs.clone();
+        base_limbs.resize(len, 0);
+        // Convert into Montgomery form: base · R mod n = montmul(base, R²).
+        let mut r2 = self.r2.limbs.clone();
+        r2.resize(len, 0);
+        let base_m = self.mont_mul(&base_limbs, &r2);
+        // one · R mod n = montmul(1, R²)
+        let mut one = vec![0u64; len];
+        one[0] = 1;
+        let mut acc = self.mont_mul(&one, &r2);
+        // Left-to-right square and multiply.
+        for i in (0..exponent.bits()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exponent.bit(i) {
+                acc = self.mont_mul(&acc, &base_m);
+            }
+        }
+        // Convert out of Montgomery form: montmul(acc, 1).
+        let out = self.mont_mul(&acc, &one);
+        BigUint::from_limbs(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    /// Trivially correct binary long division used as an oracle.
+    fn oracle_div_rem(a: &BigUint, b: &BigUint) -> (BigUint, BigUint) {
+        let mut q = BigUint::zero();
+        let mut r = BigUint::zero();
+        for i in (0..a.bits()).rev() {
+            r = r.shl(1);
+            if a.bit(i) {
+                r = r.add(&BigUint::one());
+            }
+            if r.cmp_big(b) != Ordering::Less {
+                r = r.sub(b);
+                q = q.add(&BigUint::one().shl(i));
+            }
+        }
+        (q, r)
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = BigUint::from_hex("ffffffffffffffffffffffffffffffff").unwrap();
+        let b = BigUint::from_hex("1").unwrap();
+        let c = a.add(&b);
+        assert_eq!(c.to_hex(), "100000000000000000000000000000000");
+        assert_eq!(c.sub(&b), a);
+        assert_eq!(c.sub(&a), b);
+    }
+
+    #[test]
+    fn mul_known() {
+        let a = BigUint::from_hex("123456789abcdef").unwrap();
+        let b = BigUint::from_hex("fedcba987654321").unwrap();
+        assert_eq!(a.mul(&b).to_hex(), "121fa00ad77d7422236d88fe5618cf");
+    }
+
+    #[test]
+    fn mul_zero_and_one() {
+        let a = big(12345);
+        assert!(a.mul(&BigUint::zero()).is_zero());
+        assert_eq!(a.mul(&BigUint::one()), a);
+    }
+
+    #[test]
+    fn shl_shr_inverse() {
+        let a = BigUint::from_hex("deadbeefcafebabe1234").unwrap();
+        for s in [0usize, 1, 7, 63, 64, 65, 130] {
+            assert_eq!(a.shl(s).shr(s), a, "shift {s}");
+        }
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let (q, r) = big(100).div_rem(&big(7));
+        assert_eq!(q, big(14));
+        assert_eq!(r, big(2));
+    }
+
+    #[test]
+    fn div_rem_matches_oracle_random() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let a_bits = 1 + (rng.gen::<usize>() % 512);
+            let b_bits = 1 + (rng.gen::<usize>() % 256);
+            let a = BigUint::random_bits(&mut rng, a_bits);
+            let mut b = BigUint::random_bits(&mut rng, b_bits);
+            if b.is_zero() {
+                b = BigUint::one();
+            }
+            let (q, r) = a.div_rem(&b);
+            let (oq, or) = oracle_div_rem(&a, &b);
+            assert_eq!(q, oq, "quotient a={a:?} b={b:?}");
+            assert_eq!(r, or, "remainder a={a:?} b={b:?}");
+            // And the fundamental invariant a = q*b + r, r < b.
+            assert_eq!(q.mul(&b).add(&r), a);
+            assert!(r.cmp_big(&b) == Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let a = BigUint::from_hex("00ff00ff00ff00ff00ff00ff00").unwrap();
+        let bytes = a.to_bytes_be();
+        assert_eq!(BigUint::from_bytes_be(&bytes), a);
+        let padded = a.to_bytes_be_padded(32).unwrap();
+        assert_eq!(padded.len(), 32);
+        assert_eq!(BigUint::from_bytes_be(&padded), a);
+        assert!(a.to_bytes_be_padded(2).is_none());
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for h in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+            let v = BigUint::from_hex(h).unwrap();
+            assert_eq!(v.to_hex(), h, "hex roundtrip for {h}");
+        }
+        // Leading zeros are normalized away.
+        assert_eq!(BigUint::from_hex("000ff").unwrap().to_hex(), "ff");
+    }
+
+    #[test]
+    fn modpow_small_cases() {
+        // 3^4 mod 5 = 81 mod 5 = 1
+        assert_eq!(big(3).modpow(&big(4), &big(5)), big(1));
+        // 2^10 mod 1000 = 24
+        assert_eq!(big(2).modpow(&big(10), &big(1000)), big(24));
+        // Fermat: a^(p-1) ≡ 1 mod p for prime p
+        let p = big(1_000_000_007);
+        for a in [2u64, 3, 12345, 999_999_999] {
+            assert_eq!(big(a).modpow(&p.sub(&BigUint::one()), &p), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn modpow_matches_naive_random() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let m = {
+                let mut m = BigUint::random_bits(&mut rng, 128);
+                if m.is_even() {
+                    m = m.add(&BigUint::one());
+                }
+                if m.is_one() || m.is_zero() {
+                    m = big(3);
+                }
+                m
+            };
+            let b = BigUint::random_below(&mut rng, &m);
+            let e = BigUint::random_bits(&mut rng, 16);
+            // naive repeated multiplication
+            let mut expect = BigUint::one();
+            let mut count = e.low_u64();
+            while count > 0 {
+                expect = expect.mulmod(&b, &m);
+                count -= 1;
+            }
+            assert_eq!(b.modpow(&e, &m), expect);
+        }
+    }
+
+    #[test]
+    fn modinv_known() {
+        // 3 * 4 = 12 ≡ 1 mod 11
+        assert_eq!(big(3).modinv(&big(11)), Some(big(4)));
+        // gcd(6, 9) = 3, no inverse
+        assert_eq!(big(6).modinv(&big(9)), None);
+    }
+
+    #[test]
+    fn modinv_random() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = BigUint::from_hex("ffffffffffffffffffffffffffffff61").unwrap(); // prime
+        for _ in 0..50 {
+            let a = BigUint::random_below(&mut rng, &m);
+            if a.is_zero() {
+                continue;
+            }
+            let inv = a.modinv(&m).expect("prime modulus: inverse exists");
+            assert_eq!(a.mulmod(&inv, &m), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(big(48).gcd(&big(18)), big(6));
+        assert_eq!(big(17).gcd(&big(13)), big(1));
+        assert_eq!(big(0).gcd(&big(5)), big(5));
+    }
+
+    #[test]
+    fn cmp_and_bits() {
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(big(1).bits(), 1);
+        assert_eq!(big(255).bits(), 8);
+        assert_eq!(BigUint::one().shl(100).bits(), 101);
+        assert!(big(5).cmp_big(&big(6)) == Ordering::Less);
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bound = BigUint::from_hex("10000000000000000000001").unwrap();
+        for _ in 0..100 {
+            let v = BigUint::random_below(&mut rng, &bound);
+            assert!(v.cmp_big(&bound) == Ordering::Less);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! A minimal streaming-hash abstraction shared by [`crate::sha1`] and
+//! [`crate::sha256`], so [`crate::hmac`] can be generic over the hash.
+
+/// A cryptographic hash function usable in HMAC and signature padding.
+pub trait Digest: Sized {
+    /// Digest output length in bytes.
+    const OUTPUT_LEN: usize;
+    /// Compression-function block length in bytes (the HMAC pad width).
+    const BLOCK_LEN: usize;
+
+    /// Creates a hasher in its initial state.
+    fn fresh() -> Self;
+    /// Absorbs input bytes.
+    fn absorb(&mut self, data: &[u8]);
+    /// Consumes the hasher and returns the digest.
+    fn produce(self) -> Vec<u8>;
+
+    /// One-shot digest of `data`.
+    fn hash(data: &[u8]) -> Vec<u8> {
+        let mut h = Self::fresh();
+        h.absorb(data);
+        h.produce()
+    }
+}

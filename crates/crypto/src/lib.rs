@@ -1,0 +1,45 @@
+//! # lbtrust-crypto — cryptographic substrate for LBTrust
+//!
+//! The LBTrust paper (CIDR 2009, §4.1) assumes "application-defined
+//! libraries of custom predicates … such as the cryptographic functions
+//! required for implementing certain security constructs": `rsasign` /
+//! `rsaverify` (1024-bit RSA), `hmacsign` / `hmacverify` (HMAC-SHA1), plus
+//! encryption and checksum primitives for confidentiality and integrity
+//! (§4.1.3).
+//!
+//! The permitted offline dependency set for this reproduction contains no
+//! cryptography crates, so this crate implements everything from scratch:
+//!
+//! * [`bignum`] — arbitrary-precision unsigned integers with Knuth
+//!   division and Montgomery exponentiation,
+//! * [`prime`] — Miller–Rabin prime generation,
+//! * [`rsa`] — RSA keygen/sign/verify (EMSA-PKCS1-v1_5 over SHA-1, CRT),
+//! * [`sha1`], [`sha256`] — FIPS 180 hash functions,
+//! * [`hmac`] — RFC 2104 MACs,
+//! * [`crc32`] — cheap integrity checksum,
+//! * [`stream`] — hash-CTR symmetric encryption for confidentiality.
+//!
+//! ## Threat model / caveat
+//!
+//! This code is **simulation grade**: it is algorithmically correct
+//! (validated against published test vectors) and has the same *relative
+//! cost profile* as production implementations — which is what the paper's
+//! Figure 2 measures — but it is not constant-time and has received no
+//! side-channel hardening. Do not use it to protect real data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bignum;
+pub mod crc32;
+pub mod digest;
+pub mod hmac;
+pub mod prime;
+pub mod rsa;
+pub mod sha1;
+pub mod sha256;
+pub mod stream;
+
+pub use bignum::BigUint;
+pub use digest::Digest;
+pub use rsa::{KeyPair, PrivateKey, PublicKey, RsaError};

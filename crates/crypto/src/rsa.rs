@@ -1,0 +1,294 @@
+//! RSA signatures: the `rsasign`/`rsaverify` built-ins of the paper
+//! (§4.1.1) and the certificate scheme Binder specifies.
+//!
+//! Signing follows EMSA-PKCS1-v1_5 over a SHA-1 digest (`00 01 FF…FF 00 ||
+//! DigestInfo || H(m)`), matching the paper's "1024-bit RSA signatures
+//! given an input fact". Private-key operations use the CRT for the usual
+//! ~4× speedup; the benchmark in `crates/bench` measures the full
+//! sign+verify path exactly as Figure 2 does.
+
+use crate::bignum::BigUint;
+use crate::prime::gen_prime;
+use crate::sha1::Sha1;
+use rand::Rng;
+use std::fmt;
+
+/// ASN.1 DER prefix of `DigestInfo` for SHA-1 (RFC 8017 §9.2 note 1).
+const SHA1_DIGEST_INFO: [u8; 15] = [
+    0x30, 0x21, 0x30, 0x09, 0x06, 0x05, 0x2b, 0x0e, 0x03, 0x02, 0x1a, 0x05, 0x00, 0x04, 0x14,
+];
+
+/// Errors from RSA operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsaError {
+    /// The modulus is too small to hold the padded digest.
+    ModulusTooSmall,
+    /// The signature does not verify.
+    BadSignature,
+}
+
+impl fmt::Display for RsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsaError::ModulusTooSmall => write!(f, "RSA modulus too small for padded digest"),
+            RsaError::BadSignature => write!(f, "RSA signature verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for RsaError {}
+
+/// An RSA public key `(n, e)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PublicKey {
+    n: BigUint,
+    e: BigUint,
+}
+
+impl PublicKey {
+    /// The modulus size in bytes (rounded up).
+    pub fn modulus_len(&self) -> usize {
+        self.n.bits().div_ceil(8)
+    }
+
+    /// The modulus.
+    pub fn n(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// The public exponent.
+    pub fn e(&self) -> &BigUint {
+        &self.e
+    }
+
+    /// Short stable fingerprint of the key (first 8 hex chars of
+    /// `SHA1(n || e)`), used for the `rsa:3:c1ebab5d`-style key references
+    /// in Binder certificates (§5.1 of the paper).
+    pub fn fingerprint(&self) -> String {
+        let mut h = Sha1::new();
+        h.update(&self.n.to_bytes_be());
+        h.update(&self.e.to_bytes_be());
+        let digest = h.finalize();
+        digest[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Verifies `signature` over `message`. Returns `Ok(())` iff the
+    /// signature is exactly the expected PKCS#1 v1.5 encoding.
+    pub fn verify(&self, message: &[u8], signature: &[u8]) -> Result<(), RsaError> {
+        let k = self.modulus_len();
+        if signature.len() != k {
+            return Err(RsaError::BadSignature);
+        }
+        let s = BigUint::from_bytes_be(signature);
+        if s.cmp_big(&self.n) != std::cmp::Ordering::Less {
+            return Err(RsaError::BadSignature);
+        }
+        let em = s.modpow(&self.e, &self.n);
+        let expected = emsa_pkcs1_v15(message, k)?;
+        if em == BigUint::from_bytes_be(&expected) {
+            Ok(())
+        } else {
+            Err(RsaError::BadSignature)
+        }
+    }
+}
+
+/// An RSA private key with CRT parameters.
+#[derive(Debug, Clone)]
+pub struct PrivateKey {
+    public: PublicKey,
+    d: BigUint,
+    p: BigUint,
+    q: BigUint,
+    dp: BigUint,
+    dq: BigUint,
+    qinv: BigUint,
+}
+
+impl PrivateKey {
+    /// The corresponding public key.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// Signs `message` with EMSA-PKCS1-v1_5 over SHA-1.
+    pub fn sign(&self, message: &[u8]) -> Result<Vec<u8>, RsaError> {
+        let k = self.public.modulus_len();
+        let em = BigUint::from_bytes_be(&emsa_pkcs1_v15(message, k)?);
+        let s = self.private_op(&em);
+        Ok(s.to_bytes_be_padded(k).expect("s < n fits in k bytes"))
+    }
+
+    /// `m^d mod n` via the Chinese Remainder Theorem.
+    fn private_op(&self, m: &BigUint) -> BigUint {
+        let m1 = m.modpow(&self.dp, &self.p);
+        let m2 = m.modpow(&self.dq, &self.q);
+        // h = qinv * (m1 - m2) mod p
+        let h = self.qinv.mulmod(&m1.submod(&m2.rem(&self.p), &self.p), &self.p);
+        m2.add(&h.mul(&self.q))
+    }
+
+    /// Raw exponent (exposed for tests of CRT consistency).
+    pub fn d(&self) -> &BigUint {
+        &self.d
+    }
+}
+
+/// A convenience pair of private and public key.
+#[derive(Debug, Clone)]
+pub struct KeyPair {
+    /// The private half (includes the public key).
+    pub private: PrivateKey,
+}
+
+impl KeyPair {
+    /// Generates a fresh keypair with a modulus of `bits` bits
+    /// (e.g. 1024 as in the paper) and public exponent 65537.
+    ///
+    /// All randomness comes from `rng`, so a seeded RNG yields a
+    /// deterministic key — used heavily in tests and benches.
+    pub fn generate<R: Rng>(bits: usize, rng: &mut R) -> Self {
+        assert!(bits >= 64, "modulus too small: {bits} bits");
+        let e = BigUint::from_u64(65537);
+        loop {
+            let p = gen_prime(bits / 2, rng);
+            let q = gen_prime(bits - bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let one = BigUint::one();
+            let phi = p.sub(&one).mul(&q.sub(&one));
+            let Some(d) = e.modinv(&phi) else {
+                continue; // gcd(e, phi) != 1; retry with new primes
+            };
+            let dp = d.rem(&p.sub(&one));
+            let dq = d.rem(&q.sub(&one));
+            let Some(qinv) = q.modinv(&p) else { continue };
+            return KeyPair {
+                private: PrivateKey {
+                    public: PublicKey { n, e },
+                    d,
+                    p,
+                    q,
+                    dp,
+                    dq,
+                    qinv,
+                },
+            };
+        }
+    }
+
+    /// The public key.
+    pub fn public_key(&self) -> &PublicKey {
+        self.private.public_key()
+    }
+}
+
+/// EMSA-PKCS1-v1_5 encoding of `SHA1(message)` into `k` bytes.
+fn emsa_pkcs1_v15(message: &[u8], k: usize) -> Result<Vec<u8>, RsaError> {
+    let digest = Sha1::digest(message);
+    let t_len = SHA1_DIGEST_INFO.len() + digest.len();
+    if k < t_len + 11 {
+        return Err(RsaError::ModulusTooSmall);
+    }
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x01);
+    em.resize(k - t_len - 1, 0xff);
+    em.push(0x00);
+    em.extend_from_slice(&SHA1_DIGEST_INFO);
+    em.extend_from_slice(&digest);
+    debug_assert_eq!(em.len(), k);
+    Ok(em)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_keypair(seed: u64) -> KeyPair {
+        // 512-bit keys keep the test suite fast; benches use 1024.
+        KeyPair::generate(512, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = test_keypair(1);
+        let msg = b"access(alice, file1, read)";
+        let sig = kp.private.sign(msg).unwrap();
+        assert!(kp.public_key().verify(msg, &sig).is_ok());
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let kp = test_keypair(2);
+        let sig = kp.private.sign(b"good(alice)").unwrap();
+        assert_eq!(
+            kp.public_key().verify(b"good(mallory)", &sig),
+            Err(RsaError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = test_keypair(3);
+        let mut sig = kp.private.sign(b"msg").unwrap();
+        sig[0] ^= 0x40;
+        assert_eq!(
+            kp.public_key().verify(b"msg", &sig),
+            Err(RsaError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = test_keypair(4);
+        let kp2 = test_keypair(5);
+        let sig = kp1.private.sign(b"msg").unwrap();
+        assert!(kp2.public_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn crt_matches_plain_exponentiation() {
+        let kp = test_keypair(6);
+        let m = BigUint::from_u64(0xdeadbeef);
+        let crt = kp.private.private_op(&m);
+        let plain = m.modpow(kp.private.d(), kp.public_key().n());
+        assert_eq!(crt, plain);
+    }
+
+    #[test]
+    fn signature_length_is_modulus_length() {
+        let kp = test_keypair(7);
+        let sig = kp.private.sign(b"x").unwrap();
+        assert_eq!(sig.len(), kp.public_key().modulus_len());
+    }
+
+    #[test]
+    fn fingerprint_stable_and_distinct() {
+        let kp1 = test_keypair(8);
+        let kp2 = test_keypair(9);
+        assert_eq!(kp1.public_key().fingerprint(), kp1.public_key().fingerprint());
+        assert_ne!(kp1.public_key().fingerprint(), kp2.public_key().fingerprint());
+        assert_eq!(kp1.public_key().fingerprint().len(), 8);
+    }
+
+    #[test]
+    fn keygen_deterministic_for_seed() {
+        let a = test_keypair(10);
+        let b = test_keypair(10);
+        assert_eq!(a.public_key(), b.public_key());
+    }
+
+    #[test]
+    fn empty_and_large_messages() {
+        let kp = test_keypair(11);
+        for msg in [&b""[..], &[0xabu8; 10_000][..]] {
+            let sig = kp.private.sign(msg).unwrap();
+            assert!(kp.public_key().verify(msg, &sig).is_ok());
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Symmetric encryption for the paper's *confidentiality* construct
+//! (§4.1.3): "ensuring rules cannot be interpreted by unauthorized
+//! principals in a distributed setting".
+//!
+//! We build a counter-mode stream cipher whose keystream blocks are
+//! `SHA256(key || nonce || counter)`. Encryption and decryption are the
+//! same XOR operation. A fresh random nonce per message prevents keystream
+//! reuse. This is a standard construction (a hash-based CTR PRF); it is
+//! *simulation grade* like the rest of this crate.
+
+use crate::sha256::Sha256;
+use rand::Rng;
+
+/// Nonce length in bytes carried with every ciphertext.
+pub const NONCE_LEN: usize = 16;
+
+/// Encrypts `plaintext` under `key`, drawing a fresh nonce from `rng`.
+/// The returned ciphertext embeds the nonce as its first [`NONCE_LEN`]
+/// bytes.
+pub fn encrypt<R: Rng>(key: &[u8], plaintext: &[u8], rng: &mut R) -> Vec<u8> {
+    let mut nonce = [0u8; NONCE_LEN];
+    rng.fill(&mut nonce);
+    encrypt_with_nonce(key, &nonce, plaintext)
+}
+
+/// Encrypts with a caller-chosen nonce.
+///
+/// Used by the LBTrust `encryptrule` builtin in SIV style (nonce derived
+/// from `SHA256("siv" || key || plaintext)`), which makes encryption
+/// *deterministic* — required so that re-evaluating a Datalog rule whose
+/// body encrypts produces the same tuple and the fixpoint terminates.
+/// Deterministic encryption leaks plaintext equality; acceptable here
+/// because equal rules are equal facts anyway.
+pub fn encrypt_with_nonce(key: &[u8], nonce: &[u8; NONCE_LEN], plaintext: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(NONCE_LEN + plaintext.len());
+    out.extend_from_slice(nonce);
+    out.extend_from_slice(plaintext);
+    xor_keystream(key, nonce, &mut out[NONCE_LEN..]);
+    out
+}
+
+/// The SIV-style deterministic nonce for (`key`, `plaintext`).
+pub fn siv_nonce(key: &[u8], plaintext: &[u8]) -> [u8; NONCE_LEN] {
+    let mut h = Sha256::new();
+    h.update(b"siv");
+    h.update(key);
+    h.update(plaintext);
+    let digest = h.finalize();
+    let mut nonce = [0u8; NONCE_LEN];
+    nonce.copy_from_slice(&digest[..NONCE_LEN]);
+    nonce
+}
+
+/// Decrypts a ciphertext produced by [`encrypt`]. Returns `None` when the
+/// input is too short to contain a nonce.
+///
+/// Note: a stream cipher provides no integrity. Callers who need tamper
+/// detection combine this with [`crate::hmac`] (encrypt-then-MAC), as the
+/// LBTrust confidentiality scheme does.
+pub fn decrypt(key: &[u8], ciphertext: &[u8]) -> Option<Vec<u8>> {
+    if ciphertext.len() < NONCE_LEN {
+        return None;
+    }
+    let (nonce, body) = ciphertext.split_at(NONCE_LEN);
+    let mut out = body.to_vec();
+    xor_keystream(key, nonce, &mut out);
+    Some(out)
+}
+
+/// XORs the keystream for (`key`, `nonce`) into `buf` in place.
+fn xor_keystream(key: &[u8], nonce: &[u8], buf: &mut [u8]) {
+    for (block_idx, chunk) in buf.chunks_mut(Sha256::OUTPUT_LEN).enumerate() {
+        let mut h = Sha256::new();
+        h.update(key);
+        h.update(nonce);
+        h.update(&(block_idx as u64).to_be_bytes());
+        let block = h.finalize();
+        for (b, k) in chunk.iter_mut().zip(block.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let key = b"shared-secret";
+        for len in [0usize, 1, 31, 32, 33, 100, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i % 256) as u8).collect();
+            let ct = encrypt(key, &pt, &mut rng);
+            assert_eq!(decrypt(key, &ct).unwrap(), pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_scrambles() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ct = encrypt(b"key-a", b"says(alice, bob, secret)", &mut rng);
+        let wrong = decrypt(b"key-b", &ct).unwrap();
+        assert_ne!(wrong, b"says(alice, bob, secret)".to_vec());
+    }
+
+    #[test]
+    fn nonce_makes_ciphertexts_differ() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = encrypt(b"k", b"same message", &mut rng);
+        let b = encrypt(b"k", b"same message", &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        assert!(decrypt(b"k", &[0u8; NONCE_LEN - 1]).is_none());
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pt = b"permission(owner, requester, file, read)";
+        let ct = encrypt(b"key", pt, &mut rng);
+        // Body must not contain the plaintext verbatim.
+        assert!(!ct
+            .windows(pt.len())
+            .any(|w| w == &pt[..]));
+    }
+}

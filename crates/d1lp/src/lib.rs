@@ -1,0 +1,516 @@
+//! # lbtrust-d1lp — D1LP-style delegation logic on LBTrust
+//!
+//! D1LP (Li, Grosof, Feigenbaum — *Delegation Logic*) contributes the
+//! security constructs the paper folds into LBTrust in §4.2: restricted
+//! delegation (`delegates`), delegation **depth** limits, delegation
+//! **width** limits, and **threshold structures** (unweighted k-of-n and
+//! weighted). This crate offers a policy builder that compiles those
+//! statements onto the LBTrust preludes and installs them into a
+//! multi-principal [`System`].
+//!
+//! ```
+//! use lbtrust::System;
+//! use lbtrust_d1lp::D1lpPolicy;
+//!
+//! let mut sys = System::new().with_rsa_bits(512);
+//! sys.add_principal("alice", "n1").unwrap();
+//! sys.add_principal("bob", "n2").unwrap();
+//! // Alice lets bob speak for her on `permission`, no re-delegation.
+//! D1lpPolicy::new()
+//!     .delegate("alice", "bob", "permission", Some(0))
+//!     .apply_to(&mut sys)
+//!     .unwrap();
+//! sys.run_to_quiescence(16).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lbtrust::delegation::{
+    threshold_rules, weighted_threshold_rules, DELEGATES, DELEGATION_DEPTH,
+    DELEGATION_DEPTH_CONSTRAINT, DELEGATION_WIDTH_CONSTRAINT,
+};
+use lbtrust::principal::Principal;
+use lbtrust::says::speaks_for;
+use lbtrust::system::{SysError, System};
+use lbtrust_datalog::{Symbol, Value};
+
+/// One D1LP policy statement.
+#[derive(Clone, Debug)]
+pub enum Statement {
+    /// `from` delegates authority over predicate `pred` to `to`,
+    /// optionally with a maximum re-delegation depth.
+    Delegate {
+        /// The granting principal.
+        from: String,
+        /// The receiving principal.
+        to: String,
+        /// The delegated predicate.
+        pred: String,
+        /// Maximum re-delegation depth (`None` = unbounded).
+        depth: Option<i64>,
+    },
+    /// `speaker` speaks for `listener` unconditionally (Lampson's
+    /// speaks-for; `sf0` in the paper).
+    SpeaksFor {
+        /// The principal whose statements are adopted.
+        speaker: String,
+        /// The adopting principal.
+        listener: String,
+    },
+    /// `listener` accepts `pred(C)` when at least `k` of the `group`
+    /// principals say it (unweighted threshold, `wd0`–`wd2`).
+    Threshold {
+        /// The deciding principal.
+        listener: String,
+        /// The group name (members are registered separately).
+        group: String,
+        /// The agreed predicate.
+        pred: String,
+        /// Required number of concurring principals.
+        k: usize,
+    },
+    /// Weighted threshold: the sum of concurring principals' weights must
+    /// reach `k`.
+    WeightedThreshold {
+        /// The deciding principal.
+        listener: String,
+        /// The group name.
+        group: String,
+        /// The agreed predicate.
+        pred: String,
+        /// Required total weight.
+        k: i64,
+    },
+    /// Restrict `owner`'s delegation of `pred` to the listed principals
+    /// (delegation width).
+    WidthRestrict {
+        /// The restricting principal.
+        owner: String,
+        /// The restricted predicate.
+        pred: String,
+        /// The only admissible delegatees.
+        allowed: Vec<String>,
+    },
+}
+
+/// A D1LP policy: a bag of statements compiled onto LBTrust.
+#[derive(Clone, Debug, Default)]
+pub struct D1lpPolicy {
+    statements: Vec<Statement>,
+    /// (group, member, weight) registrations.
+    group_members: Vec<(String, String, i64)>,
+}
+
+impl D1lpPolicy {
+    /// An empty policy.
+    pub fn new() -> D1lpPolicy {
+        D1lpPolicy::default()
+    }
+
+    /// Adds a delegation statement.
+    pub fn delegate(mut self, from: &str, to: &str, pred: &str, depth: Option<i64>) -> Self {
+        self.statements.push(Statement::Delegate {
+            from: from.into(),
+            to: to.into(),
+            pred: pred.into(),
+            depth,
+        });
+        self
+    }
+
+    /// Adds a speaks-for statement.
+    pub fn speaks_for(mut self, speaker: &str, listener: &str) -> Self {
+        self.statements.push(Statement::SpeaksFor {
+            speaker: speaker.into(),
+            listener: listener.into(),
+        });
+        self
+    }
+
+    /// Adds an unweighted threshold statement.
+    pub fn threshold(mut self, listener: &str, group: &str, pred: &str, k: usize) -> Self {
+        self.statements.push(Statement::Threshold {
+            listener: listener.into(),
+            group: group.into(),
+            pred: pred.into(),
+            k,
+        });
+        self
+    }
+
+    /// Adds a weighted threshold statement.
+    pub fn weighted_threshold(mut self, listener: &str, group: &str, pred: &str, k: i64) -> Self {
+        self.statements.push(Statement::WeightedThreshold {
+            listener: listener.into(),
+            group: group.into(),
+            pred: pred.into(),
+            k,
+        });
+        self
+    }
+
+    /// Restricts delegation width.
+    pub fn width_restrict(mut self, owner: &str, pred: &str, allowed: &[&str]) -> Self {
+        self.statements.push(Statement::WidthRestrict {
+            owner: owner.into(),
+            pred: pred.into(),
+            allowed: allowed.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Registers a principal as a member of a threshold group, with a
+    /// weight (use 1 for unweighted thresholds).
+    pub fn group_member(mut self, group: &str, member: &str, weight: i64) -> Self {
+        self.group_members
+            .push((group.into(), member.into(), weight));
+        self
+    }
+
+    /// Installs the policy into `system`. Every principal named in the
+    /// policy must already be registered.
+    ///
+    /// The delegation machinery (activation rules, depth propagation,
+    /// `dd4`/width constraints) is installed at **every** registered
+    /// principal, not just those named in the policy: delegation chains
+    /// extend to principals the original policy never mentions, and the
+    /// depth/width rules must be in force wherever a budget can land.
+    pub fn apply_to(&self, system: &mut System) -> Result<(), SysError> {
+        let participants: Vec<Principal> = system.principals().to_vec();
+        for &p in &participants {
+            let ws = system.workspace_mut(p)?;
+            ws.load("d1lp-delegates", DELEGATES)
+                .map_err(SysError::Workspace)?;
+            ws.load("d1lp-depth", DELEGATION_DEPTH)
+                .map_err(SysError::Workspace)?;
+            ws.load("d1lp-depth-c", DELEGATION_DEPTH_CONSTRAINT)
+                .map_err(SysError::Workspace)?;
+            ws.load("d1lp-width-c", DELEGATION_WIDTH_CONSTRAINT)
+                .map_err(SysError::Workspace)?;
+        }
+
+        for s in &self.statements {
+            match s {
+                Statement::Delegate {
+                    from,
+                    to,
+                    pred,
+                    depth,
+                } => {
+                    let from_p = Symbol::intern(from);
+                    let ws = system.workspace_mut(from_p)?;
+                    ws.assert_fact(
+                        Symbol::intern("delegates"),
+                        vec![Value::sym(from), Value::sym(to), Value::sym(pred)],
+                    );
+                    if let Some(n) = depth {
+                        ws.assert_fact(
+                            Symbol::intern("delDepth"),
+                            vec![
+                                Value::sym(from),
+                                Value::sym(to),
+                                Value::sym(pred),
+                                Value::Int(*n),
+                            ],
+                        );
+                    }
+                }
+                Statement::SpeaksFor { speaker, listener } => {
+                    let listener_p = Symbol::intern(listener);
+                    system
+                        .workspace_mut(listener_p)?
+                        .load("d1lp-sf", &speaks_for(speaker))
+                        .map_err(SysError::Workspace)?;
+                }
+                Statement::Threshold {
+                    listener,
+                    group,
+                    pred,
+                    k,
+                } => {
+                    let listener_p = Symbol::intern(listener);
+                    let ws = system.workspace_mut(listener_p)?;
+                    ws.load(
+                        &format!("d1lp-th-{pred}"),
+                        &threshold_rules(group, pred, *k),
+                    )
+                    .map_err(SysError::Workspace)?;
+                    self.assert_group(ws, group);
+                }
+                Statement::WeightedThreshold {
+                    listener,
+                    group,
+                    pred,
+                    k,
+                } => {
+                    let listener_p = Symbol::intern(listener);
+                    let ws = system.workspace_mut(listener_p)?;
+                    ws.load(
+                        &format!("d1lp-wth-{pred}"),
+                        &weighted_threshold_rules(group, pred, *k),
+                    )
+                    .map_err(SysError::Workspace)?;
+                    self.assert_group(ws, group);
+                }
+                Statement::WidthRestrict {
+                    owner,
+                    pred,
+                    allowed,
+                } => {
+                    let owner_p = Symbol::intern(owner);
+                    let ws = system.workspace_mut(owner_p)?;
+                    ws.assert_fact(
+                        Symbol::intern("delWidthRestricted"),
+                        vec![Value::sym(owner), Value::sym(pred)],
+                    );
+                    for a in allowed {
+                        ws.assert_fact(
+                            Symbol::intern("delWidth"),
+                            vec![Value::sym(owner), Value::sym(pred), Value::sym(a)],
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn assert_group(&self, ws: &mut lbtrust::Workspace, group: &str) {
+        for (g, member, weight) in &self.group_members {
+            if g == group {
+                ws.assert_fact(
+                    Symbol::intern("pringroup"),
+                    vec![Value::sym(member), Value::sym(group)],
+                );
+                ws.assert_fact(
+                    Symbol::intern("weight"),
+                    vec![Value::sym(member), Value::Int(*weight)],
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_principal_system() -> (System, Principal, Principal) {
+        let mut sys = System::new().with_rsa_bits(512);
+        let alice = sys.add_principal("alice", "n1").unwrap();
+        let bob = sys.add_principal("bob", "n2").unwrap();
+        (sys, alice, bob)
+    }
+
+    #[test]
+    fn delegation_activates_said_rules_for_pred() {
+        let (mut sys, alice, bob) = two_principal_system();
+        D1lpPolicy::new()
+            .delegate("alice", "bob", "permission", None)
+            .apply_to(&mut sys)
+            .unwrap();
+        // Bob says a permission fact and an unrelated fact.
+        sys.workspace_mut(bob)
+            .unwrap()
+            .load(
+                "policy",
+                "says(me,alice,[| permission(bob,f,read). |]) <- go().\n\
+                 says(me,alice,[| unrelated(x). |]) <- go().",
+            )
+            .unwrap();
+        sys.workspace_mut(bob).unwrap().assert_src("go().").unwrap();
+        sys.run_to_quiescence(16).unwrap();
+        let alice_ws = sys.workspace(alice).unwrap();
+        // The delegated predicate was activated...
+        assert!(alice_ws.holds_src("permission(bob,f,read)").unwrap());
+        // ...the unrelated one was not.
+        assert!(!alice_ws.holds_src("unrelated(x)").unwrap());
+    }
+
+    #[test]
+    fn speaks_for_activates_everything() {
+        let (mut sys, alice, bob) = two_principal_system();
+        D1lpPolicy::new()
+            .speaks_for("bob", "alice")
+            .apply_to(&mut sys)
+            .unwrap();
+        sys.workspace_mut(bob)
+            .unwrap()
+            .load("policy", "says(me,alice,[| anything(atall). |]) <- go().")
+            .unwrap();
+        sys.workspace_mut(bob).unwrap().assert_src("go().").unwrap();
+        sys.run_to_quiescence(16).unwrap();
+        assert!(sys
+            .workspace(alice)
+            .unwrap()
+            .holds_src("anything(atall)")
+            .unwrap());
+    }
+
+    #[test]
+    fn threshold_requires_k_of_n() {
+        let mut sys = System::new().with_rsa_bits(512);
+        let bank = sys.add_principal("bank", "n0").unwrap();
+        for b in ["b1", "b2", "b3"] {
+            sys.add_principal(b, "n1").unwrap();
+        }
+        D1lpPolicy::new()
+            .threshold("bank", "creditBureau", "creditOK", 3)
+            .group_member("creditBureau", "b1", 1)
+            .group_member("creditBureau", "b2", 1)
+            .group_member("creditBureau", "b3", 1)
+            .apply_to(&mut sys)
+            .unwrap();
+        // Only two bureaus approve: below threshold.
+        for b in ["b1", "b2"] {
+            let p = Symbol::intern(b);
+            sys.workspace_mut(p)
+                .unwrap()
+                .load("policy", "says(me,bank,[| creditOK(cust). |]) <- approve().")
+                .unwrap();
+            sys.workspace_mut(p).unwrap().assert_src("approve().").unwrap();
+        }
+        sys.run_to_quiescence(16).unwrap();
+        assert!(!sys.workspace(bank).unwrap().holds_src("creditOK(cust)").unwrap());
+        // The third bureau approves: threshold reached.
+        let b3 = Symbol::intern("b3");
+        sys.workspace_mut(b3)
+            .unwrap()
+            .load("policy", "says(me,bank,[| creditOK(cust). |]) <- approve().")
+            .unwrap();
+        sys.workspace_mut(b3).unwrap().assert_src("approve().").unwrap();
+        sys.run_to_quiescence(16).unwrap();
+        assert!(sys.workspace(bank).unwrap().holds_src("creditOK(cust)").unwrap());
+    }
+
+    #[test]
+    fn weighted_threshold() {
+        let mut sys = System::new().with_rsa_bits(512);
+        sys.add_principal("bank", "n0").unwrap();
+        for b in ["big", "small"] {
+            sys.add_principal(b, "n1").unwrap();
+        }
+        D1lpPolicy::new()
+            .weighted_threshold("bank", "bureaus", "creditOK", 3)
+            .group_member("bureaus", "big", 3)
+            .group_member("bureaus", "small", 1)
+            .apply_to(&mut sys)
+            .unwrap();
+        // The small bureau alone (weight 1) is not enough.
+        let small = Symbol::intern("small");
+        sys.workspace_mut(small)
+            .unwrap()
+            .load("policy", "says(me,bank,[| creditOK(c). |]) <- approve().")
+            .unwrap();
+        sys.workspace_mut(small).unwrap().assert_src("approve().").unwrap();
+        sys.run_to_quiescence(16).unwrap();
+        assert!(!sys
+            .workspace(Symbol::intern("bank"))
+            .unwrap()
+            .holds_src("creditOK(c)")
+            .unwrap());
+        // The big bureau (weight 3) alone suffices.
+        let big = Symbol::intern("big");
+        sys.workspace_mut(big)
+            .unwrap()
+            .load("policy", "says(me,bank,[| creditOK(c). |]) <- approve().")
+            .unwrap();
+        sys.workspace_mut(big).unwrap().assert_src("approve().").unwrap();
+        sys.run_to_quiescence(16).unwrap();
+        assert!(sys
+            .workspace(Symbol::intern("bank"))
+            .unwrap()
+            .holds_src("creditOK(c)")
+            .unwrap());
+    }
+
+    #[test]
+    fn depth_zero_blocks_redelegation() {
+        let mut sys = System::new().with_rsa_bits(512);
+        let _alice = sys.add_principal("alice", "n1").unwrap();
+        let mgr = sys.add_principal("mgr", "n2").unwrap();
+        let _sub = sys.add_principal("sub", "n3").unwrap();
+        // Alice delegates to mgr with depth 0 (no re-delegation).
+        D1lpPolicy::new()
+            .delegate("alice", "mgr", "permission", Some(0))
+            .apply_to(&mut sys)
+            .unwrap();
+        sys.run_to_quiescence(16).unwrap();
+        // mgr received the depth budget.
+        assert!(sys
+            .workspace(mgr)
+            .unwrap()
+            .holds_src("inferredDelDepth(alice,mgr,permission,0)")
+            .unwrap());
+        // mgr attempting to re-delegate violates dd4 and is rolled back.
+        sys.workspace_mut(mgr).unwrap().assert_fact(
+            Symbol::intern("delegates"),
+            vec![Value::sym("mgr"), Value::sym("sub"), Value::sym("permission")],
+        );
+        let result = sys.workspace_mut(mgr).unwrap().evaluate();
+        assert!(result.is_err(), "re-delegation at depth 0 must fail");
+        // The rollback removed the offending delegation.
+        assert!(!sys
+            .workspace(mgr)
+            .unwrap()
+            .holds_src("delegates(mgr,sub,permission)")
+            .unwrap());
+    }
+
+    #[test]
+    fn depth_one_allows_one_hop() {
+        let mut sys = System::new().with_rsa_bits(512);
+        sys.add_principal("alice", "n1").unwrap();
+        let mgr = sys.add_principal("mgr", "n2").unwrap();
+        let sub = sys.add_principal("sub", "n3").unwrap();
+        D1lpPolicy::new()
+            .delegate("alice", "mgr", "permission", Some(1))
+            .apply_to(&mut sys)
+            .unwrap();
+        sys.run_to_quiescence(16).unwrap();
+        // mgr re-delegates once: allowed, and sub receives budget 0.
+        sys.workspace_mut(mgr).unwrap().assert_fact(
+            Symbol::intern("delegates"),
+            vec![Value::sym("mgr"), Value::sym("sub"), Value::sym("permission")],
+        );
+        sys.run_to_quiescence(16).unwrap();
+        assert!(sys
+            .workspace(sub)
+            .unwrap()
+            .holds_src("inferredDelDepth(mgr,sub,permission,0)")
+            .unwrap());
+        // sub cannot go further.
+        sys.workspace_mut(sub).unwrap().assert_fact(
+            Symbol::intern("delegates"),
+            vec![Value::sym("sub"), Value::sym("deep"), Value::sym("permission")],
+        );
+        assert!(sys.workspace_mut(sub).unwrap().evaluate().is_err());
+    }
+
+    #[test]
+    fn width_restriction() {
+        let mut sys = System::new().with_rsa_bits(512);
+        sys.add_principal("alice", "n1").unwrap();
+        sys.add_principal("good", "n2").unwrap();
+        sys.add_principal("evil", "n3").unwrap();
+        D1lpPolicy::new()
+            .width_restrict("alice", "permission", &["good"])
+            .apply_to(&mut sys)
+            .unwrap();
+        sys.run_to_quiescence(16).unwrap();
+        let alice = Symbol::intern("alice");
+        // Delegating inside the allowed width: fine.
+        sys.workspace_mut(alice).unwrap().assert_fact(
+            Symbol::intern("delegates"),
+            vec![Value::sym("alice"), Value::sym("good"), Value::sym("permission")],
+        );
+        sys.workspace_mut(alice).unwrap().evaluate().unwrap();
+        // Outside: constraint violation.
+        sys.workspace_mut(alice).unwrap().assert_fact(
+            Symbol::intern("delegates"),
+            vec![Value::sym("alice"), Value::sym("evil"), Value::sym("permission")],
+        );
+        assert!(sys.workspace_mut(alice).unwrap().evaluate().is_err());
+    }
+}

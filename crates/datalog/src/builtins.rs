@@ -1,0 +1,291 @@
+//! External builtin predicates.
+//!
+//! LogicBlox "allows application-defined libraries of custom predicates to
+//! be imported, such as the cryptographic functions required for
+//! implementing certain security constructs" (§3 of the paper). LBTrust's
+//! authentication rules call `rsasign`, `rsaverify`, `hmacsign`,
+//! `hmacverify`, etc. as body literals.
+//!
+//! A builtin is a function from a *partially bound* argument vector to the
+//! set of complete argument tuples consistent with it. `rsasign(R,S,K)`
+//! with `R` and `K` bound returns one tuple with `S` filled in;
+//! `rsaverify(R,S,K)` with everything bound returns the input tuple when
+//! the signature verifies and nothing otherwise.
+
+use crate::intern::Symbol;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Outcome of invoking a builtin.
+pub type BuiltinResult = Result<Vec<Vec<Value>>, BuiltinError>;
+
+/// Errors raised by builtin invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuiltinError {
+    /// Required argument positions were unbound.
+    InsufficientBinding {
+        /// The builtin's name.
+        name: Symbol,
+        /// Positions (0-based) that must be bound.
+        required: Vec<usize>,
+    },
+    /// An argument had the wrong type.
+    TypeError {
+        /// The builtin's name.
+        name: Symbol,
+        /// Description of the expectation.
+        expected: String,
+    },
+    /// Wrong number of arguments.
+    ArityMismatch {
+        /// The builtin's name.
+        name: Symbol,
+        /// Expected arity.
+        expected: usize,
+        /// Provided arity.
+        found: usize,
+    },
+}
+
+impl fmt::Display for BuiltinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuiltinError::InsufficientBinding { name, required } => write!(
+                f,
+                "builtin {name}: argument position(s) {required:?} must be bound"
+            ),
+            BuiltinError::TypeError { name, expected } => {
+                write!(f, "builtin {name}: expected {expected}")
+            }
+            BuiltinError::ArityMismatch {
+                name,
+                expected,
+                found,
+            } => write!(f, "builtin {name}: expected {expected} args, found {found}"),
+        }
+    }
+}
+
+impl std::error::Error for BuiltinError {}
+
+/// The function type behind a builtin predicate: given each argument as
+/// `Some(value)` (bound) or `None` (unbound), produce all satisfying
+/// complete tuples.
+pub type BuiltinFn = Arc<dyn Fn(&[Option<Value>]) -> BuiltinResult + Send + Sync>;
+
+/// A registry of builtin predicates, keyed by name.
+#[derive(Clone, Default)]
+pub struct Builtins {
+    map: HashMap<Symbol, (usize, BuiltinFn)>,
+}
+
+impl fmt::Debug for Builtins {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&str> = self.map.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        f.debug_struct("Builtins").field("names", &names).finish()
+    }
+}
+
+impl Builtins {
+    /// An empty registry.
+    pub fn new() -> Builtins {
+        Builtins::default()
+    }
+
+    /// Registers `name` with the given arity and implementation.
+    /// Re-registering a name replaces the previous implementation.
+    pub fn register<F>(&mut self, name: &str, arity: usize, f: F)
+    where
+        F: Fn(&[Option<Value>]) -> BuiltinResult + Send + Sync + 'static,
+    {
+        self.map
+            .insert(Symbol::intern(name), (arity, Arc::new(f)));
+    }
+
+    /// Whether `name` is a registered builtin.
+    pub fn contains(&self, name: Symbol) -> bool {
+        self.map.contains_key(&name)
+    }
+
+    /// Invokes `name` on partially bound arguments.
+    pub fn invoke(&self, name: Symbol, args: &[Option<Value>]) -> Option<BuiltinResult> {
+        let (arity, f) = self.map.get(&name)?;
+        if args.len() != *arity {
+            return Some(Err(BuiltinError::ArityMismatch {
+                name,
+                expected: *arity,
+                found: args.len(),
+            }));
+        }
+        Some(f(args))
+    }
+
+    /// Registered names (sorted, for diagnostics).
+    pub fn names(&self) -> Vec<Symbol> {
+        let mut v: Vec<Symbol> = self.map.keys().copied().collect();
+        v.sort_unstable_by_key(|s| s.as_str());
+        v
+    }
+}
+
+/// Registers the type predicates of the LogicBlox dialect: `int(X)`,
+/// `string(X)`, `bytesval(X)`, `symbol(X)`, `quotedrule(X)` — unary
+/// builtins that hold when the bound argument has the given runtime
+/// type. These make the paper's type-declaration constraints (Figure 1's
+/// `arg(A,I,T) -> atom(A), int(I), term(T)` and friends) directly
+/// installable.
+pub fn register_type_predicates(builtins: &mut Builtins) {
+    fn type_pred(
+        builtins: &mut Builtins,
+        name: &'static str,
+        check: fn(&Value) -> bool,
+    ) {
+        builtins.register(name, 1, move |args| {
+            let sym = Symbol::intern(name);
+            let v = require_bound(sym, args, 0)?;
+            Ok(if check(v) {
+                vec![vec![v.clone()]]
+            } else {
+                vec![]
+            })
+        });
+    }
+    type_pred(builtins, "int", |v| matches!(v, Value::Int(_)));
+    type_pred(builtins, "string", |v| matches!(v, Value::Str(_)));
+    type_pred(builtins, "bytesval", |v| matches!(v, Value::Bytes(_)));
+    type_pred(builtins, "symbol", |v| matches!(v, Value::Sym(_)));
+    type_pred(builtins, "quotedrule", |v| matches!(v, Value::Quote(_)));
+}
+
+/// Helper for builtin authors: requires argument `i` to be bound,
+/// returning the standard error otherwise.
+pub fn require_bound(
+    name: Symbol,
+    args: &[Option<Value>],
+    i: usize,
+) -> Result<&Value, BuiltinError> {
+    args.get(i).and_then(Option::as_ref).ok_or_else(|| {
+        BuiltinError::InsufficientBinding {
+            name,
+            required: vec![i],
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry_with_succ() -> Builtins {
+        let mut b = Builtins::new();
+        // succ(X, Y): Y = X + 1, invertible.
+        b.register("succ", 2, |args| {
+            let name = Symbol::intern("succ");
+            match (args[0].as_ref(), args[1].as_ref()) {
+                (Some(Value::Int(x)), _) => {
+                    let y = Value::Int(x + 1);
+                    match args[1].as_ref() {
+                        Some(v) if *v != y => Ok(vec![]),
+                        _ => Ok(vec![vec![Value::Int(*x), y]]),
+                    }
+                }
+                (None, Some(Value::Int(y))) => {
+                    Ok(vec![vec![Value::Int(y - 1), Value::Int(*y)]])
+                }
+                (None, None) => Err(BuiltinError::InsufficientBinding {
+                    name,
+                    required: vec![0, 1],
+                }),
+                _ => Err(BuiltinError::TypeError {
+                    name,
+                    expected: "integers".into(),
+                }),
+            }
+        });
+        b
+    }
+
+    #[test]
+    fn forward_invocation() {
+        let b = registry_with_succ();
+        let out = b
+            .invoke(Symbol::intern("succ"), &[Some(Value::Int(4)), None])
+            .unwrap()
+            .unwrap();
+        assert_eq!(out, vec![vec![Value::Int(4), Value::Int(5)]]);
+    }
+
+    #[test]
+    fn backward_invocation() {
+        let b = registry_with_succ();
+        let out = b
+            .invoke(Symbol::intern("succ"), &[None, Some(Value::Int(10))])
+            .unwrap()
+            .unwrap();
+        assert_eq!(out, vec![vec![Value::Int(9), Value::Int(10)]]);
+    }
+
+    #[test]
+    fn check_invocation_filters() {
+        let b = registry_with_succ();
+        let ok = b
+            .invoke(
+                Symbol::intern("succ"),
+                &[Some(Value::Int(4)), Some(Value::Int(5))],
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(ok.len(), 1);
+        let bad = b
+            .invoke(
+                Symbol::intern("succ"),
+                &[Some(Value::Int(4)), Some(Value::Int(6))],
+            )
+            .unwrap()
+            .unwrap();
+        assert!(bad.is_empty());
+    }
+
+    #[test]
+    fn unknown_and_arity_errors() {
+        let b = registry_with_succ();
+        assert!(b.invoke(Symbol::intern("nosuch"), &[]).is_none());
+        let err = b
+            .invoke(Symbol::intern("succ"), &[None])
+            .unwrap()
+            .unwrap_err();
+        assert!(matches!(err, BuiltinError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn type_predicates() {
+        let mut b = Builtins::new();
+        register_type_predicates(&mut b);
+        let check = |name: &str, v: Value| -> bool {
+            !b.invoke(Symbol::intern(name), &[Some(v)])
+                .unwrap()
+                .unwrap()
+                .is_empty()
+        };
+        assert!(check("int", Value::Int(5)));
+        assert!(!check("int", Value::sym("five")));
+        assert!(check("string", Value::str("s")));
+        assert!(!check("string", Value::Int(1)));
+        assert!(check("symbol", Value::sym("alice")));
+        assert!(check("bytesval", Value::bytes(&[1])));
+        assert!(!check("quotedrule", Value::Int(0)));
+    }
+
+    #[test]
+    fn insufficient_binding_error() {
+        let b = registry_with_succ();
+        let err = b
+            .invoke(Symbol::intern("succ"), &[None, None])
+            .unwrap()
+            .unwrap_err();
+        assert!(matches!(err, BuiltinError::InsufficientBinding { .. }));
+    }
+}

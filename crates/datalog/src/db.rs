@@ -1,0 +1,281 @@
+//! Tuple storage: relations with hash-set deduplication and on-demand
+//! per-column-set hash indices.
+//!
+//! A [`Database`] is the fact store of one LogicBlox-style workspace
+//! (§3.1 of the paper). Indices are built lazily for the column sets a
+//! join actually probes and are maintained incrementally on insert, so
+//! repeated semi-naive rounds pay amortized O(1) per probe.
+
+use crate::intern::Symbol;
+use crate::value::Value;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+
+/// A stored tuple.
+pub type Tuple = Vec<Value>;
+
+/// On-demand index storage: column set -> (key values -> tuple positions).
+type IndexMap = HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<usize>>>;
+
+/// One relation: the extension of a single predicate.
+#[derive(Debug, Default)]
+pub struct Relation {
+    tuples: Vec<Tuple>,
+    dedup: HashSet<Tuple>,
+    indices: RefCell<IndexMap>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        // Indices are rebuilt on demand; no need to copy them.
+        Relation {
+            tuples: self.tuples.clone(),
+            dedup: self.dedup.clone(),
+            indices: RefCell::new(HashMap::new()),
+        }
+    }
+}
+
+impl Relation {
+    /// An empty relation.
+    pub fn new() -> Relation {
+        Relation::default()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Whether `tuple` is present.
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        self.dedup.contains(tuple)
+    }
+
+    /// Inserts a tuple; returns `true` when it is new. Existing indices
+    /// are maintained incrementally.
+    pub fn insert(&mut self, tuple: Tuple) -> bool {
+        if self.dedup.contains(&tuple) {
+            return false;
+        }
+        let pos = self.tuples.len();
+        for (cols, index) in self.indices.get_mut().iter_mut() {
+            // Tuples too short for this index (mixed arity in an untyped
+            // store) can never be selected through it; skip them.
+            let Some(key) = index_key(cols, &tuple) else {
+                continue;
+            };
+            index.entry(key).or_default().push(pos);
+        }
+        self.dedup.insert(tuple.clone());
+        self.tuples.push(tuple);
+        true
+    }
+
+    /// Iterates over all tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The tuple at `pos` (positions are stable; relations only grow).
+    pub fn get(&self, pos: usize) -> &Tuple {
+        &self.tuples[pos]
+    }
+
+    /// Tuples inserted at or after position `from` — the semi-naive delta
+    /// window.
+    pub fn since(&self, from: usize) -> &[Tuple] {
+        &self.tuples[from.min(self.tuples.len())..]
+    }
+
+    /// Positions of tuples whose `cols` columns equal `key`. Builds the
+    /// index for `cols` on first use.
+    pub fn select(&self, cols: &[usize], key: &[Value]) -> Vec<usize> {
+        debug_assert_eq!(cols.len(), key.len());
+        if cols.is_empty() {
+            return (0..self.tuples.len()).collect();
+        }
+        let mut indices = self.indices.borrow_mut();
+        let index = indices.entry(cols.to_vec()).or_insert_with(|| {
+            let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            for (pos, tuple) in self.tuples.iter().enumerate() {
+                if let Some(key) = index_key(cols, tuple) {
+                    map.entry(key).or_default().push(pos);
+                }
+            }
+            map
+        });
+        index.get(key).cloned().unwrap_or_default()
+    }
+
+    /// Removes all tuples (used by full-recompute paths).
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        self.dedup.clear();
+        self.indices.get_mut().clear();
+    }
+
+    /// Removes every tuple in `doomed`, returning how many were removed.
+    /// Positions are re-packed and indices dropped (rebuilt on demand) —
+    /// callers must not hold delta windows across a removal.
+    pub fn remove_tuples(&mut self, doomed: &HashSet<Tuple>) -> usize {
+        let before = self.tuples.len();
+        self.tuples.retain(|t| !doomed.contains(t));
+        let removed = before - self.tuples.len();
+        if removed > 0 {
+            self.dedup.retain(|t| !doomed.contains(t));
+            self.indices.get_mut().clear();
+        }
+        removed
+    }
+}
+
+/// The index key of `tuple` for column set `cols`, or `None` when the
+/// tuple is too short.
+fn index_key(cols: &[usize], tuple: &[Value]) -> Option<Vec<Value>> {
+    cols.iter()
+        .map(|&c| tuple.get(c).cloned())
+        .collect::<Option<Vec<Value>>>()
+}
+
+/// A set of named relations.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    relations: HashMap<Symbol, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// The relation for `pred`, if any tuples or an explicit relation
+    /// exist.
+    pub fn relation(&self, pred: Symbol) -> Option<&Relation> {
+        self.relations.get(&pred)
+    }
+
+    /// The relation for `pred`, created on demand.
+    pub fn relation_mut(&mut self, pred: Symbol) -> &mut Relation {
+        self.relations.entry(pred).or_default()
+    }
+
+    /// Inserts a fact; returns `true` when new.
+    pub fn insert(&mut self, pred: Symbol, tuple: Tuple) -> bool {
+        self.relation_mut(pred).insert(tuple)
+    }
+
+    /// Whether the fact is present.
+    pub fn contains(&self, pred: Symbol, tuple: &[Value]) -> bool {
+        self.relations.get(&pred).is_some_and(|r| r.contains(tuple))
+    }
+
+    /// Number of tuples in `pred`'s relation.
+    pub fn count(&self, pred: Symbol) -> usize {
+        self.relations.get(&pred).map_or(0, Relation::len)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Iterates over `(predicate, relation)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Relation)> {
+        self.relations.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Removes the relations named by `preds` (full-recompute support).
+    pub fn clear_predicates(&mut self, preds: impl IntoIterator<Item = Symbol>) {
+        for p in preds {
+            if let Some(rel) = self.relations.get_mut(&p) {
+                rel.clear();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[&str]) -> Tuple {
+        vals.iter().map(|v| Value::sym(v)).collect()
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut rel = Relation::new();
+        assert!(rel.insert(t(&["a", "b"])));
+        assert!(!rel.insert(t(&["a", "b"])));
+        assert!(rel.insert(t(&["a", "c"])));
+        assert_eq!(rel.len(), 2);
+        assert!(rel.contains(&t(&["a", "b"])));
+        assert!(!rel.contains(&t(&["x", "y"])));
+    }
+
+    #[test]
+    fn select_builds_and_maintains_index() {
+        let mut rel = Relation::new();
+        rel.insert(t(&["a", "b"]));
+        rel.insert(t(&["a", "c"]));
+        rel.insert(t(&["d", "b"]));
+        // Build index on column 0.
+        let hits = rel.select(&[0], &[Value::sym("a")]);
+        assert_eq!(hits.len(), 2);
+        // Insert after the index exists: it must be maintained.
+        rel.insert(t(&["a", "z"]));
+        let hits = rel.select(&[0], &[Value::sym("a")]);
+        assert_eq!(hits.len(), 3);
+        // Two-column index.
+        let hits = rel.select(&[0, 1], &[Value::sym("d"), Value::sym("b")]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(rel.get(hits[0]), &t(&["d", "b"]));
+        // Missing key.
+        assert!(rel.select(&[0], &[Value::sym("q")]).is_empty());
+    }
+
+    #[test]
+    fn since_window() {
+        let mut rel = Relation::new();
+        rel.insert(t(&["a"]));
+        rel.insert(t(&["b"]));
+        let mark = rel.len();
+        rel.insert(t(&["c"]));
+        assert_eq!(rel.since(mark), &[t(&["c"])]);
+        assert!(rel.since(rel.len()).is_empty());
+        assert!(rel.since(100).is_empty());
+    }
+
+    #[test]
+    fn database_basics() {
+        let mut db = Database::new();
+        let p = Symbol::intern("p");
+        let q = Symbol::intern("q");
+        assert!(db.insert(p, t(&["a"])));
+        assert!(!db.insert(p, t(&["a"])));
+        assert!(db.insert(q, t(&["a", "b"])));
+        assert_eq!(db.count(p), 1);
+        assert_eq!(db.total_tuples(), 2);
+        assert!(db.contains(p, &t(&["a"])));
+        db.clear_predicates([p]);
+        assert_eq!(db.count(p), 0);
+        assert_eq!(db.count(q), 1);
+    }
+
+    #[test]
+    fn clone_drops_indices_but_keeps_tuples() {
+        let mut rel = Relation::new();
+        rel.insert(t(&["a", "b"]));
+        rel.select(&[0], &[Value::sym("a")]);
+        let cloned = rel.clone();
+        assert_eq!(cloned.len(), 1);
+        assert_eq!(cloned.select(&[0], &[Value::sym("a")]).len(), 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Disjunctive-normal-form conversion for rule bodies and constraints.
+//!
+//! The paper (§2.1): "an arbitrary nesting of negation, conjunction, and
+//! disjunction may be used in the body of a rule. Such a rule may be
+//! translated into strict Datalog rules by (1) translating the body into
+//! Disjunctive Normal Form (DNF), and (2) splitting the original rule into
+//! a separate rule for each resulting alternative."
+
+use crate::ast::{BodyItem, CmpOp, Formula};
+
+/// Errors that can arise during normalization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DnfError {
+    /// A body-rest meta-variable (`A*`) appeared under a negation, which
+    /// has no DNF reading.
+    NegatedRest,
+}
+
+impl std::fmt::Display for DnfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DnfError::NegatedRest => write!(f, "cannot negate a body-rest meta-variable"),
+        }
+    }
+}
+
+impl std::error::Error for DnfError {}
+
+/// Converts a formula to DNF: a disjunction of conjunctions of body items.
+/// The outer `Vec` is the disjunction; each inner `Vec` becomes one rule
+/// body.
+pub fn to_dnf(formula: &Formula) -> Result<Vec<Vec<BodyItem>>, DnfError> {
+    dnf(formula, false)
+}
+
+/// Core conversion with a negation context flag (push-negation-inward
+/// fused with distribution).
+fn dnf(formula: &Formula, negated: bool) -> Result<Vec<Vec<BodyItem>>, DnfError> {
+    match (formula, negated) {
+        (Formula::Item(item), false) => Ok(vec![vec![item.clone()]]),
+        (Formula::Item(item), true) => Ok(vec![vec![negate_item(item)?]]),
+        (Formula::Not(inner), neg) => dnf(inner, !neg),
+        // ¬(A ∧ B) = ¬A ∨ ¬B and ¬(A ∨ B) = ¬A ∧ ¬B: swap the connective.
+        (Formula::And(parts), false) | (Formula::Or(parts), true) => {
+            // Conjunction: cross product of the parts' DNFs.
+            let mut acc: Vec<Vec<BodyItem>> = vec![Vec::new()];
+            for part in parts {
+                let part_dnf = dnf(part, negated)?;
+                let mut next = Vec::with_capacity(acc.len() * part_dnf.len());
+                for left in &acc {
+                    for right in &part_dnf {
+                        let mut merged = left.clone();
+                        merged.extend(right.iter().cloned());
+                        next.push(merged);
+                    }
+                }
+                acc = next;
+            }
+            Ok(acc)
+        }
+        (Formula::Or(parts), false) | (Formula::And(parts), true) => {
+            // Disjunction: concatenate the parts' DNFs.
+            let mut acc = Vec::new();
+            for part in parts {
+                acc.extend(dnf(part, negated)?);
+            }
+            Ok(acc)
+        }
+    }
+}
+
+/// Negates a single body item.
+fn negate_item(item: &BodyItem) -> Result<BodyItem, DnfError> {
+    Ok(match item {
+        BodyItem::Lit { negated, atom } => BodyItem::Lit {
+            negated: !negated,
+            atom: atom.clone(),
+        },
+        BodyItem::Cmp { op, lhs, rhs } => BodyItem::Cmp {
+            op: negate_cmp(*op),
+            lhs: lhs.clone(),
+            rhs: rhs.clone(),
+        },
+        BodyItem::Rest(_) => return Err(DnfError::NegatedRest),
+    })
+}
+
+/// The complement of a comparison operator.
+pub fn negate_cmp(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Ne,
+        CmpOp::Ne => CmpOp::Eq,
+        CmpOp::Lt => CmpOp::Ge,
+        CmpOp::Le => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Le,
+        CmpOp::Ge => CmpOp::Lt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Term};
+
+    fn item(p: &str) -> Formula {
+        Formula::Item(BodyItem::pos(Atom::new(p, vec![Term::var("X")])))
+    }
+
+    fn names(dnf: &[Vec<BodyItem>]) -> Vec<Vec<String>> {
+        dnf.iter()
+            .map(|conj| conj.iter().map(|i| i.to_string()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn single_item() {
+        let d = to_dnf(&item("p")).unwrap();
+        assert_eq!(names(&d), vec![vec!["p(X)".to_string()]]);
+    }
+
+    #[test]
+    fn disjunction_splits() {
+        let f = Formula::Or(vec![item("p"), item("q")]);
+        let d = to_dnf(&f).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(names(&d), vec![vec!["p(X)".to_string()], vec!["q(X)".to_string()]]);
+    }
+
+    #[test]
+    fn and_over_or_distributes() {
+        // p ∧ (q ∨ r) → (p ∧ q) ∨ (p ∧ r)
+        let f = Formula::And(vec![item("p"), Formula::Or(vec![item("q"), item("r")])]);
+        let d = to_dnf(&f).unwrap();
+        assert_eq!(
+            names(&d),
+            vec![
+                vec!["p(X)".to_string(), "q(X)".to_string()],
+                vec!["p(X)".to_string(), "r(X)".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn de_morgan_and() {
+        // ¬(p ∧ q) → ¬p ∨ ¬q
+        let f = Formula::Not(Box::new(Formula::And(vec![item("p"), item("q")])));
+        let d = to_dnf(&f).unwrap();
+        assert_eq!(
+            names(&d),
+            vec![vec!["!p(X)".to_string()], vec!["!q(X)".to_string()]]
+        );
+    }
+
+    #[test]
+    fn de_morgan_or() {
+        // ¬(p ∨ q) → ¬p ∧ ¬q
+        let f = Formula::Not(Box::new(Formula::Or(vec![item("p"), item("q")])));
+        let d = to_dnf(&f).unwrap();
+        assert_eq!(
+            names(&d),
+            vec![vec!["!p(X)".to_string(), "!q(X)".to_string()]]
+        );
+    }
+
+    #[test]
+    fn double_negation() {
+        let f = Formula::Not(Box::new(Formula::Not(Box::new(item("p")))));
+        assert_eq!(to_dnf(&f).unwrap(), to_dnf(&item("p")).unwrap());
+    }
+
+    #[test]
+    fn negated_comparison_flips_op() {
+        use crate::ast::{CmpOp, Expr};
+        let f = Formula::Not(Box::new(Formula::Item(BodyItem::Cmp {
+            op: CmpOp::Lt,
+            lhs: Expr::var("X"),
+            rhs: Expr::var("Y"),
+        })));
+        let d = to_dnf(&f).unwrap();
+        assert_eq!(names(&d), vec![vec!["X >= Y".to_string()]]);
+    }
+
+    #[test]
+    fn negated_rest_is_error() {
+        let f = Formula::Not(Box::new(Formula::Item(BodyItem::Rest(
+            crate::intern::Symbol::intern("A"),
+        ))));
+        assert_eq!(to_dnf(&f), Err(DnfError::NegatedRest));
+    }
+
+    #[test]
+    fn empty_and_is_truth() {
+        let d = to_dnf(&Formula::truth()).unwrap();
+        assert_eq!(d, vec![Vec::<BodyItem>::new()]);
+    }
+}

@@ -1,0 +1,336 @@
+//! Incremental deletion: the delete-and-rederive (DRed) algorithm.
+//!
+//! §3.1 of the paper: "When predicate data is modified, the active rules
+//! are incrementally recomputed" — including removals. DRed (Gupta,
+//! Mumick, Subrahmanian) handles deletion in three phases:
+//!
+//! 1. **Over-delete**: mark everything transitively derived *using* a
+//!    deleted tuple (an over-approximation — alternative derivations are
+//!    ignored for now);
+//! 2. **Remove** the marked tuples;
+//! 3. **Re-derive**: tuples with surviving alternative derivations are
+//!    put back, and their consequences propagate semi-naively.
+//!
+//! Supported fragment: positive rules (builtins and comparisons allowed).
+//! Callers with negation or aggregation fall back to full recomputation —
+//! the same policy the incremental-addition path uses.
+
+use crate::ast::{BodyItem, Rule};
+use crate::builtins::Builtins;
+use crate::db::{Database, Tuple};
+use crate::eval::{Engine, EvalError, EvalStats};
+use crate::intern::Symbol;
+use crate::unify::Bindings;
+use std::collections::{HashMap, HashSet};
+
+/// Outcome counters for one retraction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DredStats {
+    /// Tuples removed in the over-deletion phase (including the
+    /// retracted ones).
+    pub overdeleted: usize,
+    /// Tuples restored by re-derivation.
+    pub rederived: usize,
+    /// Underlying evaluation statistics from the propagation phase.
+    pub eval: EvalStats,
+}
+
+/// Retracts `retracted` base tuples from `db` and incrementally repairs
+/// every derived conclusion. `rules` must be free of negation and
+/// aggregation (callers check and fall back to full recomputation).
+pub fn retract(
+    rules: &[Rule],
+    db: &mut Database,
+    builtins: &Builtins,
+    retracted: &[(Symbol, Tuple)],
+) -> Result<DredStats, EvalError> {
+    for rule in rules {
+        let nonmono = rule.agg.is_some()
+            || rule
+                .body
+                .iter()
+                .any(|i| matches!(i, BodyItem::Lit { negated: true, .. }));
+        if nonmono {
+            return Err(EvalError::TypeError {
+                message: format!(
+                    "DRed requires a positive program; rule uses negation/aggregation: {rule}"
+                ),
+            });
+        }
+    }
+    let engine = Engine::new(rules, builtins);
+
+    // Phase 1: over-delete.
+    let mut doomed: HashMap<Symbol, HashSet<Tuple>> = HashMap::new();
+    let mut frontier: Vec<(Symbol, Tuple)> = Vec::new();
+    for (pred, tuple) in retracted {
+        if db.contains(*pred, tuple)
+            && doomed.entry(*pred).or_default().insert(tuple.clone())
+        {
+            frontier.push((*pred, tuple.clone()));
+        }
+    }
+    while let Some((pred, tuple)) = frontier.pop() {
+        for rule in rules {
+            for (idx, item) in rule.body.iter().enumerate() {
+                let BodyItem::Lit {
+                    negated: false,
+                    atom,
+                } = item
+                else {
+                    continue;
+                };
+                if atom.pred.name() != Some(pred) {
+                    continue;
+                }
+                // Consequences of this rule with body literal `idx`
+                // pinned to the doomed tuple (other literals evaluated
+                // against the pre-deletion database, per DRed).
+                for (head_pred, head_tuple) in
+                    eval_rule_pinned(&engine, rule, db, idx, &tuple)?
+                {
+                    if db.contains(head_pred, &head_tuple)
+                        && doomed
+                            .entry(head_pred)
+                            .or_default()
+                            .insert(head_tuple.clone())
+                    {
+                        frontier.push((head_pred, head_tuple));
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 2: remove.
+    let mut stats = DredStats::default();
+    for (pred, tuples) in &doomed {
+        stats.overdeleted += db.relation_mut(*pred).remove_tuples(tuples);
+    }
+
+    // Phase 3: re-derive. A doomed tuple survives if some rule instance
+    // still concludes it from the post-deletion database.
+    let mut seeds: HashMap<Symbol, usize> = HashMap::new();
+    for (pred, tuples) in &doomed {
+        for tuple in tuples {
+            if rederivable(&engine, rules, db, *pred, tuple)? {
+                let mark = db.count(*pred);
+                if db.insert(*pred, tuple.clone()) {
+                    stats.rederived += 1;
+                    seeds.entry(*pred).or_insert(mark);
+                }
+            }
+        }
+    }
+    let seed_vec: Vec<(Symbol, usize)> = seeds.into_iter().collect();
+    if !seed_vec.is_empty() {
+        stats.eval = engine.run_incremental(db, &seed_vec)?;
+        stats.rederived += stats.eval.derived;
+    }
+    Ok(stats)
+}
+
+/// Evaluates `rule` with body literal `idx` restricted to exactly
+/// `tuple`, returning the concluded head tuples.
+fn eval_rule_pinned(
+    engine: &Engine<'_>,
+    rule: &Rule,
+    db: &Database,
+    idx: usize,
+    tuple: &[crate::value::Value],
+) -> Result<Vec<(Symbol, Tuple)>, EvalError> {
+    let mut envs = vec![Bindings::new()];
+    for (i, item) in rule.body.iter().enumerate() {
+        if envs.is_empty() {
+            return Ok(Vec::new());
+        }
+        if i == idx {
+            let BodyItem::Lit { atom, .. } = item else {
+                unreachable!("pinned literal is positive");
+            };
+            let mut next = Vec::new();
+            for env in &envs {
+                next.extend(env.match_tuple(atom, tuple));
+            }
+            envs = next;
+        } else {
+            envs = engine.eval_single_item(rule, item, envs, db)?;
+        }
+    }
+    let mut out = Vec::new();
+    for env in &envs {
+        for head in &rule.heads {
+            let pred = head.pred.name().expect("positive program");
+            let head_tuple: Option<Tuple> = head.all_args().map(|t| env.resolve(t)).collect();
+            if let Some(t) = head_tuple {
+                out.push((pred, t));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Whether some rule instance still concludes `pred(tuple)` over the
+/// current database.
+fn rederivable(
+    engine: &Engine<'_>,
+    rules: &[Rule],
+    db: &Database,
+    pred: Symbol,
+    tuple: &[crate::value::Value],
+) -> Result<bool, EvalError> {
+    for rule in rules {
+        for head in &rule.heads {
+            if head.pred.name() != Some(pred) || head.arity() != tuple.len() {
+                continue;
+            }
+            if rule.body.is_empty() {
+                // Fact-rule concluding exactly this tuple: it survives.
+                if !Bindings::new().match_tuple(head, tuple).is_empty() && head.is_ground() {
+                    return Ok(true);
+                }
+                continue;
+            }
+            for env in Bindings::new().match_tuple(head, tuple) {
+                let mut envs = vec![env];
+                for item in &rule.body {
+                    if envs.is_empty() {
+                        break;
+                    }
+                    envs = engine.eval_single_item(rule, item, envs, db)?;
+                }
+                if !envs.is_empty() {
+                    return Ok(true);
+                }
+            }
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::value::Value;
+
+    const TC: &str = "reach(X,Y) <- edge(X,Y).\nreach(X,Z) <- reach(X,Y), edge(Y,Z).";
+
+    fn edge(a: &str, b: &str) -> Tuple {
+        vec![Value::sym(a), Value::sym(b)]
+    }
+
+    fn setup(edges: &[(&str, &str)]) -> (Vec<Rule>, Database, Builtins) {
+        let program = parse_program(TC).unwrap();
+        let builtins = Builtins::new();
+        let mut db = Database::new();
+        let edge_p = Symbol::intern("edge");
+        for (a, b) in edges {
+            db.insert(edge_p, edge(a, b));
+        }
+        Engine::new(&program.rules, &builtins).run(&mut db).unwrap();
+        (program.rules, db, builtins)
+    }
+
+    /// Reference: full recomputation over the reduced edge set.
+    fn reference(edges: &[(&str, &str)]) -> Database {
+        let program = parse_program(TC).unwrap();
+        let builtins = Builtins::new();
+        let mut db = Database::new();
+        let edge_p = Symbol::intern("edge");
+        for (a, b) in edges {
+            db.insert(edge_p, edge(a, b));
+        }
+        Engine::new(&program.rules, &builtins).run(&mut db).unwrap();
+        db
+    }
+
+    fn same_reach(a: &Database, b: &Database) -> bool {
+        let reach = Symbol::intern("reach");
+        if a.count(reach) != b.count(reach) {
+            return false;
+        }
+        a.relation(reach)
+            .map(|r| r.iter().all(|t| b.contains(reach, t)))
+            .unwrap_or(true)
+    }
+
+    #[test]
+    fn chain_break_removes_downstream() {
+        let (rules, mut db, builtins) = setup(&[("a", "b"), ("b", "c"), ("c", "d")]);
+        let edge_p = Symbol::intern("edge");
+        let stats = retract(&rules, &mut db, &builtins, &[(edge_p, edge("b", "c"))]).unwrap();
+        assert!(stats.overdeleted > 0);
+        let expected = reference(&[("a", "b"), ("c", "d")]);
+        assert!(same_reach(&db, &expected), "reach mismatch after retract");
+    }
+
+    #[test]
+    fn alternative_path_rederives() {
+        // Two paths a->c: direct and through b. Deleting the direct edge
+        // must keep reach(a,c) via re-derivation.
+        let (rules, mut db, builtins) =
+            setup(&[("a", "b"), ("b", "c"), ("a", "c")]);
+        let edge_p = Symbol::intern("edge");
+        let stats = retract(&rules, &mut db, &builtins, &[(edge_p, edge("a", "c"))]).unwrap();
+        assert!(stats.rederived > 0, "reach(a,c) must be re-derived");
+        assert!(db.contains(Symbol::intern("reach"), &edge("a", "c")));
+        let expected = reference(&[("a", "b"), ("b", "c")]);
+        assert!(same_reach(&db, &expected));
+    }
+
+    #[test]
+    fn cycle_deletion() {
+        let (rules, mut db, builtins) =
+            setup(&[("a", "b"), ("b", "c"), ("c", "a")]);
+        let edge_p = Symbol::intern("edge");
+        retract(&rules, &mut db, &builtins, &[(edge_p, edge("c", "a"))]).unwrap();
+        let expected = reference(&[("a", "b"), ("b", "c")]);
+        assert!(same_reach(&db, &expected));
+    }
+
+    #[test]
+    fn retract_absent_tuple_is_noop() {
+        let (rules, mut db, builtins) = setup(&[("a", "b")]);
+        let before = db.total_tuples();
+        let stats = retract(
+            &rules,
+            &mut db,
+            &builtins,
+            &[(Symbol::intern("edge"), edge("x", "y"))],
+        )
+        .unwrap();
+        assert_eq!(stats.overdeleted, 0);
+        assert_eq!(db.total_tuples(), before);
+    }
+
+    #[test]
+    fn multiple_retractions_at_once() {
+        let (rules, mut db, builtins) =
+            setup(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")]);
+        let edge_p = Symbol::intern("edge");
+        retract(
+            &rules,
+            &mut db,
+            &builtins,
+            &[(edge_p, edge("a", "b")), (edge_p, edge("c", "d"))],
+        )
+        .unwrap();
+        let expected = reference(&[("b", "c"), ("d", "e")]);
+        assert!(same_reach(&db, &expected));
+    }
+
+    #[test]
+    fn negation_rejected() {
+        let program = parse_program("p(X) <- q(X), !r(X).").unwrap();
+        let builtins = Builtins::new();
+        let mut db = Database::new();
+        let err = retract(
+            &program.rules,
+            &mut db,
+            &builtins,
+            &[(Symbol::intern("q"), vec![Value::sym("a")])],
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,490 @@
+//! Tokenizer for the LBTrust Datalog dialect.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// Lowercase-initial identifier: constants and predicate names.
+    /// May contain interior `:` (e.g. `message:fname`, `rsa:3:c1ebab5d`).
+    Ident(String),
+    /// Uppercase-initial identifier: a variable / meta-variable.
+    UIdent(String),
+    /// `_` — anonymous variable.
+    Underscore,
+    /// Integer literal.
+    Int(i64),
+    /// String literal (double-quoted, `\\`-escaped).
+    Str(String),
+    /// Byte-string literal `#hexdigits`.
+    Bytes(Vec<u8>),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `[|` — open quote.
+    LQuote,
+    /// `|]` — close quote.
+    RQuote,
+    /// `<<`
+    LAngles,
+    /// `>>`
+    RAngles,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `!`
+    Bang,
+    /// `<-` or `:-`
+    ImpliedBy,
+    /// `->`
+    Implies,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `@` — used by the SeNDlog dialect for export addressing.
+    At,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) | Token::UIdent(s) => write!(f, "{s}"),
+            Token::Underscore => write!(f, "_"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Bytes(b) => {
+                write!(f, "#")?;
+                for byte in b {
+                    write!(f, "{byte:02x}")?;
+                }
+                Ok(())
+            }
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LQuote => write!(f, "[|"),
+            Token::RQuote => write!(f, "|]"),
+            Token::LAngles => write!(f, "<<"),
+            Token::RAngles => write!(f, ">>"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Semi => write!(f, ";"),
+            Token::Bang => write!(f, "!"),
+            Token::ImpliedBy => write!(f, "<-"),
+            Token::Implies => write!(f, "->"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::At => write!(f, "@"),
+        }
+    }
+}
+
+/// A token with its source position (byte offset and 1-based line).
+#[derive(Clone, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A lexical error with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`. Comments run from `//` to end of line; whitespace is
+/// insignificant.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            out.push(Spanned { token: $tok, line });
+            i += $len;
+        }};
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let next = bytes.get(i + 1).map(|&b| b as char);
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if next == Some('/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push!(Token::LParen, 1),
+            ')' => push!(Token::RParen, 1),
+            '[' if next == Some('|') => push!(Token::LQuote, 2),
+            '[' => push!(Token::LBracket, 1),
+            ']' => push!(Token::RBracket, 1),
+            '|' if next == Some(']') => push!(Token::RQuote, 2),
+            ',' => push!(Token::Comma, 1),
+            '.' => push!(Token::Dot, 1),
+            ';' => push!(Token::Semi, 1),
+            '!' if next == Some('=') => push!(Token::Ne, 2),
+            '!' => push!(Token::Bang, 1),
+            '<' if next == Some('-') => push!(Token::ImpliedBy, 2),
+            '<' if next == Some('=') => push!(Token::Le, 2),
+            '<' if next == Some('<') => push!(Token::LAngles, 2),
+            '<' => push!(Token::Lt, 1),
+            '>' if next == Some('=') => push!(Token::Ge, 2),
+            '>' if next == Some('>') => push!(Token::RAngles, 2),
+            '>' => push!(Token::Gt, 1),
+            '-' if next == Some('>') => push!(Token::Implies, 2),
+            '-' => push!(Token::Minus, 1),
+            ':' if next == Some('-') => push!(Token::ImpliedBy, 2),
+            '=' => push!(Token::Eq, 1),
+            '+' => push!(Token::Plus, 1),
+            '*' => push!(Token::Star, 1),
+            '/' => push!(Token::Slash, 1),
+            '%' => push!(Token::Percent, 1),
+            '@' => push!(Token::At, 1),
+            '_' if next.is_none_or(|n| !is_ident_char(n)) => push!(Token::Underscore, 1),
+            '"' => {
+                let (s, len) = lex_string(&src[i..], line)?;
+                push!(Token::Str(s), len);
+            }
+            '#' => {
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_hexdigit() {
+                    j += 1;
+                }
+                let hex = &src[i + 1..j];
+                // A bare `#` is the empty byte string (e.g. the signature
+                // field of a plaintext-transfer message).
+                if !hex.len().is_multiple_of(2) {
+                    return Err(LexError {
+                        message: format!("invalid byte literal '#{hex}'"),
+                        line,
+                    });
+                }
+                let b = (0..hex.len())
+                    .step_by(2)
+                    .map(|k| u8::from_str_radix(&hex[k..k + 2], 16).expect("hex digits"))
+                    .collect();
+                push!(Token::Bytes(b), j - i);
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                let text = &src[i..j];
+                let v: i64 = text.parse().map_err(|_| LexError {
+                    message: format!("integer literal '{text}' out of range"),
+                    line,
+                })?;
+                push!(Token::Int(v), j - i);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() {
+                    let cj = bytes[j] as char;
+                    if is_ident_char(cj) {
+                        j += 1;
+                    } else if cj == ':'
+                        && bytes.get(j + 1).is_some_and(|&b| is_ident_char(b as char))
+                    {
+                        // Interior colon: `message:fname`, `rsa:3:c1ebab5d`.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = src[i..j].to_string();
+                let tok = if c.is_ascii_uppercase() {
+                    Token::UIdent(text)
+                } else {
+                    Token::Ident(text)
+                };
+                push!(tok, j - i);
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character '{other}'"),
+                    line,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '\''
+}
+
+/// Lexes a double-quoted string starting at `src[0] == '"'`. Returns the
+/// unescaped contents and the byte length consumed (including quotes).
+fn lex_string(src: &str, line: usize) -> Result<(String, usize), LexError> {
+    let bytes = src.as_bytes();
+    let mut out = String::new();
+    let mut i = 1;
+    while i < bytes.len() {
+        match bytes[i] as char {
+            '"' => return Ok((out, i + 1)),
+            '\\' => {
+                let esc = bytes.get(i + 1).map(|&b| b as char).ok_or(LexError {
+                    message: "unterminated escape".into(),
+                    line,
+                })?;
+                out.push(match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    '\\' => '\\',
+                    '"' => '"',
+                    other => {
+                        return Err(LexError {
+                            message: format!("unknown escape '\\{other}'"),
+                            line,
+                        })
+                    }
+                });
+                i += 2;
+            }
+            '\n' => {
+                return Err(LexError {
+                    message: "unterminated string".into(),
+                    line,
+                })
+            }
+            c => {
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    Err(LexError {
+        message: "unterminated string".into(),
+        line,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn simple_rule() {
+        assert_eq!(
+            toks("access(P,O,read) <- good(P)."),
+            vec![
+                Token::Ident("access".into()),
+                Token::LParen,
+                Token::UIdent("P".into()),
+                Token::Comma,
+                Token::UIdent("O".into()),
+                Token::Comma,
+                Token::Ident("read".into()),
+                Token::RParen,
+                Token::ImpliedBy,
+                Token::Ident("good".into()),
+                Token::LParen,
+                Token::UIdent("P".into()),
+                Token::RParen,
+                Token::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn prolog_style_arrow() {
+        assert_eq!(toks("p :- q."), toks("p <- q."));
+    }
+
+    #[test]
+    fn colon_identifiers() {
+        assert_eq!(
+            toks("message:fname rsa:3:c1ebab5d"),
+            vec![
+                Token::Ident("message:fname".into()),
+                Token::Ident("rsa:3:c1ebab5d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn quotes_and_brackets() {
+        assert_eq!(
+            toks("export[U2] [| p(X). |]"),
+            vec![
+                Token::Ident("export".into()),
+                Token::LBracket,
+                Token::UIdent("U2".into()),
+                Token::RBracket,
+                Token::LQuote,
+                Token::Ident("p".into()),
+                Token::LParen,
+                Token::UIdent("X".into()),
+                Token::RParen,
+                Token::Dot,
+                Token::RQuote,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("-> <- != ! <= < >= > << >> = + - * / %"),
+            vec![
+                Token::Implies,
+                Token::ImpliedBy,
+                Token::Ne,
+                Token::Bang,
+                Token::Le,
+                Token::Lt,
+                Token::Ge,
+                Token::Gt,
+                Token::LAngles,
+                Token::RAngles,
+                Token::Eq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+            ]
+        );
+    }
+
+    #[test]
+    fn agg_tokens() {
+        assert_eq!(
+            toks("agg<<N = count(U)>>"),
+            vec![
+                Token::Ident("agg".into()),
+                Token::LAngles,
+                Token::UIdent("N".into()),
+                Token::Eq,
+                Token::Ident("count".into()),
+                Token::LParen,
+                Token::UIdent("U".into()),
+                Token::RParen,
+                Token::RAngles,
+            ]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(
+            toks("42 \"hi\\n\" #dead _"),
+            vec![
+                Token::Int(42),
+                Token::Str("hi\n".into()),
+                Token::Bytes(vec![0xde, 0xad]),
+                Token::Underscore,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("p. // comment with symbols <- !\nq."), toks("p. q."));
+    }
+
+    #[test]
+    fn line_tracking() {
+        let spanned = lex("p.\nq.\n\nr.").unwrap();
+        let lines: Vec<usize> = spanned.iter().map(|s| s.line).collect();
+        assert_eq!(lines, vec![1, 1, 2, 2, 4, 4]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("#abc").is_err()); // odd hex length
+        assert!(lex("99999999999999999999").is_err());
+        assert!(lex("$").is_err());
+    }
+
+    #[test]
+    fn at_token() {
+        assert_eq!(
+            toks("reachable(Z,D)@Z"),
+            vec![
+                Token::Ident("reachable".into()),
+                Token::LParen,
+                Token::UIdent("Z".into()),
+                Token::Comma,
+                Token::UIdent("D".into()),
+                Token::RParen,
+                Token::At,
+                Token::UIdent("Z".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_byte_literal() {
+        assert_eq!(toks("#"), vec![Token::Bytes(Vec::new())]);
+        // `#xyz` is an empty byte string followed by an identifier.
+        assert_eq!(
+            toks("#xyz"),
+            vec![Token::Bytes(Vec::new()), Token::Ident("xyz".into())]
+        );
+    }
+}

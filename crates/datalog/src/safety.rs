@@ -1,0 +1,333 @@
+//! Install-time safety checks (range restriction).
+//!
+//! Following §2.1 of the paper: "negation … in the body must be safe —
+//! every variable occurring in a negated literal must also occur somewhere
+//! in a non-negated literal." We additionally check that head variables
+//! are range-restricted and that comparison operands can be bound by a
+//! left-to-right evaluation (the evaluation order the engine uses).
+
+use crate::ast::{BodyItem, CmpOp, Expr, PredRef, Rule, Term};
+use crate::builtins::Builtins;
+use crate::intern::Symbol;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A rule safety violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SafetyError {
+    /// A head variable does not occur in any positive body literal.
+    UnrestrictedHeadVar {
+        /// The variable.
+        var: Symbol,
+        /// The rule, printed.
+        rule: String,
+    },
+    /// A variable of a negated literal does not occur positively.
+    UnsafeNegation {
+        /// The variable.
+        var: Symbol,
+        /// The rule, printed.
+        rule: String,
+    },
+    /// A comparison can never have both sides bound under left-to-right
+    /// evaluation.
+    UnboundComparison {
+        /// The item, printed.
+        item: String,
+        /// The rule, printed.
+        rule: String,
+    },
+    /// The aggregated variable does not occur in the body.
+    UnboundAggregate {
+        /// The variable.
+        var: Symbol,
+        /// The rule, printed.
+        rule: String,
+    },
+}
+
+impl fmt::Display for SafetyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SafetyError::UnrestrictedHeadVar { var, rule } => {
+                write!(f, "head variable {var} not bound by the body in '{rule}'")
+            }
+            SafetyError::UnsafeNegation { var, rule } => {
+                write!(f, "variable {var} occurs only under negation in '{rule}'")
+            }
+            SafetyError::UnboundComparison { item, rule } => {
+                write!(f, "comparison '{item}' can never be evaluated in '{rule}'")
+            }
+            SafetyError::UnboundAggregate { var, rule } => {
+                write!(f, "aggregated variable {var} not bound by the body in '{rule}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SafetyError {}
+
+/// Variables a positive literal can bind. Quote arguments bind every
+/// variable occurring inside them (pattern matching binds meta-variables).
+fn positive_bindables(item: &BodyItem, builtins: &Builtins, out: &mut HashSet<Symbol>) {
+    let BodyItem::Lit {
+        negated: false,
+        atom,
+    } = item
+    else {
+        return;
+    };
+    // A builtin may bind output positions; treat all its variables as
+    // bindable (the runtime checks actual binding requirements).
+    let _ = builtins;
+    if let PredRef::Var(v) = atom.pred {
+        out.insert(v);
+    }
+    for t in atom.all_args() {
+        collect_term_vars(t, out);
+    }
+}
+
+/// All variables occurring in a term, including inside quotes.
+fn collect_term_vars(term: &Term, out: &mut HashSet<Symbol>) {
+    match term {
+        Term::Var(v) | Term::SeqVar(v) => {
+            out.insert(*v);
+        }
+        Term::Val(_) => {}
+        Term::Quote(rule) => {
+            for atom in &rule.heads {
+                if let PredRef::Var(v) = atom.pred {
+                    out.insert(v);
+                }
+                for t in atom.all_args() {
+                    collect_term_vars(t, out);
+                }
+            }
+            for item in &rule.body {
+                match item {
+                    BodyItem::Lit { atom, .. } => {
+                        if let PredRef::Var(v) = atom.pred {
+                            out.insert(v);
+                        }
+                        for t in atom.all_args() {
+                            collect_term_vars(t, out);
+                        }
+                    }
+                    BodyItem::Cmp { lhs, rhs, .. } => {
+                        collect_expr_vars(lhs, out);
+                        collect_expr_vars(rhs, out);
+                    }
+                    BodyItem::Rest(v) => {
+                        out.insert(*v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn collect_expr_vars(expr: &Expr, out: &mut HashSet<Symbol>) {
+    match expr {
+        Expr::Term(t) => collect_term_vars(t, out),
+        Expr::BinOp(_, l, r) => {
+            collect_expr_vars(l, out);
+            collect_expr_vars(r, out);
+        }
+    }
+}
+
+/// Checks one rule for safety. `builtins` tells the checker which body
+/// predicates are externally computed.
+pub fn check_rule(rule: &Rule, builtins: &Builtins) -> Result<(), SafetyError> {
+    // Variables bindable by positive literals anywhere in the body
+    // (classic safety is position-independent).
+    let mut positive: HashSet<Symbol> = HashSet::new();
+    for item in &rule.body {
+        positive_bindables(item, builtins, &mut positive);
+    }
+
+    // `X = <expr over positive vars>` also binds X; iterate to fixpoint so
+    // chains of equalities work.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for item in &rule.body {
+            let BodyItem::Cmp {
+                op: CmpOp::Eq,
+                lhs,
+                rhs,
+            } = item
+            else {
+                continue;
+            };
+            for (target, source) in [(lhs, rhs), (rhs, lhs)] {
+                let bindable_target =
+                    matches!(target, Expr::Term(Term::Var(_) | Term::Quote(_)));
+                if !bindable_target {
+                    continue;
+                }
+                let mut source_vars = HashSet::new();
+                collect_expr_vars(source, &mut source_vars);
+                if source_vars.is_subset(&positive) {
+                    // The whole target becomes bindable (quote patterns
+                    // bind all their variables when matched).
+                    let mut target_vars = HashSet::new();
+                    collect_expr_vars(target, &mut target_vars);
+                    if !target_vars.is_subset(&positive) {
+                        positive.extend(target_vars);
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Negated literal variables must be positively bound.
+    for item in &rule.body {
+        if let BodyItem::Lit {
+            negated: true,
+            atom,
+        } = item
+        {
+            let mut vars = HashSet::new();
+            for t in atom.all_args() {
+                collect_term_vars(t, &mut vars);
+            }
+            for v in vars {
+                if !positive.contains(&v) {
+                    return Err(SafetyError::UnsafeNegation {
+                        var: v,
+                        rule: rule.to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Comparisons other than binding-Eq need both sides bindable.
+    for item in &rule.body {
+        if let BodyItem::Cmp { op, lhs, rhs } = item {
+            let mut vars = HashSet::new();
+            collect_expr_vars(lhs, &mut vars);
+            collect_expr_vars(rhs, &mut vars);
+            let exempt = *op == CmpOp::Eq;
+            if !exempt && !vars.is_subset(&positive) {
+                return Err(SafetyError::UnboundComparison {
+                    item: item.to_string(),
+                    rule: rule.to_string(),
+                });
+            }
+        }
+    }
+
+    // Aggregate variable must be bindable.
+    if let Some(agg) = &rule.agg {
+        if !positive.contains(&agg.over) {
+            return Err(SafetyError::UnboundAggregate {
+                var: agg.over,
+                rule: rule.to_string(),
+            });
+        }
+        // The result variable is bound by the aggregation itself.
+        positive.insert(agg.result);
+    }
+
+    // Head variables must be range-restricted — but only *top-level*
+    // ones. Variables inside a quoted template are permitted to stay
+    // unbound: template instantiation leaves them as object variables of
+    // the generated code (§3.3; e.g. `del1` generates `active(R) <- …`
+    // where `R` is quantified in the generated rule, not the generator).
+    for head in &rule.heads {
+        let mut vars = Vec::new();
+        if let PredRef::Var(v) = head.pred {
+            vars.push(v);
+        }
+        head.collect_vars(&mut vars);
+        for v in vars {
+            if !positive.contains(&v) {
+                return Err(SafetyError::UnrestrictedHeadVar {
+                    var: v,
+                    rule: rule.to_string(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks every rule of a program.
+pub fn check_rules(rules: &[Rule], builtins: &Builtins) -> Result<(), SafetyError> {
+    rules.iter().try_for_each(|r| check_rule(r, builtins))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(src: &str) -> Result<(), SafetyError> {
+        let program = parse_program(src).unwrap();
+        check_rules(&program.rules, &Builtins::new())
+    }
+
+    #[test]
+    fn safe_rules_pass() {
+        assert!(check("p(X) <- q(X), !r(X).").is_ok());
+        assert!(check("p(X,Y) <- q(X), r(Y), X != Y.").is_ok());
+        assert!(check("p(X,Z) <- q(X), Z = X + 1.").is_ok());
+        assert!(check("fail() <- access(P,O,M), !principal(P).").is_ok());
+    }
+
+    #[test]
+    fn unrestricted_head_rejected() {
+        let err = check("p(X,Y) <- q(X).").unwrap_err();
+        assert!(matches!(err, SafetyError::UnrestrictedHeadVar { var, .. }
+            if var.as_str() == "Y"));
+    }
+
+    #[test]
+    fn unsafe_negation_rejected() {
+        let err = check("p(X) <- q(X), !r(Y).").unwrap_err();
+        assert!(matches!(err, SafetyError::UnsafeNegation { var, .. }
+            if var.as_str() == "Y"));
+    }
+
+    #[test]
+    fn comparison_needs_bound_vars() {
+        let err = check("p(X) <- q(X), Y > 3.").unwrap_err();
+        assert!(matches!(err, SafetyError::UnboundComparison { .. }));
+    }
+
+    #[test]
+    fn eq_chain_binds() {
+        assert!(check("p(X,Z) <- q(X), Y = X + 1, Z = Y * 2.").is_ok());
+    }
+
+    #[test]
+    fn head_bound_via_eq() {
+        assert!(check("p(Y) <- q(X), Y = X + 1.").is_ok());
+        // But an Eq between two unbound vars binds nothing.
+        assert!(check("p(Y) <- q(X), Y = Z.").is_err());
+    }
+
+    #[test]
+    fn quote_pattern_binds_its_vars() {
+        // Matching a quote pattern binds the meta-variables inside it.
+        assert!(check("access(P,O) <- said([| access(P,O) |]).").is_ok());
+        // Via equality against a bound quote too (del1 style).
+        assert!(check("saidpred(P) <- said(R), R = [| P(T*) <- A*. |].").is_ok());
+    }
+
+    #[test]
+    fn aggregate_variable_checked() {
+        assert!(check("c(K,N) <- agg<<N = count(U)>> v(K,U).").is_ok());
+        let err = check("c(K,N) <- agg<<N = count(Z)>> v(K,U).").unwrap_err();
+        assert!(matches!(err, SafetyError::UnboundAggregate { .. }));
+    }
+
+    #[test]
+    fn facts_are_safe() {
+        assert!(check("p(a). q(1,\"s\").").is_ok());
+    }
+}

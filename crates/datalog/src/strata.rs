@@ -1,0 +1,299 @@
+//! Predicate dependency analysis and stratification.
+//!
+//! Negation and aggregation must not occur inside a recursive cycle
+//! (stratified Datalog). We build the predicate dependency graph, find
+//! strongly connected components, reject components containing a negative
+//! or aggregating internal edge, and emit strata in topological order.
+
+use crate::ast::{BodyItem, PredRef, Rule};
+use crate::intern::Symbol;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Stratification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StratifyError {
+    /// Predicates in the offending cycle.
+    pub cycle: Vec<Symbol>,
+    /// Whether the offending edge is negation (vs. aggregation).
+    pub negation: bool,
+}
+
+impl fmt::Display for StratifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.negation { "negation" } else { "aggregation" };
+        let names: Vec<&str> = self.cycle.iter().map(|s| s.as_str()).collect();
+        write!(f, "unstratifiable program: {kind} in recursive cycle {names:?}")
+    }
+}
+
+impl std::error::Error for StratifyError {}
+
+/// The result of stratification: for each predicate with rules, its
+/// stratum index, and per-stratum rule lists.
+#[derive(Clone, Debug, Default)]
+pub struct Strata {
+    /// Stratum index per head predicate.
+    pub stratum_of: HashMap<Symbol, usize>,
+    /// Rules grouped by stratum (indices into the input rule slice).
+    pub rules_by_stratum: Vec<Vec<usize>>,
+}
+
+impl Strata {
+    /// Number of strata.
+    pub fn len(&self) -> usize {
+        self.rules_by_stratum.len()
+    }
+
+    /// Whether there are no strata (no rules).
+    pub fn is_empty(&self) -> bool {
+        self.rules_by_stratum.is_empty()
+    }
+
+    /// The stratum of `pred` (predicates without rules — pure EDB — are
+    /// stratum 0).
+    pub fn stratum(&self, pred: Symbol) -> usize {
+        self.stratum_of.get(&pred).copied().unwrap_or(0)
+    }
+}
+
+/// Head predicates of a rule (concrete names only; quoted code inside
+/// argument positions does not contribute dependencies — generated rules
+/// are re-stratified when installed).
+fn head_preds(rule: &Rule) -> impl Iterator<Item = Symbol> + '_ {
+    rule.heads.iter().filter_map(|a| a.pred.name())
+}
+
+/// Body dependencies of a rule: `(pred, negative?)`. An aggregation makes
+/// every body dependency negative (the head must be computed after its
+/// body stratum is complete).
+fn body_deps(rule: &Rule) -> Vec<(Symbol, bool)> {
+    let aggregating = rule.agg.is_some();
+    rule.body
+        .iter()
+        .filter_map(|item| match item {
+            BodyItem::Lit { negated, atom } => match atom.pred {
+                PredRef::Name(p) => Some((p, *negated || aggregating)),
+                PredRef::Var(_) => None,
+            },
+            _ => None,
+        })
+        .collect()
+}
+
+/// Stratifies `rules`. Builtin predicates (per `is_builtin`) are excluded
+/// from the dependency graph — they have no extension of their own.
+pub fn stratify(
+    rules: &[Rule],
+    is_builtin: &dyn Fn(Symbol) -> bool,
+) -> Result<Strata, StratifyError> {
+    // Collect IDB predicates.
+    let mut idb: HashSet<Symbol> = HashSet::new();
+    for rule in rules {
+        idb.extend(head_preds(rule));
+    }
+
+    // Dependency edges head <- body among IDB predicates.
+    // edge (from=body pred, to=head pred, negative)
+    let mut edges: Vec<(Symbol, Symbol, bool)> = Vec::new();
+    for rule in rules {
+        for head in head_preds(rule) {
+            for (dep, neg) in body_deps(rule) {
+                if idb.contains(&dep) && !is_builtin(dep) {
+                    edges.push((dep, head, neg));
+                }
+            }
+        }
+    }
+
+    // Compute strata with the classic iterative algorithm:
+    // stratum(head) >= stratum(body), strictly greater on negative edges.
+    let mut stratum: HashMap<Symbol, usize> = idb.iter().map(|&p| (p, 0)).collect();
+    let max_rounds = idb.len().saturating_add(1);
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed {
+        changed = false;
+        rounds += 1;
+        if rounds > max_rounds {
+            // A stratum exceeded |IDB|: some negative edge lies in a
+            // cycle. Recover the offending cycle for the error message.
+            return Err(find_bad_cycle(&edges));
+        }
+        for &(from, to, neg) in &edges {
+            let need = stratum[&from] + usize::from(neg);
+            if stratum[&to] < need {
+                stratum.insert(to, need);
+                changed = true;
+            }
+        }
+    }
+
+    // Normalize stratum indices to 0..k and bucket rules. A rule's stratum
+    // is the stratum of its head(s); multi-head rules take the max.
+    let mut used: Vec<usize> = stratum.values().copied().collect();
+    used.sort_unstable();
+    used.dedup();
+    let remap: HashMap<usize, usize> = used.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let stratum_of: HashMap<Symbol, usize> =
+        stratum.into_iter().map(|(p, s)| (p, remap[&s])).collect();
+
+    let n_strata = used.len().max(1);
+    let mut rules_by_stratum: Vec<Vec<usize>> = vec![Vec::new(); n_strata];
+    for (i, rule) in rules.iter().enumerate() {
+        let s = head_preds(rule)
+            .map(|p| stratum_of.get(&p).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        rules_by_stratum[s].push(i);
+    }
+
+    Ok(Strata {
+        stratum_of,
+        rules_by_stratum,
+    })
+}
+
+/// Finds a cycle containing a negative edge, for error reporting.
+fn find_bad_cycle(edges: &[(Symbol, Symbol, bool)]) -> StratifyError {
+    // Adjacency over all edges.
+    let mut adj: HashMap<Symbol, Vec<Symbol>> = HashMap::new();
+    for &(from, to, _) in edges {
+        adj.entry(from).or_default().push(to);
+    }
+    // For each negative edge (from, to), check whether `from` is reachable
+    // back from `to`; if so the negative edge is in a cycle.
+    for &(from, to, neg) in edges {
+        if !neg {
+            continue;
+        }
+        // BFS from `to` looking for `from`.
+        let mut queue = vec![to];
+        let mut seen: HashSet<Symbol> = queue.iter().copied().collect();
+        let mut parent: HashMap<Symbol, Symbol> = HashMap::new();
+        while let Some(node) = queue.pop() {
+            if node == from {
+                // Reconstruct path to report the cycle.
+                let mut cycle = vec![from];
+                let mut cur = from;
+                while cur != to {
+                    cur = parent[&cur];
+                    cycle.push(cur);
+                }
+                cycle.reverse();
+                return StratifyError {
+                    cycle,
+                    negation: true,
+                };
+            }
+            for &next in adj.get(&node).into_iter().flatten() {
+                if seen.insert(next) {
+                    parent.insert(next, node);
+                    queue.push(next);
+                }
+            }
+        }
+    }
+    // Fall back to a generic error (should not happen).
+    StratifyError {
+        cycle: Vec::new(),
+        negation: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn strata_of(src: &str) -> Result<Strata, StratifyError> {
+        let program = parse_program(src).unwrap();
+        stratify(&program.rules, &|_| false)
+    }
+
+    #[test]
+    fn positive_recursion_single_stratum() {
+        let s = strata_of(
+            "reachable(X,Y) <- edge(X,Y).\n\
+             reachable(X,Z) <- reachable(X,Y), edge(Y,Z).",
+        )
+        .unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.stratum(Symbol::intern("reachable")), 0);
+        assert_eq!(s.rules_by_stratum[0].len(), 2);
+    }
+
+    #[test]
+    fn negation_forces_higher_stratum() {
+        let s = strata_of(
+            "reach(X,Y) <- edge(X,Y).\n\
+             reach(X,Z) <- reach(X,Y), edge(Y,Z).\n\
+             unreach(X,Y) <- node(X), node(Y), !reach(X,Y).",
+        )
+        .unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.stratum(Symbol::intern("unreach")) > s.stratum(Symbol::intern("reach")));
+    }
+
+    #[test]
+    fn aggregation_forces_higher_stratum() {
+        let s = strata_of(
+            "vote(U,C) <- ballot(U,C).\n\
+             tally(C,N) <- agg<<N = count(U)>> vote(U,C).",
+        )
+        .unwrap();
+        assert!(s.stratum(Symbol::intern("tally")) > s.stratum(Symbol::intern("vote")));
+    }
+
+    #[test]
+    fn negation_in_cycle_rejected() {
+        let err = strata_of(
+            "p(X) <- q(X), !r(X).\n\
+             r(X) <- p(X).",
+        )
+        .unwrap_err();
+        assert!(err.negation);
+        assert!(!err.cycle.is_empty());
+    }
+
+    #[test]
+    fn aggregation_in_cycle_rejected() {
+        let err = strata_of(
+            "score(U,N) <- agg<<N = count(V)>> endorse(V,U).\n\
+             endorse(V,U) <- score(U,N), friend(V,U), N > 0.",
+        )
+        .unwrap_err();
+        assert!(!err.cycle.is_empty());
+    }
+
+    #[test]
+    fn multiple_strata_chain() {
+        let s = strata_of(
+            "a(X) <- base(X).\n\
+             b(X) <- a(X), !blocked(X).\n\
+             blocked(X) <- a(X), bad(X).\n\
+             c(X) <- b(X), !b2(X).\n\
+             b2(X) <- blocked(X).",
+        )
+        .unwrap();
+        let st = |n: &str| s.stratum(Symbol::intern(n));
+        assert!(st("b") > st("blocked"));
+        // c depends positively on b (same stratum allowed) and negatively
+        // on b2 (strictly above).
+        assert!(st("c") >= st("b"));
+        assert!(st("c") > st("b2"));
+    }
+
+    #[test]
+    fn edb_is_stratum_zero() {
+        let s = strata_of("p(X) <- q(X).").unwrap();
+        assert_eq!(s.stratum(Symbol::intern("q")), 0);
+    }
+
+    #[test]
+    fn facts_only_program() {
+        let s = strata_of("p(a). p(b).").unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rules_by_stratum[0].len(), 2);
+    }
+}

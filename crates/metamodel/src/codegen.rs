@@ -1,0 +1,74 @@
+//! Code generation: turning derived meta-facts back into installable
+//! rules.
+//!
+//! "A rule may perform code generation (adding or rewriting existing
+//! rules) by referring to the meta-model in its head. If the evaluation
+//! of a rule puts new facts into the meta-model, then those new facts
+//! turn into a new rule which must itself be evaluated" (§3.3).
+//!
+//! With our entity encoding a rule entity *is* its quote, so generation
+//! is direct: any quote derived into `active(R)` (the workspace's active
+//! table, used by `says1`, `sf0`, `del1`, …) or `rule(R)` is a candidate
+//! new rule. The workspace drives the staged fixpoint: evaluate → extract
+//! → install → re-evaluate, until no new rules appear.
+
+use crate::schema::MetaPreds;
+use lbtrust_datalog::ast::Rule;
+use lbtrust_datalog::{Database, Value};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Extracts every quoted rule derived into `active(R)` or `rule(R)`.
+/// Duplicates (by content) are returned once.
+pub fn generated_rules(db: &Database, preds: &MetaPreds) -> Vec<Arc<Rule>> {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut out = Vec::new();
+    for pred in [preds.active, preds.rule] {
+        let Some(rel) = db.relation(pred) else {
+            continue;
+        };
+        for tuple in rel.iter() {
+            let [Value::Quote(rule)] = tuple.as_slice() else {
+                continue;
+            };
+            if seen.insert(rule.content_id()) {
+                out.push(rule.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbtrust_datalog::{parse_rule, Symbol};
+
+    #[test]
+    fn extracts_active_quotes() {
+        let preds = MetaPreds::new();
+        let mut db = Database::new();
+        let r1 = Arc::new(parse_rule("p(X) <- q(X).").unwrap());
+        let r2 = Arc::new(parse_rule("good(alice).").unwrap());
+        db.insert(preds.active, vec![Value::Quote(r1.clone())]);
+        db.insert(preds.rule, vec![Value::Quote(r2.clone())]);
+        // Non-quote entries are ignored.
+        db.insert(preds.active, vec![Value::sym("not-a-rule")]);
+        let rules = generated_rules(&db, &preds);
+        assert_eq!(rules.len(), 2);
+        let texts: HashSet<String> = rules.iter().map(|r| r.to_string()).collect();
+        assert!(texts.contains("p(X) <- q(X)."));
+        assert!(texts.contains("good(alice)."));
+    }
+
+    #[test]
+    fn dedups_by_content() {
+        let preds = MetaPreds::new();
+        let mut db = Database::new();
+        let r = Arc::new(parse_rule("p(X) <- q(X).").unwrap());
+        db.insert(preds.active, vec![Value::Quote(r.clone())]);
+        db.insert(preds.rule, vec![Value::Quote(r.clone())]);
+        assert_eq!(generated_rules(&db, &preds).len(), 1);
+        let _ = Symbol::intern("x");
+    }
+}

@@ -1,0 +1,300 @@
+//! Constraint checking: schema constraints and meta-constraints.
+//!
+//! A constraint `F1 -> F2.` means `fail() <- F1, !(F2).` (§3.2 of the
+//! paper): evaluation fails if some binding satisfies the premise but no
+//! extension of it satisfies the requirement. *Meta*-constraints are the
+//! same mechanism with premises over the meta-model (and quote patterns),
+//! checked when rules are installed; ordinary constraints are checked
+//! after each fixpoint.
+
+use lbtrust_datalog::ast::{Constraint, Formula, Rule};
+use lbtrust_datalog::eval::{Engine, EvalError};
+use lbtrust_datalog::{Bindings, Builtins, Database};
+use std::fmt;
+
+/// A constraint violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The violated constraint, printed.
+    pub constraint: String,
+    /// The premise bindings that had no satisfying requirement, printed
+    /// compactly.
+    pub witness: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "constraint violated: {} (witness: {})",
+            self.constraint, self.witness
+        )
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Errors from constraint checking: either a genuine violation or an
+/// evaluation problem (unbound variables, bad builtin use, …).
+#[derive(Debug)]
+pub enum CheckError {
+    /// The constraint is violated.
+    Violation(Box<Violation>),
+    /// Evaluation failed while checking.
+    Eval(EvalError),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Violation(v) => write!(f, "{v}"),
+            CheckError::Eval(e) => write!(f, "constraint check failed to evaluate: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<EvalError> for CheckError {
+    fn from(e: EvalError) -> Self {
+        CheckError::Eval(e)
+    }
+}
+
+/// Checks one constraint against a database. `builtins` supplies external
+/// predicates used in the premise or requirement.
+pub fn check_constraint(
+    constraint: &Constraint,
+    db: &Database,
+    builtins: &Builtins,
+) -> Result<(), CheckError> {
+    // A carrier rule so the engine's item evaluator has rule context for
+    // error messages.
+    let carrier = Rule {
+        heads: Vec::new(),
+        body: constraint.body.clone(),
+        agg: None,
+    };
+    let engine = Engine::new(std::slice::from_ref(&carrier), builtins);
+
+    // Enumerate premise environments.
+    let mut envs = vec![Bindings::new()];
+    for item in &constraint.body {
+        if envs.is_empty() {
+            return Ok(());
+        }
+        envs = engine.eval_single_item(&carrier, item, envs, db)?;
+    }
+
+    // Each premise environment must extend to satisfy the requirement.
+    for env in envs {
+        if !formula_satisfiable(&constraint.requires, &carrier, &engine, db, &env)? {
+            let witness = describe_env(&env);
+            return Err(CheckError::Violation(Box::new(Violation {
+                constraint: constraint.to_string(),
+                witness,
+            })));
+        }
+    }
+    Ok(())
+}
+
+/// Checks every constraint.
+pub fn check_constraints(
+    constraints: &[Constraint],
+    db: &Database,
+    builtins: &Builtins,
+) -> Result<(), CheckError> {
+    constraints
+        .iter()
+        .try_for_each(|c| check_constraint(c, db, builtins))
+}
+
+/// Whether `formula` is satisfiable by some extension of `env`.
+fn formula_satisfiable(
+    formula: &Formula,
+    carrier: &Rule,
+    engine: &Engine<'_>,
+    db: &Database,
+    env: &Bindings,
+) -> Result<bool, CheckError> {
+    Ok(!satisfy(formula, carrier, engine, db, vec![env.clone()])?.is_empty())
+}
+
+/// All extensions of `envs` satisfying `formula`.
+fn satisfy(
+    formula: &Formula,
+    carrier: &Rule,
+    engine: &Engine<'_>,
+    db: &Database,
+    envs: Vec<Bindings>,
+) -> Result<Vec<Bindings>, CheckError> {
+    match formula {
+        Formula::Item(item) => Ok(engine.eval_single_item(carrier, item, envs, db)?),
+        Formula::And(parts) => {
+            let mut current = envs;
+            for part in parts {
+                if current.is_empty() {
+                    break;
+                }
+                current = satisfy(part, carrier, engine, db, current)?;
+            }
+            Ok(current)
+        }
+        Formula::Or(parts) => {
+            let mut out = Vec::new();
+            for part in parts {
+                out.extend(satisfy(part, carrier, engine, db, envs.clone())?);
+            }
+            Ok(out)
+        }
+        Formula::Not(inner) => {
+            // ¬F keeps the environments F cannot extend.
+            let mut out = Vec::new();
+            for env in envs {
+                if satisfy(inner, carrier, engine, db, vec![env.clone()])?.is_empty() {
+                    out.push(env);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn describe_env(env: &Bindings) -> String {
+    let mut parts: Vec<String> = env
+        .iter()
+        .map(|(var, binding)| format!("{var}={binding:?}"))
+        .collect();
+    parts.sort();
+    if parts.is_empty() {
+        "<no bindings>".to_string()
+    } else {
+        parts.join(", ")
+    }
+}
+
+/// Checks the special `fail()` predicate: if any tuple was derived into
+/// it, evaluation "fails by terminating with an error" (§3.2).
+pub fn check_fail(db: &Database) -> Result<(), CheckError> {
+    let fail = lbtrust_datalog::Symbol::intern("fail");
+    if db.count(fail) > 0 {
+        return Err(CheckError::Violation(Box::new(Violation {
+            constraint: "fail()".into(),
+            witness: format!("{} fail() derivation(s)", db.count(fail)),
+        })));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbtrust_datalog::{parse_program, Symbol, Value};
+
+    fn db_with(facts: &[(&str, &[&str])]) -> Database {
+        let mut db = Database::new();
+        for (pred, tuple) in facts {
+            db.insert(
+                Symbol::intern(pred),
+                tuple.iter().map(|v| Value::sym(v)).collect(),
+            );
+        }
+        db
+    }
+
+    fn constraint(src: &str) -> Constraint {
+        parse_program(src).unwrap().constraints.remove(0)
+    }
+
+    #[test]
+    fn satisfied_constraint_passes() {
+        let c = constraint("access(P,O,M) -> principal(P).");
+        let db = db_with(&[
+            ("access", &["alice", "f", "read"][..]),
+            ("principal", &["alice"][..]),
+        ]);
+        assert!(check_constraint(&c, &db, &Builtins::new()).is_ok());
+    }
+
+    #[test]
+    fn violated_constraint_reports_witness() {
+        let c = constraint("access(P,O,M) -> principal(P).");
+        let db = db_with(&[("access", &["mallory", "f", "read"][..])]);
+        let err = check_constraint(&c, &db, &Builtins::new()).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("mallory"), "witness missing: {text}");
+    }
+
+    #[test]
+    fn conjunction_requirement() {
+        let c = constraint("access(P,O,M) -> principal(P), object(O), mode(M).");
+        let db = db_with(&[
+            ("access", &["alice", "f", "read"][..]),
+            ("principal", &["alice"][..]),
+            ("object", &["f"][..]),
+        ]);
+        // mode(read) missing.
+        assert!(check_constraint(&c, &db, &Builtins::new()).is_err());
+    }
+
+    #[test]
+    fn disjunction_requirement() {
+        let c = constraint("p(X) -> q(X); r(X).");
+        let db = db_with(&[("p", &["a"][..]), ("r", &["a"][..])]);
+        assert!(check_constraint(&c, &db, &Builtins::new()).is_ok());
+    }
+
+    #[test]
+    fn negated_requirement() {
+        let c = constraint("delegation(U,P) -> !revoked(U).");
+        let ok = db_with(&[("delegation", &["a", "p"][..])]);
+        assert!(check_constraint(&c, &ok, &Builtins::new()).is_ok());
+        let bad = db_with(&[("delegation", &["a", "p"][..]), ("revoked", &["a"][..])]);
+        assert!(check_constraint(&c, &bad, &Builtins::new()).is_err());
+    }
+
+    #[test]
+    fn declaration_always_holds() {
+        let c = constraint("rule(R) ->.");
+        let db = db_with(&[("rule", &["x"][..])]);
+        assert!(check_constraint(&c, &db, &Builtins::new()).is_ok());
+    }
+
+    #[test]
+    fn empty_premise_relation_passes() {
+        let c = constraint("access(P,O,M) -> principal(P).");
+        assert!(check_constraint(&c, &Database::new(), &Builtins::new()).is_ok());
+    }
+
+    #[test]
+    fn fail_predicate() {
+        let mut db = Database::new();
+        assert!(check_fail(&db).is_ok());
+        db.insert(Symbol::intern("fail"), vec![]);
+        assert!(check_fail(&db).is_err());
+    }
+
+    #[test]
+    fn meta_constraint_with_quote_pattern() {
+        // The paper's mayRead-style constraint: any rule said to me that
+        // reads predicate P requires mayRead(U,P).
+        use crate::reflect::rule_entity;
+        let c = constraint("owner(U, [| A <- P(T2*), A*. |]) -> access(U,P,read).");
+        let rule = lbtrust_datalog::parse_rule("spend(X) <- budget(X).").unwrap();
+        let mut db = Database::new();
+        db.insert(
+            Symbol::intern("owner"),
+            vec![Value::sym("alice"), rule_entity(&rule)],
+        );
+        // Without the access grant: violation naming 'budget'.
+        let err = check_constraint(&c, &db, &Builtins::new()).unwrap_err();
+        assert!(err.to_string().contains("budget"), "{err}");
+        // Grant access: passes.
+        db.insert(
+            Symbol::intern("access"),
+            vec![Value::sym("alice"), Value::sym("budget"), Value::sym("read")],
+        );
+        assert!(check_constraint(&c, &db, &Builtins::new()).is_ok());
+    }
+}

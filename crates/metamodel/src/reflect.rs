@@ -1,0 +1,232 @@
+//! Reflection: translating installed rules into meta-model facts.
+//!
+//! "When a rule R is added to the workspace's active rules, it is
+//! translated into a set of facts (e.g. rule, head, body, etc.) in the
+//! meta-model" (§3.3 of the paper).
+
+use crate::schema::MetaPreds;
+use lbtrust_datalog::ast::{Atom, BodyItem, PredRef, Rule, Term};
+use lbtrust_datalog::{Database, Symbol, Tuple, Value};
+use std::sync::Arc;
+
+/// The meta-entity for an atom: a quoted single-atom fact.
+pub fn atom_entity(atom: &Atom) -> Value {
+    Value::Quote(Arc::new(Rule {
+        heads: vec![atom.clone()],
+        body: Vec::new(),
+        agg: None,
+    }))
+}
+
+/// The meta-entity for a rule: its quote.
+pub fn rule_entity(rule: &Rule) -> Value {
+    Value::Quote(Arc::new(rule.clone()))
+}
+
+/// The meta-entity for a variable.
+pub fn variable_entity(var: Symbol) -> Value {
+    Value::sym(&format!("var:{var}"))
+}
+
+/// Reflects one rule into `(predicate, tuple)` meta-facts.
+///
+/// Comparison items and body-rest meta-variables have no meta-model
+/// representation in Figure 1 and are skipped; the paper's
+/// meta-constraints only quantify over atoms.
+pub fn reflect_rule(rule: &Rule, preds: &MetaPreds) -> Vec<(Symbol, Tuple)> {
+    let mut out = Vec::new();
+    let r_ent = rule_entity(rule);
+    out.push((preds.rule, vec![r_ent.clone()]));
+    for head in &rule.heads {
+        reflect_atom(head, false, &r_ent, preds, true, &mut out);
+    }
+    for item in &rule.body {
+        if let BodyItem::Lit { negated, atom } = item {
+            reflect_atom(atom, *negated, &r_ent, preds, false, &mut out);
+        }
+    }
+    out
+}
+
+fn reflect_atom(
+    atom: &Atom,
+    negated: bool,
+    rule_ent: &Value,
+    preds: &MetaPreds,
+    is_head: bool,
+    out: &mut Vec<(Symbol, Tuple)>,
+) {
+    let a_ent = atom_entity(atom);
+    let link = if is_head { preds.head } else { preds.body };
+    out.push((link, vec![rule_ent.clone(), a_ent.clone()]));
+    out.push((preds.atom, vec![a_ent.clone()]));
+    if negated {
+        out.push((preds.negated, vec![a_ent.clone()]));
+    }
+    if let PredRef::Name(p) = atom.pred {
+        let p_ent = Value::Sym(p);
+        out.push((preds.functor, vec![a_ent.clone(), p_ent.clone()]));
+        out.push((preds.predicate, vec![p_ent.clone()]));
+        out.push((preds.pname, vec![p_ent, Value::str(p.as_str())]));
+    }
+    for (i, term) in atom.all_args().enumerate() {
+        let t_ent = match term {
+            Term::Var(v) => {
+                let ent = variable_entity(*v);
+                out.push((preds.variable, vec![ent.clone()]));
+                out.push((preds.vname, vec![ent.clone(), Value::str(v.as_str())]));
+                ent
+            }
+            Term::Val(v) => {
+                out.push((preds.constant, vec![v.clone()]));
+                out.push((preds.value, vec![v.clone(), Value::str(&v.to_string())]));
+                v.clone()
+            }
+            // Quotes-as-terms and sequence meta-variables are opaque at
+            // the meta-model level; represent them by their printed form.
+            other => Value::str(&other.to_string()),
+        };
+        out.push((preds.term, vec![t_ent.clone()]));
+        out.push((preds.arg, vec![a_ent.clone(), Value::Int(i as i64), t_ent]));
+    }
+}
+
+/// Reflects a rule directly into a database.
+pub fn reflect_into(rule: &Rule, preds: &MetaPreds, db: &mut Database) -> usize {
+    let mut added = 0;
+    for (pred, tuple) in reflect_rule(rule, preds) {
+        if db.insert(pred, tuple) {
+            added += 1;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbtrust_datalog::parse_rule;
+
+    fn reflected(src: &str) -> (Database, MetaPreds, Rule) {
+        let rule = parse_rule(src).unwrap();
+        let preds = MetaPreds::new();
+        let mut db = Database::new();
+        reflect_into(&rule, &preds, &mut db);
+        (db, preds, rule)
+    }
+
+    #[test]
+    fn rule_and_atoms_present() {
+        let (db, preds, rule) = reflected("access(P,O,read) <- good(P), !banned(P).");
+        assert_eq!(db.count(preds.rule), 1);
+        assert!(db.contains(preds.rule, &[rule_entity(&rule)]));
+        assert_eq!(db.count(preds.head), 1);
+        assert_eq!(db.count(preds.body), 2);
+        assert_eq!(db.count(preds.negated), 1);
+        // Three distinct atoms.
+        assert_eq!(db.count(preds.atom), 3);
+    }
+
+    #[test]
+    fn functor_links_predicate_entities() {
+        let (db, preds, _) = reflected("access(P,O,read) <- good(P).");
+        // predicate entities are name symbols.
+        assert!(db.contains(preds.predicate, &[Value::sym("access")]));
+        assert!(db.contains(preds.predicate, &[Value::sym("good")]));
+        assert!(db.contains(
+            preds.pname,
+            &[Value::sym("access"), Value::str("access")]
+        ));
+    }
+
+    #[test]
+    fn args_variables_and_constants() {
+        let (db, preds, _) = reflected("access(P,O,read) <- good(P).");
+        // variable entity with its name.
+        assert!(db.contains(
+            preds.vname,
+            &[Value::sym("var:P"), Value::str("P")]
+        ));
+        // constant entity is the value itself.
+        assert!(db.contains(preds.constant, &[Value::sym("read")]));
+        assert!(db.contains(
+            preds.value,
+            &[Value::sym("read"), Value::str("read")]
+        ));
+        // arg positions: access has three.
+        let head_atom = atom_entity(&parse_rule("access(P,O,read).").unwrap().heads[0]);
+        for (i, ent) in [
+            Value::sym("var:P"),
+            Value::sym("var:O"),
+            Value::sym("read"),
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert!(
+                db.contains(preds.arg, &[head_atom.clone(), Value::Int(i as i64), ent.clone()]),
+                "arg {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn keyed_atoms_reflect_keys_first() {
+        // export[U2](me,R,S): arg positions cover the key first, matching
+        // the flat storage layout.
+        let (db, preds, _) = reflected("export[U2](alice,R,S) <- says(alice,U2,R).");
+        let head = parse_rule("export[U2](alice,R,S).").unwrap().heads[0].clone();
+        let ent = atom_entity(&head);
+        assert!(db.contains(
+            preds.arg,
+            &[ent.clone(), Value::Int(0), Value::sym("var:U2")]
+        ));
+        assert!(db.contains(
+            preds.arg,
+            &[ent, Value::Int(1), Value::sym("alice")]
+        ));
+    }
+
+    #[test]
+    fn reflection_is_idempotent() {
+        let rule = parse_rule("p(X) <- q(X).").unwrap();
+        let preds = MetaPreds::new();
+        let mut db = Database::new();
+        let first = reflect_into(&rule, &preds, &mut db);
+        let second = reflect_into(&rule, &preds, &mut db);
+        assert!(first > 0);
+        assert_eq!(second, 0);
+    }
+
+    #[test]
+    fn meta_constraint_translation_example() {
+        // The paper's translated meta-constraint (§3.3):
+        //   owner(U,R1), rule(R1), body(R1,A1), atom(A1), functor(A1,P)
+        //     -> access(U,P,read).
+        // Reflect a rule, add owner and access facts, and check that the
+        // premise join finds the expected P.
+        use lbtrust_datalog::{Bindings, Symbol as S};
+        let rule = parse_rule("spend(X) <- budget(X).").unwrap();
+        let preds = MetaPreds::new();
+        let mut db = Database::new();
+        reflect_into(&rule, &preds, &mut db);
+        db.insert(S::intern("owner"), vec![Value::sym("alice"), rule_entity(&rule)]);
+
+        // Join the premise by hand via pattern matching.
+        let premise = lbtrust_datalog::parse_program(
+            "violation(U,P) <- owner(U,R1), rule(R1), body(R1,A1), atom(A1), functor(A1,P).",
+        )
+        .unwrap();
+        let builtins = lbtrust_datalog::Builtins::new();
+        lbtrust_datalog::Engine::new(&premise.rules, &builtins)
+            .run(&mut db)
+            .unwrap();
+        let violation = S::intern("violation");
+        assert_eq!(db.count(violation), 1);
+        assert!(db.contains(
+            violation,
+            &[Value::sym("alice"), Value::sym("budget")]
+        ));
+        let _ = Bindings::new();
+    }
+}

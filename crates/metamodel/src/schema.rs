@@ -1,0 +1,147 @@
+//! The meta-model schema of Figure 1 of the paper.
+//!
+//! Every installed rule is reflected into these predicates, so rules and
+//! constraints can quantify over the program itself ("reflection", §3.3).
+//!
+//! Entity encoding (our design; the paper leaves entity identity to
+//! LogicBlox's internal ids):
+//!
+//! * a **rule** entity is the quoted rule itself (`Value::Quote`) — the
+//!   same representation `says`/`active` carry, so quote-pattern matching
+//!   and meta-model queries agree;
+//! * an **atom** entity is a quoted single-atom fact wrapping the atom;
+//! * a **predicate** entity is the predicate's name symbol (this makes
+//!   the paper's `owner(U, [| A <- P(T2*), A*. |]) -> access(U,P,read)`
+//!   meta-constraint line up: `P` binds to the name symbol either way);
+//! * a **variable** entity is the symbol `var:<name>`;
+//! * a **constant** entity is the constant value itself, with `value`
+//!   mapping it to its printed form.
+
+use lbtrust_datalog::{parse_program, Program, Symbol};
+
+/// The meta-model declarations, verbatim from Figure 1.
+pub const META_MODEL_SCHEMA: &str = r#"
+    rule(R) ->.
+    head(R,A) -> rule(R), atom(A).
+    body(R,A) -> rule(R), atom(A).
+    atom(A) -> .
+    functor(A,P) -> atom(A), predicate(P).
+    arg(A,I,T) -> atom(A), int(I), term(T).
+    negated(A) -> atom(A).
+    term(T) -> .
+    variable(X) -> term(X).
+    vname(X,N) -> variable(X), string(N).
+    constant(C) -> term(C).
+    value(C,V) -> constant(C), string(V).
+    predicate(P) -> .
+    pname(P,N) -> predicate(P), string(N).
+"#;
+
+/// Parses the Figure 1 schema into constraint declarations.
+pub fn meta_model_schema() -> Program {
+    parse_program(META_MODEL_SCHEMA).expect("the Figure 1 schema parses")
+}
+
+/// Interned names of the meta-model predicates.
+#[derive(Clone, Copy, Debug)]
+pub struct MetaPreds {
+    /// `rule(R)`
+    pub rule: Symbol,
+    /// `head(R,A)`
+    pub head: Symbol,
+    /// `body(R,A)`
+    pub body: Symbol,
+    /// `atom(A)`
+    pub atom: Symbol,
+    /// `functor(A,P)`
+    pub functor: Symbol,
+    /// `arg(A,I,T)`
+    pub arg: Symbol,
+    /// `negated(A)`
+    pub negated: Symbol,
+    /// `term(T)`
+    pub term: Symbol,
+    /// `variable(X)`
+    pub variable: Symbol,
+    /// `vname(X,N)`
+    pub vname: Symbol,
+    /// `constant(C)`
+    pub constant: Symbol,
+    /// `value(C,V)`
+    pub value: Symbol,
+    /// `predicate(P)`
+    pub predicate: Symbol,
+    /// `pname(P,N)`
+    pub pname: Symbol,
+    /// `active(R)` — the workspace's active-rule table (§3.3).
+    pub active: Symbol,
+}
+
+impl Default for MetaPreds {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetaPreds {
+    /// Interns all names.
+    pub fn new() -> MetaPreds {
+        MetaPreds {
+            rule: Symbol::intern("rule"),
+            head: Symbol::intern("head"),
+            body: Symbol::intern("body"),
+            atom: Symbol::intern("atom"),
+            functor: Symbol::intern("functor"),
+            arg: Symbol::intern("arg"),
+            negated: Symbol::intern("negated"),
+            term: Symbol::intern("term"),
+            variable: Symbol::intern("variable"),
+            vname: Symbol::intern("vname"),
+            constant: Symbol::intern("constant"),
+            value: Symbol::intern("value"),
+            predicate: Symbol::intern("predicate"),
+            pname: Symbol::intern("pname"),
+            active: Symbol::intern("active"),
+        }
+    }
+
+    /// All meta-model predicate names (excluding `active`).
+    pub fn all(&self) -> [Symbol; 14] {
+        [
+            self.rule,
+            self.head,
+            self.body,
+            self.atom,
+            self.functor,
+            self.arg,
+            self.negated,
+            self.term,
+            self.variable,
+            self.vname,
+            self.constant,
+            self.value,
+            self.predicate,
+            self.pname,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_parses_to_fourteen_declarations() {
+        let program = meta_model_schema();
+        assert_eq!(program.constraints.len(), 14);
+        assert!(program.rules.is_empty());
+    }
+
+    #[test]
+    fn preds_are_stable() {
+        let a = MetaPreds::new();
+        let b = MetaPreds::new();
+        assert_eq!(a.rule, b.rule);
+        assert_eq!(a.all().len(), 14);
+    }
+}

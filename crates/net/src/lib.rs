@@ -1,0 +1,19 @@
+//! # lbtrust-net — simulated distribution substrate for LBTrust
+//!
+//! The paper runs principals on physically separate nodes (§3.5, §6).
+//! This crate provides the deterministic stand-in used by the
+//! reproduction: node identities ([`node`]), a seeded discrete-event
+//! network with latency jitter, loss and duplication ([`network`]), and
+//! the canonical-text wire encoding of exported rules ([`wire`]) over
+//! which signatures are computed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod node;
+pub mod wire;
+
+pub use network::{Envelope, NetworkConfig, NetworkStats, SimNetwork};
+pub use node::NodeId;
+pub use wire::{decode, encode, rule_bytes, WireError, WireMessage};

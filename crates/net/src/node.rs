@@ -1,0 +1,54 @@
+//! Node identities for the simulated distributed environment.
+//!
+//! LogicBlox "separates logical partitioning and distribution … providing
+//! location transparency" (§3.5 of the paper). A [`NodeId`] names a
+//! physical node; the trust layer maps principals onto nodes with the
+//! `loc`/`predNode` placement predicates.
+
+use lbtrust_datalog::Symbol;
+use std::fmt;
+
+/// A physical node in the simulated network.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(Symbol);
+
+impl NodeId {
+    /// Creates (or interns) a node id by name.
+    pub fn new(name: &str) -> NodeId {
+        NodeId(Symbol::intern(name))
+    }
+
+    /// The node's name.
+    pub fn name(&self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// The underlying symbol.
+    pub fn symbol(&self) -> Symbol {
+        self.0
+    }
+}
+
+impl From<Symbol> for NodeId {
+    fn from(s: Symbol) -> Self {
+        NodeId(s)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_by_name() {
+        assert_eq!(NodeId::new("n1"), NodeId::new("n1"));
+        assert_ne!(NodeId::new("n1"), NodeId::new("n2"));
+        assert_eq!(NodeId::new("n1").name(), "n1");
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the network simulator: message conservation,
+//! determinism per seed, and delivery-order laws.
+
+use lbtrust_net::{NetworkConfig, NodeId, SimNetwork};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// sent = delivered + dropped, adjusted for duplicates, once drained.
+    #[test]
+    fn message_conservation(
+        n in 1usize..60,
+        drop_pct in 0u32..100,
+        dup_pct in 0u32..100,
+        seed in any::<u64>(),
+    ) {
+        let mut net = SimNetwork::new(
+            NetworkConfig {
+                latency_min: 1,
+                latency_max: 50,
+                drop_prob: drop_pct as f64 / 100.0,
+                duplicate_prob: dup_pct as f64 / 100.0,
+            },
+            seed,
+        );
+        let (a, b) = (NodeId::new("a"), NodeId::new("b"));
+        for i in 0..n {
+            net.send(a, b, vec![i as u8]);
+        }
+        let delivered = net.deliver_all().len();
+        let stats = net.stats();
+        prop_assert_eq!(stats.sent, n);
+        prop_assert_eq!(
+            delivered,
+            n - stats.dropped + stats.duplicated,
+            "delivered {} of {} (dropped {}, duplicated {})",
+            delivered, n, stats.dropped, stats.duplicated
+        );
+        prop_assert!(!net.has_pending());
+    }
+
+    /// The same seed yields the same delivery sequence.
+    #[test]
+    fn determinism_per_seed(n in 1usize..40, seed in any::<u64>()) {
+        let run = || {
+            let mut net = SimNetwork::new(
+                NetworkConfig {
+                    latency_min: 1,
+                    latency_max: 500,
+                    drop_prob: 0.2,
+                    duplicate_prob: 0.2,
+                },
+                seed,
+            );
+            let (a, b) = (NodeId::new("a"), NodeId::new("b"));
+            for i in 0..n {
+                net.send(a, b, vec![i as u8, (i >> 8) as u8]);
+            }
+            net.deliver_all()
+                .into_iter()
+                .map(|e| e.payload)
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Delivery times never decrease.
+    #[test]
+    fn clock_is_monotone(n in 1usize..40, seed in any::<u64>()) {
+        let mut net = SimNetwork::new(
+            NetworkConfig {
+                latency_min: 1,
+                latency_max: 1000,
+                ..NetworkConfig::default()
+            },
+            seed,
+        );
+        let (a, b) = (NodeId::new("a"), NodeId::new("b"));
+        for i in 0..n {
+            net.send(a, b, vec![i as u8]);
+        }
+        let mut last = net.now();
+        while net.deliver_next().is_some() {
+            prop_assert!(net.now() >= last);
+            last = net.now();
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # lbtrust-sendlog — the SeNDlog case study (§5.2 of the paper)
+//!
+//! SeNDlog is "a unified declarative language for network specifications
+//! and security policies" combining Network Datalog with Binder. This
+//! crate implements it on LBTrust:
+//!
+//! * [`translate`] — the `At S:` / `W says p(..)` / `p(..)@X` dialect,
+//!   translated exactly as the paper's `ls1`/`ls2` example shows;
+//! * [`routing`] — authenticated reachability and an authenticated
+//!   path-vector protocol running on the multi-principal system runtime
+//!   over the simulated network.
+//!
+//! ```
+//! use lbtrust::AuthScheme;
+//! use lbtrust_sendlog::{SendlogNetwork, REACHABILITY};
+//!
+//! let mut net = SendlogNetwork::new(
+//!     &["a", "b", "c"], REACHABILITY, AuthScheme::Plaintext, 512,
+//! ).unwrap();
+//! net.add_bidi_link("a", "b").unwrap();
+//! net.add_bidi_link("b", "c").unwrap();
+//! net.run(32).unwrap();
+//! assert!(net.reaches("a", "c").unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod routing;
+pub mod translate;
+
+pub use routing::{register_path_builtins, RoutingError, SendlogNetwork, PATH_VECTOR, REACHABILITY};
+pub use translate::{parse_sendlog, sendlog_to_lbtrust, SendlogError, SendlogProgram};

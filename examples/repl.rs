@@ -1,0 +1,103 @@
+//! An interactive LBTrust workspace — explore the dialect from a shell.
+//!
+//! ```text
+//! cargo run -p lbtrust-examples --bin repl
+//! lbtrust> edge(a,b). edge(b,c).
+//! lbtrust> reach(X,Y) <- edge(X,Y).
+//! lbtrust> reach(X,Z) <- reach(X,Y), edge(Y,Z).
+//! lbtrust> ?- reach(a, X).
+//! reach(a,b)
+//! reach(a,c)
+//! lbtrust> :explain reach(a,c)
+//! reach(a,c) [via reach(X,Z) <- reach(X,Y), edge(Y,Z).]
+//!   ...
+//! ```
+//!
+//! Commands: plain rules/facts/constraints are installed and evaluated;
+//! `?- atom.` runs a goal-directed query (magic sets); `:explain fact`
+//! prints a derivation; `:dump pred` prints a table; `:rules` lists the
+//! active rules; `:quit` exits.
+
+use lbtrust::Workspace;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut ws = Workspace::new("repl");
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    println!("LBTrust workspace (principal `repl`). :quit to exit.");
+    loop {
+        print!("lbtrust> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":") {
+            let mut parts = rest.splitn(2, ' ');
+            match (parts.next().unwrap_or(""), parts.next().unwrap_or("")) {
+                ("quit", _) | ("q", _) => break,
+                ("rules", _) => {
+                    for rule in ws.active_rules() {
+                        println!("  {rule}");
+                    }
+                }
+                ("dump", pred) if !pred.is_empty() => {
+                    print!("{}", ws.dump(&[pred.trim()]));
+                }
+                ("explain", fact) if !fact.is_empty() => {
+                    match ws.explain(fact.trim().trim_end_matches('.')) {
+                        Ok(Some(proof)) => print!("{proof}"),
+                        Ok(None) => println!("  does not hold"),
+                        Err(e) => println!("  error: {e}"),
+                    }
+                }
+                _ => println!("  commands: :rules  :dump <pred>  :explain <fact>  :quit"),
+            }
+            continue;
+        }
+        if let Some(goal) = line.strip_prefix("?-") {
+            let goal = goal.trim().trim_end_matches('.');
+            match ws.query_goal(goal) {
+                Ok(answers) if answers.is_empty() => println!("  no"),
+                Ok(answers) => {
+                    for t in answers {
+                        let row: Vec<String> = t.iter().map(ToString::to_string).collect();
+                        println!("  ({})", row.join(", "));
+                    }
+                }
+                Err(e) => println!("  error: {e}"),
+            }
+            continue;
+        }
+        // Facts go through assert_src, everything else through load.
+        let result = if looks_like_facts(line) {
+            ws.assert_src(line)
+        } else {
+            ws.load("repl", line)
+        };
+        if let Err(e) = result {
+            println!("  error: {e}");
+            continue;
+        }
+        match ws.evaluate() {
+            Ok(stats) => println!("  ok ({} new tuple(s))", stats.derived),
+            Err(e) => println!("  rejected: {e}"),
+        }
+    }
+}
+
+/// Crude but effective: a statement without `<-`, `:-` or `->` is a fact
+/// list.
+fn looks_like_facts(line: &str) -> bool {
+    !line.contains("<-") && !line.contains(":-") && !line.contains("->")
+}

@@ -1,0 +1,2 @@
+//! Integration-test package for the LBTrust workspace. The tests live in
+//! `tests/` (one file per cross-crate scenario); this library is empty.

@@ -1,0 +1,165 @@
+//! Engine edge cases exercised through the public workspace API:
+//! stratified aggregation chains, quote splicing, self-joins over
+//! `says`, and empty/degenerate programs.
+
+use lbtrust::Workspace;
+use lbtrust_datalog::{Symbol, Value};
+
+fn sym(s: &str) -> Symbol {
+    Symbol::intern(s)
+}
+
+#[test]
+fn chained_aggregations_across_strata() {
+    // count → total chained: votes per candidate, then sum of counts per
+    // party — two aggregation strata.
+    let mut ws = Workspace::new("w");
+    ws.load(
+        "tally",
+        "candvotes(C,N) <- agg<<N = count(V)>> ballot(V,C).\n\
+         partyvotes(P,T) <- agg<<T = total(N)>> candvotes(C,N), member(C,P).",
+    )
+    .unwrap();
+    ws.assert_src(
+        "ballot(v1,ann). ballot(v2,ann). ballot(v3,bob2). ballot(v4,cyn).\n\
+         member(ann,red). member(bob2,red). member(cyn,blue).",
+    )
+    .unwrap();
+    ws.evaluate().unwrap();
+    assert!(ws.holds(sym("partyvotes"), &[Value::sym("red"), Value::Int(3)]));
+    assert!(ws.holds(sym("partyvotes"), &[Value::sym("blue"), Value::Int(1)]));
+}
+
+#[test]
+fn aggregation_feeding_negation() {
+    // A three-stratum program: count, then a threshold, then negation
+    // over the threshold.
+    let mut ws = Workspace::new("w");
+    ws.load(
+        "p",
+        "approvals(C,N) <- agg<<N = count(U)>> approve(U,C).\n\
+         popular(C) <- approvals(C,N), N >= 2.\n\
+         needsreview(C) <- candidate(C), !popular(C).",
+    )
+    .unwrap();
+    ws.assert_src(
+        "candidate(x). candidate(y).\n\
+         approve(u1,x). approve(u2,x). approve(u1,y).",
+    )
+    .unwrap();
+    ws.evaluate().unwrap();
+    assert!(ws.holds(sym("popular"), &[Value::sym("x")]));
+    assert!(!ws.holds(sym("popular"), &[Value::sym("y")]));
+    assert!(ws.holds(sym("needsreview"), &[Value::sym("y")]));
+    assert!(!ws.holds(sym("needsreview"), &[Value::sym("x")]));
+}
+
+#[test]
+fn says_self_join_multiple_sources() {
+    // Two different senders must both have said the same fact (a join on
+    // the quote's contents).
+    let mut ws = Workspace::new("w");
+    ws.load(
+        "p",
+        "confirmed(X) <- says(a,me,[| claim(X) |]), says(b,me,[| claim(X) |]).",
+    )
+    .unwrap();
+    for (who, what) in [("a", "rain"), ("b", "rain"), ("a", "snow")] {
+        ws.assert_fact(
+            sym("says"),
+            vec![
+                Value::sym(who),
+                Value::sym("w"),
+                Value::Quote(std::sync::Arc::new(
+                    lbtrust_datalog::parse_rule(&format!("claim({what}).")).unwrap(),
+                )),
+            ],
+        );
+    }
+    ws.evaluate().unwrap();
+    assert!(ws.holds(sym("confirmed"), &[Value::sym("rain")]));
+    assert!(!ws.holds(sym("confirmed"), &[Value::sym("snow")]));
+}
+
+#[test]
+fn sequence_variable_splices_through_generation() {
+    // A generic relay rule built with T*: whatever arity the payload
+    // has, it is re-wrapped intact.
+    let mut ws = Workspace::new("w");
+    ws.load(
+        "relay",
+        "active([| relayed(T*) <- A*. |]) <- says(_,me,R), R = [| payload(T*) <- A*. |].",
+    )
+    .unwrap();
+    for payload in ["payload(one).", "payload(a,b,c)."] {
+        ws.assert_fact(
+            sym("says"),
+            vec![
+                Value::sym("src"),
+                Value::sym("w"),
+                Value::Quote(std::sync::Arc::new(
+                    lbtrust_datalog::parse_rule(payload).unwrap(),
+                )),
+            ],
+        );
+    }
+    ws.evaluate().unwrap();
+    assert!(ws.holds(sym("relayed"), &[Value::sym("one")]));
+    assert!(ws.holds(
+        sym("relayed"),
+        &[Value::sym("a"), Value::sym("b"), Value::sym("c")]
+    ));
+}
+
+#[test]
+fn empty_program_and_facts_only() {
+    let mut ws = Workspace::new("w");
+    ws.evaluate().unwrap(); // nothing to do
+    ws.assert_src("lonely(fact).").unwrap();
+    ws.evaluate().unwrap();
+    assert!(ws.holds(sym("lonely"), &[Value::sym("fact")]));
+    // Re-evaluation is idempotent.
+    let stats = ws.evaluate().unwrap();
+    assert_eq!(stats.derived, 0);
+}
+
+#[test]
+fn deep_recursion_within_limits() {
+    // A 2000-step successor chain exercises many fixpoint rounds.
+    let mut ws = Workspace::new("w");
+    ws.load("p", "n(M) <- n(K), K < 2000, M = K + 1.").unwrap();
+    ws.assert_src("n(0).").unwrap();
+    ws.evaluate().unwrap();
+    assert!(ws.holds(sym("n"), &[Value::Int(2000)]));
+    assert!(!ws.holds(sym("n"), &[Value::Int(2001)]));
+}
+
+#[test]
+fn negative_integers_and_strings_roundtrip() {
+    let mut ws = Workspace::new("w");
+    ws.load("p", "shifted(X,Y) <- base(X), Y = X - 10.").unwrap();
+    ws.assert_src("base(3). tagged(\"hello world\", 1).").unwrap();
+    ws.evaluate().unwrap();
+    assert!(ws.holds(sym("shifted"), &[Value::Int(3), Value::Int(-7)]));
+    assert!(ws.holds(
+        sym("tagged"),
+        &[Value::str("hello world"), Value::Int(1)]
+    ));
+}
+
+#[test]
+fn constraint_with_arithmetic_requirement() {
+    // Requirements can compute: every withdrawal must keep balance >= 0.
+    let mut ws = Workspace::new("w");
+    ws.load(
+        "schema",
+        "withdraw(A,X), balance(A,B) -> X <= B.",
+    )
+    .unwrap();
+    ws.assert_src("balance(acct, 100). withdraw(acct, 50).").unwrap();
+    ws.evaluate().unwrap();
+    ws.assert_src("withdraw(acct, 150).").unwrap();
+    assert!(ws.evaluate().is_err());
+    // Rolled back.
+    assert!(!ws.holds(sym("withdraw"), &[Value::sym("acct"), Value::Int(150)]));
+}

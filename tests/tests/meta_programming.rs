@@ -1,0 +1,229 @@
+//! Integration: meta-programming (§3.3) — reflection, meta-constraints,
+//! code generation cascades, and the pull rewrite (§5.1) — across the
+//! datalog, metamodel and core crates.
+
+use lbtrust::Workspace;
+use lbtrust_datalog::{parse_rule, Symbol, Value};
+use std::sync::Arc;
+
+fn sym(s: &str) -> Symbol {
+    Symbol::intern(s)
+}
+
+#[test]
+fn reflection_exposes_program_structure_to_rules() {
+    // A rule that *reads the meta-model*: list every predicate that any
+    // active rule derives (head functors).
+    let mut ws = Workspace::new("w");
+    ws.load("policy", "grant(P,O) <- owns(P,O).\nrevoke(P) <- banned(P).")
+        .unwrap();
+    ws.load(
+        "reflection",
+        "derivedpred(P) <- rule(R), head(R,A), functor(A,P).",
+    )
+    .unwrap();
+    ws.evaluate().unwrap();
+    let preds: Vec<String> = ws
+        .tuples(sym("derivedpred"))
+        .into_iter()
+        .map(|t| t[0].to_string())
+        .collect();
+    assert!(preds.contains(&"grant".to_string()), "{preds:?}");
+    assert!(preds.contains(&"revoke".to_string()), "{preds:?}");
+    // The reflection rule reflects itself, too.
+    assert!(preds.contains(&"derivedpred".to_string()), "{preds:?}");
+}
+
+#[test]
+fn meta_constraint_restricts_reads() {
+    // §3.3's owner/access meta-constraint, end to end: installing a rule
+    // whose body reads a predicate the owner may not read fails.
+    let mut ws = Workspace::new("w");
+    ws.load("authz", lbtrust::authz::MAY_READ_OWNER).unwrap();
+    // u1 owns a rule reading `budget` and has read access: fine.
+    let rule = Arc::new(parse_rule("spend(X) <- budget(X).").unwrap());
+    ws.assert_fact(
+        sym("owner"),
+        vec![Value::Quote(rule.clone()), Value::sym("u1")],
+    );
+    ws.assert_fact(
+        sym("access"),
+        vec![Value::sym("u1"), Value::sym("budget"), Value::sym("read")],
+    );
+    ws.evaluate().unwrap();
+    // u2 owns the same rule without access: violation, rolled back.
+    ws.assert_fact(sym("owner"), vec![Value::Quote(rule), Value::sym("u2")]);
+    assert!(ws.evaluate().is_err());
+}
+
+#[test]
+fn code_generation_cascade_to_fixpoint() {
+    // Three-stage generation: go1 -> installs a rule -> derives active ->
+    // installs a fact-producing rule -> derives the final fact.
+    let mut ws = Workspace::new("w");
+    ws.load(
+        "gen",
+        "active([| active([| active([| done(). |]) <- s3(). |]) <- s2(). |]) <- s1().",
+    )
+    .unwrap();
+    ws.assert_src("s1(). s2(). s3().").unwrap();
+    ws.evaluate().unwrap();
+    assert!(ws.holds(sym("done"), &[]));
+}
+
+#[test]
+fn generated_rule_with_negation_is_sound() {
+    // A generated rule that uses negation must still observe facts
+    // asserted after its installation (fresh-mode re-evaluation).
+    let mut ws = Workspace::new("w");
+    ws.load(
+        "gen",
+        "active([| ok(X) <- candidate(X), !banned(X). |]) <- enable().",
+    )
+    .unwrap();
+    ws.assert_src("enable(). candidate(a).").unwrap();
+    ws.evaluate().unwrap();
+    assert!(ws.holds(sym("ok"), &[Value::sym("a")]));
+    ws.assert_src("banned(a).").unwrap();
+    ws.evaluate().unwrap();
+    assert!(!ws.holds(sym("ok"), &[Value::sym("a")]));
+}
+
+#[test]
+fn pull_rewrite_ships_request_patterns() {
+    // pull0 (§5.1): a workspace whose active rules import says(bob,me,…)
+    // derives an outgoing request to bob.
+    let mut ws = Workspace::new("alice");
+    ws.load("pull", lbtrust::pull::PULL_REWRITE).unwrap();
+    ws.load(
+        "policy",
+        "access(P,O,read) <- says(bob,me,[| access(P,O,read) |]).",
+    )
+    .unwrap();
+    ws.evaluate().unwrap();
+    // says(alice, bob, [| request([| access(P,O,read) |]). |]) derived.
+    let says = ws.tuples(sym("says"));
+    let outgoing: Vec<String> = says
+        .iter()
+        .filter(|t| t[0] == Value::sym("alice") && t[1] == Value::sym("bob"))
+        .map(|t| t[2].to_string())
+        .collect();
+    assert_eq!(outgoing.len(), 1, "{says:?}");
+    assert!(
+        outgoing[0].contains("request(") && outgoing[0].contains("access"),
+        "{outgoing:?}"
+    );
+}
+
+#[test]
+fn pull_responder_answers_ground_requests() {
+    // pull0 + a data-bearing responder at bob: a ground request for an
+    // access fact is answered iff derivable. (The paper's literal pull1
+    // would echo every request; see PULL_ECHO.)
+    let mut bob = Workspace::new("bob");
+    bob.load("pull", lbtrust::pull::PULL_REQUEST).unwrap();
+    bob.load("respond", &lbtrust::pull::respond_rule("access", 3))
+        .unwrap();
+    bob.load("policy", "access(P,O,read) <- good(P), object(O).")
+        .unwrap();
+    bob.assert_src("good(carol). object(f1).").unwrap();
+    // Alice's ground request arrives.
+    bob.assert_fact(
+        sym("says"),
+        vec![
+            Value::sym("alice"),
+            Value::sym("bob"),
+            Value::Quote(Arc::new(
+                parse_rule("request([| access(carol,f1,read) |]).").unwrap(),
+            )),
+        ],
+    );
+    bob.evaluate().unwrap();
+    // Bob says the fact back to alice.
+    let outgoing: Vec<String> = bob
+        .tuples(sym("says"))
+        .into_iter()
+        .filter(|t| t[0] == Value::sym("bob") && t[1] == Value::sym("alice"))
+        .map(|t| t[2].to_string())
+        .collect();
+    assert!(
+        outgoing.iter().any(|r| r.contains("access(carol,f1,read)")),
+        "{outgoing:?}"
+    );
+    // A request for an undeniable fact gets no answer.
+    bob.assert_fact(
+        sym("says"),
+        vec![
+            Value::sym("alice"),
+            Value::sym("bob"),
+            Value::Quote(Arc::new(
+                parse_rule("request([| access(eve,f1,read) |]).").unwrap(),
+            )),
+        ],
+    );
+    bob.evaluate().unwrap();
+    let eve_answers: Vec<String> = bob
+        .tuples(sym("says"))
+        .into_iter()
+        .filter(|t| t[2].to_string().contains("access(eve"))
+        .filter(|t| t[0] == Value::sym("bob"))
+        .map(|t| t[2].to_string())
+        .collect();
+    assert!(eve_answers.is_empty(), "{eve_answers:?}");
+}
+
+#[test]
+fn figure1_meta_model_schema_holds_after_evaluation() {
+    // Install the *full* Figure 1 declarations as live constraints —
+    // including the int/string typing, backed by the type-predicate
+    // builtins — and check a real workspace satisfies them.
+    let mut ws = Workspace::new("w");
+    ws.load("fig1", lbtrust::metamodel::META_MODEL_SCHEMA)
+        .unwrap();
+    ws.load(
+        "policy",
+        "grant(P,O) <- owns(P,O), !revoked(P).\nrevoked(P) <- abuse(P).",
+    )
+    .unwrap();
+    ws.assert_src("owns(alice, f1).").unwrap();
+    ws.evaluate().unwrap();
+    assert!(ws.holds(sym("grant"), &[Value::sym("alice"), Value::sym("f1")]));
+    // Reflection tables are populated.
+    assert!(ws.db().count(sym("rule")) >= 2);
+    assert!(ws.db().count(sym("negated")) >= 1);
+}
+
+#[test]
+fn quoted_rules_survive_wire_roundtrip_with_meta_semantics() {
+    // A rule communicated as data, activated, then pattern-matched by a
+    // meta-level Eq — exercising quote handling across all layers.
+    let mut ws = Workspace::new("w");
+    ws.load("says1", lbtrust::says::AUTO_ACTIVATE).unwrap();
+    ws.load(
+        "inspect",
+        "headpred(P) <- says(_,me,R), R = [| P(T*) <- A*. |].",
+    )
+    .unwrap();
+    let said = Arc::new(parse_rule("visible(X) <- lit(X).").unwrap());
+    let encoded = lbtrust_net::encode(&lbtrust_net::WireMessage {
+        from: sym("bob"),
+        to: sym("w"),
+        rule: said,
+        auth: vec![],
+    });
+    let decoded = lbtrust_net::decode(&encoded).unwrap();
+    ws.assert_fact(
+        sym("says"),
+        vec![
+            Value::Sym(decoded.from),
+            Value::Sym(decoded.to),
+            Value::Quote(decoded.rule),
+        ],
+    );
+    ws.assert_src("lit(a).").unwrap();
+    ws.evaluate().unwrap();
+    // The activated rule fires...
+    assert!(ws.holds(sym("visible"), &[Value::sym("a")]));
+    // ...and the meta-inspection extracted its head functor.
+    assert!(ws.holds(sym("headpred"), &[Value::sym("visible")]));
+}
