@@ -1,0 +1,83 @@
+//! Experiment A8: the certificate store. Measures (a) first import of a
+//! signed certificate (real RSA verification) vs cached re-import of
+//! the identical certificate (content-addressed cache hit), and (b)
+//! revocation latency — signed revocation verified, dependent facts
+//! retracted via DRed — on a populated system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbtrust::System;
+use lbtrust_certstore::CertStore;
+
+fn import_cached_vs_uncached(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_certstore");
+    group.sample_size(10);
+    for &nfacts in &[8usize, 32] {
+        let mut sys = System::new().with_rsa_bits(512);
+        let alice = sys.add_principal("alice", "n1").unwrap();
+        let bob = sys.add_principal("bob", "n2").unwrap();
+        let facts: String = (0..nfacts).map(|i| format!("good(p{i}). ")).collect();
+        let certs = sys.issue_certificates(alice, &facts, &[], None).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("first_import", nfacts), &nfacts, |b, _| {
+            b.iter(|| {
+                // Fresh store + fresh cache: every signature verified.
+                let mut store = CertStore::new();
+                let verifier = sys.key_verifier();
+                for cert in &certs {
+                    store.insert(cert.clone(), &verifier).unwrap();
+                }
+                store.len()
+            })
+        });
+
+        // Warm path: the system's shared cache has seen every signature.
+        sys.import_certificates(bob, certs.clone()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("cached_reimport", nfacts),
+            &nfacts,
+            |b, _| {
+                b.iter(|| {
+                    let outcomes = sys.reimport_certificates(bob, &certs).unwrap();
+                    assert!(outcomes.iter().all(|o| o.cache_hit));
+                    outcomes.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn revocation_retraction_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_certstore_revoke");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("revoke_and_retract", 16), |b| {
+        b.iter(|| {
+            let mut sys = System::new().with_rsa_bits(512);
+            let alice = sys.add_principal("alice", "n1").unwrap();
+            let bob = sys.add_principal("bob", "n2").unwrap();
+            sys.workspace_mut(bob)
+                .unwrap()
+                .load(
+                    "policy",
+                    "access(P,f,read) <- says(alice,me,[| good(P) |]).",
+                )
+                .unwrap();
+            let facts: String = (0..16).map(|i| format!("good(p{i}). ")).collect();
+            let certs = sys.issue_certificates(alice, &facts, &[], None).unwrap();
+            let victim = certs[0].digest();
+            sys.import_certificates(bob, certs).unwrap();
+            sys.run_to_quiescence(8).unwrap();
+            sys.revoke_certificate(alice, victim).unwrap();
+            sys.run_to_quiescence(8).unwrap();
+            sys.stats().retractions
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    import_cached_vs_uncached,
+    revocation_retraction_latency
+);
+criterion_main!(benches);

@@ -15,7 +15,9 @@ fn incremental_vs_full(c: &mut Criterion) {
     for &n in &[64usize, 128] {
         // Pre-materialize the closure of an n-chain.
         let mut warm: Database = edge_db(&chain_edges(n));
-        Engine::new(&program.rules, &builtins).run(&mut warm).unwrap();
+        Engine::new(&program.rules, &builtins)
+            .run(&mut warm)
+            .unwrap();
         let new_edge = vec![
             Value::sym(&format!("n{}", n - 1)),
             Value::sym(&format!("x{n}")), // fresh tail node

@@ -16,9 +16,7 @@ fn primitives(c: &mut Criterion) {
     let sig = kp1024.private.sign(msg).unwrap();
 
     let mut group = c.benchmark_group("crypto_primitives");
-    group.bench_function("sha1_64B", |b| {
-        b.iter(|| Sha1::digest(black_box(msg)))
-    });
+    group.bench_function("sha1_64B", |b| b.iter(|| Sha1::digest(black_box(msg))));
     group.bench_function("hmac_sha1_64B", |b| {
         b.iter(|| hmac_sha1(black_box(key), black_box(msg)))
     });
@@ -26,7 +24,12 @@ fn primitives(c: &mut Criterion) {
         b.iter(|| kp1024.private.sign(black_box(msg)).unwrap())
     });
     group.bench_function("rsa1024_verify", |b| {
-        b.iter(|| kp1024.public_key().verify(black_box(msg), black_box(&sig)).unwrap())
+        b.iter(|| {
+            kp1024
+                .public_key()
+                .verify(black_box(msg), black_box(&sig))
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -64,7 +64,10 @@ pub fn fig2_point(scheme: AuthScheme, messages: usize, rsa_bits: usize) -> Fig2P
     let stats = sys.run_to_quiescence(64).expect("quiescence");
     let elapsed = start.elapsed();
 
-    let received = sys.workspace(bob).unwrap().tuples(Symbol::intern("received"));
+    let received = sys
+        .workspace(bob)
+        .unwrap()
+        .tuples(Symbol::intern("received"));
     assert_eq!(
         received.len(),
         messages,

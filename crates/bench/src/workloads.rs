@@ -73,7 +73,10 @@ pub fn access_workload(users: usize, files_per_user: usize, chain: usize) -> Acc
         for f in 0..files_per_user {
             db.insert(
                 owns,
-                vec![Value::sym(&format!("u{u}")), Value::sym(&format!("f{u}_{f}"))],
+                vec![
+                    Value::sym(&format!("u{u}")),
+                    Value::sym(&format!("f{u}_{f}")),
+                ],
             );
         }
     }

@@ -13,6 +13,8 @@
 
 use lbtrust::principal::{Principal, SharedKeys};
 use lbtrust::workspace::{Workspace, WsError};
+use lbtrust::KeyVerifier;
+use lbtrust_certstore::{cert, CertDigest, CertStore, CertStoreError, ImportOutcome, LinkedCert};
 use lbtrust_crypto::RsaError;
 use lbtrust_datalog::ast::Rule;
 use lbtrust_datalog::{parse_program, Symbol, Value};
@@ -30,6 +32,8 @@ pub enum CertError {
     BadBody(String),
     /// Workspace import failed.
     Workspace(WsError),
+    /// Certificate-store import failed (broken link, revoked, …).
+    Store(CertStoreError),
 }
 
 impl fmt::Display for CertError {
@@ -39,11 +43,18 @@ impl fmt::Display for CertError {
             CertError::Rsa(e) => write!(f, "certificate signature: {e}"),
             CertError::BadBody(m) => write!(f, "bad certificate body: {m}"),
             CertError::Workspace(e) => write!(f, "{e}"),
+            CertError::Store(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for CertError {}
+
+impl From<CertStoreError> for CertError {
+    fn from(e: CertStoreError) -> Self {
+        CertError::Store(e)
+    }
+}
 
 impl From<RsaError> for CertError {
     fn from(e: RsaError) -> Self {
@@ -60,16 +71,22 @@ impl From<WsError> for CertError {
 /// One certified fact: the fact plus the issuer's RSA signature over
 /// its canonical bytes — the same bytes the declarative `exp3`
 /// verification constraint checks, so certificate-imported facts flow
-/// through the standard authenticated-import pipeline.
+/// through the standard authenticated-import pipeline — and a second
+/// signature over the certstore's linked-credential form (rule + links
+/// + TTL), so link metadata is tamper-evident per fact.
 #[derive(Clone, Debug)]
 pub struct CertifiedFact {
     /// The exported fact (a ground, bodyless rule).
     pub rule: Arc<Rule>,
     /// Per-fact RSA signature over `rule_bytes(rule)`.
     pub signature: Vec<u8>,
+    /// Per-fact RSA signature over the linked-credential canonical form
+    /// (`lbtrust_certstore::cert::signing_bytes`).
+    pub cert_sig: Vec<u8>,
 }
 
-/// A signed set of exported facts.
+/// A signed set of exported facts, optionally citing supporting
+/// certificates by content address (SAFE-style credential linking).
 #[derive(Clone, Debug)]
 pub struct Certificate {
     /// The signing principal.
@@ -78,14 +95,36 @@ pub struct Certificate {
     pub key_fingerprint: String,
     /// The exported facts with per-fact signatures.
     pub facts: Vec<CertifiedFact>,
+    /// Content addresses of supporting certificates; resolved against
+    /// the receiver's certificate store at import.
+    pub links: Vec<CertDigest>,
+    /// Lifetime in store-logical ticks (`None` = no expiry).
+    pub ttl: Option<u64>,
     /// RSA signature over the whole canonical body (batch integrity).
     pub signature: Vec<u8>,
 }
 
-/// The byte string behind the batch signature: issuer name, newline,
-/// facts in canonical text, one per line.
-fn signing_bytes(issuer: Principal, facts: &[CertifiedFact]) -> Vec<u8> {
+/// The byte string behind the batch signature: issuer name, link and
+/// TTL metadata, then facts in canonical text, one per line.
+fn signing_bytes(
+    issuer: Principal,
+    links: &[CertDigest],
+    ttl: Option<u64>,
+    facts: &[CertifiedFact],
+) -> Vec<u8> {
     let mut out = format!("binder-certificate:{issuer}\n").into_bytes();
+    out.extend_from_slice(b"links:");
+    for (i, link) in links.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        out.extend_from_slice(link.to_hex().as_bytes());
+    }
+    out.push(b'\n');
+    match ttl {
+        Some(t) => out.extend_from_slice(format!("ttl:{t}\n").as_bytes()),
+        None => out.extend_from_slice(b"ttl:none\n"),
+    }
     for f in facts {
         out.extend_from_slice(f.rule.to_string().as_bytes());
         out.push(b'\n');
@@ -97,6 +136,18 @@ impl Certificate {
     /// Issues a certificate over the facts in `facts_src` (e.g.
     /// `"good(carol). good(dave)."`), signed with `issuer`'s private key.
     pub fn issue(keys: &SharedKeys, issuer: Principal, facts_src: &str) -> Result<Self, CertError> {
+        Certificate::issue_linked(keys, issuer, facts_src, &[], None)
+    }
+
+    /// Issues a certificate citing `links` as supporting credentials
+    /// and valid for `ttl` store-logical ticks.
+    pub fn issue_linked(
+        keys: &SharedKeys,
+        issuer: Principal,
+        facts_src: &str,
+        links: &[CertDigest],
+        ttl: Option<u64>,
+    ) -> Result<Self, CertError> {
         let program = parse_program(facts_src).map_err(|e| CertError::BadBody(e.to_string()))?;
         if !program.constraints.is_empty() {
             return Err(CertError::BadBody("certificates carry facts only".into()));
@@ -108,18 +159,27 @@ impl Certificate {
             if !rule.is_fact() {
                 return Err(CertError::BadBody(format!("'{rule}' is not a ground fact")));
             }
+            let rule = Arc::new(rule);
             let signature = pair.private.sign(&lbtrust_net::rule_bytes(&rule))?;
+            let cert_sig = pair
+                .private
+                .sign(&cert::signing_bytes(issuer, &rule, links, ttl))?;
             facts.push(CertifiedFact {
-                rule: Arc::new(rule),
+                rule,
                 signature,
+                cert_sig,
             });
         }
-        let signature = pair.private.sign(&signing_bytes(issuer, &facts))?;
+        let signature = pair
+            .private
+            .sign(&signing_bytes(issuer, links, ttl, &facts))?;
         let key_fingerprint = pair.public_key().fingerprint();
         Ok(Certificate {
             issuer,
             key_fingerprint,
             facts,
+            links: links.to_vec(),
+            ttl,
             signature,
         })
     }
@@ -130,13 +190,53 @@ impl Certificate {
         let pair = guard
             .rsa(self.issuer)
             .ok_or(CertError::UnknownIssuer(self.issuer))?;
-        pair.public_key()
-            .verify(&signing_bytes(self.issuer, &self.facts), &self.signature)?;
+        pair.public_key().verify(
+            &signing_bytes(self.issuer, &self.links, self.ttl, &self.facts),
+            &self.signature,
+        )?;
         for fact in &self.facts {
             pair.public_key()
                 .verify(&lbtrust_net::rule_bytes(&fact.rule), &fact.signature)?;
         }
         Ok(())
+    }
+
+    /// The per-fact linked credentials this certificate bundles — the
+    /// form the certificate store files under content addresses.
+    pub fn to_linked_certs(&self) -> Vec<LinkedCert> {
+        self.facts
+            .iter()
+            .map(|fact| LinkedCert {
+                issuer: self.issuer,
+                rule: fact.rule.clone(),
+                links: self.links.clone(),
+                ttl: self.ttl,
+                signature: fact.cert_sig.clone(),
+                rule_sig: fact.signature.clone(),
+            })
+            .collect()
+    }
+
+    /// Verifies and imports through a certificate store: each fact is
+    /// filed under its content address (cached verification, link
+    /// resolution against the store), then asserted into the workspace
+    /// exactly as [`Certificate::import_into`] does. Returns the store
+    /// outcomes (one per fact).
+    pub fn import_via_store(
+        &self,
+        ws: &mut Workspace,
+        keys: &SharedKeys,
+        store: &mut CertStore,
+    ) -> Result<Vec<ImportOutcome>, CertError> {
+        self.verify(keys)?;
+        let verifier = KeyVerifier::new(keys.clone());
+        let outcomes = store.import_bundle(self.to_linked_certs(), &verifier)?;
+        // Outcomes are index-aligned with `facts`; only facts whose
+        // credential is new to the store are asserted, so re-delivering
+        // the same certificate does not pile up duplicate base facts.
+        let fresh: Vec<bool> = outcomes.iter().map(|o| o.newly_added).collect();
+        self.assert_selected_facts(ws, |i| fresh[i])?;
+        Ok(outcomes)
     }
 
     /// Verifies and imports: asserts `export[me](issuer, fact, sig)` (so
@@ -146,10 +246,28 @@ impl Certificate {
     /// facts directly), then re-evaluates.
     pub fn import_into(&self, ws: &mut Workspace, keys: &SharedKeys) -> Result<(), CertError> {
         self.verify(keys)?;
+        self.assert_facts(ws)
+    }
+
+    /// Asserts the certified facts into `ws` and re-evaluates (shared
+    /// tail of the import paths; signature checking already happened).
+    fn assert_facts(&self, ws: &mut Workspace) -> Result<(), CertError> {
+        self.assert_selected_facts(ws, |_| true)
+    }
+
+    /// Asserts the facts whose index passes `select`, then re-evaluates.
+    fn assert_selected_facts(
+        &self,
+        ws: &mut Workspace,
+        select: impl Fn(usize) -> bool,
+    ) -> Result<(), CertError> {
         let says = Symbol::intern("says");
         let export = Symbol::intern("export");
         let me = ws.me();
-        for fact in &self.facts {
+        for (i, fact) in self.facts.iter().enumerate() {
+            if !select(i) {
+                continue;
+            }
             ws.assert_fact(
                 export,
                 vec![
@@ -198,12 +316,85 @@ mod tests {
     fn tampered_certificate_rejected() {
         let (keys, bob) = keys_with("bob");
         let mut cert = Certificate::issue(&keys, bob, "good(carol).").unwrap();
-        let old_sig = cert.facts[0].signature.clone();
+        let old = cert.facts[0].clone();
         cert.facts = vec![CertifiedFact {
             rule: Arc::new(lbtrust_datalog::parse_rule("good(mallory).").unwrap()),
-            signature: old_sig,
+            signature: old.signature,
+            cert_sig: old.cert_sig,
         }];
         assert!(cert.verify(&keys).is_err());
+    }
+
+    #[test]
+    fn tampered_links_rejected() {
+        let (keys, bob) = keys_with("bob");
+        let mut cert = Certificate::issue(&keys, bob, "good(carol).").unwrap();
+        cert.links = vec![CertDigest::of(b"injected support")];
+        assert!(cert.verify(&keys).is_err(), "links are signed metadata");
+    }
+
+    #[test]
+    fn import_via_store_files_and_asserts() {
+        let (keys, bob) = keys_with("bob");
+        let root = Certificate::issue(&keys, bob, "authority(bob).").unwrap();
+        let root_digest = root.to_linked_certs()[0].digest();
+        let linked =
+            Certificate::issue_linked(&keys, bob, "good(carol).", &[root_digest], Some(100))
+                .unwrap();
+
+        let mut ws = Workspace::new("alice");
+        ws.load("policy", "access(P,o,read) <- says(bob,me,[| good(P) |]).")
+            .unwrap();
+        let mut store = CertStore::new();
+        root.import_via_store(&mut ws, &keys, &mut store).unwrap();
+        let outcomes = linked.import_via_store(&mut ws, &keys, &mut store).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert!(ws.holds_src("access(carol,o,read)").unwrap());
+        assert_eq!(store.active().len(), 2);
+
+        // Without the supporting certificate in the store, the same
+        // linked certificate is rejected.
+        let mut fresh_store = CertStore::new();
+        let mut fresh_ws = Workspace::new("dana");
+        assert!(matches!(
+            linked.import_via_store(&mut fresh_ws, &keys, &mut fresh_store),
+            Err(CertError::Store(_))
+        ));
+    }
+
+    #[test]
+    fn repeated_import_via_store_does_not_duplicate_base_facts() {
+        let (keys, bob) = keys_with("bob");
+        let cert = Certificate::issue(&keys, bob, "good(carol).").unwrap();
+        let mut ws = Workspace::new("alice");
+        ws.load("policy", "seen(P) <- says(bob,me,[| good(P) |]).")
+            .unwrap();
+        let mut store = CertStore::new();
+        let first = cert.import_via_store(&mut ws, &keys, &mut store).unwrap();
+        assert!(first[0].newly_added);
+        // Redelivery: the store answers from cache, no facts re-asserted.
+        let second = cert.import_via_store(&mut ws, &keys, &mut store).unwrap();
+        assert!(!second[0].newly_added && second[0].cache_hit);
+        assert!(ws.holds_src("seen(carol)").unwrap());
+
+        // Exactly one supporting copy exists: retracting one copy of
+        // the says fact kills the conclusion (duplicates would keep it).
+        let says = Symbol::intern("says");
+        let rule = cert.facts[0].rule.clone();
+        let outcome = ws.retract_facts(&[(
+            says,
+            vec![
+                Value::Sym(bob),
+                Value::Sym(Symbol::intern("alice")),
+                Value::Quote(rule),
+            ],
+        )]);
+        assert!(!matches!(outcome, lbtrust::workspace::RetractOutcome::Noop));
+        ws.evaluate().unwrap();
+        assert!(
+            !ws.holds_src("seen(carol)").unwrap(),
+            "a single retraction must remove the only supporting copy"
+        );
     }
 
     #[test]
@@ -218,11 +409,8 @@ mod tests {
         let cert = Certificate::issue(&keys, bob, "good(carol).").unwrap();
         let mut ws = Workspace::new("alice");
         // Binder's b2: access on bob's word.
-        ws.load(
-            "policy",
-            "access(P,o,read) <- says(bob,me,[| good(P) |]).",
-        )
-        .unwrap();
+        ws.load("policy", "access(P,o,read) <- says(bob,me,[| good(P) |]).")
+            .unwrap();
         cert.import_into(&mut ws, &keys).unwrap();
         assert!(ws.holds_src("access(carol,o,read)").unwrap());
     }

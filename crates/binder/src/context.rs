@@ -166,7 +166,8 @@ mod tests {
         .unwrap();
         sys.assert(alice, "good(carol). object(f2).").unwrap();
 
-        sys.load_binder(bob, "access(P,f2,read) :- vip(P).").unwrap();
+        sys.load_binder(bob, "access(P,f2,read) :- vip(P).")
+            .unwrap();
         sys.assert(bob, "vip(dave).").unwrap();
         sys.export_facts(bob, "access", 3, alice).unwrap();
 
@@ -188,7 +189,8 @@ mod tests {
             sys.establish_shared_secret(alice, bob).unwrap();
             sys.set_auth_scheme(alice, scheme).unwrap();
             sys.set_auth_scheme(bob, scheme).unwrap();
-            sys.load_binder(alice, "ok(X) :- bob says good(X).").unwrap();
+            sys.load_binder(alice, "ok(X) :- bob says good(X).")
+                .unwrap();
             sys.load_binder(bob, "good(X) :- vetted(X).").unwrap();
             sys.assert(bob, "vetted(zoe).").unwrap();
             sys.export_facts(bob, "good", 1, alice).unwrap();

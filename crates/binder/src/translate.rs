@@ -55,7 +55,7 @@ pub fn binder_to_lbtrust(src: &str) -> Result<String, BinderError> {
                         tokens[i].line
                     ),
                 })?;
-                out.push_str(&format!("says({principal},me,[| ", ));
+                out.push_str(&format!("says({principal},me,[| ",));
                 for t in &tokens[atom_start..atom_end] {
                     emit(&mut out, &t.token);
                 }
@@ -123,10 +123,7 @@ fn emit(out: &mut String, tok: &Token) {
         tok,
         Token::LParen | Token::RParen | Token::Comma | Token::Dot | Token::RBracket
     );
-    if !out.is_empty()
-        && !out.ends_with(['(', '[', '\n', ' '])
-        && !no_space_before
-    {
+    if !out.is_empty() && !out.ends_with(['(', '[', '\n', ' ']) && !no_space_before {
         out.push(' ');
     }
     out.push_str(&text);
@@ -142,10 +139,7 @@ mod tests {
         let out = binder_to_lbtrust("access(P,O,read) :- good(P).").unwrap();
         let program = parse_program(&out).unwrap();
         assert_eq!(program.rules.len(), 1);
-        assert_eq!(
-            program.rules[0].to_string(),
-            "access(P,O,read) <- good(P)."
-        );
+        assert_eq!(program.rules[0].to_string(), "access(P,O,read) <- good(P).");
     }
 
     /// Canonical form of the single translated rule.

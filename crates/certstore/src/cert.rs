@@ -1,0 +1,153 @@
+//! Linked certificates: one signed rule plus its supporting links and
+//! freshness metadata.
+
+use crate::digest::CertDigest;
+use lbtrust_datalog::ast::Rule;
+use lbtrust_datalog::Symbol;
+use lbtrust_net::rule_bytes;
+use std::sync::Arc;
+
+/// A linked credential: `issuer` certifies `rule`, citing the
+/// certificates in `links` as support (SAFE-style credential linking),
+/// valid for `ttl` logical ticks from import.
+///
+/// Two signatures travel with it:
+///
+/// * [`LinkedCert::signature`] covers the full canonical form
+///   ([`LinkedCert::signing_bytes`]) — issuer, rule, links and TTL —
+///   and is what the certificate store verifies. Tampering with any
+///   link or the TTL breaks it.
+/// * [`LinkedCert::rule_sig`] covers only the rule's canonical bytes
+///   (`lbtrust-net::rule_bytes`). It is the signature asserted into the
+///   workspace's `export` relation, so certified rules flow through the
+///   standard declarative `exp2`/`exp3` authenticated-import pipeline
+///   unchanged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkedCert {
+    /// The certifying principal.
+    pub issuer: Symbol,
+    /// The certified rule (facts are bodyless rules).
+    pub rule: Arc<Rule>,
+    /// Content addresses of supporting certificates; all must be
+    /// resolvable and live at import time.
+    pub links: Vec<CertDigest>,
+    /// Lifetime in logical ticks from import (`None` = no expiry).
+    pub ttl: Option<u64>,
+    /// Issuer signature over [`LinkedCert::signing_bytes`].
+    pub signature: Vec<u8>,
+    /// Issuer signature over `rule_bytes(rule)` (export-pipeline form).
+    pub rule_sig: Vec<u8>,
+}
+
+impl LinkedCert {
+    /// The canonical byte string [`LinkedCert::signature`] covers:
+    /// issuer, rule text, links (hex, sorted order preserved) and TTL,
+    /// one field per line.
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        signing_bytes(self.issuer, &self.rule, &self.links, self.ttl)
+    }
+
+    /// The canonical wire bytes: the signed form plus both signatures
+    /// (hex). This is the string the content address is computed over,
+    /// so certificates differing only in signature bytes do not
+    /// collide.
+    pub fn wire_bytes(&self) -> Vec<u8> {
+        let mut out = self.signing_bytes();
+        out.extend_from_slice(b"sig:");
+        out.extend_from_slice(lbtrust_net::to_hex(&self.signature).as_bytes());
+        out.push(b'\n');
+        out.extend_from_slice(b"rulesig:");
+        out.extend_from_slice(lbtrust_net::to_hex(&self.rule_sig).as_bytes());
+        out.push(b'\n');
+        out
+    }
+
+    /// The content address: SHA-256 over [`LinkedCert::wire_bytes`].
+    pub fn digest(&self) -> CertDigest {
+        CertDigest::of(&self.wire_bytes())
+    }
+
+    /// The canonical bytes of the certified rule (what `rule_sig`
+    /// covers and what the declarative `exp3` constraint re-verifies).
+    pub fn rule_bytes(&self) -> Vec<u8> {
+        rule_bytes(&self.rule)
+    }
+}
+
+/// The canonical to-be-signed form, exposed so issuers can sign before
+/// constructing the cert.
+pub fn signing_bytes(
+    issuer: Symbol,
+    rule: &Rule,
+    links: &[CertDigest],
+    ttl: Option<u64>,
+) -> Vec<u8> {
+    let mut out = format!("lbtrust-cert:v1\nissuer:{issuer}\nrule:{rule}\n").into_bytes();
+    out.extend_from_slice(b"links:");
+    for (i, link) in links.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        out.extend_from_slice(link.to_hex().as_bytes());
+    }
+    out.push(b'\n');
+    match ttl {
+        Some(t) => out.extend_from_slice(format!("ttl:{t}\n").as_bytes()),
+        None => out.extend_from_slice(b"ttl:none\n"),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbtrust_datalog::parse_rule;
+
+    fn cert(rule_src: &str, links: Vec<CertDigest>, ttl: Option<u64>) -> LinkedCert {
+        LinkedCert {
+            issuer: Symbol::intern("alice"),
+            rule: Arc::new(parse_rule(rule_src).unwrap()),
+            links,
+            ttl,
+            signature: vec![1, 2],
+            rule_sig: vec![3, 4],
+        }
+    }
+
+    #[test]
+    fn digest_covers_every_field() {
+        let base = cert("good(carol).", vec![], None);
+        let d = base.digest();
+        // Rule change.
+        assert_ne!(d, cert("good(dave).", vec![], None).digest());
+        // Link change.
+        let linked = cert("good(carol).", vec![CertDigest::of(b"x")], None);
+        assert_ne!(d, linked.digest());
+        // TTL change.
+        assert_ne!(d, cert("good(carol).", vec![], Some(5)).digest());
+        // Signature change.
+        let mut resigned = base.clone();
+        resigned.signature = vec![9];
+        assert_ne!(d, resigned.digest());
+        // Identity.
+        assert_eq!(d, cert("good(carol).", vec![], None).digest());
+    }
+
+    #[test]
+    fn signing_bytes_exclude_signatures() {
+        let a = cert("p(x).", vec![], Some(3));
+        let mut b = a.clone();
+        b.signature = vec![7, 7, 7];
+        b.rule_sig = vec![8, 8, 8];
+        assert_eq!(a.signing_bytes(), b.signing_bytes());
+        assert_ne!(a.wire_bytes(), b.wire_bytes());
+    }
+
+    #[test]
+    fn link_order_is_significant() {
+        let (l1, l2) = (CertDigest::of(b"1"), CertDigest::of(b"2"));
+        let a = cert("p(x).", vec![l1, l2], None);
+        let b = cert("p(x).", vec![l2, l1], None);
+        assert_ne!(a.signing_bytes(), b.signing_bytes());
+    }
+}

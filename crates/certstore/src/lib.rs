@@ -1,0 +1,47 @@
+//! # lbtrust-certstore — a linked-credential certificate store
+//!
+//! The LBTrust runtime imports signed rules from remote principals, but
+//! the paper's model keeps every imported certificate implicitly and
+//! forever. Deployed logical trust systems (SAFE-style certificate
+//! linking and caching; GEM's goal-based revocation) need three more
+//! things, which this crate supplies as a host-level subsystem every
+//! import flows through:
+//!
+//! * **Content addressing + verification caching** ([`store`],
+//!   [`verify`]) — certificates are keyed by the SHA-256 digest of
+//!   their canonical wire bytes (`lbtrust-net::wire`), and a signature
+//!   over identical bytes is checked once, then reused across
+//!   principals and fixpoint rounds.
+//! * **Linked credentials** ([`cert`]) — a certificate may reference
+//!   supporting certificates by digest; links are resolved transitively
+//!   at import and a broken link rejects the credential.
+//! * **Freshness and revocation** ([`store`], [`revocation`]) —
+//!   certificates carry TTL metadata against the store's logical clock,
+//!   and issuers can withdraw them with signed revocation objects.
+//!   Expiry and revocation emit [`store::RetractionEvent`]s that the
+//!   runtime feeds to the DRed delete-and-rederive machinery
+//!   (`lbtrust-datalog::dred`), so derived conclusions (`says`,
+//!   `access`, …) are repaired incrementally instead of rebuilding the
+//!   workspace.
+//!
+//! The crate deliberately sits *below* the runtime: it knows rules,
+//! digests and signatures, but resolves keys through the
+//! [`verify::SignatureVerifier`] trait the runtime implements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cert;
+pub mod digest;
+pub mod revocation;
+pub mod store;
+pub mod verify;
+
+pub use cert::LinkedCert;
+pub use digest::CertDigest;
+pub use revocation::Revocation;
+pub use store::{
+    CertStatus, CertStore, CertStoreError, ImportOutcome, RetractReason, RetractionEvent,
+    StoreStats,
+};
+pub use verify::{shared_verify_cache, SharedVerifyCache, SignatureVerifier, VerifyCache};

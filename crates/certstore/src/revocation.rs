@@ -1,0 +1,81 @@
+//! Signed revocation objects: an issuer's withdrawal of one
+//! certificate, identified by content address.
+
+use crate::digest::CertDigest;
+use crate::verify::{SignatureVerifier, VerifyCache};
+use lbtrust_datalog::Symbol;
+use lbtrust_net::revoke_signing_bytes;
+
+/// A signed withdrawal of the certificate addressed by `target`.
+///
+/// Only the certificate's issuer can produce a valid revocation: the
+/// store checks `signature` over [`Revocation::signing_bytes`] against
+/// `issuer`'s key and rejects revocations whose issuer differs from the
+/// certificate's.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Revocation {
+    /// The withdrawing principal (must match the certificate issuer).
+    pub issuer: Symbol,
+    /// Content address of the certificate being withdrawn.
+    pub target: CertDigest,
+    /// Signature over [`Revocation::signing_bytes`].
+    pub signature: Vec<u8>,
+}
+
+impl Revocation {
+    /// The byte string the signature covers (shared with the wire
+    /// format's `revoke` packets).
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        revoke_signing_bytes(self.issuer, self.target.as_bytes())
+    }
+
+    /// Checks the signature through the verification cache.
+    pub fn verify(&self, cache: &mut VerifyCache, verifier: &dyn SignatureVerifier) -> bool {
+        cache
+            .check(
+                verifier,
+                self.issuer,
+                &self.signing_bytes(),
+                &self.signature,
+            )
+            .0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signing_bytes_bind_issuer_and_target() {
+        let r1 = Revocation {
+            issuer: Symbol::intern("alice"),
+            target: CertDigest::of(b"c1"),
+            signature: vec![],
+        };
+        let mut r2 = r1.clone();
+        r2.issuer = Symbol::intern("bob");
+        assert_ne!(r1.signing_bytes(), r2.signing_bytes());
+        let mut r3 = r1.clone();
+        r3.target = CertDigest::of(b"c2");
+        assert_ne!(r1.signing_bytes(), r3.signing_bytes());
+    }
+
+    #[test]
+    fn verify_uses_cache() {
+        let verifier = |_s: Symbol, m: &[u8], sig: &[u8]| m == sig;
+        let mut cache = VerifyCache::new();
+        let rev = Revocation {
+            issuer: Symbol::intern("alice"),
+            target: CertDigest::of(b"c"),
+            signature: revoke_signing_bytes(
+                Symbol::intern("alice"),
+                CertDigest::of(b"c").as_bytes(),
+            ),
+        };
+        assert!(rev.verify(&mut cache, &verifier));
+        assert!(rev.verify(&mut cache, &verifier));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

@@ -1,0 +1,781 @@
+//! The content-addressed certificate store.
+
+use crate::cert::LinkedCert;
+use crate::digest::CertDigest;
+use crate::revocation::Revocation;
+use crate::verify::{shared_verify_cache, CacheStats, SharedVerifyCache, SignatureVerifier};
+use lbtrust_datalog::ast::Rule;
+use lbtrust_datalog::Symbol;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// Lifecycle state of a stored certificate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CertStatus {
+    /// Verified and live.
+    Active,
+    /// Past its TTL.
+    Expired,
+    /// Withdrawn by its issuer.
+    Revoked,
+    /// A certificate it links to (transitively) died.
+    Broken,
+}
+
+impl fmt::Display for CertStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CertStatus::Active => "active",
+            CertStatus::Expired => "expired",
+            CertStatus::Revoked => "revoked",
+            CertStatus::Broken => "broken",
+        })
+    }
+}
+
+/// Why a certificate stopped being live.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetractReason {
+    /// The TTL elapsed against the store's logical clock.
+    Expired,
+    /// A verified revocation arrived.
+    Revoked,
+    /// A supporting (linked) certificate died.
+    LinkBroken,
+}
+
+/// Emitted when a live certificate dies. The runtime maps each event
+/// back to the workspace facts the certificate introduced and feeds
+/// them to DRed, so derived conclusions are deleted and re-derived
+/// incrementally.
+#[derive(Clone, Debug)]
+pub struct RetractionEvent {
+    /// Content address of the dead certificate.
+    pub digest: CertDigest,
+    /// Its issuer.
+    pub issuer: Symbol,
+    /// The certified rule whose imported facts must be retracted.
+    pub rule: Arc<Rule>,
+    /// The export-pipeline signature those facts carried.
+    pub rule_sig: Vec<u8>,
+    /// Why the certificate died.
+    pub reason: RetractReason,
+}
+
+/// Outcome of one import.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImportOutcome {
+    /// Content address of the certificate.
+    pub digest: CertDigest,
+    /// Whether signature verification was answered from the cache.
+    pub cache_hit: bool,
+    /// Whether this import added a new entry (false: already stored).
+    pub newly_added: bool,
+}
+
+/// Store errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertStoreError {
+    /// A signature failed verification.
+    BadSignature(CertDigest),
+    /// A link names a certificate the store does not hold.
+    BrokenLink {
+        /// The certificate whose link failed.
+        cert: CertDigest,
+        /// The missing or dead support.
+        missing: CertDigest,
+    },
+    /// A link resolves to a non-live certificate.
+    DeadLink {
+        /// The certificate whose link failed.
+        cert: CertDigest,
+        /// The dead support and its state.
+        link: CertDigest,
+        /// The support's state.
+        status: CertStatus,
+    },
+    /// The certificate was revoked (possibly before it arrived).
+    Revoked(CertDigest),
+    /// The certificate is already stored but no longer live.
+    NotLive(CertDigest, CertStatus),
+    /// A revocation failed verification.
+    BadRevocation(CertDigest),
+    /// A revocation's issuer does not match the certificate's.
+    IssuerMismatch {
+        /// The revocation target.
+        cert: CertDigest,
+        /// Who actually issued the certificate.
+        cert_issuer: Symbol,
+        /// Who tried to revoke it.
+        revoker: Symbol,
+    },
+}
+
+impl fmt::Display for CertStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertStoreError::BadSignature(d) => {
+                write!(f, "certificate {} failed signature verification", d.short())
+            }
+            CertStoreError::BrokenLink { cert, missing } => write!(
+                f,
+                "certificate {} links to unknown certificate {}",
+                cert.short(),
+                missing.short()
+            ),
+            CertStoreError::DeadLink { cert, link, status } => write!(
+                f,
+                "certificate {} links to {} certificate {}",
+                cert.short(),
+                status,
+                link.short()
+            ),
+            CertStoreError::Revoked(d) => write!(f, "certificate {} is revoked", d.short()),
+            CertStoreError::NotLive(d, s) => {
+                write!(f, "certificate {} is {s}, not active", d.short())
+            }
+            CertStoreError::BadRevocation(d) => {
+                write!(
+                    f,
+                    "revocation of {} failed signature verification",
+                    d.short()
+                )
+            }
+            CertStoreError::IssuerMismatch {
+                cert,
+                cert_issuer,
+                revoker,
+            } => write!(
+                f,
+                "revocation of {} by {revoker}, but it was issued by {cert_issuer}",
+                cert.short()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CertStoreError {}
+
+/// Counters for the harness and benches.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreStats {
+    /// Certificates added.
+    pub imports: u64,
+    /// Imports of already-stored certificates (served from the store).
+    pub reimports: u64,
+    /// Verified revocations applied.
+    pub revocations: u64,
+    /// Certificates expired by the clock.
+    pub expirations: u64,
+    /// Certificates broken by a dead link (cascade).
+    pub link_breaks: u64,
+    /// Verification-cache counters at the shared cache.
+    pub cache: CacheStats,
+}
+
+/// One stored certificate with lifecycle metadata.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// The certificate.
+    pub cert: LinkedCert,
+    /// Current lifecycle state.
+    pub status: CertStatus,
+    /// Logical time of import.
+    pub imported_at: u64,
+    /// Logical expiry deadline (from TTL), if any.
+    pub expires_at: Option<u64>,
+}
+
+/// A content-addressed store of verified, linked, revocable
+/// certificates over a logical clock.
+pub struct CertStore {
+    entries: HashMap<CertDigest, Entry>,
+    /// Insertion order, for deterministic iteration.
+    order: Vec<CertDigest>,
+    /// Reverse link index: support -> certificates citing it.
+    dependents: HashMap<CertDigest, Vec<CertDigest>>,
+    /// Who has issued a verified revocation for each digest, including
+    /// revocations that arrived before their certificate (a later
+    /// import is rejected iff the certificate's own issuer is among the
+    /// revokers — another principal's self-signed revocation object
+    /// carries no authority and must not mask the real issuer's).
+    revoked: HashMap<CertDigest, HashSet<Symbol>>,
+    clock: u64,
+    cache: SharedVerifyCache,
+    stats: StoreStats,
+}
+
+impl CertStore {
+    /// An empty store with a private verification cache.
+    pub fn new() -> CertStore {
+        CertStore::with_cache(shared_verify_cache())
+    }
+
+    /// An empty store sharing `cache` with other stores/components, so
+    /// a signature checked anywhere is checked nowhere else again.
+    pub fn with_cache(cache: SharedVerifyCache) -> CertStore {
+        CertStore {
+            entries: HashMap::new(),
+            order: Vec::new(),
+            dependents: HashMap::new(),
+            revoked: HashMap::new(),
+            clock: 0,
+            cache,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// The store's logical time.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// The shared verification cache.
+    pub fn cache(&self) -> &SharedVerifyCache {
+        &self.cache
+    }
+
+    /// Counters (cache counters read from the shared cache).
+    pub fn stats(&self) -> StoreStats {
+        let mut s = self.stats;
+        s.cache = self.cache.lock().unwrap_or_else(|e| e.into_inner()).stats();
+        s
+    }
+
+    /// Number of stored certificates (any status).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no certificates.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a certificate entry by content address.
+    pub fn get(&self, digest: &CertDigest) -> Option<&Entry> {
+        self.entries.get(digest)
+    }
+
+    /// A certificate's lifecycle state, if stored.
+    pub fn status(&self, digest: &CertDigest) -> Option<CertStatus> {
+        self.entries.get(digest).map(|e| e.status)
+    }
+
+    /// Digests of live certificates in insertion order.
+    pub fn active(&self) -> Vec<CertDigest> {
+        self.order
+            .iter()
+            .filter(|d| self.status(d) == Some(CertStatus::Active))
+            .copied()
+            .collect()
+    }
+
+    /// Imports one certificate: resolves its links against the store,
+    /// verifies both signatures through the shared cache, and files it
+    /// under its content address. Re-importing an already-stored live
+    /// certificate is answered from the store and cache without a fresh
+    /// signature check — the caching fast path.
+    pub fn insert(
+        &mut self,
+        cert: LinkedCert,
+        verifier: &dyn SignatureVerifier,
+    ) -> Result<ImportOutcome, CertStoreError> {
+        let digest = cert.digest();
+        // A pre-arrival revocation blocks import only when its signer
+        // is the certificate's own issuer — anybody can sign a
+        // revocation *object* for any digest, but only the issuer's
+        // carries authority over this certificate.
+        if self
+            .revoked
+            .get(&digest)
+            .is_some_and(|revokers| revokers.contains(&cert.issuer))
+        {
+            return Err(CertStoreError::Revoked(digest));
+        }
+        if let Some(entry) = self.entries.get(&digest) {
+            return match entry.status {
+                CertStatus::Active => {
+                    // The content address proves these are byte-for-byte
+                    // the certificate whose signatures were verified at
+                    // first import — no re-verification needed.
+                    self.stats.reimports += 1;
+                    Ok(ImportOutcome {
+                        digest,
+                        cache_hit: true,
+                        newly_added: false,
+                    })
+                }
+                status => Err(CertStoreError::NotLive(digest, status)),
+            };
+        }
+        // Transitive link resolution: every cited support must be held
+        // and live. (Supports themselves were link-checked when they
+        // were imported, so one level of checking here is transitive in
+        // effect.)
+        for link in &cert.links {
+            match self.entries.get(link) {
+                None => {
+                    return Err(CertStoreError::BrokenLink {
+                        cert: digest,
+                        missing: *link,
+                    })
+                }
+                Some(e) if e.status != CertStatus::Active => {
+                    return Err(CertStoreError::DeadLink {
+                        cert: digest,
+                        link: *link,
+                        status: e.status,
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        let (ok, hit) = self.check_cert_signatures(&cert, verifier);
+        if !ok {
+            return Err(CertStoreError::BadSignature(digest));
+        }
+        let expires_at = cert.ttl.map(|t| self.clock.saturating_add(t));
+        for link in &cert.links {
+            self.dependents.entry(*link).or_default().push(digest);
+        }
+        self.entries.insert(
+            digest,
+            Entry {
+                cert,
+                status: CertStatus::Active,
+                imported_at: self.clock,
+                expires_at,
+            },
+        );
+        self.order.push(digest);
+        self.stats.imports += 1;
+        Ok(ImportOutcome {
+            digest,
+            cache_hit: hit,
+            newly_added: true,
+        })
+    }
+
+    /// Imports a batch whose members may link to each other: passes are
+    /// repeated so supports land before dependents regardless of input
+    /// order. Returns outcomes in the original order.
+    pub fn import_bundle(
+        &mut self,
+        certs: Vec<LinkedCert>,
+        verifier: &dyn SignatureVerifier,
+    ) -> Result<Vec<ImportOutcome>, CertStoreError> {
+        let mut pending: Vec<(usize, LinkedCert)> = certs.into_iter().enumerate().collect();
+        let mut outcomes: Vec<(usize, ImportOutcome)> = Vec::with_capacity(pending.len());
+        loop {
+            let mut progressed = false;
+            let mut still_pending = Vec::new();
+            for (idx, cert) in pending {
+                // A certificate whose support has not landed yet is
+                // deferred to the next pass without paying for a clone
+                // or a digest; insert() re-checks liveness anyway.
+                let unresolved = cert.links.iter().any(|l| !self.entries.contains_key(l));
+                if unresolved {
+                    still_pending.push((idx, cert));
+                    continue;
+                }
+                outcomes.push((idx, self.insert(cert, verifier)?));
+                progressed = true;
+            }
+            pending = still_pending;
+            if pending.is_empty() {
+                outcomes.sort_by_key(|(idx, _)| *idx);
+                return Ok(outcomes.into_iter().map(|(_, o)| o).collect());
+            }
+            if !progressed {
+                // No pass can make progress: report the first member
+                // whose support is missing from store and bundle alike.
+                let (_, cert) = &pending[0];
+                let missing = *cert
+                    .links
+                    .iter()
+                    .find(|l| !self.entries.contains_key(l))
+                    .expect("unresolved implies a missing support");
+                return Err(CertStoreError::BrokenLink {
+                    cert: cert.digest(),
+                    missing,
+                });
+            }
+        }
+    }
+
+    /// Applies a signed revocation. Verified revocations of unknown
+    /// certificates are remembered and block their later import.
+    /// Revocation is idempotent: re-revoking yields no new events.
+    pub fn revoke(
+        &mut self,
+        revocation: &Revocation,
+        verifier: &dyn SignatureVerifier,
+    ) -> Result<Vec<RetractionEvent>, CertStoreError> {
+        let target = revocation.target;
+        {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            if !revocation.verify(&mut cache, verifier) {
+                return Err(CertStoreError::BadRevocation(target));
+            }
+        }
+        if let Some(entry) = self.entries.get_mut(&target) {
+            if entry.cert.issuer != revocation.issuer {
+                return Err(CertStoreError::IssuerMismatch {
+                    cert: target,
+                    cert_issuer: entry.cert.issuer,
+                    revoker: revocation.issuer,
+                });
+            }
+            if entry.status != CertStatus::Active {
+                self.revoked
+                    .entry(target)
+                    .or_default()
+                    .insert(revocation.issuer);
+                return Ok(Vec::new()); // idempotent
+            }
+            entry.status = CertStatus::Revoked;
+            let mut events = vec![RetractionEvent {
+                digest: target,
+                issuer: entry.cert.issuer,
+                rule: entry.cert.rule.clone(),
+                rule_sig: entry.cert.rule_sig.clone(),
+                reason: RetractReason::Revoked,
+            }];
+            self.stats.revocations += 1;
+            self.revoked
+                .entry(target)
+                .or_default()
+                .insert(revocation.issuer);
+            self.cascade_broken(&[target], &mut events);
+            Ok(events)
+        } else {
+            self.revoked
+                .entry(target)
+                .or_default()
+                .insert(revocation.issuer);
+            self.stats.revocations += 1;
+            Ok(Vec::new())
+        }
+    }
+
+    /// Advances the logical clock, expiring overdue certificates and
+    /// breaking their dependents.
+    pub fn advance_clock(&mut self, ticks: u64) -> Vec<RetractionEvent> {
+        self.clock = self.clock.saturating_add(ticks);
+        let mut events = Vec::new();
+        let mut expired = Vec::new();
+        for digest in &self.order {
+            let entry = self.entries.get_mut(digest).expect("ordered entries exist");
+            if entry.status == CertStatus::Active
+                && entry.expires_at.is_some_and(|t| t <= self.clock)
+            {
+                entry.status = CertStatus::Expired;
+                events.push(RetractionEvent {
+                    digest: *digest,
+                    issuer: entry.cert.issuer,
+                    rule: entry.cert.rule.clone(),
+                    rule_sig: entry.cert.rule_sig.clone(),
+                    reason: RetractReason::Expired,
+                });
+                expired.push(*digest);
+                self.stats.expirations += 1;
+            }
+        }
+        self.cascade_broken(&expired, &mut events);
+        events
+    }
+
+    /// Marks every live transitive dependent of `roots` as broken,
+    /// appending a retraction event per casualty.
+    fn cascade_broken(&mut self, roots: &[CertDigest], events: &mut Vec<RetractionEvent>) {
+        let mut frontier: Vec<CertDigest> = roots.to_vec();
+        while let Some(dead) = frontier.pop() {
+            let dependents = self.dependents.get(&dead).cloned().unwrap_or_default();
+            for dep in dependents {
+                let entry = self.entries.get_mut(&dep).expect("dependent exists");
+                if entry.status == CertStatus::Active {
+                    entry.status = CertStatus::Broken;
+                    events.push(RetractionEvent {
+                        digest: dep,
+                        issuer: entry.cert.issuer,
+                        rule: entry.cert.rule.clone(),
+                        rule_sig: entry.cert.rule_sig.clone(),
+                        reason: RetractReason::LinkBroken,
+                    });
+                    self.stats.link_breaks += 1;
+                    frontier.push(dep);
+                }
+            }
+        }
+    }
+
+    fn check_cert_signatures(
+        &mut self,
+        cert: &LinkedCert,
+        verifier: &dyn SignatureVerifier,
+    ) -> (bool, bool) {
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        let (sig_ok, hit1) = cache.check(
+            verifier,
+            cert.issuer,
+            &cert.signing_bytes(),
+            &cert.signature,
+        );
+        let (rule_ok, hit2) =
+            cache.check(verifier, cert.issuer, &cert.rule_bytes(), &cert.rule_sig);
+        (sig_ok && rule_ok, hit1 && hit2)
+    }
+}
+
+impl Default for CertStore {
+    fn default() -> Self {
+        CertStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::signing_bytes;
+    use lbtrust_datalog::parse_rule;
+    use lbtrust_net::revoke_signing_bytes;
+
+    /// Toy signing: signature = "signed:<issuer>:" + message. The store
+    /// never interprets signatures, so any scheme works for unit tests;
+    /// the integration tests use real RSA.
+    fn sign(issuer: Symbol, message: &[u8]) -> Vec<u8> {
+        let mut out = format!("signed:{issuer}:").into_bytes();
+        out.extend_from_slice(message);
+        out
+    }
+
+    fn toy_verifier() -> impl SignatureVerifier {
+        |signer: Symbol, message: &[u8], sig: &[u8]| sig == sign(signer, message).as_slice()
+    }
+
+    fn cert(issuer: &str, rule_src: &str, links: Vec<CertDigest>, ttl: Option<u64>) -> LinkedCert {
+        let issuer = Symbol::intern(issuer);
+        let rule = std::sync::Arc::new(parse_rule(rule_src).unwrap());
+        let to_sign = signing_bytes(issuer, &rule, &links, ttl);
+        let rule_sig = sign(issuer, &lbtrust_net::rule_bytes(&rule));
+        LinkedCert {
+            issuer,
+            rule,
+            links,
+            ttl,
+            signature: sign(issuer, &to_sign),
+            rule_sig,
+        }
+    }
+
+    fn revocation(issuer: &str, target: CertDigest) -> Revocation {
+        let issuer = Symbol::intern(issuer);
+        Revocation {
+            issuer,
+            target,
+            signature: sign(issuer, &revoke_signing_bytes(issuer, target.as_bytes())),
+        }
+    }
+
+    #[test]
+    fn store_fetch_identity() {
+        let mut store = CertStore::new();
+        let c = cert("alice", "good(carol).", vec![], None);
+        let out = store.insert(c.clone(), &toy_verifier()).unwrap();
+        assert!(out.newly_added);
+        let entry = store.get(&out.digest).unwrap();
+        assert_eq!(entry.cert, c);
+        assert_eq!(entry.status, CertStatus::Active);
+    }
+
+    #[test]
+    fn reimport_hits_cache() {
+        let mut store = CertStore::new();
+        let c = cert("alice", "good(carol).", vec![], None);
+        let first = store.insert(c.clone(), &toy_verifier()).unwrap();
+        assert!(!first.cache_hit);
+        let second = store.insert(c, &toy_verifier()).unwrap();
+        assert!(second.cache_hit, "identical bytes re-verified from cache");
+        assert!(!second.newly_added);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats().reimports, 1);
+    }
+
+    #[test]
+    fn bad_signature_rejected() {
+        let mut store = CertStore::new();
+        let mut c = cert("alice", "good(carol).", vec![], None);
+        c.signature = b"forged".to_vec();
+        assert!(matches!(
+            store.insert(c, &toy_verifier()),
+            Err(CertStoreError::BadSignature(_))
+        ));
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn linked_chain_resolves_and_broken_link_rejected() {
+        let mut store = CertStore::new();
+        let root = cert("alice", "root(alice).", vec![], None);
+        let root_d = root.digest();
+        store.insert(root, &toy_verifier()).unwrap();
+        let mid = cert("alice", "mid(x).", vec![root_d], None);
+        let mid_d = mid.digest();
+        store.insert(mid, &toy_verifier()).unwrap();
+        let leaf = cert("alice", "leaf(y).", vec![mid_d], None);
+        store.insert(leaf, &toy_verifier()).unwrap();
+        // A link to nowhere is rejected.
+        let orphan = cert("alice", "orphan(z).", vec![CertDigest::of(b"nope")], None);
+        assert!(matches!(
+            store.insert(orphan, &toy_verifier()),
+            Err(CertStoreError::BrokenLink { .. })
+        ));
+    }
+
+    #[test]
+    fn bundle_imports_out_of_order() {
+        let mut store = CertStore::new();
+        let root = cert("alice", "root(alice).", vec![], None);
+        let mid = cert("alice", "mid(x).", vec![root.digest()], None);
+        let leaf = cert("alice", "leaf(y).", vec![mid.digest()], None);
+        // Dependents first: the bundle must still resolve.
+        let outcomes = store
+            .import_bundle(vec![leaf, mid, root], &toy_verifier())
+            .unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(store.active().len(), 3);
+    }
+
+    #[test]
+    fn bundle_with_unresolvable_link_errors() {
+        let mut store = CertStore::new();
+        let dangling = cert("alice", "p(x).", vec![CertDigest::of(b"ghost")], None);
+        assert!(matches!(
+            store.import_bundle(vec![dangling], &toy_verifier()),
+            Err(CertStoreError::BrokenLink { .. })
+        ));
+    }
+
+    #[test]
+    fn revocation_emits_event_and_cascades() {
+        let mut store = CertStore::new();
+        let root = cert("alice", "root(alice).", vec![], None);
+        let root_d = root.digest();
+        store.insert(root, &toy_verifier()).unwrap();
+        let leaf = cert("bob", "leaf(y).", vec![root_d], None);
+        let leaf_d = leaf.digest();
+        store.insert(leaf, &toy_verifier()).unwrap();
+
+        let events = store
+            .revoke(&revocation("alice", root_d), &toy_verifier())
+            .unwrap();
+        assert_eq!(events.len(), 2, "root revoked + leaf broken");
+        assert_eq!(events[0].reason, RetractReason::Revoked);
+        assert_eq!(events[1].reason, RetractReason::LinkBroken);
+        assert_eq!(store.status(&root_d), Some(CertStatus::Revoked));
+        assert_eq!(store.status(&leaf_d), Some(CertStatus::Broken));
+        // Idempotent.
+        let again = store
+            .revoke(&revocation("alice", root_d), &toy_verifier())
+            .unwrap();
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn only_issuer_may_revoke() {
+        let mut store = CertStore::new();
+        let c = cert("alice", "good(carol).", vec![], None);
+        let d = c.digest();
+        store.insert(c, &toy_verifier()).unwrap();
+        assert!(matches!(
+            store.revoke(&revocation("mallory", d), &toy_verifier()),
+            Err(CertStoreError::IssuerMismatch { .. })
+        ));
+        assert_eq!(store.status(&d), Some(CertStatus::Active));
+    }
+
+    #[test]
+    fn pre_arrival_revocation_blocks_import() {
+        let mut store = CertStore::new();
+        let c = cert("alice", "good(carol).", vec![], None);
+        let d = c.digest();
+        store
+            .revoke(&revocation("alice", d), &toy_verifier())
+            .unwrap();
+        assert!(matches!(
+            store.insert(c, &toy_verifier()),
+            Err(CertStoreError::Revoked(_))
+        ));
+    }
+
+    #[test]
+    fn foreign_revocation_neither_blocks_nor_masks() {
+        let mut store = CertStore::new();
+        let c = cert("alice", "good(carol).", vec![], None);
+        let d = c.digest();
+        // Mallory validly signs a revocation object for alice's digest:
+        // no authority, and it must not mask alice's own revocation
+        // arriving afterwards.
+        store
+            .revoke(&revocation("mallory", d), &toy_verifier())
+            .unwrap();
+        store
+            .revoke(&revocation("alice", d), &toy_verifier())
+            .unwrap();
+        assert!(
+            matches!(
+                store.insert(c.clone(), &toy_verifier()),
+                Err(CertStoreError::Revoked(_))
+            ),
+            "issuer's revocation must survive a foreign one"
+        );
+        // With only the foreign revocation on file, import succeeds.
+        let mut fresh = CertStore::new();
+        fresh
+            .revoke(&revocation("mallory", d), &toy_verifier())
+            .unwrap();
+        assert!(fresh.insert(c, &toy_verifier()).unwrap().newly_added);
+    }
+
+    #[test]
+    fn ttl_expiry_and_cascade() {
+        let mut store = CertStore::new();
+        let root = cert("alice", "root(alice).", vec![], Some(5));
+        let root_d = root.digest();
+        store.insert(root, &toy_verifier()).unwrap();
+        let leaf = cert("bob", "leaf(y).", vec![root_d], None);
+        let leaf_d = leaf.digest();
+        store.insert(leaf, &toy_verifier()).unwrap();
+
+        assert!(store.advance_clock(4).is_empty(), "not yet due");
+        let events = store.advance_clock(1);
+        assert_eq!(events.len(), 2, "root expired + leaf broken");
+        assert_eq!(events[0].reason, RetractReason::Expired);
+        assert_eq!(store.status(&root_d), Some(CertStatus::Expired));
+        assert_eq!(store.status(&leaf_d), Some(CertStatus::Broken));
+        // Importing a fresh cert that links to the dead root fails.
+        let late = cert("carol", "late(z).", vec![root_d], None);
+        assert!(matches!(
+            store.insert(late, &toy_verifier()),
+            Err(CertStoreError::DeadLink { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_cache_reuses_verifications_across_stores() {
+        let cache = shared_verify_cache();
+        let mut store_a = CertStore::with_cache(cache.clone());
+        let mut store_b = CertStore::with_cache(cache.clone());
+        let c = cert("alice", "good(carol).", vec![], None);
+        let a = store_a.insert(c.clone(), &toy_verifier()).unwrap();
+        assert!(!a.cache_hit);
+        // The second principal's store never runs the real check.
+        let b = store_b.insert(c, &toy_verifier()).unwrap();
+        assert!(b.cache_hit, "verification reused across principals");
+        let stats = cache.lock().unwrap().stats();
+        assert_eq!(stats.misses, 2, "two signatures checked once each");
+        assert!(stats.hits >= 2);
+    }
+}

@@ -11,6 +11,7 @@
 //! `says` is untouched.
 
 use crate::principal::{KeyDirectory, Principal, SharedKeys};
+use lbtrust_certstore::{shared_verify_cache, SharedVerifyCache, SignatureVerifier};
 use lbtrust_crypto::hmac::{hmac_sha1, verify_mac};
 use lbtrust_crypto::sha1::Sha1;
 use lbtrust_crypto::{crc32, stream};
@@ -117,6 +118,50 @@ fn bytes_arg(name: Symbol, v: &Value) -> Result<&[u8], BuiltinError> {
     }
 }
 
+/// A [`SignatureVerifier`] over the system key directory: resolves the
+/// signer's RSA public key and checks the signature. This is the "real
+/// verification" the shared cache memoizes.
+#[derive(Clone)]
+pub struct KeyVerifier {
+    keys: SharedKeys,
+}
+
+impl KeyVerifier {
+    /// Builds a verifier over `keys`.
+    pub fn new(keys: SharedKeys) -> KeyVerifier {
+        KeyVerifier { keys }
+    }
+}
+
+impl SignatureVerifier for KeyVerifier {
+    fn verify(&self, signer: Symbol, message: &[u8], signature: &[u8]) -> bool {
+        let guard = self.keys.read();
+        guard
+            .rsa(signer)
+            .is_some_and(|pair| pair.public_key().verify(message, signature).is_ok())
+    }
+}
+
+/// The synthetic cache identity for a pairwise HMAC secret (the
+/// verification cache keys outcomes by signer symbol; a MAC has no
+/// single signer, so the pair itself is the identity).
+fn hmac_cache_identity(a: Principal, b: Principal) -> Symbol {
+    let (lo, hi) = if a.as_str() <= b.as_str() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    Symbol::intern(&format!("hmac:{lo}:{hi}"))
+}
+
+/// Registers the cryptographic builtin predicates for principal `me`,
+/// resolving key handles against `keys`, with a private verification
+/// cache. Prefer [`register_crypto_builtins_cached`] when a shared
+/// cache exists (the [`crate::System`] always shares one).
+pub fn register_crypto_builtins(builtins: &mut Builtins, me: Principal, keys: SharedKeys) {
+    register_crypto_builtins_cached(builtins, me, keys, shared_verify_cache());
+}
+
 /// Registers the cryptographic builtin predicates for principal `me`,
 /// resolving key handles against `keys`.
 ///
@@ -124,7 +169,17 @@ fn bytes_arg(name: Symbol, v: &Value) -> Result<&[u8], BuiltinError> {
 /// handle other than `me`'s, and the symmetric primitives refuse secrets
 /// `me` is not a party to — a workspace cannot sign as somebody else no
 /// matter what rules it runs.
-pub fn register_crypto_builtins(builtins: &mut Builtins, me: Principal, keys: SharedKeys) {
+///
+/// Verification builtins (`rsaverify`, `hmacverify`) route through
+/// `cache`: a signature over identical canonical bytes is checked once
+/// process-wide and every later check — by any principal sharing the
+/// cache, on any fixpoint round — is a memo lookup.
+pub fn register_crypto_builtins_cached(
+    builtins: &mut Builtins,
+    me: Principal,
+    keys: SharedKeys,
+    cache: SharedVerifyCache,
+) {
     // rsasign(R, S, K): sign rule R with private key K (mine), yielding S.
     let k = keys.clone();
     builtins.register("rsasign", 3, move |args| {
@@ -146,17 +201,26 @@ pub fn register_crypto_builtins(builtins: &mut Builtins, me: Principal, keys: Sh
         let Some(pair) = guard.rsa(who) else {
             return Ok(vec![]);
         };
-        let sig = pair.private.sign(&rule_bytes(rule)).map_err(|e| {
-            BuiltinError::TypeError {
+        let sig = pair
+            .private
+            .sign(&rule_bytes(rule))
+            .map_err(|e| BuiltinError::TypeError {
                 name,
                 expected: format!("signable rule ({e})"),
-            }
-        })?;
-        Ok(vec![vec![r.clone(), Value::bytes(&sig), key_handle.clone()]])
+            })?;
+        Ok(vec![vec![
+            r.clone(),
+            Value::bytes(&sig),
+            key_handle.clone(),
+        ]])
     });
 
     // rsaverify(R, S, K): succeeds iff S is K's signature over R.
+    // Outcomes are memoized in the shared cache: checking the same
+    // (rule, signature, key) again — on a later fixpoint round or in a
+    // different workspace — skips the modular exponentiation.
     let k = keys.clone();
+    let vc = cache.clone();
     builtins.register("rsaverify", 3, move |args| {
         let name = Symbol::intern("rsaverify");
         let r = lbtrust_datalog::builtins::require_bound(name, args, 0)?;
@@ -167,11 +231,14 @@ pub fn register_crypto_builtins(builtins: &mut Builtins, me: Principal, keys: Sh
         let Some((who, _)) = KeyDirectory::parse_rsa_handle(key_handle) else {
             return Ok(vec![]);
         };
-        let guard = k.read();
-        let Some(pair) = guard.rsa(who) else {
-            return Ok(vec![]);
-        };
-        if pair.public_key().verify(&rule_bytes(rule), sig).is_ok() {
+        let verifier = KeyVerifier::new(k.clone());
+        let (ok, _hit) = vc.lock().unwrap_or_else(|e| e.into_inner()).check(
+            &verifier,
+            who,
+            &rule_bytes(rule),
+            sig,
+        );
+        if ok {
             Ok(vec![vec![r.clone(), s.clone(), key_handle.clone()]])
         } else {
             Ok(vec![])
@@ -189,11 +256,19 @@ pub fn register_crypto_builtins(builtins: &mut Builtins, me: Principal, keys: Sh
             return Ok(vec![]);
         };
         let mac = hmac_sha1(&secret, &rule_bytes(rule));
-        Ok(vec![vec![r.clone(), key_handle.clone(), Value::bytes(&mac)]])
+        Ok(vec![vec![
+            r.clone(),
+            key_handle.clone(),
+            Value::bytes(&mac),
+        ]])
     });
 
     // hmacverify(R, S, K): succeeds iff S is the MAC of R under K.
+    // MAC checks are cheap, but memoization still removes the repeated
+    // recomputation across fixpoint rounds. The cache identity is the
+    // secret's principal pair (a MAC has no single signer).
     let k = keys.clone();
+    let vc = cache.clone();
     builtins.register("hmacverify", 3, move |args| {
         let name = Symbol::intern("hmacverify");
         let r = lbtrust_datalog::builtins::require_bound(name, args, 0)?;
@@ -201,11 +276,22 @@ pub fn register_crypto_builtins(builtins: &mut Builtins, me: Principal, keys: Sh
         let key_handle = lbtrust_datalog::builtins::require_bound(name, args, 2)?;
         let rule = quote_arg(name, r)?;
         let mac = bytes_arg(name, s)?;
+        let Some((a, b)) = KeyDirectory::parse_secret_handle(key_handle) else {
+            return Ok(vec![]);
+        };
         let Some(secret) = resolve_secret(&k, me, key_handle) else {
             return Ok(vec![]);
         };
-        let expected = hmac_sha1(&secret, &rule_bytes(rule));
-        if verify_mac(&expected, mac) {
+        let mac_verifier = move |_signer: Symbol, message: &[u8], sig: &[u8]| {
+            verify_mac(&hmac_sha1(&secret, message), sig)
+        };
+        let (ok, _hit) = vc.lock().unwrap_or_else(|e| e.into_inner()).check(
+            &mac_verifier,
+            hmac_cache_identity(a, b),
+            &rule_bytes(rule),
+            mac,
+        );
+        if ok {
             Ok(vec![vec![r.clone(), s.clone(), key_handle.clone()]])
         } else {
             Ok(vec![])
@@ -226,7 +312,11 @@ pub fn register_crypto_builtins(builtins: &mut Builtins, me: Principal, keys: Sh
         let plain = rule_bytes(rule);
         let nonce = stream::siv_nonce(&secret, &plain);
         let cipher = stream::encrypt_with_nonce(&secret, &nonce, &plain);
-        Ok(vec![vec![r.clone(), key_handle.clone(), Value::bytes(&cipher)]])
+        Ok(vec![vec![
+            r.clone(),
+            key_handle.clone(),
+            Value::bytes(&cipher),
+        ]])
     });
 
     // decryptrule(C, K, R): decrypt and re-parse. A wrong key produces
@@ -287,7 +377,7 @@ fn resolve_secret(keys: &SharedKeys, me: Principal, handle: &Value) -> Option<Ve
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::principal::{rsa_priv_handle, rsa_pub_handle, shared_secret_handle, shared_keys};
+    use crate::principal::{rsa_priv_handle, rsa_pub_handle, shared_keys, shared_secret_handle};
 
     fn setup() -> (SharedKeys, Principal, Principal) {
         let keys = shared_keys();
@@ -324,7 +414,11 @@ mod tests {
         let verified = b
             .invoke(
                 Symbol::intern("rsaverify"),
-                &[Some(r.clone()), Some(sig.clone()), Some(rsa_pub_handle(alice))],
+                &[
+                    Some(r.clone()),
+                    Some(sig.clone()),
+                    Some(rsa_pub_handle(alice)),
+                ],
             )
             .unwrap()
             .unwrap();

@@ -10,22 +10,18 @@ pub const OWNER_SCHEMA: &str = "\
 /// The read meta-constraint of §3.3: "a principal may only read
 /// predicates to which they have been granted access" — every owned rule
 /// whose body reads predicate `P` needs `access(U,P,read)`.
-pub const MAY_READ_OWNER: &str =
-    "owner([| A <- P(T2*), A*. |], U) -> access(U,P,read).\n";
+pub const MAY_READ_OWNER: &str = "owner([| A <- P(T2*), A*. |], U) -> access(U,P,read).\n";
 
 /// The write meta-constraint: every owned rule whose head writes `P`
 /// needs `access(U,P,write)`.
-pub const MAY_WRITE_OWNER: &str =
-    "owner([| P(T*) <- A*. |], U) -> access(U,P,write).\n";
+pub const MAY_WRITE_OWNER: &str = "owner([| P(T*) <- A*. |], U) -> access(U,P,write).\n";
 
 /// The `says`-based authorization constraints of §4.1: rules said to me
 /// may only read/write what their sender is allowed to.
-pub const MAY_READ_SAYS: &str =
-    "says(U,me,[| A <- P(T2*), A*. |]) -> mayRead(U,P).\n";
+pub const MAY_READ_SAYS: &str = "says(U,me,[| A <- P(T2*), A*. |]) -> mayRead(U,P).\n";
 
 /// See [`MAY_READ_SAYS`].
-pub const MAY_WRITE_SAYS: &str =
-    "says(U,me,[| P(T*) <- A*. |]) -> mayWrite(U,P).\n";
+pub const MAY_WRITE_SAYS: &str = "says(U,me,[| P(T*) <- A*. |]) -> mayWrite(U,P).\n";
 
 #[cfg(test)]
 mod tests {

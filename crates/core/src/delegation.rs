@@ -37,8 +37,7 @@ pub const DELEGATION_DEPTH: &str = "\
 
 /// `dd4`: the depth-violation constraint — a principal holding an
 /// inferred depth of 0 must not delegate further.
-pub const DELEGATION_DEPTH_CONSTRAINT: &str =
-    "inferredDelDepth(_,me,P,0) -> !delegates(me,_,P).\n";
+pub const DELEGATION_DEPTH_CONSTRAINT: &str = "inferredDelDepth(_,me,P,0) -> !delegates(me,_,P).\n";
 
 /// Delegation *width* (§4.2.1): only principals in `delWidth(me,P,U)` may
 /// appear in the chain — enforced by refusing delegation to anyone
@@ -102,11 +101,17 @@ mod tests {
         let p = parse_program(DELEGATION_DEPTH).unwrap();
         assert_eq!(p.rules.len(), 4);
         assert_eq!(
-            parse_program(DELEGATION_DEPTH_CONSTRAINT).unwrap().constraints.len(),
+            parse_program(DELEGATION_DEPTH_CONSTRAINT)
+                .unwrap()
+                .constraints
+                .len(),
             1
         );
         assert_eq!(
-            parse_program(DELEGATION_WIDTH_CONSTRAINT).unwrap().constraints.len(),
+            parse_program(DELEGATION_WIDTH_CONSTRAINT)
+                .unwrap()
+                .constraints
+                .len(),
             1
         );
     }

@@ -59,12 +59,13 @@ pub mod says;
 pub mod system;
 pub mod workspace;
 
-pub use auth::AuthScheme;
+pub use auth::{AuthScheme, KeyVerifier};
 pub use principal::{KeyDirectory, Principal, SharedKeys};
 pub use system::{SysError, System, SystemStats};
-pub use workspace::{Workspace, WsError};
+pub use workspace::{RetractOutcome, Workspace, WsError};
 
 // Re-export the substrate crates so downstream users need one dependency.
+pub use lbtrust_certstore as certstore;
 pub use lbtrust_crypto as crypto;
 pub use lbtrust_datalog as datalog;
 pub use lbtrust_metamodel as metamodel;

@@ -31,7 +31,11 @@ pub fn rsa_pub_handle(who: Principal) -> Value {
 /// The key handle naming the shared secret between `a` and `b`
 /// (order-insensitive).
 pub fn shared_secret_handle(a: Principal, b: Principal) -> Value {
-    let (lo, hi) = if a.as_str() <= b.as_str() { (a, b) } else { (b, a) };
+    let (lo, hi) = if a.as_str() <= b.as_str() {
+        (a, b)
+    } else {
+        (b, a)
+    };
     Value::sym(&format!("hmac:{lo}:{hi}"))
 }
 
@@ -57,7 +61,9 @@ impl KeyDirectory {
     /// modulus size. Deterministic for a given seed.
     pub fn generate_rsa(&mut self, who: Principal, bits: usize, seed: u64) -> &KeyPair {
         let mut rng = StdRng::seed_from_u64(seed);
-        self.rsa.entry(who).or_insert_with(|| KeyPair::generate(bits, &mut rng))
+        self.rsa
+            .entry(who)
+            .or_insert_with(|| KeyPair::generate(bits, &mut rng))
     }
 
     /// The keypair of `who`, if any.
@@ -67,7 +73,11 @@ impl KeyDirectory {
 
     /// Installs a shared secret between `a` and `b`.
     pub fn set_shared_secret(&mut self, a: Principal, b: Principal, secret: Vec<u8>) {
-        let (lo, hi) = if a.as_str() <= b.as_str() { (a, b) } else { (b, a) };
+        let (lo, hi) = if a.as_str() <= b.as_str() {
+            (a, b)
+        } else {
+            (b, a)
+        };
         self.secrets.insert((lo, hi), secret);
     }
 
@@ -80,7 +90,11 @@ impl KeyDirectory {
 
     /// The shared secret between `a` and `b`, if any.
     pub fn shared_secret(&self, a: Principal, b: Principal) -> Option<&[u8]> {
-        let (lo, hi) = if a.as_str() <= b.as_str() { (a, b) } else { (b, a) };
+        let (lo, hi) = if a.as_str() <= b.as_str() {
+            (a, b)
+        } else {
+            (b, a)
+        };
         self.secrets.get(&(lo, hi)).map(Vec::as_slice)
     }
 
@@ -104,7 +118,10 @@ impl KeyDirectory {
         let name = sym.as_str();
         if let Some(rest) = name.strip_prefix("rsa:priv:") {
             Some((Symbol::intern(rest), true))
-        } else { name.strip_prefix("rsa:pub:").map(|rest| (Symbol::intern(rest), false)) }
+        } else {
+            name.strip_prefix("rsa:pub:")
+                .map(|rest| (Symbol::intern(rest), false))
+        }
     }
 
     /// Resolves a shared-secret handle value to the sorted pair.
@@ -169,8 +186,14 @@ mod tests {
     fn shared_secrets_symmetric() {
         let mut d = KeyDirectory::new();
         d.set_shared_secret(p("bob"), p("alice"), vec![1, 2, 3]);
-        assert_eq!(d.shared_secret(p("alice"), p("bob")), Some(&[1u8, 2, 3][..]));
-        assert_eq!(d.shared_secret(p("bob"), p("alice")), Some(&[1u8, 2, 3][..]));
+        assert_eq!(
+            d.shared_secret(p("alice"), p("bob")),
+            Some(&[1u8, 2, 3][..])
+        );
+        assert_eq!(
+            d.shared_secret(p("bob"), p("alice")),
+            Some(&[1u8, 2, 3][..])
+        );
         assert_eq!(d.shared_secret(p("alice"), p("carol")), None);
     }
 

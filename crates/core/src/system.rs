@@ -8,16 +8,21 @@
 //! fixpoints with message delivery until nothing moves — the
 //! distributed fixpoint of the declarative-networking execution model.
 
-use crate::auth::{register_crypto_builtins, AuthScheme};
+use crate::auth::{register_crypto_builtins_cached, AuthScheme, KeyVerifier};
 use crate::principal::{
     rsa_priv_handle, rsa_pub_handle, shared_keys, shared_secret_handle, Principal, SharedKeys,
 };
 use crate::says::SAYS_DECLS;
-use crate::workspace::{Workspace, WsError};
+use crate::workspace::{RetractOutcome, Workspace, WsError};
+use lbtrust_certstore::{
+    cert, shared_verify_cache, CertDigest, CertStore, CertStoreError, ImportOutcome, LinkedCert,
+    Revocation, SharedVerifyCache,
+};
 use lbtrust_datalog::{Symbol, Tuple, Value};
-use lbtrust_net::{NetworkConfig, NodeId, SimNetwork, WireMessage};
+use lbtrust_net::{NetworkConfig, NodeId, RevokeMessage, SimNetwork, WireMessage, WirePacket};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// System-level errors.
 #[derive(Debug)]
@@ -31,6 +36,10 @@ pub enum SysError {
         /// Steps executed.
         steps: usize,
     },
+    /// A certificate-store operation failed.
+    Cert(CertStoreError),
+    /// Certificate issuing failed (bad body, missing keys, RSA error).
+    Issue(String),
 }
 
 impl fmt::Display for SysError {
@@ -41,6 +50,8 @@ impl fmt::Display for SysError {
             SysError::NoQuiescence { steps } => {
                 write!(f, "system did not quiesce after {steps} steps")
             }
+            SysError::Cert(e) => write!(f, "{e}"),
+            SysError::Issue(m) => write!(f, "certificate issue failed: {m}"),
         }
     }
 }
@@ -50,6 +61,12 @@ impl std::error::Error for SysError {}
 impl From<WsError> for SysError {
     fn from(e: WsError) -> Self {
         SysError::Workspace(e)
+    }
+}
+
+impl From<CertStoreError> for SysError {
+    fn from(e: CertStoreError) -> Self {
+        SysError::Cert(e)
     }
 }
 
@@ -67,6 +84,16 @@ pub struct SystemStats {
     pub local_rollbacks: usize,
     /// Distributed fixpoint steps executed.
     pub steps: usize,
+    /// Certificates imported through the stores.
+    pub certs_imported: usize,
+    /// Revocations applied (locally or off the wire).
+    pub revocations: usize,
+    /// Certificate-backed base facts retracted (expiry/revocation).
+    pub retractions: usize,
+    /// Retractions repaired incrementally by DRed.
+    pub dred_repairs: usize,
+    /// Retractions that forced a full rebuild on the next evaluation.
+    pub retraction_rebuilds: usize,
 }
 
 /// RSA modulus size used for principals (the paper's §6 uses 1024-bit).
@@ -87,6 +114,16 @@ pub struct System {
     auth: HashMap<Principal, AuthScheme>,
     stats: SystemStats,
     seed: u64,
+    /// Per-principal certificate stores, all sharing `vcache`.
+    stores: HashMap<Principal, CertStore>,
+    /// Process-wide verification cache: a signature over identical
+    /// canonical bytes is checked once, by whichever principal sees it
+    /// first, and every later check anywhere is a memo lookup.
+    vcache: SharedVerifyCache,
+    /// Which workspace base facts each imported certificate introduced,
+    /// so expiry/revocation can retract exactly those (and DRed repairs
+    /// their consequences).
+    cert_facts: HashMap<(Principal, CertDigest), Vec<(Symbol, Tuple)>>,
 }
 
 impl System {
@@ -109,6 +146,9 @@ impl System {
             auth: HashMap::new(),
             stats: SystemStats::default(),
             seed,
+            stores: HashMap::new(),
+            vcache: shared_verify_cache(),
+            cert_facts: HashMap::new(),
         }
     }
 
@@ -150,11 +190,19 @@ impl System {
         if self.workspaces.contains_key(&me) {
             return Ok(me);
         }
-        let key_seed = self.seed.wrapping_add(me.index() as u64).wrapping_mul(0x9E37_79B9);
+        let key_seed = self
+            .seed
+            .wrapping_add(me.index() as u64)
+            .wrapping_mul(0x9E37_79B9);
         self.keys.write().generate_rsa(me, self.rsa_bits, key_seed);
 
         let mut ws = Workspace::new(name);
-        register_crypto_builtins(ws.builtins_mut(), me, self.keys.clone());
+        register_crypto_builtins_cached(
+            ws.builtins_mut(),
+            me,
+            self.keys.clone(),
+            self.vcache.clone(),
+        );
         ws.load("says-decls", SAYS_DECLS)?;
         ws.load("auth", &AuthScheme::Rsa.prelude())?;
         self.auth.insert(me, AuthScheme::Rsa);
@@ -197,6 +245,8 @@ impl System {
         self.workspaces.insert(me, ws);
         self.order.push(me);
         self.drained.insert(me, HashSet::new());
+        self.stores
+            .insert(me, CertStore::with_cache(self.vcache.clone()));
         Ok(me)
     }
 
@@ -269,6 +319,282 @@ impl System {
             .ok_or(SysError::UnknownPrincipal(who))
     }
 
+    // ---- the certificate store -----------------------------------------------
+
+    /// A signature verifier over this system's key directory (what the
+    /// shared verification cache memoizes).
+    pub fn key_verifier(&self) -> KeyVerifier {
+        KeyVerifier::new(self.keys.clone())
+    }
+
+    /// Borrows a principal's certificate store.
+    pub fn cert_store(&self, who: Principal) -> Result<&CertStore, SysError> {
+        self.stores.get(&who).ok_or(SysError::UnknownPrincipal(who))
+    }
+
+    /// Hit/miss counters of the process-wide verification cache.
+    pub fn verify_cache_stats(&self) -> lbtrust_certstore::verify::CacheStats {
+        self.vcache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stats()
+    }
+
+    /// Issues one linked certificate: `issuer` signs `fact_src` (a
+    /// single ground fact) citing `links` as supporting credentials,
+    /// valid for `ttl` logical ticks (`None` = no expiry).
+    pub fn issue_certificate(
+        &mut self,
+        issuer: Principal,
+        fact_src: &str,
+        links: &[CertDigest],
+        ttl: Option<u64>,
+    ) -> Result<LinkedCert, SysError> {
+        let mut certs = self.issue_certificates(issuer, fact_src, links, ttl)?;
+        if certs.len() != 1 {
+            return Err(SysError::Issue(format!(
+                "expected one fact, found {}",
+                certs.len()
+            )));
+        }
+        Ok(certs.remove(0))
+    }
+
+    /// Issues one linked certificate per ground fact in `facts_src`,
+    /// all citing `links` and carrying `ttl`.
+    pub fn issue_certificates(
+        &mut self,
+        issuer: Principal,
+        facts_src: &str,
+        links: &[CertDigest],
+        ttl: Option<u64>,
+    ) -> Result<Vec<LinkedCert>, SysError> {
+        let program = lbtrust_datalog::parse_program(facts_src)
+            .map_err(|e| SysError::Issue(e.to_string()))?;
+        if !program.constraints.is_empty() {
+            return Err(SysError::Issue("certificates carry facts only".into()));
+        }
+        let guard = self.keys.read();
+        let pair = guard
+            .rsa(issuer)
+            .ok_or(SysError::UnknownPrincipal(issuer))?;
+        let mut out = Vec::with_capacity(program.rules.len());
+        for rule in program.rules {
+            if !rule.is_fact() {
+                return Err(SysError::Issue(format!("'{rule}' is not a ground fact")));
+            }
+            let rule = Arc::new(rule);
+            let to_sign = cert::signing_bytes(issuer, &rule, links, ttl);
+            let signature = pair
+                .private
+                .sign(&to_sign)
+                .map_err(|e| SysError::Issue(e.to_string()))?;
+            let rule_sig = pair
+                .private
+                .sign(&lbtrust_net::rule_bytes(&rule))
+                .map_err(|e| SysError::Issue(e.to_string()))?;
+            out.push(LinkedCert {
+                issuer,
+                rule,
+                links: links.to_vec(),
+                ttl,
+                signature,
+                rule_sig,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Imports certificates into `to`'s store (links resolved within
+    /// the batch and against already-stored credentials, signatures
+    /// checked through the shared cache) and asserts the certified
+    /// rules into `to`'s workspace as authenticated imports:
+    /// `export[me](issuer, R, S)` — so the declarative `exp2`/`exp3`
+    /// pipeline re-verifies and derives `says` — plus `says(issuer, me,
+    /// R)` directly for workspaces without the auth prelude.
+    pub fn import_certificates(
+        &mut self,
+        to: Principal,
+        certs: Vec<LinkedCert>,
+    ) -> Result<Vec<ImportOutcome>, SysError> {
+        if !self.workspaces.contains_key(&to) {
+            return Err(SysError::UnknownPrincipal(to));
+        }
+        let verifier = self.key_verifier();
+        let store = self.stores.get_mut(&to).expect("store per principal");
+        let outcomes = store.import_bundle(certs, &verifier)?;
+        let export = Symbol::intern("export");
+        let says = Symbol::intern("says");
+        for outcome in &outcomes {
+            // Assert facts for fresh imports *and* for live certificates
+            // whose facts never landed (a bundle that failed part-way
+            // leaves its successful members Active in the store; a retry
+            // arrives here with newly_added=false and must still finish
+            // the workspace half of the import).
+            if self.cert_facts.contains_key(&(to, outcome.digest)) {
+                continue;
+            }
+            let entry = self
+                .stores
+                .get(&to)
+                .expect("store per principal")
+                .get(&outcome.digest)
+                .expect("just imported")
+                .clone();
+            let ws = self.workspaces.get_mut(&to).expect("checked above");
+            let export_tuple = vec![
+                Value::Sym(to),
+                Value::Sym(entry.cert.issuer),
+                Value::Quote(entry.cert.rule.clone()),
+                Value::bytes(&entry.cert.rule_sig),
+            ];
+            let says_tuple = vec![
+                Value::Sym(entry.cert.issuer),
+                Value::Sym(to),
+                Value::Quote(entry.cert.rule.clone()),
+            ];
+            ws.assert_fact(export, export_tuple.clone());
+            ws.assert_fact(says, says_tuple.clone());
+            self.cert_facts.insert(
+                (to, outcome.digest),
+                vec![(export, export_tuple), (says, says_tuple)],
+            );
+            self.stats.certs_imported += 1;
+        }
+        self.workspaces
+            .get_mut(&to)
+            .expect("checked above")
+            .evaluate()?;
+        Ok(outcomes)
+    }
+
+    /// Re-imports certificates already held by `to`: answered from the
+    /// store and the verification cache without fresh signature checks
+    /// or workspace work. (The cached fast path the `ablation_certstore`
+    /// bench measures.)
+    pub fn reimport_certificates(
+        &mut self,
+        to: Principal,
+        certs: &[LinkedCert],
+    ) -> Result<Vec<ImportOutcome>, SysError> {
+        let verifier = self.key_verifier();
+        let store = self
+            .stores
+            .get_mut(&to)
+            .ok_or(SysError::UnknownPrincipal(to))?;
+        let mut outcomes = Vec::with_capacity(certs.len());
+        for cert in certs {
+            outcomes.push(store.insert(cert.clone(), &verifier)?);
+        }
+        Ok(outcomes)
+    }
+
+    /// Revokes a certificate `issuer` issued: applies the signed
+    /// revocation to every local store immediately (retracting the
+    /// certificate's facts through DRed) and broadcasts a `revoke`
+    /// packet to every other principal's node, so stores across the
+    /// (simulated) deployment converge during the next
+    /// [`System::run_to_quiescence`].
+    pub fn revoke_certificate(
+        &mut self,
+        issuer: Principal,
+        digest: CertDigest,
+    ) -> Result<(), SysError> {
+        let signing = lbtrust_net::revoke_signing_bytes(issuer, digest.as_bytes());
+        let signature = {
+            let guard = self.keys.read();
+            let pair = guard
+                .rsa(issuer)
+                .ok_or(SysError::UnknownPrincipal(issuer))?;
+            pair.private
+                .sign(&signing)
+                .map_err(|e| SysError::Issue(e.to_string()))?
+        };
+        let revocation = Revocation {
+            issuer,
+            target: digest,
+            signature: signature.clone(),
+        };
+        // Local application at the issuer's node is immediate …
+        self.apply_revocation(issuer, &revocation)?;
+        // … and everybody else learns over the wire.
+        let from_node = self
+            .placement
+            .get(&issuer)
+            .copied()
+            .unwrap_or_else(|| NodeId::new(issuer.as_str()));
+        for &other in &self.order.clone() {
+            if other == issuer {
+                continue;
+            }
+            let to_node = self
+                .placement
+                .get(&other)
+                .copied()
+                .unwrap_or_else(|| NodeId::new(other.as_str()));
+            let packet = WirePacket::Revoke(RevokeMessage {
+                from: issuer,
+                to: other,
+                digest: *digest.as_bytes(),
+                auth: signature.clone(),
+            });
+            self.net
+                .send(from_node, to_node, lbtrust_net::encode_packet(&packet));
+            self.stats.messages_sent += 1;
+        }
+        Ok(())
+    }
+
+    /// Applies a verified revocation at one principal: marks the store,
+    /// then retracts every workspace fact a dying certificate
+    /// introduced — incrementally via DRed where the program admits it.
+    fn apply_revocation(&mut self, at: Principal, revocation: &Revocation) -> Result<(), SysError> {
+        let verifier = self.key_verifier();
+        let store = self
+            .stores
+            .get_mut(&at)
+            .ok_or(SysError::UnknownPrincipal(at))?;
+        let events = store.revoke(revocation, &verifier)?;
+        self.stats.revocations += 1;
+        self.retract_cert_facts(at, &events);
+        Ok(())
+    }
+
+    /// Advances every store's logical clock by `ticks`, expiring
+    /// overdue certificates and retracting their facts (TTL freshness).
+    /// Returns the number of certificates that died.
+    pub fn advance_time(&mut self, ticks: u64) -> Result<usize, SysError> {
+        let mut died = 0;
+        for &p in &self.order.clone() {
+            let store = self.stores.get_mut(&p).expect("store per principal");
+            let events = store.advance_clock(ticks);
+            died += events.len();
+            self.retract_cert_facts(p, &events);
+        }
+        Ok(died)
+    }
+
+    /// Retracts the workspace facts behind each retraction event in one
+    /// batched DRed pass per principal.
+    fn retract_cert_facts(&mut self, at: Principal, events: &[lbtrust_certstore::RetractionEvent]) {
+        let mut batch: Vec<(Symbol, Tuple)> = Vec::new();
+        for event in events {
+            if let Some(facts) = self.cert_facts.remove(&(at, event.digest)) {
+                batch.extend(facts);
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        let ws = self.workspaces.get_mut(&at).expect("registered");
+        self.stats.retractions += batch.len();
+        match ws.retract_facts(&batch) {
+            RetractOutcome::Incremental(_) => self.stats.dred_repairs += 1,
+            RetractOutcome::Deferred => self.stats.retraction_rebuilds += 1,
+            RetractOutcome::Noop => {}
+        }
+    }
+
     // ---- the distributed fixpoint ---------------------------------------------
 
     /// Runs every workspace to its local fixpoint, ships export tuples,
@@ -329,9 +655,11 @@ impl System {
                     if msg.to == p {
                         continue;
                     }
-                    let from_node = self.placement.get(&p).copied().unwrap_or_else(|| {
-                        NodeId::new(p.as_str())
-                    });
+                    let from_node = self
+                        .placement
+                        .get(&p)
+                        .copied()
+                        .unwrap_or_else(|| NodeId::new(p.as_str()));
                     let to_node = self
                         .placement
                         .get(&msg.to)
@@ -351,9 +679,32 @@ impl System {
             let mut inbox: HashMap<Principal, Vec<Tuple>> = HashMap::new();
             while let Some(envelope) = self.net.deliver_next() {
                 delivered += 1;
-                let Ok(msg) = lbtrust_net::decode(&envelope.payload) else {
+                let Ok(packet) = lbtrust_net::decode_packet(&envelope.payload) else {
                     self.stats.messages_rejected += 1;
                     continue;
+                };
+                let msg = match packet {
+                    WirePacket::Export(msg) => msg,
+                    WirePacket::Revoke(rev) => {
+                        // A revocation notice: verify and apply to the
+                        // receiver's store, retracting the dead
+                        // certificate's facts via DRed. Bad signatures
+                        // and unknown receivers count as rejections.
+                        if !self.workspaces.contains_key(&rev.to) {
+                            self.stats.messages_rejected += 1;
+                            continue;
+                        }
+                        let revocation = Revocation {
+                            issuer: rev.from,
+                            target: CertDigest(rev.digest),
+                            signature: rev.auth,
+                        };
+                        match self.apply_revocation(rev.to, &revocation) {
+                            Ok(()) => self.stats.messages_accepted += 1,
+                            Err(_) => self.stats.messages_rejected += 1,
+                        }
+                        continue;
+                    }
                 };
                 if !self.workspaces.contains_key(&msg.to) {
                     self.stats.messages_rejected += 1;
@@ -381,9 +732,7 @@ impl System {
                             ws.assert_fact(export, tuple);
                             match ws.evaluate() {
                                 Ok(_) => self.stats.messages_accepted += 1,
-                                Err(WsError::Constraint(_)) => {
-                                    self.stats.messages_rejected += 1
-                                }
+                                Err(WsError::Constraint(_)) => self.stats.messages_rejected += 1,
                                 Err(e) => return Err(e.into()),
                             }
                         }

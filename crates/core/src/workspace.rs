@@ -52,7 +52,10 @@ impl fmt::Display for WsError {
             WsError::Eval(e) => write!(f, "{e}"),
             WsError::Constraint(e) => write!(f, "{e}"),
             WsError::MetaDivergence { stages } => {
-                write!(f, "meta-programming fixpoint did not converge after {stages} stages")
+                write!(
+                    f,
+                    "meta-programming fixpoint did not converge after {stages} stages"
+                )
             }
         }
     }
@@ -85,6 +88,19 @@ impl From<CheckError> for WsError {
 /// generated rule, so divergence means runaway code generation).
 const MAX_META_STAGES: usize = 64;
 
+/// How a retraction was repaired (see [`Workspace::retract_facts`]).
+#[derive(Clone, Copy, Debug)]
+pub enum RetractOutcome {
+    /// No listed fact was a base fact — nothing changed.
+    Noop,
+    /// The database was repaired in place by DRed; the statistics count
+    /// over-deleted and re-derived tuples.
+    Incremental(lbtrust_datalog::dred::DredStats),
+    /// Repair was deferred to the next evaluation (non-monotonic
+    /// program or pending rule changes force a rebuild from base).
+    Deferred,
+}
+
 /// One principal's context.
 pub struct Workspace {
     me: Principal,
@@ -114,7 +130,10 @@ pub struct Workspace {
     committed: Option<Snapshot>,
 }
 
-/// A snapshot for rollback.
+/// A snapshot for rollback. Rules and constraints only ever grow
+/// between snapshots, so their lengths suffice; base facts can also be
+/// *removed* from the middle (certificate retraction), so the full
+/// vector is captured.
 #[derive(Clone)]
 pub struct Snapshot {
     db: Database,
@@ -122,7 +141,7 @@ pub struct Snapshot {
     constraints_len: usize,
     generated: Vec<Arc<Rule>>,
     installed: HashSet<u64>,
-    base_len: usize,
+    base_facts: Vec<(Symbol, Tuple)>,
     dirty: bool,
     seeds: HashMap<Symbol, usize>,
 }
@@ -223,10 +242,7 @@ impl Workspace {
             .map(|(_, r)| r.clone())
             .collect();
         for rule in new_rules {
-            self.assert_fact(
-                owner_pred,
-                vec![Value::Quote(rule), Value::Sym(owner)],
-            );
+            self.assert_fact(owner_pred, vec![Value::Quote(rule), Value::Sym(owner)]);
         }
         Ok(())
     }
@@ -276,8 +292,7 @@ impl Workspace {
                 .then(|| {
                     let head = &rule.heads[0];
                     let pred = head.pred.name()?;
-                    let tuple: Option<Tuple> =
-                        head.all_args().map(term_to_ground_value).collect();
+                    let tuple: Option<Tuple> = head.all_args().map(term_to_ground_value).collect();
                     Some((pred, tuple?))
                 })
                 .flatten();
@@ -309,9 +324,46 @@ impl Workspace {
         if !removed {
             return false;
         }
+        self.repair_after_retraction(vec![(pred, tuple.to_vec())]);
+        true
+    }
+
+    /// Retracts **one supporting copy** of each listed base fact, then
+    /// repairs the database in a single DRed pass for every fact whose
+    /// last copy disappeared. Duplicated base facts model multiple live
+    /// credentials asserting the same conclusion: the conclusion stands
+    /// while any copy remains (the certificate store's retraction path
+    /// relies on this).
+    pub fn retract_facts(&mut self, facts: &[(Symbol, Tuple)]) -> RetractOutcome {
+        let mut gone: Vec<(Symbol, Tuple)> = Vec::new();
+        for (pred, tuple) in facts {
+            let Some(pos) = self
+                .base_facts
+                .iter()
+                .position(|(p, t)| p == pred && t == tuple)
+            else {
+                continue;
+            };
+            self.base_facts.remove(pos);
+            let still_supported = self.base_facts.iter().any(|(p, t)| p == pred && t == tuple);
+            if !still_supported {
+                gone.push((*pred, tuple.clone()));
+            }
+        }
+        if gone.is_empty() {
+            return RetractOutcome::Noop;
+        }
+        self.repair_after_retraction(gone)
+    }
+
+    /// Repairs derived state after `retracted` left the EDB: the DRed
+    /// incremental path when the program admits it, otherwise marking
+    /// the workspace for a full rebuild on the next evaluation.
+    fn repair_after_retraction(&mut self, retracted: Vec<(Symbol, Tuple)>) -> RetractOutcome {
         if self.dirty || self.non_monotonic() {
             self.dirty = true;
-            return true;
+            self.sync_committed_after_deferred_retraction();
+            return RetractOutcome::Deferred;
         }
         // Incremental path. Failure (e.g. a generated pattern construct
         // the DRed fragment rejects) falls back to full recomputation.
@@ -321,21 +373,33 @@ impl Workspace {
             .map(|(_, r)| r.as_ref().clone())
             .chain(self.generated.iter().map(|r| r.as_ref().clone()))
             .collect();
-        let outcome = lbtrust_datalog::dred::retract(
-            &rules,
-            &mut self.db,
-            &self.builtins,
-            &[(pred, tuple.to_vec())],
-        );
+        let outcome =
+            lbtrust_datalog::dred::retract(&rules, &mut self.db, &self.builtins, &retracted);
         match outcome {
-            Ok(_) => {
+            Ok(stats) => {
                 self.seeds.clear();
                 // The repaired state is the new committed baseline.
                 self.committed = Some(self.snapshot());
+                RetractOutcome::Incremental(stats)
             }
-            Err(_) => self.dirty = true,
+            Err(_) => {
+                self.dirty = true;
+                self.sync_committed_after_deferred_retraction();
+                RetractOutcome::Deferred
+            }
         }
-        true
+    }
+
+    /// Keeps the committed rollback baseline honest when a retraction's
+    /// repair is deferred: the snapshot's base facts must not resurrect
+    /// the retracted copies if a later failed evaluation restores it,
+    /// and the restored state must rebuild from base (its materialized
+    /// db still contains the stale derivations).
+    fn sync_committed_after_deferred_retraction(&mut self) {
+        if let Some(snap) = &mut self.committed {
+            snap.base_facts = self.base_facts.clone();
+            snap.dirty = true;
+        }
     }
 
     // ---- queries -----------------------------------------------------------
@@ -365,14 +429,13 @@ impl Workspace {
         let tuple: Option<Tuple> = atom.all_args().map(|t| t.as_val().cloned()).collect();
         match tuple {
             Some(t) => Ok(self.db.contains(pred, &t)),
-            None => Ok(self
-                .db
-                .relation(pred)
-                .is_some_and(|rel| {
-                    rel.iter().any(|t| {
-                        !lbtrust_datalog::Bindings::new().match_tuple(&atom, t).is_empty()
-                    })
-                })),
+            None => Ok(self.db.relation(pred).is_some_and(|rel| {
+                rel.iter().any(|t| {
+                    !lbtrust_datalog::Bindings::new()
+                        .match_tuple(&atom, t)
+                        .is_empty()
+                })
+            })),
         }
     }
 
@@ -479,7 +542,7 @@ impl Workspace {
             constraints_len: self.constraints.len(),
             generated: self.generated.clone(),
             installed: self.installed.clone(),
-            base_len: self.base_facts.len(),
+            base_facts: self.base_facts.clone(),
             dirty: self.dirty,
             seeds: self.seeds.clone(),
         }
@@ -492,7 +555,7 @@ impl Workspace {
         self.constraints.truncate(snap.constraints_len);
         self.generated = snap.generated;
         self.installed = snap.installed;
-        self.base_facts.truncate(snap.base_len);
+        self.base_facts = snap.base_facts;
         self.dirty = snap.dirty;
         self.seeds = snap.seeds;
     }
@@ -554,10 +617,8 @@ impl Workspace {
         // Installed rules appear in the `active` table (§3.3), which both
         // enables reflection-style rules like `pull0` and makes code
         // generation idempotent.
-        self.db.insert(
-            self.meta.active,
-            vec![Value::Quote(Arc::new(rule.clone()))],
-        );
+        self.db
+            .insert(self.meta.active, vec![Value::Quote(Arc::new(rule.clone()))]);
     }
 
     /// Evaluates to a (staged) fixpoint and checks constraints. On
@@ -743,7 +804,8 @@ mod tests {
     #[test]
     fn load_and_evaluate_simple_policy() {
         let mut ws = Workspace::new("alice");
-        ws.load("policy", "access(P,file1,read) <- good(P).").unwrap();
+        ws.load("policy", "access(P,file1,read) <- good(P).")
+            .unwrap();
         ws.assert_src("good(carol). good(dave).").unwrap();
         ws.evaluate().unwrap();
         assert!(ws.holds_src("access(carol,file1,read)").unwrap());
@@ -815,7 +877,8 @@ mod tests {
             "active([| trusted(X) <- vouched(U2,X). |]) <- delegates(me,U2).",
         )
         .unwrap();
-        ws.assert_src("delegates(alice,bob). vouched(bob,carol).").unwrap();
+        ws.assert_src("delegates(alice,bob). vouched(bob,carol).")
+            .unwrap();
         ws.evaluate().unwrap();
         assert!(ws.holds(sym("trusted"), &vals(&["carol"])));
         // The generated rule shows up among active rules.
@@ -905,17 +968,62 @@ mod tests {
     }
 
     #[test]
+    fn deferred_retraction_survives_constraint_rollback() {
+        // Non-monotonic program: retraction repair is deferred to the
+        // next evaluation. A constraint violation in between must not
+        // resurrect the retracted fact through the rollback snapshot.
+        let mut ws = Workspace::new("w");
+        ws.load("p", "ok(X) <- candidate(X), !banned(X).").unwrap();
+        ws.load("schema", "poison(X) -> never(X).").unwrap();
+        ws.assert_src("candidate(a). candidate(b).").unwrap();
+        ws.evaluate().unwrap();
+        assert!(ws.holds(sym("ok"), &vals(&["a"])));
+
+        // Deferred retraction (negation forces rebuild-on-evaluate).
+        let outcome = ws.retract_facts(&[(sym("candidate"), vals(&["a"]))]);
+        assert!(matches!(outcome, RetractOutcome::Deferred));
+
+        // A poisoned assertion rolls the workspace back…
+        ws.assert_fact(sym("poison"), vals(&["x"]));
+        assert!(ws.evaluate().is_err());
+        // …but the retracted fact must stay gone after the rollback.
+        ws.evaluate().unwrap();
+        assert!(
+            !ws.holds(sym("ok"), &vals(&["a"])),
+            "rollback must not resurrect a retracted base fact"
+        );
+        assert!(ws.holds(sym("ok"), &vals(&["b"])));
+        assert!(!ws.holds(sym("poison"), &vals(&["x"])));
+    }
+
+    #[test]
+    fn one_copy_retraction_keeps_duplicated_support() {
+        let mut ws = Workspace::new("w");
+        ws.load("p", "q(X) <- p(X).").unwrap();
+        // Two credentials assert the same fact.
+        ws.assert_fact(sym("p"), vals(&["a"]));
+        ws.assert_fact(sym("p"), vals(&["a"]));
+        ws.evaluate().unwrap();
+        assert!(ws.holds(sym("q"), &vals(&["a"])));
+        // Removing one copy keeps the conclusion…
+        ws.retract_facts(&[(sym("p"), vals(&["a"]))]);
+        ws.evaluate().unwrap();
+        assert!(ws.holds(sym("q"), &vals(&["a"])));
+        // …removing the last copy retracts it.
+        ws.retract_facts(&[(sym("p"), vals(&["a"]))]);
+        ws.evaluate().unwrap();
+        assert!(!ws.holds(sym("q"), &vals(&["a"])));
+    }
+
+    #[test]
     fn meta_constraint_blocks_unauthorized_generated_rule() {
         // mayWrite-style meta-constraint: only rules writing predicates
         // the owner may write are admissible. Here: everything said to me
         // activates (says1), but writes to `secret` are forbidden.
         let mut ws = Workspace::new("alice");
         ws.load("says", "active(R) <- says(_,me,R).").unwrap();
-        ws.load(
-            "authz",
-            "active([| secret(T*) <- A*. |]) -> never().",
-        )
-        .unwrap();
+        ws.load("authz", "active([| secret(T*) <- A*. |]) -> never().")
+            .unwrap();
         // A benign said rule is fine.
         ws.assert_fact(
             sym("says"),
@@ -951,10 +1059,12 @@ mod tests {
         ws.load("authz", lbtrust_metamodel_free_authz()).unwrap();
         // u1 may read budget.
         ws.assert_src("access(u1, budget, read).").unwrap();
-        ws.load_owned("p1", "spend(X) <- budget(X).", sym("u1")).unwrap();
+        ws.load_owned("p1", "spend(X) <- budget(X).", sym("u1"))
+            .unwrap();
         ws.evaluate().unwrap();
         // u2 may not: the load is rolled back on evaluation.
-        ws.load_owned("p2", "leak(X) <- budget(X).", sym("u2")).unwrap();
+        ws.load_owned("p2", "leak(X) <- budget(X).", sym("u2"))
+            .unwrap();
         assert!(ws.evaluate().is_err());
         assert!(!ws
             .active_rules()
@@ -1024,10 +1134,8 @@ mod tests {
              access(P,O,M) <- delegated(Q,P), access(Q,O,M).",
         )
         .unwrap();
-        ws.assert_src(
-            "owns(alice,f1). owns(bob,f2). mode(read). delegated(alice,carol).",
-        )
-        .unwrap();
+        ws.assert_src("owns(alice,f1). owns(bob,f2). mode(read). delegated(alice,carol).")
+            .unwrap();
         // No evaluate() call: the goal query works off base facts.
         let answers = ws.query_goal("access(carol, O, read)").unwrap();
         assert_eq!(answers.len(), 1);
@@ -1039,7 +1147,8 @@ mod tests {
     #[test]
     fn explain_renders_derivation() {
         let mut ws = Workspace::new("w");
-        ws.load("policy", "grant(P,O) <- owns(P,O), vetted(P).").unwrap();
+        ws.load("policy", "grant(P,O) <- owns(P,O), vetted(P).")
+            .unwrap();
         ws.assert_src("owns(alice,f1). vetted(alice).").unwrap();
         ws.evaluate().unwrap();
         let proof = ws.explain("grant(alice,f1)").unwrap().expect("holds");

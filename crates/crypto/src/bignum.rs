@@ -340,8 +340,7 @@ impl BigUint {
             let num = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
             let mut qhat = num / v_top as u128;
             let mut rhat = num % v_top as u128;
-            while qhat >> 64 != 0
-                || qhat * v_next as u128 > ((rhat << 64) | un[j + n - 2] as u128)
+            while qhat >> 64 != 0 || qhat * v_next as u128 > ((rhat << 64) | un[j + n - 2] as u128)
             {
                 qhat -= 1;
                 rhat += v_top as u128;
@@ -742,7 +741,13 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        for h in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+        for h in [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ] {
             let v = BigUint::from_hex(h).unwrap();
             assert_eq!(v.to_hex(), h, "hex roundtrip for {h}");
         }

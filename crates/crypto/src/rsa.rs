@@ -124,7 +124,9 @@ impl PrivateKey {
         let m1 = m.modpow(&self.dp, &self.p);
         let m2 = m.modpow(&self.dq, &self.q);
         // h = qinv * (m1 - m2) mod p
-        let h = self.qinv.mulmod(&m1.submod(&m2.rem(&self.p), &self.p), &self.p);
+        let h = self
+            .qinv
+            .mulmod(&m1.submod(&m2.rem(&self.p), &self.p), &self.p);
         m2.add(&h.mul(&self.q))
     }
 
@@ -271,8 +273,14 @@ mod tests {
     fn fingerprint_stable_and_distinct() {
         let kp1 = test_keypair(8);
         let kp2 = test_keypair(9);
-        assert_eq!(kp1.public_key().fingerprint(), kp1.public_key().fingerprint());
-        assert_ne!(kp1.public_key().fingerprint(), kp2.public_key().fingerprint());
+        assert_eq!(
+            kp1.public_key().fingerprint(),
+            kp1.public_key().fingerprint()
+        );
+        assert_ne!(
+            kp1.public_key().fingerprint(),
+            kp2.public_key().fingerprint()
+        );
         assert_eq!(kp1.public_key().fingerprint().len(), 8);
     }
 

@@ -125,8 +125,6 @@ mod tests {
         let pt = b"permission(owner, requester, file, read)";
         let ct = encrypt(b"key", pt, &mut rng);
         // Body must not contain the plaintext verbatim.
-        assert!(!ct
-            .windows(pt.len())
-            .any(|w| w == &pt[..]));
+        assert!(!ct.windows(pt.len()).any(|w| w == &pt[..]));
     }
 }

@@ -367,21 +367,41 @@ mod tests {
             let p = Symbol::intern(b);
             sys.workspace_mut(p)
                 .unwrap()
-                .load("policy", "says(me,bank,[| creditOK(cust). |]) <- approve().")
+                .load(
+                    "policy",
+                    "says(me,bank,[| creditOK(cust). |]) <- approve().",
+                )
                 .unwrap();
-            sys.workspace_mut(p).unwrap().assert_src("approve().").unwrap();
+            sys.workspace_mut(p)
+                .unwrap()
+                .assert_src("approve().")
+                .unwrap();
         }
         sys.run_to_quiescence(16).unwrap();
-        assert!(!sys.workspace(bank).unwrap().holds_src("creditOK(cust)").unwrap());
+        assert!(!sys
+            .workspace(bank)
+            .unwrap()
+            .holds_src("creditOK(cust)")
+            .unwrap());
         // The third bureau approves: threshold reached.
         let b3 = Symbol::intern("b3");
         sys.workspace_mut(b3)
             .unwrap()
-            .load("policy", "says(me,bank,[| creditOK(cust). |]) <- approve().")
+            .load(
+                "policy",
+                "says(me,bank,[| creditOK(cust). |]) <- approve().",
+            )
             .unwrap();
-        sys.workspace_mut(b3).unwrap().assert_src("approve().").unwrap();
+        sys.workspace_mut(b3)
+            .unwrap()
+            .assert_src("approve().")
+            .unwrap();
         sys.run_to_quiescence(16).unwrap();
-        assert!(sys.workspace(bank).unwrap().holds_src("creditOK(cust)").unwrap());
+        assert!(sys
+            .workspace(bank)
+            .unwrap()
+            .holds_src("creditOK(cust)")
+            .unwrap());
     }
 
     #[test]
@@ -403,7 +423,10 @@ mod tests {
             .unwrap()
             .load("policy", "says(me,bank,[| creditOK(c). |]) <- approve().")
             .unwrap();
-        sys.workspace_mut(small).unwrap().assert_src("approve().").unwrap();
+        sys.workspace_mut(small)
+            .unwrap()
+            .assert_src("approve().")
+            .unwrap();
         sys.run_to_quiescence(16).unwrap();
         assert!(!sys
             .workspace(Symbol::intern("bank"))
@@ -416,7 +439,10 @@ mod tests {
             .unwrap()
             .load("policy", "says(me,bank,[| creditOK(c). |]) <- approve().")
             .unwrap();
-        sys.workspace_mut(big).unwrap().assert_src("approve().").unwrap();
+        sys.workspace_mut(big)
+            .unwrap()
+            .assert_src("approve().")
+            .unwrap();
         sys.run_to_quiescence(16).unwrap();
         assert!(sys
             .workspace(Symbol::intern("bank"))
@@ -446,7 +472,11 @@ mod tests {
         // mgr attempting to re-delegate violates dd4 and is rolled back.
         sys.workspace_mut(mgr).unwrap().assert_fact(
             Symbol::intern("delegates"),
-            vec![Value::sym("mgr"), Value::sym("sub"), Value::sym("permission")],
+            vec![
+                Value::sym("mgr"),
+                Value::sym("sub"),
+                Value::sym("permission"),
+            ],
         );
         let result = sys.workspace_mut(mgr).unwrap().evaluate();
         assert!(result.is_err(), "re-delegation at depth 0 must fail");
@@ -472,7 +502,11 @@ mod tests {
         // mgr re-delegates once: allowed, and sub receives budget 0.
         sys.workspace_mut(mgr).unwrap().assert_fact(
             Symbol::intern("delegates"),
-            vec![Value::sym("mgr"), Value::sym("sub"), Value::sym("permission")],
+            vec![
+                Value::sym("mgr"),
+                Value::sym("sub"),
+                Value::sym("permission"),
+            ],
         );
         sys.run_to_quiescence(16).unwrap();
         assert!(sys
@@ -483,7 +517,11 @@ mod tests {
         // sub cannot go further.
         sys.workspace_mut(sub).unwrap().assert_fact(
             Symbol::intern("delegates"),
-            vec![Value::sym("sub"), Value::sym("deep"), Value::sym("permission")],
+            vec![
+                Value::sym("sub"),
+                Value::sym("deep"),
+                Value::sym("permission"),
+            ],
         );
         assert!(sys.workspace_mut(sub).unwrap().evaluate().is_err());
     }
@@ -503,13 +541,21 @@ mod tests {
         // Delegating inside the allowed width: fine.
         sys.workspace_mut(alice).unwrap().assert_fact(
             Symbol::intern("delegates"),
-            vec![Value::sym("alice"), Value::sym("good"), Value::sym("permission")],
+            vec![
+                Value::sym("alice"),
+                Value::sym("good"),
+                Value::sym("permission"),
+            ],
         );
         sys.workspace_mut(alice).unwrap().evaluate().unwrap();
         // Outside: constraint violation.
         sys.workspace_mut(alice).unwrap().assert_fact(
             Symbol::intern("delegates"),
-            vec![Value::sym("alice"), Value::sym("evil"), Value::sym("permission")],
+            vec![
+                Value::sym("alice"),
+                Value::sym("evil"),
+                Value::sym("permission"),
+            ],
         );
         assert!(sys.workspace_mut(alice).unwrap().evaluate().is_err());
     }

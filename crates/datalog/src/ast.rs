@@ -465,8 +465,7 @@ impl Rule {
     /// rule.
     pub fn is_pattern(&self) -> bool {
         fn atom_is_pat(a: &Atom) -> bool {
-            matches!(a.pred, PredRef::Var(_))
-                || a.all_args().any(|t| matches!(t, Term::SeqVar(_)))
+            matches!(a.pred, PredRef::Var(_)) || a.all_args().any(|t| matches!(t, Term::SeqVar(_)))
         }
         self.heads.iter().any(atom_is_pat)
             || self.body.iter().any(|item| match item {
@@ -508,7 +507,11 @@ impl Rule {
     /// rule is installed into a workspace (§4.1 of the paper).
     pub fn substitute_sym(&self, from: Symbol, to: Symbol) -> Rule {
         Rule {
-            heads: self.heads.iter().map(|a| a.substitute_sym(from, to)).collect(),
+            heads: self
+                .heads
+                .iter()
+                .map(|a| a.substitute_sym(from, to))
+                .collect(),
             body: self
                 .body
                 .iter()
@@ -835,10 +838,6 @@ mod tests {
                 Formula::Item(BodyItem::pos(Atom::new("object", vec![Term::var("O")]))),
             ]),
         };
-        assert_eq!(
-            c.to_string(),
-            "access(P,O,M) -> (principal(P), object(O))."
-        );
+        assert_eq!(c.to_string(), "access(P,O,M) -> (principal(P), object(O)).");
     }
 }
-

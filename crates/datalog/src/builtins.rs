@@ -101,8 +101,7 @@ impl Builtins {
     where
         F: Fn(&[Option<Value>]) -> BuiltinResult + Send + Sync + 'static,
     {
-        self.map
-            .insert(Symbol::intern(name), (arity, Arc::new(f)));
+        self.map.insert(Symbol::intern(name), (arity, Arc::new(f)));
     }
 
     /// Whether `name` is a registered builtin.
@@ -138,11 +137,7 @@ impl Builtins {
 /// `arg(A,I,T) -> atom(A), int(I), term(T)` and friends) directly
 /// installable.
 pub fn register_type_predicates(builtins: &mut Builtins) {
-    fn type_pred(
-        builtins: &mut Builtins,
-        name: &'static str,
-        check: fn(&Value) -> bool,
-    ) {
+    fn type_pred(builtins: &mut Builtins, name: &'static str, check: fn(&Value) -> bool) {
         builtins.register(name, 1, move |args| {
             let sym = Symbol::intern(name);
             let v = require_bound(sym, args, 0)?;
@@ -167,12 +162,12 @@ pub fn require_bound(
     args: &[Option<Value>],
     i: usize,
 ) -> Result<&Value, BuiltinError> {
-    args.get(i).and_then(Option::as_ref).ok_or_else(|| {
-        BuiltinError::InsufficientBinding {
+    args.get(i)
+        .and_then(Option::as_ref)
+        .ok_or_else(|| BuiltinError::InsufficientBinding {
             name,
             required: vec![i],
-        }
-    })
+        })
 }
 
 #[cfg(test)]
@@ -192,9 +187,7 @@ mod tests {
                         _ => Ok(vec![vec![Value::Int(*x), y]]),
                     }
                 }
-                (None, Some(Value::Int(y))) => {
-                    Ok(vec![vec![Value::Int(y - 1), Value::Int(*y)]])
-                }
+                (None, Some(Value::Int(y))) => Ok(vec![vec![Value::Int(y - 1), Value::Int(*y)]]),
                 (None, None) => Err(BuiltinError::InsufficientBinding {
                     name,
                     required: vec![0, 1],

@@ -123,7 +123,10 @@ mod tests {
         let f = Formula::Or(vec![item("p"), item("q")]);
         let d = to_dnf(&f).unwrap();
         assert_eq!(d.len(), 2);
-        assert_eq!(names(&d), vec![vec!["p(X)".to_string()], vec!["q(X)".to_string()]]);
+        assert_eq!(
+            names(&d),
+            vec![vec!["p(X)".to_string()], vec!["q(X)".to_string()]]
+        );
     }
 
     #[test]

@@ -64,9 +64,7 @@ pub fn retract(
     let mut doomed: HashMap<Symbol, HashSet<Tuple>> = HashMap::new();
     let mut frontier: Vec<(Symbol, Tuple)> = Vec::new();
     for (pred, tuple) in retracted {
-        if db.contains(*pred, tuple)
-            && doomed.entry(*pred).or_default().insert(tuple.clone())
-        {
+        if db.contains(*pred, tuple) && doomed.entry(*pred).or_default().insert(tuple.clone()) {
             frontier.push((*pred, tuple.clone()));
         }
     }
@@ -86,9 +84,7 @@ pub fn retract(
                 // Consequences of this rule with body literal `idx`
                 // pinned to the doomed tuple (other literals evaluated
                 // against the pre-deletion database, per DRed).
-                for (head_pred, head_tuple) in
-                    eval_rule_pinned(&engine, rule, db, idx, &tuple)?
-                {
+                for (head_pred, head_tuple) in eval_rule_pinned(&engine, rule, db, idx, &tuple)? {
                     if db.contains(head_pred, &head_tuple)
                         && doomed
                             .entry(head_pred)
@@ -269,8 +265,7 @@ mod tests {
     fn alternative_path_rederives() {
         // Two paths a->c: direct and through b. Deleting the direct edge
         // must keep reach(a,c) via re-derivation.
-        let (rules, mut db, builtins) =
-            setup(&[("a", "b"), ("b", "c"), ("a", "c")]);
+        let (rules, mut db, builtins) = setup(&[("a", "b"), ("b", "c"), ("a", "c")]);
         let edge_p = Symbol::intern("edge");
         let stats = retract(&rules, &mut db, &builtins, &[(edge_p, edge("a", "c"))]).unwrap();
         assert!(stats.rederived > 0, "reach(a,c) must be re-derived");
@@ -281,8 +276,7 @@ mod tests {
 
     #[test]
     fn cycle_deletion() {
-        let (rules, mut db, builtins) =
-            setup(&[("a", "b"), ("b", "c"), ("c", "a")]);
+        let (rules, mut db, builtins) = setup(&[("a", "b"), ("b", "c"), ("c", "a")]);
         let edge_p = Symbol::intern("edge");
         retract(&rules, &mut db, &builtins, &[(edge_p, edge("c", "a"))]).unwrap();
         let expected = reference(&[("a", "b"), ("b", "c")]);
@@ -306,8 +300,7 @@ mod tests {
 
     #[test]
     fn multiple_retractions_at_once() {
-        let (rules, mut db, builtins) =
-            setup(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")]);
+        let (rules, mut db, builtins) = setup(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")]);
         let edge_p = Symbol::intern("edge");
         retract(
             &rules,

@@ -181,8 +181,7 @@ impl<'a> Engine<'a> {
         // strata see earlier strata's growth as delta.
         let mut global: HashMap<Symbol, usize> = seeds.iter().copied().collect();
         for stratum_rules in &strata.rules_by_stratum {
-            let grown =
-                self.run_stratum(db, &strata, stratum_rules, &mut stats, Some(&global))?;
+            let grown = self.run_stratum(db, &strata, stratum_rules, &mut stats, Some(&global))?;
             for (pred, first_new) in grown {
                 let entry = global.entry(pred).or_insert(first_new);
                 *entry = (*entry).min(first_new);
@@ -279,7 +278,8 @@ impl<'a> Engine<'a> {
                     // A literal participates in delta joins when its
                     // predicate changed this round (stratum-local
                     // recursion or incremental seeds).
-                    let relevant = delta.contains_key(&pred) && (in_stratum(pred) || seeds.is_some());
+                    let relevant =
+                        delta.contains_key(&pred) && (in_stratum(pred) || seeds.is_some());
                     if !relevant {
                         continue;
                     }
@@ -596,9 +596,7 @@ impl<'a> Engine<'a> {
             (_, Some(l), Some(r)) => {
                 let (Value::Int(a), Value::Int(b)) = (&l, &r) else {
                     return Err(EvalError::TypeError {
-                        message: format!(
-                            "ordering comparison on non-integers: {l} {op} {r}"
-                        ),
+                        message: format!("ordering comparison on non-integers: {l} {op} {r}"),
                     });
                 };
                 let holds = match op {
@@ -751,11 +749,7 @@ impl<'a> Engine<'a> {
     /// Evaluates an aggregate rule (§4.2.2): collect satisfying
     /// environments, group by the resolved head arguments (with the
     /// result position held out), and fold the aggregated variable.
-    fn eval_agg_rule(
-        &self,
-        rule: &Rule,
-        db: &Database,
-    ) -> Result<Vec<(Symbol, Tuple)>, EvalError> {
+    fn eval_agg_rule(&self, rule: &Rule, db: &Database) -> Result<Vec<(Symbol, Tuple)>, EvalError> {
         let agg = rule.agg.as_ref().expect("aggregate rule");
         if rule.heads.len() != 1 {
             return Err(EvalError::PatternRule {
@@ -776,19 +770,18 @@ impl<'a> Engine<'a> {
         // group key -> over values
         let mut groups: HashMap<Vec<GroupSlot>, Vec<Value>> = HashMap::new();
         for env in &envs {
-            let projection: Vec<Option<Value>> = body_vars
-                .iter()
-                .map(|v| env.value(*v).cloned())
-                .collect();
+            let projection: Vec<Option<Value>> =
+                body_vars.iter().map(|v| env.value(*v).cloned()).collect();
             if !seen.insert(projection) {
                 continue;
             }
-            let over = env.value(agg.over).cloned().ok_or_else(|| {
-                EvalError::Unbound {
+            let over = env
+                .value(agg.over)
+                .cloned()
+                .ok_or_else(|| EvalError::Unbound {
                     item: format!("{}", agg.over),
                     rule: rule.to_string(),
-                }
-            })?;
+                })?;
             let mut key = Vec::with_capacity(head.arity());
             let mut ok = true;
             for term in head.all_args() {
@@ -881,9 +874,8 @@ pub fn run_naive(
     let strata = stratify(rules, &|p| builtins.contains(p))?;
     let mut stats = EvalStats::default();
     for stratum_rules in &strata.rules_by_stratum {
-        let (agg_rules, plain_rules): (Vec<usize>, Vec<usize>) = stratum_rules
-            .iter()
-            .partition(|&&i| rules[i].agg.is_some());
+        let (agg_rules, plain_rules): (Vec<usize>, Vec<usize>) =
+            stratum_rules.iter().partition(|&&i| rules[i].agg.is_some());
         for &i in &agg_rules {
             stats.rule_evals += 1;
             for (pred, tuple) in engine.eval_agg_rule(&rules[i], db)? {
@@ -980,7 +972,9 @@ mod tests {
         let program = parse_program(src).unwrap();
         let builtins = Builtins::new();
         let mut db1 = Database::new();
-        Engine::new(&program.rules, &builtins).run(&mut db1).unwrap();
+        Engine::new(&program.rules, &builtins)
+            .run(&mut db1)
+            .unwrap();
         let mut db2 = Database::new();
         run_naive(&program.rules, &mut db2, &builtins).unwrap();
         let p = Symbol::intern("reach");
@@ -1062,7 +1056,9 @@ mod tests {
         for (a, b) in [("a", "b"), ("b", "c"), ("c", "d")] {
             full.insert(edge, vec![Value::sym(a), Value::sym(b)]);
         }
-        Engine::new(&program.rules, &builtins).run(&mut full).unwrap();
+        Engine::new(&program.rules, &builtins)
+            .run(&mut full)
+            .unwrap();
 
         // Incremental: start with two edges, then add the third.
         let mut inc = Database::new();

@@ -45,7 +45,10 @@ impl fmt::Display for MagicError {
                 write!(f, "magic rewrite does not support aggregation: '{rule}'")
             }
             MagicError::NegatedIdb { rule } => {
-                write!(f, "magic rewrite does not support negated IDB literals: '{rule}'")
+                write!(
+                    f,
+                    "magic rewrite does not support negated IDB literals: '{rule}'"
+                )
             }
             MagicError::PatternQuery => write!(f, "query atom must not contain patterns"),
         }
@@ -184,11 +187,7 @@ pub fn magic_rewrite(
                             .collect();
                         out.push(Rule {
                             heads: vec![Atom {
-                                pred: PredRef::Name(adorned_name(
-                                    sub_pred,
-                                    &sub_adornment,
-                                    true,
-                                )),
+                                pred: PredRef::Name(adorned_name(sub_pred, &sub_adornment, true)),
                                 key_args: Vec::new(),
                                 args: sub_bound_args,
                             }],

@@ -31,8 +31,8 @@
 //! of meta-variable expressions (§3.3, rule `dd3`).
 
 use crate::ast::{
-    AggFunc, AggSpec, ArithOp, Atom, BodyItem, CmpOp, Constraint, Expr, Formula, PredRef,
-    Program, Rule, Term,
+    AggFunc, AggSpec, ArithOp, Atom, BodyItem, CmpOp, Constraint, Expr, Formula, PredRef, Program,
+    Rule, Term,
 };
 use crate::dnf::to_dnf;
 use crate::intern::Symbol;
@@ -278,8 +278,7 @@ impl Parser {
     }
 
     fn maybe_agg_spec(&mut self) -> Result<Option<AggSpec>, ParseError> {
-        if self.peek() == Some(&Token::Ident("agg".into()))
-            && self.peek2() == Some(&Token::LAngles)
+        if self.peek() == Some(&Token::Ident("agg".into())) && self.peek2() == Some(&Token::LAngles)
         {
             self.bump();
             self.bump();
@@ -295,9 +294,7 @@ impl Parser {
                     "min" => AggFunc::Min,
                     "max" => AggFunc::Max,
                     other => {
-                        return Err(
-                            self.error(format!("unknown aggregation function '{other}'"))
-                        )
+                        return Err(self.error(format!("unknown aggregation function '{other}'")))
                     }
                 },
                 _ => return Err(self.error("expected aggregation function".into())),
@@ -363,9 +360,7 @@ impl Parser {
                         atom,
                     }),
                     other => {
-                        return Err(
-                            self.error(format!("unsupported negation '!{other}' here"))
-                        )
+                        return Err(self.error(format!("unsupported negation '!{other}' here")))
                     }
                 },
                 other => return Err(self.error(format!("'{other}' not allowed here"))),
@@ -432,7 +427,10 @@ impl Parser {
         if self.quote_depth > 0 {
             if let (Some(Token::UIdent(name)), Some(Token::Star)) = (self.peek(), self.peek2()) {
                 let after = self.toks.get(self.pos + 2).map(|s| &s.token);
-                if matches!(after, Some(Token::Comma | Token::Dot | Token::RQuote) | None) {
+                if matches!(
+                    after,
+                    Some(Token::Comma | Token::Dot | Token::RQuote) | None
+                ) {
                     let sym = Symbol::intern(name);
                     self.bump();
                     self.bump();
@@ -461,9 +459,7 @@ impl Parser {
                         | Token::Percent
                 )
             ),
-            (Some(Token::UIdent(_)), Some(Token::LParen | Token::LBracket)) => {
-                self.quote_depth > 0
-            }
+            (Some(Token::UIdent(_)), Some(Token::LParen | Token::LBracket)) => self.quote_depth > 0,
             (Some(Token::UIdent(_)), next) => {
                 // Bare whole-atom meta-variable inside quotes (may also
                 // head a quoted rule, hence `<-`).
@@ -534,16 +530,15 @@ impl Parser {
             self.expect(&Token::RBracket)?;
         }
         let mut args = Vec::new();
-        if self.eat(&Token::LParen)
-            && !self.eat(&Token::RParen) {
-                loop {
-                    args.push(self.arg_term()?);
-                    if !self.eat(&Token::Comma) {
-                        break;
-                    }
+        if self.eat(&Token::LParen) && !self.eat(&Token::RParen) {
+            loop {
+                args.push(self.arg_term()?);
+                if !self.eat(&Token::Comma) {
+                    break;
                 }
-                self.expect(&Token::RParen)?;
             }
+            self.expect(&Token::RParen)?;
+        }
         Ok(Atom {
             pred,
             key_args,
@@ -918,10 +913,7 @@ mod tests {
     #[test]
     fn parse_zero_arity() {
         let r = parse_rule("fail() <- access(P,O,M), !principal(P).").unwrap();
-        assert_eq!(
-            r.to_string(),
-            "fail() <- access(P,O,M), !principal(P)."
-        );
+        assert_eq!(r.to_string(), "fail() <- access(P,O,M), !principal(P).");
         // Bare 0-ary atoms also work.
         let r = parse_rule("shutdown <- overload.").unwrap();
         assert_eq!(r.to_string(), "shutdown() <- overload().");

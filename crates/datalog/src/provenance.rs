@@ -81,10 +81,7 @@ impl Proof {
                 rule,
                 premises,
             } => {
-                out.push_str(&format!(
-                    "{pad}{pred}{} [via {rule}]\n",
-                    fmt_tuple(tuple)
-                ));
+                out.push_str(&format!("{pad}{pred}{} [via {rule}]\n", fmt_tuple(tuple)));
                 for p in premises {
                     p.render_into(out, indent + 1);
                 }
@@ -187,7 +184,9 @@ impl<'a> Explainer<'a> {
                         if envs.is_empty() {
                             break;
                         }
-                        envs = engine.eval_single_item(rule, item, envs, self.db).unwrap_or_default();
+                        envs = engine
+                            .eval_single_item(rule, item, envs, self.db)
+                            .unwrap_or_default();
                     }
                     let Some(witness) = envs.into_iter().next() else {
                         continue;
@@ -258,19 +257,34 @@ mod tests {
     #[test]
     fn base_fact_is_a_leaf() {
         let (rules, db, builtins) = setup("edge(a,b). reach(X,Y) <- edge(X,Y).");
-        let proof = explain(&rules, &db, &builtins, Symbol::intern("edge"), &t(&["a", "b"]))
-            .expect("present");
-        assert_eq!(proof, Proof::Fact {
-            pred: Symbol::intern("edge"),
-            tuple: t(&["a", "b"]),
-        });
+        let proof = explain(
+            &rules,
+            &db,
+            &builtins,
+            Symbol::intern("edge"),
+            &t(&["a", "b"]),
+        )
+        .expect("present");
+        assert_eq!(
+            proof,
+            Proof::Fact {
+                pred: Symbol::intern("edge"),
+                tuple: t(&["a", "b"]),
+            }
+        );
     }
 
     #[test]
     fn one_step_derivation() {
         let (rules, db, builtins) = setup("edge(a,b). reach(X,Y) <- edge(X,Y).");
-        let proof = explain(&rules, &db, &builtins, Symbol::intern("reach"), &t(&["a", "b"]))
-            .expect("present");
+        let proof = explain(
+            &rules,
+            &db,
+            &builtins,
+            Symbol::intern("reach"),
+            &t(&["a", "b"]),
+        )
+        .expect("present");
         match &proof {
             Proof::Derived { rule, premises, .. } => {
                 assert!(rule.contains("reach(X,Y)"), "{rule}");
@@ -289,10 +303,20 @@ mod tests {
              reach(X,Y) <- edge(X,Y).\n\
              reach(X,Z) <- reach(X,Y), edge(Y,Z).",
         );
-        let proof = explain(&rules, &db, &builtins, Symbol::intern("reach"), &t(&["a", "d"]))
-            .expect("present");
+        let proof = explain(
+            &rules,
+            &db,
+            &builtins,
+            Symbol::intern("reach"),
+            &t(&["a", "d"]),
+        )
+        .expect("present");
         // a->d needs at least 3 levels: reach(a,d) <- reach(a,c) <- reach(a,b).
-        assert!(proof.depth() >= 3, "depth {} too shallow:\n{proof}", proof.depth());
+        assert!(
+            proof.depth() >= 3,
+            "depth {} too shallow:\n{proof}",
+            proof.depth()
+        );
         let rendered = proof.render();
         assert!(rendered.contains("reach(a,d)"), "{rendered}");
         assert!(rendered.contains("[fact]"), "{rendered}");
@@ -301,7 +325,14 @@ mod tests {
     #[test]
     fn absent_tuple_unexplained() {
         let (rules, db, builtins) = setup("edge(a,b). reach(X,Y) <- edge(X,Y).");
-        assert!(explain(&rules, &db, &builtins, Symbol::intern("reach"), &t(&["b", "a"])).is_none());
+        assert!(explain(
+            &rules,
+            &db,
+            &builtins,
+            Symbol::intern("reach"),
+            &t(&["b", "a"])
+        )
+        .is_none());
     }
 
     #[test]
@@ -312,8 +343,14 @@ mod tests {
              reach(X,Z) <- reach(X,Y), edge(Y,Z).",
         );
         // reach(a,a) exists via the cycle; explanation must terminate.
-        let proof = explain(&rules, &db, &builtins, Symbol::intern("reach"), &t(&["a", "a"]))
-            .expect("present");
+        let proof = explain(
+            &rules,
+            &db,
+            &builtins,
+            Symbol::intern("reach"),
+            &t(&["a", "a"]),
+        )
+        .expect("present");
         assert!(proof.depth() >= 2);
     }
 
@@ -323,8 +360,8 @@ mod tests {
             "candidate(a). candidate(b). banned(b).\n\
              ok(X) <- candidate(X), !banned(X).",
         );
-        let proof = explain(&rules, &db, &builtins, Symbol::intern("ok"), &t(&["a"]))
-            .expect("present");
+        let proof =
+            explain(&rules, &db, &builtins, Symbol::intern("ok"), &t(&["a"])).expect("present");
         match proof {
             Proof::Derived { premises, .. } => {
                 // Only the positive premise appears.

@@ -59,7 +59,10 @@ impl fmt::Display for SafetyError {
                 write!(f, "comparison '{item}' can never be evaluated in '{rule}'")
             }
             SafetyError::UnboundAggregate { var, rule } => {
-                write!(f, "aggregated variable {var} not bound by the body in '{rule}'")
+                write!(
+                    f,
+                    "aggregated variable {var} not bound by the body in '{rule}'"
+                )
             }
         }
     }
@@ -162,8 +165,7 @@ pub fn check_rule(rule: &Rule, builtins: &Builtins) -> Result<(), SafetyError> {
                 continue;
             };
             for (target, source) in [(lhs, rhs), (rhs, lhs)] {
-                let bindable_target =
-                    matches!(target, Expr::Term(Term::Var(_) | Term::Quote(_)));
+                let bindable_target = matches!(target, Expr::Term(Term::Var(_) | Term::Quote(_)));
                 if !bindable_target {
                     continue;
                 }

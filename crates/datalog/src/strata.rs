@@ -21,9 +21,16 @@ pub struct StratifyError {
 
 impl fmt::Display for StratifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let kind = if self.negation { "negation" } else { "aggregation" };
+        let kind = if self.negation {
+            "negation"
+        } else {
+            "aggregation"
+        };
         let names: Vec<&str> = self.cycle.iter().map(|s| s.as_str()).collect();
-        write!(f, "unstratifiable program: {kind} in recursive cycle {names:?}")
+        write!(
+            f,
+            "unstratifiable program: {kind} in recursive cycle {names:?}"
+        )
     }
 }
 

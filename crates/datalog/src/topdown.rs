@@ -318,8 +318,7 @@ mod tests {
         let program = parse_program("grant(P,O) <- owns(P,O).").unwrap();
         let db = edb(&[("owns", &["alice", "f1"][..]), ("owns", &["bob", "f2"][..])]);
         let query = parse_atom("grant(alice, X)").unwrap();
-        let (answers, _) =
-            query_topdown(&program.rules, &db, &query, &Builtins::new()).unwrap();
+        let (answers, _) = query_topdown(&program.rules, &db, &query, &Builtins::new()).unwrap();
         assert_eq!(answers.len(), 1);
         assert_eq!(answers[0][1], Value::sym("f1"));
     }
@@ -386,8 +385,7 @@ mod tests {
             db.insert(Symbol::intern("n"), vec![Value::sym(v)]);
         }
         let query = parse_atom("bigpair(X, Y)").unwrap();
-        let (answers, _) =
-            query_topdown(&program.rules, &db, &query, &Builtins::new()).unwrap();
+        let (answers, _) = query_topdown(&program.rules, &db, &query, &Builtins::new()).unwrap();
         assert_eq!(answers.len(), 2);
     }
 
@@ -400,8 +398,7 @@ mod tests {
             ("banned", &["b"][..]),
         ]);
         let query = parse_atom("ok(X)").unwrap();
-        let (answers, _) =
-            query_topdown(&program.rules, &db, &query, &Builtins::new()).unwrap();
+        let (answers, _) = query_topdown(&program.rules, &db, &query, &Builtins::new()).unwrap();
         assert_eq!(answers.len(), 1);
     }
 

@@ -49,9 +49,7 @@ impl Binding {
     fn normalized(self) -> Binding {
         match self {
             Binding::CodeTerm(Term::Val(v)) => Binding::Val(v),
-            Binding::CodeTerm(Term::Quote(r)) if !r.is_pattern() => {
-                Binding::Val(Value::Quote(r))
-            }
+            Binding::CodeTerm(Term::Quote(r)) if !r.is_pattern() => Binding::Val(Value::Quote(r)),
             other => other,
         }
     }
@@ -281,7 +279,10 @@ impl Bindings {
             envs = next;
         }
         if let Some(seq) = seq_tail {
-            let tail: Vec<Term> = code_args[fixed.len()..].iter().map(|t| (*t).clone()).collect();
+            let tail: Vec<Term> = code_args[fixed.len()..]
+                .iter()
+                .map(|t| (*t).clone())
+                .collect();
             envs.retain_mut(|env| env.insert(seq_key(seq), Binding::Terms(tail.clone())));
         }
         envs
@@ -502,7 +503,11 @@ impl Bindings {
             self.instantiate_item(item, &mut body);
         }
         Rule {
-            heads: rule.heads.iter().map(|h| self.instantiate_atom(h)).collect(),
+            heads: rule
+                .heads
+                .iter()
+                .map(|h| self.instantiate_atom(h))
+                .collect(),
             body,
             agg: rule.agg.clone(),
         }
@@ -546,7 +551,11 @@ mod tests {
             Some(&Value::sym("alice"))
         );
         // Mode mismatch: constant 'read' vs 'write'.
-        let bad = vec![Value::sym("alice"), Value::sym("file1"), Value::sym("write")];
+        let bad = vec![
+            Value::sym("alice"),
+            Value::sym("file1"),
+            Value::sym("write"),
+        ];
         assert!(Bindings::new().match_tuple(&atom, &bad).is_empty());
     }
 
@@ -632,10 +641,7 @@ mod tests {
         let code = quote_of("access(P) <- says(bob,me,[|access(P)|]).");
         let envs = Bindings::new().match_rule(&pattern, &code);
         assert_eq!(envs.len(), 1);
-        assert_eq!(
-            envs[0].value(Symbol::intern("X")),
-            Some(&Value::sym("bob"))
-        );
+        assert_eq!(envs[0].value(Symbol::intern("X")), Some(&Value::sym("bob")));
         match envs[0].get(Symbol::intern("R")) {
             Some(Binding::Val(Value::Quote(_))) => {}
             other => panic!("expected quote binding, got {other:?}"),

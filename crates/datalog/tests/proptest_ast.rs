@@ -44,10 +44,17 @@ fn arb_atom() -> impl Strategy<Value = Atom> {
 fn arb_body_item() -> impl Strategy<Value = BodyItem> {
     prop_oneof![
         (arb_atom(), any::<bool>()).prop_map(|(atom, negated)| BodyItem::Lit { negated, atom }),
-        (var_name(), any::<i32>(), prop_oneof![
-            Just(CmpOp::Lt), Just(CmpOp::Le), Just(CmpOp::Gt),
-            Just(CmpOp::Ge), Just(CmpOp::Ne)
-        ])
+        (
+            var_name(),
+            any::<i32>(),
+            prop_oneof![
+                Just(CmpOp::Lt),
+                Just(CmpOp::Le),
+                Just(CmpOp::Gt),
+                Just(CmpOp::Ge),
+                Just(CmpOp::Ne)
+            ]
+        )
             .prop_map(|(v, n, op)| BodyItem::Cmp {
                 op,
                 lhs: Expr::var(&v),

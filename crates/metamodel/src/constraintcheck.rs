@@ -293,7 +293,11 @@ mod tests {
         // Grant access: passes.
         db.insert(
             Symbol::intern("access"),
-            vec![Value::sym("alice"), Value::sym("budget"), Value::sym("read")],
+            vec![
+                Value::sym("alice"),
+                Value::sym("budget"),
+                Value::sym("read"),
+            ],
         );
         assert!(check_constraint(&c, &db, &Builtins::new()).is_ok());
     }

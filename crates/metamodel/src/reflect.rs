@@ -133,38 +133,28 @@ mod tests {
         // predicate entities are name symbols.
         assert!(db.contains(preds.predicate, &[Value::sym("access")]));
         assert!(db.contains(preds.predicate, &[Value::sym("good")]));
-        assert!(db.contains(
-            preds.pname,
-            &[Value::sym("access"), Value::str("access")]
-        ));
+        assert!(db.contains(preds.pname, &[Value::sym("access"), Value::str("access")]));
     }
 
     #[test]
     fn args_variables_and_constants() {
         let (db, preds, _) = reflected("access(P,O,read) <- good(P).");
         // variable entity with its name.
-        assert!(db.contains(
-            preds.vname,
-            &[Value::sym("var:P"), Value::str("P")]
-        ));
+        assert!(db.contains(preds.vname, &[Value::sym("var:P"), Value::str("P")]));
         // constant entity is the value itself.
         assert!(db.contains(preds.constant, &[Value::sym("read")]));
-        assert!(db.contains(
-            preds.value,
-            &[Value::sym("read"), Value::str("read")]
-        ));
+        assert!(db.contains(preds.value, &[Value::sym("read"), Value::str("read")]));
         // arg positions: access has three.
         let head_atom = atom_entity(&parse_rule("access(P,O,read).").unwrap().heads[0]);
-        for (i, ent) in [
-            Value::sym("var:P"),
-            Value::sym("var:O"),
-            Value::sym("read"),
-        ]
-        .iter()
-        .enumerate()
+        for (i, ent) in [Value::sym("var:P"), Value::sym("var:O"), Value::sym("read")]
+            .iter()
+            .enumerate()
         {
             assert!(
-                db.contains(preds.arg, &[head_atom.clone(), Value::Int(i as i64), ent.clone()]),
+                db.contains(
+                    preds.arg,
+                    &[head_atom.clone(), Value::Int(i as i64), ent.clone()]
+                ),
                 "arg {i}"
             );
         }
@@ -181,10 +171,7 @@ mod tests {
             preds.arg,
             &[ent.clone(), Value::Int(0), Value::sym("var:U2")]
         ));
-        assert!(db.contains(
-            preds.arg,
-            &[ent, Value::Int(1), Value::sym("alice")]
-        ));
+        assert!(db.contains(preds.arg, &[ent, Value::Int(1), Value::sym("alice")]));
     }
 
     #[test]
@@ -210,7 +197,10 @@ mod tests {
         let preds = MetaPreds::new();
         let mut db = Database::new();
         reflect_into(&rule, &preds, &mut db);
-        db.insert(S::intern("owner"), vec![Value::sym("alice"), rule_entity(&rule)]);
+        db.insert(
+            S::intern("owner"),
+            vec![Value::sym("alice"), rule_entity(&rule)],
+        );
 
         // Join the premise by hand via pattern matching.
         let premise = lbtrust_datalog::parse_program(
@@ -223,10 +213,7 @@ mod tests {
             .unwrap();
         let violation = S::intern("violation");
         assert_eq!(db.count(violation), 1);
-        assert!(db.contains(
-            violation,
-            &[Value::sym("alice"), Value::sym("budget")]
-        ));
+        assert!(db.contains(violation, &[Value::sym("alice"), Value::sym("budget")]));
         let _ = Bindings::new();
     }
 }

@@ -16,4 +16,8 @@ pub mod wire;
 
 pub use network::{Envelope, NetworkConfig, NetworkStats, SimNetwork};
 pub use node::NodeId;
-pub use wire::{decode, encode, rule_bytes, WireError, WireMessage};
+pub use wire::{
+    decode, decode_packet, digest_bytes, encode, encode_packet, encode_revoke, from_hex,
+    revoke_signing_bytes, rule_bytes, to_hex, RevokeMessage, WireDigest, WireError, WireMessage,
+    WirePacket,
+};

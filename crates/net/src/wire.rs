@@ -7,10 +7,48 @@
 //! signatures and MACs are computed. A message is one `export` tuple:
 //! `export[<to>](<from>, <rule-quote>, <signature-bytes>)`.
 
+use lbtrust_crypto::sha256::Sha256;
 use lbtrust_datalog::ast::{Atom, Rule, Term};
 use lbtrust_datalog::{parse_rule, Symbol, Value};
 use std::fmt;
 use std::sync::Arc;
+
+/// A 32-byte content address over canonical wire bytes.
+pub type WireDigest = [u8; 32];
+
+/// SHA-256 content digest of canonical wire bytes — the key under which
+/// the certificate store addresses verified credentials.
+pub fn digest_bytes(bytes: &[u8]) -> WireDigest {
+    Sha256::digest(bytes)
+}
+
+/// Lowercase hex rendering of a digest (or any byte string).
+pub fn to_hex(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = Vec::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(DIGITS[(b >> 4) as usize]);
+        out.push(DIGITS[(b & 0xf) as usize]);
+    }
+    String::from_utf8(out).expect("hex digits are ascii")
+}
+
+/// Parses lowercase/uppercase hex back into bytes.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
+}
+
+/// The byte string a revocation signature covers: issuer name plus the
+/// hex digest of the certificate being withdrawn.
+pub fn revoke_signing_bytes(issuer: Symbol, digest: &WireDigest) -> Vec<u8> {
+    format!("lbtrust-revoke:{issuer}:{}", to_hex(digest)).into_bytes()
+}
 
 /// Wire decode failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -40,6 +78,31 @@ pub struct WireMessage {
     pub auth: Vec<u8>,
 }
 
+/// A revocation notice on the wire: `from` withdraws the certificate
+/// addressed by `digest`; `auth` is `from`'s signature over
+/// [`revoke_signing_bytes`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RevokeMessage {
+    /// The revoking (issuing) principal.
+    pub from: Symbol,
+    /// The receiving principal.
+    pub to: Symbol,
+    /// Content address of the certificate being withdrawn.
+    pub digest: WireDigest,
+    /// Signature over [`revoke_signing_bytes`].
+    pub auth: Vec<u8>,
+}
+
+/// Everything that travels between principals: exported rules and
+/// revocation notices share one self-describing canonical-text format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WirePacket {
+    /// An exported, authenticated rule (`export[to](from, R, S)`).
+    Export(WireMessage),
+    /// A certificate revocation (`revoke[to](from, "digest-hex", S)`).
+    Revoke(RevokeMessage),
+}
+
 /// The canonical byte string of a rule — what gets signed/MACed.
 pub fn rule_bytes(rule: &Rule) -> Vec<u8> {
     rule.to_string().into_bytes()
@@ -57,6 +120,75 @@ pub fn encode(msg: &WireMessage) -> Vec<u8> {
         ],
     });
     fact.to_string().into_bytes()
+}
+
+/// Encodes a revocation notice as the canonical text of a `revoke` fact.
+pub fn encode_revoke(msg: &RevokeMessage) -> Vec<u8> {
+    let fact = Rule::fact(Atom {
+        pred: lbtrust_datalog::ast::PredRef::Name(Symbol::intern("revoke")),
+        key_args: vec![Term::Val(Value::Sym(msg.to))],
+        args: vec![
+            Term::Val(Value::Sym(msg.from)),
+            Term::Val(Value::str(&to_hex(&msg.digest))),
+            Term::Val(Value::bytes(&msg.auth)),
+        ],
+    });
+    fact.to_string().into_bytes()
+}
+
+/// Encodes either packet variant.
+pub fn encode_packet(packet: &WirePacket) -> Vec<u8> {
+    match packet {
+        WirePacket::Export(m) => encode(m),
+        WirePacket::Revoke(m) => encode_revoke(m),
+    }
+}
+
+/// Decodes a packet produced by [`encode_packet`] (or plain [`encode`]),
+/// dispatching on the fact's predicate.
+pub fn decode_packet(bytes: &[u8]) -> Result<WirePacket, WireError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| WireError {
+        message: format!("invalid utf-8: {e}"),
+    })?;
+    let fact = parse_rule(text).map_err(|e| WireError {
+        message: format!("unparseable message: {e}"),
+    })?;
+    if fact.heads.len() != 1 || !fact.body.is_empty() {
+        return Err(WireError {
+            message: "message is not a single fact".into(),
+        });
+    }
+    let head = &fact.heads[0];
+    match head.pred.name().map(|s| s.as_str()) {
+        Some("export") => Ok(WirePacket::Export(export_from_atom(head)?)),
+        Some("revoke") => Ok(WirePacket::Revoke(revoke_from_atom(head)?)),
+        _ => Err(WireError {
+            message: format!("unexpected predicate in '{head}'"),
+        }),
+    }
+}
+
+/// Decodes a `revoke[to](from, "digest-hex", auth)` fact.
+fn revoke_from_atom(head: &Atom) -> Result<RevokeMessage, WireError> {
+    let malformed = || WireError {
+        message: format!("malformed revoke fact '{head}'"),
+    };
+    match (head.key_args.as_slice(), head.args.as_slice()) {
+        (
+            [Term::Val(Value::Sym(to))],
+            [Term::Val(Value::Sym(from)), Term::Val(Value::Str(hex)), Term::Val(Value::Bytes(auth))],
+        ) => {
+            let raw = from_hex(hex).ok_or_else(malformed)?;
+            let digest: WireDigest = raw.try_into().map_err(|_| malformed())?;
+            Ok(RevokeMessage {
+                from: *from,
+                to: *to,
+                digest,
+                auth: auth.to_vec(),
+            })
+        }
+        _ => Err(malformed()),
+    }
 }
 
 /// Decodes a message produced by [`encode`].
@@ -78,6 +210,11 @@ pub fn decode(bytes: &[u8]) -> Result<WireMessage, WireError> {
             message: format!("unexpected predicate in '{head}'"),
         });
     }
+    export_from_atom(head)
+}
+
+/// Decodes the argument structure of an `export` fact.
+fn export_from_atom(head: &Atom) -> Result<WireMessage, WireError> {
     // The parser yields `Term::Quote` for quote literals; a programmatic
     // encode uses `Term::Val(Value::Quote)`. Accept both.
     fn as_quote(term: &Term) -> Option<Arc<Rule>> {
@@ -88,7 +225,10 @@ pub fn decode(bytes: &[u8]) -> Result<WireMessage, WireError> {
         }
     }
     let (to, from, rule, auth) = match (head.key_args.as_slice(), head.args.as_slice()) {
-        ([Term::Val(Value::Sym(to))], [Term::Val(Value::Sym(from)), quote, Term::Val(Value::Bytes(auth))]) => {
+        (
+            [Term::Val(Value::Sym(to))],
+            [Term::Val(Value::Sym(from)), quote, Term::Val(Value::Bytes(auth))],
+        ) => {
             let Some(rule) = as_quote(quote) else {
                 return Err(WireError {
                     message: format!("expected a quoted rule in '{head}'"),
@@ -108,6 +248,62 @@ pub fn decode(bytes: &[u8]) -> Result<WireMessage, WireError> {
         rule,
         auth,
     })
+}
+
+#[cfg(test)]
+mod packet_tests {
+    use super::*;
+
+    #[test]
+    fn revoke_roundtrip() {
+        let m = RevokeMessage {
+            from: Symbol::intern("alice"),
+            to: Symbol::intern("bob"),
+            digest: digest_bytes(b"some certificate"),
+            auth: vec![9, 8, 7],
+        };
+        let decoded = decode_packet(&encode_revoke(&m)).unwrap();
+        assert_eq!(decoded, WirePacket::Revoke(m));
+    }
+
+    #[test]
+    fn packet_decode_dispatches_on_predicate() {
+        let export = WireMessage {
+            from: Symbol::intern("a"),
+            to: Symbol::intern("b"),
+            rule: Arc::new(parse_rule("p(x).").unwrap()),
+            auth: vec![1],
+        };
+        match decode_packet(&encode(&export)).unwrap() {
+            WirePacket::Export(m) => assert_eq!(m, export),
+            WirePacket::Revoke(_) => panic!("export decoded as revoke"),
+        }
+        assert!(decode_packet(b"says(a,b,[| p. |]).").is_err());
+    }
+
+    #[test]
+    fn hex_roundtrip_and_rejects() {
+        let d = digest_bytes(b"abc");
+        assert_eq!(from_hex(&to_hex(&d)).unwrap(), d.to_vec());
+        assert!(from_hex("abc").is_none(), "odd length");
+        assert!(from_hex("zz").is_none(), "non-hex");
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        assert_eq!(digest_bytes(b"x"), digest_bytes(b"x"));
+        assert_ne!(digest_bytes(b"x"), digest_bytes(b"y"));
+    }
+
+    #[test]
+    fn revoke_signing_bytes_bind_issuer_and_digest() {
+        let d1 = digest_bytes(b"c1");
+        let d2 = digest_bytes(b"c2");
+        let a = Symbol::intern("alice");
+        let b = Symbol::intern("bob");
+        assert_ne!(revoke_signing_bytes(a, &d1), revoke_signing_bytes(b, &d1));
+        assert_ne!(revoke_signing_bytes(a, &d1), revoke_signing_bytes(a, &d2));
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +360,7 @@ mod tests {
         let pos = bytes.len() / 2;
         bytes[pos] = bytes[pos].wrapping_add(1);
         match decode(&bytes) {
-            Err(_) => {}                            // broken syntax
+            Err(_) => {}                           // broken syntax
             Ok(decoded) => assert_ne!(decoded, m), // or a different message
         }
     }

@@ -29,5 +29,7 @@
 pub mod routing;
 pub mod translate;
 
-pub use routing::{register_path_builtins, RoutingError, SendlogNetwork, PATH_VECTOR, REACHABILITY};
+pub use routing::{
+    register_path_builtins, RoutingError, SendlogNetwork, PATH_VECTOR, REACHABILITY,
+};
 pub use translate::{parse_sendlog, sendlog_to_lbtrust, SendlogError, SendlogProgram};

@@ -257,8 +257,7 @@ mod tests {
     #[test]
     fn path_vector_finds_paths() {
         let mut net =
-            SendlogNetwork::new(&["a", "b", "c"], PATH_VECTOR, AuthScheme::HmacSha1, 512)
-                .unwrap();
+            SendlogNetwork::new(&["a", "b", "c"], PATH_VECTOR, AuthScheme::HmacSha1, 512).unwrap();
         net.add_bidi_link("a", "b").unwrap();
         net.add_bidi_link("b", "c").unwrap();
         net.run(64).unwrap();

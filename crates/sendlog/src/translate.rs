@@ -70,7 +70,10 @@ pub fn sendlog_to_lbtrust(src: &str) -> Result<SendlogProgram, SendlogError> {
 pub fn parse_sendlog(src: &str) -> Result<(SendlogProgram, Program), SendlogError> {
     let translated = sendlog_to_lbtrust(src)?;
     let program = parse_program(&translated.lbtrust_src).map_err(|e| SendlogError {
-        message: format!("translated program does not parse: {e}\n{}", translated.lbtrust_src),
+        message: format!(
+            "translated program does not parse: {e}\n{}",
+            translated.lbtrust_src
+        ),
     })?;
     Ok((translated, program))
 }
@@ -78,7 +81,10 @@ pub fn parse_sendlog(src: &str) -> Result<(SendlogProgram, Program), SendlogErro
 /// Extracts the `At S:` header.
 fn split_header(src: &str) -> Result<(String, String), SendlogError> {
     let trimmed = src.trim_start();
-    let Some(rest) = trimmed.strip_prefix("At ").or_else(|| trimmed.strip_prefix("at ")) else {
+    let Some(rest) = trimmed
+        .strip_prefix("At ")
+        .or_else(|| trimmed.strip_prefix("at "))
+    else {
         return Err(SendlogError {
             message: "SeNDlog programs start with an 'At <Var>:' header".into(),
         });
@@ -169,9 +175,7 @@ fn translate_statement(
     let mut i = 0;
     while i < body_toks.len() {
         if let Some(Token::Ident(kw)) = body_toks.get(i + 1).map(|s| &s.token) {
-            if kw == "says"
-                && matches!(body_toks[i].token, Token::Ident(_) | Token::UIdent(_))
-            {
+            if kw == "says" && matches!(body_toks[i].token, Token::Ident(_) | Token::UIdent(_)) {
                 let atom_start = i + 2;
                 let atom_end = scan_atom(body_toks, atom_start).ok_or_else(|| SendlogError {
                     message: "expected an atom after 'says'".into(),

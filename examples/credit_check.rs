@@ -95,9 +95,6 @@ fn main() {
             .unwrap()
             .holds_src(&format!("creditOK({c})"))
             .unwrap();
-        println!(
-            "  {c}: {}",
-            if ok { "credit OK" } else { "declined" }
-        );
+        println!("  {c}: {}", if ok { "credit OK" } else { "declined" });
     }
 }

@@ -41,10 +41,7 @@ fn main() {
     // The contractor issues badges.
     sys.workspace_mut(contractor)
         .unwrap()
-        .load(
-            "grant",
-            "says(me,hq,[| badge(P). |]) <- vetted(P).",
-        )
+        .load("grant", "says(me,hq,[| badge(P). |]) <- vetted(P).")
         .unwrap();
     sys.workspace_mut(contractor)
         .unwrap()

@@ -22,15 +22,28 @@ fn run_with(scheme: AuthScheme) {
     sys.set_auth_scheme(bob, scheme).unwrap();
 
     // The SAME policy text, regardless of scheme.
-    sys.workspace_mut(alice).unwrap().load("policy", ALICE_POLICY).unwrap();
-    sys.workspace_mut(alice).unwrap().assert_src("vetted(carol).").unwrap();
-    sys.workspace_mut(bob).unwrap().load("policy", BOB_POLICY).unwrap();
+    sys.workspace_mut(alice)
+        .unwrap()
+        .load("policy", ALICE_POLICY)
+        .unwrap();
+    sys.workspace_mut(alice)
+        .unwrap()
+        .assert_src("vetted(carol).")
+        .unwrap();
+    sys.workspace_mut(bob)
+        .unwrap()
+        .load("policy", BOB_POLICY)
+        .unwrap();
 
     let t0 = std::time::Instant::now();
     let stats = sys.run_to_quiescence(32).unwrap();
     let elapsed = t0.elapsed();
 
-    let ok = sys.workspace(bob).unwrap().holds_src("admit(carol)").unwrap();
+    let ok = sys
+        .workspace(bob)
+        .unwrap()
+        .holds_src("admit(carol)")
+        .unwrap();
     println!("--- {scheme} ---");
     println!("  exp1: {}", scheme.export_rule());
     println!("  exp3: {}", scheme.verify_constraint());

@@ -43,13 +43,8 @@ fn main() {
     }
 
     // ---- authenticated path-vector --------------------------------------
-    let mut net = SendlogNetwork::new(
-        &["a", "b", "c", "d"],
-        PATH_VECTOR,
-        AuthScheme::Rsa,
-        512,
-    )
-    .expect("build network");
+    let mut net = SendlogNetwork::new(&["a", "b", "c", "d"], PATH_VECTOR, AuthScheme::Rsa, 512)
+        .expect("build network");
     for (x, y) in topology {
         net.add_bidi_link(x, y).unwrap();
     }

@@ -1,0 +1,220 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset this workspace's benches use — `Criterion`,
+//! `benchmark_group` / `bench_with_input` / `bench_function`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — measuring with plain wall-clock timing
+//! and printing a one-line summary per benchmark. There is no
+//! statistical analysis, HTML report, or regression tracking; sample
+//! counts are honored but capped so `cargo bench` stays quick.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Upper bound on timed samples per benchmark (keeps wall time sane
+/// even when callers request criterion-scale sample counts).
+const MAX_SAMPLES: usize = 30;
+
+/// Re-export point for the compiler fence.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// A `group/function/parameter` benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean duration of one iteration over the timed samples.
+    pub mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the per-iteration mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warmup iteration.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / self.samples as u32;
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Compatibility no-op (real criterion parses CLI flags here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let name = name.into();
+        run_one(&name, self.sample_size, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the requested sample count (capped internally).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: sample_size.clamp(1, MAX_SAMPLES),
+        mean: Duration::ZERO,
+    };
+    f(&mut b);
+    println!(
+        "bench {label:<56} {:>12.3} µs/iter",
+        b.mean.as_secs_f64() * 1e6
+    );
+}
+
+/// Collects benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3)
+                .bench_with_input(BenchmarkId::new("f", 1), &4u64, |b, &n| {
+                    b.iter(|| {
+                        ran += 1;
+                        (0..n).sum::<u64>()
+                    })
+                });
+            g.finish();
+        }
+        assert!(ran >= 3, "routine must run warmup + samples");
+    }
+
+    #[test]
+    fn id_formats_as_group_slash_param() {
+        assert_eq!(BenchmarkId::new("f", 64).to_string(), "f/64");
+    }
+}

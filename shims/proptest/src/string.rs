@@ -1,0 +1,172 @@
+//! String generation from the regex-pattern subset used in this
+//! workspace's tests: concatenations of `[class]` / `.` / literal
+//! atoms, each optionally repeated with `{n}`, `{m,n}`, `*` or `+`.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Default repetition cap for unbounded quantifiers (`*`, `+`, `.*`).
+const UNBOUNDED_MAX: usize = 8;
+
+#[derive(Debug)]
+enum Atom {
+    /// One of an explicit character set.
+    Class(Vec<char>),
+    /// Any printable ASCII character (`.`).
+    Dot,
+    /// A literal character.
+    Lit(char),
+}
+
+#[derive(Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "bad range {lo}-{hi} in pattern class");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unterminated [class] in pattern");
+    assert!(!set.is_empty(), "empty [class] in pattern");
+    (set, i + 1) // past ']'
+}
+
+fn parse_repeat(chars: &[char], i: usize) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('*') => (0, UNBOUNDED_MAX, i + 1),
+        Some('+') => (1, UNBOUNDED_MAX, i + 1),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated {rep} in pattern")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad {m,n} lower bound"),
+                    hi.trim().parse().expect("bad {m,n} upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad {n} count");
+                    (n, n)
+                }
+            };
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let (atom, next) = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1);
+                (Atom::Class(set), next)
+            }
+            '.' => (Atom::Dot, i + 1),
+            '\\' => {
+                let c = *chars.get(i + 1).expect("dangling escape in pattern");
+                (Atom::Lit(c), i + 2)
+            }
+            c => (Atom::Lit(c), i + 1),
+        };
+        let (min, max, next) = parse_repeat(&chars, next);
+        assert!(min <= max, "bad repetition bounds in pattern");
+        pieces.push(Piece { atom, min, max });
+        i = next;
+    }
+    pieces
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse_pattern(pattern) {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.gen_range(piece.min..=piece.max)
+        };
+        for _ in 0..count {
+            let c = match &piece.atom {
+                Atom::Class(set) => set[rng.gen_range(0..set.len())],
+                Atom::Dot => (rng.gen_range(0x20u32..0x7f)) as u8 as char,
+                Atom::Lit(c) => *c,
+            };
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: &str) -> String {
+        let mut rng = TestRng::for_test(seed);
+        generate_from_pattern(pattern, &mut rng)
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        for i in 0..50 {
+            let s = gen("[a-z][a-z0-9_]{0,6}", &format!("ident{i}"));
+            assert!(!s.is_empty() && s.len() <= 7, "{s}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase(), "{s}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_class_with_space() {
+        for i in 0..20 {
+            let s = gen("[a-z ]{0,10}", &format!("sp{i}"));
+            assert!(s.len() <= 10);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn dot_star() {
+        let s = gen(".*", "dotstar");
+        assert!(s.len() <= UNBOUNDED_MAX);
+        assert!(s.chars().all(|c| c.is_ascii() && !c.is_ascii_control()));
+    }
+
+    #[test]
+    fn exact_count_and_range() {
+        let s = gen("[a-z]{4,16}", "count");
+        assert!((4..=16).contains(&s.len()));
+        let t = gen("[ab]{3}", "count3");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        assert_eq!(gen("abc", "lit"), "abc");
+    }
+}

@@ -1,0 +1,230 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no network access, so
+//! the external `rand` dependency is replaced by this shim implementing
+//! exactly the API subset the workspace uses: [`Rng`] (`gen`,
+//! `gen_range`, `gen_bool`, `fill`), [`SeedableRng::seed_from_u64`] and
+//! [`rngs::StdRng`]. The generator is xoshiro256++ seeded through
+//! SplitMix64 — deterministic per seed, which is all the simulation and
+//! key-generation code relies on. It makes no cryptographic-quality
+//! claims beyond what the surrounding `lbtrust-crypto` caveats already
+//! state.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next raw 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be sampled uniformly from raw generator output
+/// (the shim's version of `rand::distributions::Standard`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges a generator can sample from (half-open and inclusive integer
+/// ranges).
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws uniformly from the range. Panics on an empty range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span as u64) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// The user-facing generator interface.
+pub trait Rng: RngCore {
+    /// Draws a value of an inferred [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from `range`.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+
+    /// Fills `dest` with uniform bytes.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator deterministically from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// The workspace's standard generator: xoshiro256++ (Blackman & Vigna),
+/// seeded through SplitMix64.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into four state words.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut s = [next(), next(), next(), next()];
+        if s.iter().all(|&w| w == 0) {
+            s[0] = 1; // xoshiro must not start from the all-zero state
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = r.gen_range(5u64..=6);
+            assert!((5..=6).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn fill_covers_all_bytes() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut buf = [0u8; 37];
+        r.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(13);
+        for _ in 0..1000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

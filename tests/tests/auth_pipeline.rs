@@ -10,7 +10,10 @@ use std::sync::Arc;
 fn say_policy(sys: &mut System, from: lbtrust::Principal, to: &str, n: usize) {
     sys.workspace_mut(from)
         .unwrap()
-        .load("policy", &format!("says(me,{to},[| item(I). |]) <- queue(I)."))
+        .load(
+            "policy",
+            &format!("says(me,{to},[| item(I). |]) <- queue(I)."),
+        )
         .unwrap();
     let queue = Symbol::intern("queue");
     let ws = sys.workspace_mut(from).unwrap();
@@ -98,11 +101,7 @@ fn tampered_rule_rejected_under_hmac() {
             .builtins()
             .invoke(
                 Symbol::intern("hmacsign"),
-                &[
-                    Some(Value::Quote(genuine.clone())),
-                    Some(handle),
-                    None,
-                ],
+                &[Some(Value::Quote(genuine.clone())), Some(handle), None],
             )
             .unwrap()
             .unwrap();

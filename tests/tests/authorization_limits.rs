@@ -150,7 +150,10 @@ fn no_quiescence_budget() {
             "says(me,pinger,[| pong(V). |]) <- says(pinger,me,[| ping(V) |]).",
         )
         .unwrap();
-    sys.workspace_mut(a).unwrap().assert_src("seed(0).").unwrap();
+    sys.workspace_mut(a)
+        .unwrap()
+        .assert_src("seed(0).")
+        .unwrap();
     let err = sys.run_to_quiescence(6);
     assert!(
         matches!(err, Err(lbtrust::SysError::NoQuiescence { .. })),
@@ -173,5 +176,8 @@ fn eval_limits_cap_tuple_explosion() {
     let err = Engine::new(&program.rules, &builtins)
         .with_limits(limits)
         .run(&mut db);
-    assert!(matches!(err, Err(EvalError::LimitExceeded { .. })), "{err:?}");
+    assert!(
+        matches!(err, Err(EvalError::LimitExceeded { .. })),
+        "{err:?}"
+    );
 }

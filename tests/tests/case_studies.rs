@@ -25,8 +25,12 @@ fn binder_certificates_feed_policies() {
         )
         .unwrap();
     let keys = sys.keys().clone();
-    let cert = Certificate::issue(&keys, Symbol::intern("bob"), "cleared(carol). cleared(dan).")
-        .unwrap();
+    let cert = Certificate::issue(
+        &keys,
+        Symbol::intern("bob"),
+        "cleared(carol). cleared(dan).",
+    )
+    .unwrap();
     cert.import_into(sys.workspace_mut(alice).unwrap(), &keys)
         .unwrap();
     let ws = sys.workspace(alice).unwrap();
@@ -53,7 +57,8 @@ fn binder_chain_of_three_contexts() {
     sys.assert(bob, "plausible(anomaly1).").unwrap();
     sys.export_facts(bob, "confirmed", 1, carol).unwrap();
 
-    sys.load_binder(carol, "alert(X) :- bob says confirmed(X).").unwrap();
+    sys.load_binder(carol, "alert(X) :- bob says confirmed(X).")
+        .unwrap();
 
     sys.run(32).unwrap();
     assert!(sys.holds(carol, "alert(anomaly1)").unwrap());
@@ -99,14 +104,18 @@ fn d1lp_delegation_composes_with_binder_import() {
         .unwrap();
     sys.workspace_mut(mgr)
         .unwrap()
-        .load(
-            "grant",
-            "says(me,alice,[| clearance(P). |]) <- vetted(P).",
-        )
+        .load("grant", "says(me,alice,[| clearance(P). |]) <- vetted(P).")
         .unwrap();
-    sys.workspace_mut(mgr).unwrap().assert_src("vetted(zoe).").unwrap();
+    sys.workspace_mut(mgr)
+        .unwrap()
+        .assert_src("vetted(zoe).")
+        .unwrap();
     sys.run_to_quiescence(32).unwrap();
-    assert!(sys.workspace(alice).unwrap().holds_src("enter(zoe)").unwrap());
+    assert!(sys
+        .workspace(alice)
+        .unwrap()
+        .holds_src("enter(zoe)")
+        .unwrap());
 }
 
 #[test]
@@ -126,7 +135,11 @@ fn colocated_principals_one_node() {
         .load("p", "greeting(X) <- says(alice,me,[| hello(X) |]).")
         .unwrap();
     sys.run_to_quiescence(16).unwrap();
-    assert!(sys.workspace(b).unwrap().holds_src("greeting(world)").unwrap());
+    assert!(sys
+        .workspace(b)
+        .unwrap()
+        .holds_src("greeting(world)")
+        .unwrap());
     // Same node for both.
     assert_eq!(sys.location(a), sys.location(b));
 }
@@ -146,11 +159,17 @@ fn relocating_a_principal_keeps_protocol_running() {
         .unwrap()
         .load("p", "pong(N) <- says(alice,me,[| ping(N) |]).")
         .unwrap();
-    sys.workspace_mut(a).unwrap().assert_src("tick(1).").unwrap();
+    sys.workspace_mut(a)
+        .unwrap()
+        .assert_src("tick(1).")
+        .unwrap();
     sys.run_to_quiescence(16).unwrap();
     // Move bob to another physical node and continue.
     sys.place(b, "n9");
-    sys.workspace_mut(a).unwrap().assert_src("tick(2).").unwrap();
+    sys.workspace_mut(a)
+        .unwrap()
+        .assert_src("tick(2).")
+        .unwrap();
     sys.run_to_quiescence(16).unwrap();
     let ws = sys.workspace(b).unwrap();
     assert!(ws.holds_src("pong(1)").unwrap());

@@ -34,7 +34,10 @@ fn encrypted_payload_through_untrusted_relay() {
         .unwrap()
         .load("payload", "secretfact([| launchcode(4242). |]) <- arm().")
         .unwrap();
-    sys.workspace_mut(alice).unwrap().assert_src("arm().").unwrap();
+    sys.workspace_mut(alice)
+        .unwrap()
+        .assert_src("arm().")
+        .unwrap();
 
     // Relay: blind forwarding — no shared secret, no decryption.
     sys.workspace_mut(relay)
@@ -108,7 +111,10 @@ fn provenance_explains_imported_trust_decision() {
         .unwrap()
         .load("policy", "says(me,alice,[| good(X). |]) <- vouched(X).")
         .unwrap();
-    sys.workspace_mut(bob).unwrap().assert_src("vouched(carol).").unwrap();
+    sys.workspace_mut(bob)
+        .unwrap()
+        .assert_src("vouched(carol).")
+        .unwrap();
     sys.run_to_quiescence(16).unwrap();
 
     let alice_ws = sys.workspace(alice).unwrap();
@@ -134,15 +140,16 @@ fn goal_query_over_delegation_chain() {
          access(P,O,M) <- handoff(Q,P), access(Q,O,M).",
     )
     .unwrap();
-    ws.assert_src(
-        "owns(u0,fileA). mode(read). handoff(u0,u1). handoff(u1,u2). handoff(u2,u3).",
-    )
-    .unwrap();
+    ws.assert_src("owns(u0,fileA). mode(read). handoff(u0,u1). handoff(u1,u2). handoff(u2,u3).")
+        .unwrap();
     let answers = ws.query_goal("access(u3, O, read)").unwrap();
     assert_eq!(answers.len(), 1);
     assert_eq!(answers[0][1].to_string(), "fileA");
     // Unreached principal: no answers.
-    assert!(ws.query_goal("access(stranger, O, read)").unwrap().is_empty());
+    assert!(ws
+        .query_goal("access(stranger, O, read)")
+        .unwrap()
+        .is_empty());
 }
 
 #[test]

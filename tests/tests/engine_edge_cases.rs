@@ -137,26 +137,23 @@ fn deep_recursion_within_limits() {
 #[test]
 fn negative_integers_and_strings_roundtrip() {
     let mut ws = Workspace::new("w");
-    ws.load("p", "shifted(X,Y) <- base(X), Y = X - 10.").unwrap();
-    ws.assert_src("base(3). tagged(\"hello world\", 1).").unwrap();
+    ws.load("p", "shifted(X,Y) <- base(X), Y = X - 10.")
+        .unwrap();
+    ws.assert_src("base(3). tagged(\"hello world\", 1).")
+        .unwrap();
     ws.evaluate().unwrap();
     assert!(ws.holds(sym("shifted"), &[Value::Int(3), Value::Int(-7)]));
-    assert!(ws.holds(
-        sym("tagged"),
-        &[Value::str("hello world"), Value::Int(1)]
-    ));
+    assert!(ws.holds(sym("tagged"), &[Value::str("hello world"), Value::Int(1)]));
 }
 
 #[test]
 fn constraint_with_arithmetic_requirement() {
     // Requirements can compute: every withdrawal must keep balance >= 0.
     let mut ws = Workspace::new("w");
-    ws.load(
-        "schema",
-        "withdraw(A,X), balance(A,B) -> X <= B.",
-    )
-    .unwrap();
-    ws.assert_src("balance(acct, 100). withdraw(acct, 50).").unwrap();
+    ws.load("schema", "withdraw(A,X), balance(A,B) -> X <= B.")
+        .unwrap();
+    ws.assert_src("balance(acct, 100). withdraw(acct, 50).")
+        .unwrap();
     ws.evaluate().unwrap();
     ws.assert_src("withdraw(acct, 150).").unwrap();
     assert!(ws.evaluate().is_err());

@@ -23,7 +23,10 @@ fn edge_db(edges: &[(u8, u8)]) -> Database {
     let mut db = Database::new();
     let edge = Symbol::intern("edge");
     for (a, b) in edges {
-        db.insert(edge, vec![Value::sym(&format!("c{a}")), Value::sym(&format!("c{b}"))]);
+        db.insert(
+            edge,
+            vec![Value::sym(&format!("c{a}")), Value::sym(&format!("c{b}"))],
+        );
     }
     db
 }

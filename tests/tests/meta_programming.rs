@@ -15,8 +15,11 @@ fn reflection_exposes_program_structure_to_rules() {
     // A rule that *reads the meta-model*: list every predicate that any
     // active rule derives (head functors).
     let mut ws = Workspace::new("w");
-    ws.load("policy", "grant(P,O) <- owns(P,O).\nrevoke(P) <- banned(P).")
-        .unwrap();
+    ws.load(
+        "policy",
+        "grant(P,O) <- owns(P,O).\nrevoke(P) <- banned(P).",
+    )
+    .unwrap();
     ws.load(
         "reflection",
         "derivedpred(P) <- rule(R), head(R,A), functor(A,P).",

@@ -1,0 +1,421 @@
+//! Certificate-store integration: revocation, TTL expiry, and linked
+//! credential chains driving incremental (DRed) retraction of derived
+//! conclusions through the multi-principal runtime.
+
+use lbtrust::certstore::{CertStore, CertStoreError};
+use lbtrust::{SysError, System};
+use lbtrust_datalog::Symbol;
+
+/// A two-principal system where bob grants access on alice's word.
+fn alice_bob_system() -> (System, Symbol, Symbol) {
+    let mut sys = System::new().with_rsa_bits(512);
+    let alice = sys.add_principal("alice", "n1").unwrap();
+    let bob = sys.add_principal("bob", "n2").unwrap();
+    sys.workspace_mut(bob)
+        .unwrap()
+        .load(
+            "policy",
+            "access(P,file1,read) <- says(alice,me,[| good(P) |]).",
+        )
+        .unwrap();
+    (sys, alice, bob)
+}
+
+#[test]
+fn revocation_mid_run_retracts_derived_access_via_dred() {
+    let (mut sys, alice, bob) = alice_bob_system();
+
+    // Alice certifies two principals; bob imports both certificates.
+    let certs = sys
+        .issue_certificates(alice, "good(carol). good(dave).", &[], None)
+        .unwrap();
+    let carol_cert = certs[0].digest();
+    sys.import_certificates(bob, certs).unwrap();
+    sys.run_to_quiescence(16).unwrap();
+    let bob_ws = sys.workspace(bob).unwrap();
+    assert!(bob_ws.holds_src("access(carol,file1,read)").unwrap());
+    assert!(bob_ws.holds_src("access(dave,file1,read)").unwrap());
+
+    // Revoke carol's certificate mid-run; the notice travels the wire
+    // and the next quiescence applies it.
+    sys.revoke_certificate(alice, carol_cert).unwrap();
+    sys.run_to_quiescence(16).unwrap();
+
+    let bob_ws = sys.workspace(bob).unwrap();
+    assert!(
+        !bob_ws.holds_src("access(carol,file1,read)").unwrap(),
+        "revoked certificate's derived access must be retracted"
+    );
+    assert!(
+        bob_ws.holds_src("access(dave,file1,read)").unwrap(),
+        "unrelated certificate must survive"
+    );
+    // The repair ran through DRed, not a from-scratch rebuild.
+    let stats = sys.stats();
+    assert!(stats.retractions > 0, "facts were retracted: {stats:?}");
+    assert!(
+        stats.dred_repairs >= 1,
+        "retraction must use the incremental DRed path: {stats:?}"
+    );
+    assert_eq!(
+        stats.retraction_rebuilds, 0,
+        "no full workspace rebuild for a positive program: {stats:?}"
+    );
+}
+
+#[test]
+fn ttl_expiry_retracts_derived_access() {
+    let (mut sys, alice, bob) = alice_bob_system();
+    let cert = sys
+        .issue_certificate(alice, "good(erin).", &[], Some(5))
+        .unwrap();
+    sys.import_certificates(bob, vec![cert]).unwrap();
+    sys.run_to_quiescence(16).unwrap();
+    assert!(sys
+        .workspace(bob)
+        .unwrap()
+        .holds_src("access(erin,file1,read)")
+        .unwrap());
+
+    // Within the TTL nothing happens.
+    assert_eq!(sys.advance_time(4).unwrap(), 0);
+    assert!(sys
+        .workspace(bob)
+        .unwrap()
+        .holds_src("access(erin,file1,read)")
+        .unwrap());
+
+    // Crossing the deadline expires the certificate and retracts the
+    // derived conclusion, again through DRed.
+    let died = sys.advance_time(2).unwrap();
+    assert!(died >= 1, "certificate must expire");
+    assert!(!sys
+        .workspace(bob)
+        .unwrap()
+        .holds_src("access(erin,file1,read)")
+        .unwrap());
+    assert!(sys.stats().dred_repairs >= 1);
+    assert_eq!(sys.stats().retraction_rebuilds, 0);
+}
+
+#[test]
+fn linked_chain_resolves_and_broken_link_is_rejected() {
+    let (mut sys, alice, bob) = alice_bob_system();
+
+    // A chain: root authority cert, then a delegation certificate
+    // citing it, then the leaf fact citing the delegation.
+    let root = sys
+        .issue_certificate(alice, "authority(alice).", &[], None)
+        .unwrap();
+    let deleg = sys
+        .issue_certificate(alice, "delegated(alice,hr).", &[root.digest()], None)
+        .unwrap();
+    let leaf = sys
+        .issue_certificate(alice, "good(frank).", &[deleg.digest()], None)
+        .unwrap();
+
+    // Bundle import resolves links even when dependents come first.
+    let outcomes = sys
+        .import_certificates(bob, vec![leaf.clone(), deleg.clone(), root.clone()])
+        .unwrap();
+    assert_eq!(outcomes.len(), 3);
+    sys.run_to_quiescence(16).unwrap();
+    assert!(sys
+        .workspace(bob)
+        .unwrap()
+        .holds_src("access(frank,file1,read)")
+        .unwrap());
+
+    // A fresh principal without the supports rejects the leaf alone.
+    let dana = sys.add_principal("dana", "n3").unwrap();
+    let err = sys.import_certificates(dana, vec![leaf]).unwrap_err();
+    assert!(
+        matches!(err, SysError::Cert(CertStoreError::BrokenLink { .. })),
+        "expected a broken-link rejection, got: {err}"
+    );
+}
+
+#[test]
+fn revoking_a_support_cascades_down_the_chain() {
+    let (mut sys, alice, bob) = alice_bob_system();
+    let root = sys
+        .issue_certificate(alice, "authority(alice).", &[], None)
+        .unwrap();
+    let leaf = sys
+        .issue_certificate(alice, "good(gina).", &[root.digest()], None)
+        .unwrap();
+    sys.import_certificates(bob, vec![root.clone(), leaf])
+        .unwrap();
+    sys.run_to_quiescence(16).unwrap();
+    assert!(sys
+        .workspace(bob)
+        .unwrap()
+        .holds_src("access(gina,file1,read)")
+        .unwrap());
+
+    // Revoking the *support* kills the dependent leaf too.
+    sys.revoke_certificate(alice, root.digest()).unwrap();
+    sys.run_to_quiescence(16).unwrap();
+    assert!(
+        !sys.workspace(bob)
+            .unwrap()
+            .holds_src("access(gina,file1,read)")
+            .unwrap(),
+        "dependent certificate must die with its support"
+    );
+}
+
+#[test]
+fn only_the_issuer_can_revoke() {
+    let (mut sys, alice, bob) = alice_bob_system();
+    let mallory = sys.add_principal("mallory", "n4").unwrap();
+    let cert = sys
+        .issue_certificate(alice, "good(henry).", &[], None)
+        .unwrap();
+    let digest = cert.digest();
+    sys.import_certificates(bob, vec![cert]).unwrap();
+    sys.run_to_quiescence(16).unwrap();
+
+    // Mallory can sign and broadcast a revocation *object*, but every
+    // store holding the certificate rejects it (issuer mismatch) and
+    // the derived access survives.
+    let before_rejected = sys.stats().messages_rejected;
+    sys.revoke_certificate(mallory, digest).unwrap();
+    sys.run_to_quiescence(16).unwrap();
+    assert!(sys
+        .workspace(bob)
+        .unwrap()
+        .holds_src("access(henry,file1,read)")
+        .unwrap());
+    assert!(
+        sys.stats().messages_rejected > before_rejected,
+        "bob's store must reject the foreign revocation"
+    );
+}
+
+#[test]
+fn cached_reimport_is_at_least_five_times_faster() {
+    // The acceptance bar for the caching layer: re-importing an
+    // already-verified certificate must cost at least 5x less than the
+    // first (signature-checking) import. Measured store-to-store so
+    // both sides do exactly one insert() per certificate.
+    let mut sys = System::new().with_rsa_bits(512);
+    let alice = sys.add_principal("alice", "n1").unwrap();
+    let bob = sys.add_principal("bob", "n2").unwrap();
+    let facts: String = (0..8).map(|i| format!("good(p{i}). ")).collect();
+    let certs = sys.issue_certificates(alice, &facts, &[], None).unwrap();
+    let verifier = sys.key_verifier();
+
+    // Cold: fresh store, fresh cache — every signature verified.
+    let rounds = 5;
+    let cold_start = std::time::Instant::now();
+    for _ in 0..rounds {
+        let mut cold = CertStore::new();
+        for cert in &certs {
+            cold.insert(cert.clone(), &verifier).unwrap();
+        }
+    }
+    let cold_time = cold_start.elapsed();
+
+    // Warm: bob's store has imported the certificates once; re-imports
+    // hit the store and the shared verification cache.
+    sys.import_certificates(bob, certs.clone()).unwrap();
+    let warm_start = std::time::Instant::now();
+    for _ in 0..rounds {
+        let outcomes = sys.reimport_certificates(bob, &certs).unwrap();
+        assert!(outcomes.iter().all(|o| o.cache_hit && !o.newly_added));
+    }
+    let warm_time = warm_start.elapsed();
+
+    assert!(
+        cold_time >= warm_time * 5,
+        "cached re-import must be >= 5x faster: cold {cold_time:?} vs warm {warm_time:?}"
+    );
+}
+
+#[test]
+fn verification_cache_is_shared_across_principals_and_rounds() {
+    let (mut sys, alice, bob) = alice_bob_system();
+    let carol = sys.add_principal("carol", "n3").unwrap();
+    sys.workspace_mut(carol)
+        .unwrap()
+        .load(
+            "policy",
+            "access(P,file2,read) <- says(alice,me,[| good(P) |]).",
+        )
+        .unwrap();
+
+    let cert = sys
+        .issue_certificate(alice, "good(ivy).", &[], None)
+        .unwrap();
+    sys.import_certificates(bob, vec![cert.clone()]).unwrap();
+    let after_first = sys.verify_cache_stats();
+    // Carol imports the identical certificate: no new signature checks.
+    sys.import_certificates(carol, vec![cert]).unwrap();
+    let after_second = sys.verify_cache_stats();
+    assert_eq!(
+        after_first.misses, after_second.misses,
+        "second principal must not re-verify identical bytes"
+    );
+    assert!(after_second.hits > after_first.hits);
+
+    sys.run_to_quiescence(16).unwrap();
+    assert!(sys
+        .workspace(bob)
+        .unwrap()
+        .holds_src("access(ivy,file1,read)")
+        .unwrap());
+    assert!(sys
+        .workspace(carol)
+        .unwrap()
+        .holds_src("access(ivy,file2,read)")
+        .unwrap());
+}
+
+#[test]
+fn duplicate_support_keeps_fact_alive_until_last_credential_dies() {
+    // Two distinct certificates assert the same fact; revoking one must
+    // not retract the conclusion while the other is live.
+    let (mut sys, alice, bob) = alice_bob_system();
+    let c1 = sys
+        .issue_certificate(alice, "good(jack).", &[], None)
+        .unwrap();
+    // Different TTL -> different content address, same certified fact.
+    let c2 = sys
+        .issue_certificate(alice, "good(jack).", &[], Some(1_000_000))
+        .unwrap();
+    assert_ne!(c1.digest(), c2.digest());
+    sys.import_certificates(bob, vec![c1.clone(), c2]).unwrap();
+    sys.run_to_quiescence(16).unwrap();
+    assert!(sys
+        .workspace(bob)
+        .unwrap()
+        .holds_src("access(jack,file1,read)")
+        .unwrap());
+
+    sys.revoke_certificate(alice, c1.digest()).unwrap();
+    sys.run_to_quiescence(16).unwrap();
+    assert!(
+        sys.workspace(bob)
+            .unwrap()
+            .holds_src("access(jack,file1,read)")
+            .unwrap(),
+        "the second live credential still supports the fact"
+    );
+}
+
+#[test]
+fn revoked_certificate_cannot_be_reimported() {
+    let (mut sys, alice, bob) = alice_bob_system();
+    let cert = sys
+        .issue_certificate(alice, "good(kate).", &[], None)
+        .unwrap();
+    let digest = cert.digest();
+    sys.import_certificates(bob, vec![cert.clone()]).unwrap();
+    sys.run_to_quiescence(16).unwrap();
+    sys.revoke_certificate(alice, digest).unwrap();
+    sys.run_to_quiescence(16).unwrap();
+
+    let err = sys.import_certificates(bob, vec![cert]).unwrap_err();
+    assert!(matches!(
+        err,
+        SysError::Cert(CertStoreError::Revoked(_) | CertStoreError::NotLive(..))
+    ));
+    assert!(!sys
+        .workspace(bob)
+        .unwrap()
+        .holds_src("access(kate,file1,read)")
+        .unwrap());
+}
+
+#[test]
+fn retry_after_partial_bundle_failure_completes_the_import() {
+    // A bundle that fails part-way leaves its successful members in the
+    // store but their facts unasserted; retrying the import must finish
+    // the workspace half instead of skipping "already stored" entries.
+    let (mut sys, alice, bob) = alice_bob_system();
+    let good = sys
+        .issue_certificate(alice, "good(nora).", &[], None)
+        .unwrap();
+    let mut forged = sys
+        .issue_certificate(alice, "good(oscar).", &[], None)
+        .unwrap();
+    forged.signature = vec![0xde, 0xad];
+
+    let err = sys
+        .import_certificates(bob, vec![good.clone(), forged])
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        SysError::Cert(CertStoreError::BadSignature(_))
+    ));
+    sys.run_to_quiescence(16).unwrap();
+    // The good certificate sits in the store but granted nothing yet.
+    assert!(!sys
+        .workspace(bob)
+        .unwrap()
+        .holds_src("access(nora,file1,read)")
+        .unwrap());
+
+    // Retry with the good certificate alone: newly_added is false, but
+    // the workspace import must still complete.
+    let outcomes = sys.import_certificates(bob, vec![good.clone()]).unwrap();
+    assert!(!outcomes[0].newly_added);
+    sys.run_to_quiescence(16).unwrap();
+    assert!(sys
+        .workspace(bob)
+        .unwrap()
+        .holds_src("access(nora,file1,read)")
+        .unwrap());
+
+    // And the completed import is revocable like any other.
+    sys.revoke_certificate(alice, good.digest()).unwrap();
+    sys.run_to_quiescence(16).unwrap();
+    assert!(!sys
+        .workspace(bob)
+        .unwrap()
+        .holds_src("access(nora,file1,read)")
+        .unwrap());
+}
+
+#[test]
+fn quiescence_converges_with_certs_and_says_traffic_mixed() {
+    // Certificates and ordinary says-traffic in the same run: both
+    // pipelines share the export relation and the verification cache.
+    let (mut sys, alice, bob) = alice_bob_system();
+    sys.workspace_mut(alice)
+        .unwrap()
+        .load("policy", "says(me,bob,[| good(X). |]) <- vouched(X).")
+        .unwrap();
+    sys.workspace_mut(alice)
+        .unwrap()
+        .assert_src("vouched(luke).")
+        .unwrap();
+    let cert = sys
+        .issue_certificate(alice, "good(mona).", &[], None)
+        .unwrap();
+    sys.import_certificates(bob, vec![cert]).unwrap();
+    sys.run_to_quiescence(16).unwrap();
+
+    let ws = sys.workspace(bob).unwrap();
+    assert!(
+        ws.holds_src("access(luke,file1,read)").unwrap(),
+        "wire says"
+    );
+    assert!(
+        ws.holds_src("access(mona,file1,read)").unwrap(),
+        "certificate"
+    );
+
+    // The fact relations stay disjoint under retraction: revoking the
+    // certificate leaves the wire-imported conclusion standing.
+    let digest = {
+        let store = sys.cert_store(bob).unwrap();
+        store.active()[0]
+    };
+    sys.revoke_certificate(alice, digest).unwrap();
+    sys.run_to_quiescence(16).unwrap();
+    let ws = sys.workspace(bob).unwrap();
+    assert!(ws.holds_src("access(luke,file1,read)").unwrap());
+    assert!(!ws.holds_src("access(mona,file1,read)").unwrap());
+}
