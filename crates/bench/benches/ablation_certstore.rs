@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lbtrust::System;
-use lbtrust_certstore::CertStore;
+use lbtrust_certstore::{shared_verify_cache_with_capacity, CertStore};
 
 fn import_cached_vs_uncached(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_certstore");
@@ -75,9 +75,69 @@ fn revocation_retraction_latency(c: &mut Criterion) {
     group.finish();
 }
 
+/// LRU eviction (ROADMAP "cache eviction policy tuning"): re-imports a
+/// working set through verification caches of shrinking capacity and
+/// reports hit rate vs memory. The unbounded run is the baseline; each
+/// bounded run prints its hit/miss/eviction counters.
+fn bounded_cache_hit_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_certstore_lru");
+    group.sample_size(10);
+    let nfacts = 64usize;
+    let mut sys = System::new().with_rsa_bits(512);
+    let alice = sys.add_principal("alice", "n1").unwrap();
+    let facts: String = (0..nfacts).map(|i| format!("good(p{i}). ")).collect();
+    let certs = sys.issue_certificates(alice, &facts, &[], None).unwrap();
+    let verifier = sys.key_verifier();
+
+    // Capacity in memoized outcomes; each certificate costs two. `0`
+    // encodes "unbounded".
+    for &capacity in &[0usize, 128, 64, 32] {
+        let cache = if capacity == 0 {
+            lbtrust_certstore::shared_verify_cache()
+        } else {
+            shared_verify_cache_with_capacity(capacity)
+        };
+        // Warm pass, then three re-import passes over the working set.
+        let mut store = CertStore::with_cache(cache.clone());
+        for cert in &certs {
+            store.insert(cert.clone(), &verifier).unwrap();
+        }
+        let label = if capacity == 0 {
+            "unbounded".to_string()
+        } else {
+            format!("cap{capacity}")
+        };
+        group.bench_with_input(
+            BenchmarkId::new("reimport_working_set", &label),
+            &capacity,
+            |b, _| {
+                b.iter(|| {
+                    // Fresh store, same cache: hits depend on capacity.
+                    let mut fresh = CertStore::with_cache(cache.clone());
+                    for cert in &certs {
+                        fresh.insert(cert.clone(), &verifier).unwrap();
+                    }
+                    fresh.len()
+                })
+            },
+        );
+        let stats = cache.lock().unwrap().stats();
+        let total = stats.hits + stats.misses;
+        println!(
+            "stats ablation_certstore_lru/{label:<24} hits {:>6} misses {:>6} evictions {:>6} hit-rate {:.1}%",
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            100.0 * stats.hits as f64 / total.max(1) as f64
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     import_cached_vs_uncached,
-    revocation_retraction_latency
+    revocation_retraction_latency,
+    bounded_cache_hit_rate
 );
 criterion_main!(benches);

@@ -1,0 +1,246 @@
+//! The log-structured file backend: an append-only segment of framed
+//! records.
+//!
+//! Recovery semantics: on open, the whole segment is scanned with
+//! [`super::scan_records`]; the first truncated or corrupt frame ends
+//! the valid prefix and the file is truncated back to it, so a torn
+//! write from a crash never poisons later appends. Appends go through a
+//! `BufWriter`; [`StorageBackend::sync`] flushes and `fsync`s.
+
+use super::{encode_record, scan_records, LogRecord, ReplayLog, StorageBackend, StorageError};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// A durable, append-only record log in a single file (one "segment";
+/// rotation/compaction is a roadmap follow-on).
+pub struct LogBackend {
+    path: PathBuf,
+    writer: BufWriter<File>,
+}
+
+fn io_err(context: &str, e: std::io::Error) -> StorageError {
+    StorageError::Io {
+        context: context.to_string(),
+        message: e.to_string(),
+    }
+}
+
+impl LogBackend {
+    /// Opens (creating if absent) the segment at `path`. The file is
+    /// opened in append mode, so writes always land at the end of the
+    /// segment — even if a caller appends before running
+    /// [`StorageBackend::replay`], existing history is never
+    /// overwritten. Callers normally use [`crate::CertStore::open`],
+    /// which replays first.
+    pub fn open(path: impl AsRef<Path>) -> Result<LogBackend, StorageError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)
+            .map_err(|e| io_err(&format!("opening {}", path.display()), e))?;
+        Ok(LogBackend {
+            path,
+            writer: BufWriter::new(file),
+        })
+    }
+
+    /// The segment's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl StorageBackend for LogBackend {
+    fn append(&mut self, record: &LogRecord) -> Result<(), StorageError> {
+        let bytes = encode_record(record);
+        self.writer
+            .write_all(&bytes)
+            .map_err(|e| io_err("appending a record", e))
+    }
+
+    fn replay(&mut self) -> Result<ReplayLog, StorageError> {
+        self.writer
+            .flush()
+            .map_err(|e| io_err("flushing before replay", e))?;
+        let file = self.writer.get_mut();
+        file.seek(SeekFrom::Start(0))
+            .map_err(|e| io_err("seeking to log start", e))?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)
+            .map_err(|e| io_err("reading the log", e))?;
+        let log = scan_records(&buf);
+        if let Some(offset) = log.unsupported_at {
+            // An intact frame this binary cannot decode: version skew,
+            // not corruption. Truncating would destroy real history
+            // (possibly revocations) — refuse to open instead.
+            return Err(StorageError::UnsupportedRecord {
+                context: self.path.display().to_string(),
+                offset,
+            });
+        }
+        if log.truncated_tail {
+            // Drop the torn tail so future appends extend the valid
+            // prefix instead of hiding behind garbage.
+            file.set_len(log.valid_bytes)
+                .map_err(|e| io_err("truncating a torn tail", e))?;
+        }
+        // The file is in append mode; no explicit repositioning needed
+        // for writes, and reads are done.
+        Ok(log)
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.writer
+            .flush()
+            .map_err(|e| io_err("flushing appends", e))?;
+        // A failed fsync means the data may never reach the platter —
+        // for a store whose whole point is that revocations survive a
+        // restart, that must surface, not be swallowed.
+        self.writer
+            .get_ref()
+            .sync_data()
+            .map_err(|e| io_err("fsyncing the segment", e))
+    }
+
+    fn describe(&self) -> String {
+        self.path.display().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbtrust_datalog::Symbol;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        let base = std::env::var_os("CARGO_TARGET_TMPDIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(std::env::temp_dir);
+        base.join(format!(
+            "lbtrust-logbackend-{}-{tag}.certlog",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn append_close_reopen_replays() {
+        let path = tmp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let records = vec![
+            LogRecord::Tick(3),
+            LogRecord::Revoke {
+                issuer: Symbol::intern("alice"),
+                target: crate::CertDigest::of(b"x"),
+                signature: vec![9, 9],
+            },
+            LogRecord::Tick(4),
+        ];
+        {
+            let mut b = LogBackend::open(&path).unwrap();
+            for r in &records {
+                b.append(r).unwrap();
+            }
+            b.sync().unwrap();
+        }
+        let mut b = LogBackend::open(&path).unwrap();
+        let log = b.replay().unwrap();
+        assert_eq!(log.records, records);
+        assert!(!log.truncated_tail);
+        // Appending after replay extends the same log.
+        b.append(&LogRecord::Tick(5)).unwrap();
+        b.sync().unwrap();
+        let mut again = LogBackend::open(&path).unwrap();
+        assert_eq!(again.replay().unwrap().records.len(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unsupported_record_refuses_to_open_and_preserves_bytes() {
+        let path = tmp_path("skew");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut b = LogBackend::open(&path).unwrap();
+            b.append(&LogRecord::Tick(1)).unwrap();
+            b.sync().unwrap();
+        }
+        // A future binary appends a record kind we do not know.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let skew_at = bytes.len() as u64;
+        bytes.extend_from_slice(&lbtrust_net::frame_record(99, b"from-the-future"));
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut b = LogBackend::open(&path).unwrap();
+        match b.replay() {
+            Err(StorageError::UnsupportedRecord { offset, .. }) => assert_eq!(offset, skew_at),
+            other => panic!("must refuse version-skewed log, got {other:?}"),
+        }
+        drop(b);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            bytes,
+            "the skewed log must not be truncated or rewritten"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_before_replay_never_clobbers_history() {
+        let path = tmp_path("appendfirst");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut b = LogBackend::open(&path).unwrap();
+            b.append(&LogRecord::Tick(1)).unwrap();
+            b.append(&LogRecord::Tick(2)).unwrap();
+            b.sync().unwrap();
+        }
+        // Misuse: append without replaying first. Append mode must
+        // still land the record at the end, not over record 1.
+        {
+            let mut b = LogBackend::open(&path).unwrap();
+            b.append(&LogRecord::Tick(3)).unwrap();
+            b.sync().unwrap();
+        }
+        let mut b = LogBackend::open(&path).unwrap();
+        let log = b.replay().unwrap();
+        assert_eq!(
+            log.records,
+            vec![LogRecord::Tick(1), LogRecord::Tick(2), LogRecord::Tick(3)]
+        );
+        assert!(!log.truncated_tail);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_replay() {
+        let path = tmp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut b = LogBackend::open(&path).unwrap();
+            b.append(&LogRecord::Tick(1)).unwrap();
+            b.sync().unwrap();
+        }
+        let valid_len = std::fs::metadata(&path).unwrap().len();
+        // Simulate a torn write: half a frame of garbage at the tail.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0x55, 0x00, 0x00]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut b = LogBackend::open(&path).unwrap();
+        let log = b.replay().unwrap();
+        assert_eq!(log.records, vec![LogRecord::Tick(1)]);
+        assert!(log.truncated_tail);
+        assert_eq!(log.valid_bytes, valid_len);
+        // The tail was physically dropped and new appends land cleanly.
+        b.append(&LogRecord::Tick(2)).unwrap();
+        b.sync().unwrap();
+        drop(b);
+        let mut again = LogBackend::open(&path).unwrap();
+        let log = again.replay().unwrap();
+        assert_eq!(log.records, vec![LogRecord::Tick(1), LogRecord::Tick(2)]);
+        assert!(!log.truncated_tail);
+        let _ = std::fs::remove_file(&path);
+    }
+}

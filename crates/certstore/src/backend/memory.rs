@@ -1,0 +1,60 @@
+//! The ephemeral backend: the store's original, pre-persistence
+//! behaviour, extracted behind [`StorageBackend`].
+
+use super::{LogRecord, ReplayLog, StorageBackend, StorageError};
+
+/// Acknowledges appends without retaining them; replay yields nothing.
+/// A store over this backend is exactly the PR-1 in-memory store: its
+/// entry map is the only copy of the data and dies with the process.
+#[derive(Debug, Default)]
+pub struct MemoryBackend {
+    appended: u64,
+}
+
+impl MemoryBackend {
+    /// A fresh ephemeral backend.
+    pub fn new() -> MemoryBackend {
+        MemoryBackend::default()
+    }
+
+    /// Number of records acknowledged so far (for tests and stats).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn append(&mut self, _record: &LogRecord) -> Result<(), StorageError> {
+        self.appended += 1;
+        Ok(())
+    }
+
+    fn replay(&mut self) -> Result<ReplayLog, StorageError> {
+        Ok(ReplayLog::default())
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        "memory".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_backend_is_ephemeral() {
+        let mut b = MemoryBackend::new();
+        b.append(&LogRecord::Tick(1)).unwrap();
+        b.append(&LogRecord::Tick(2)).unwrap();
+        b.sync().unwrap();
+        assert_eq!(b.appended(), 2);
+        let log = b.replay().unwrap();
+        assert!(log.records.is_empty(), "nothing survives in memory");
+        assert_eq!(b.describe(), "memory");
+    }
+}

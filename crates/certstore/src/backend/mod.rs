@@ -1,0 +1,277 @@
+//! Pluggable storage backends for the certificate store.
+//!
+//! Every mutation the store performs — a verified import, a verified
+//! revocation, a logical-clock advance — is expressed as one
+//! [`LogRecord`] and appended through the [`StorageBackend`] trait
+//! before the in-memory state changes. Opening a store replays the
+//! backend's records to rebuild active/revoked/expired state
+//! deterministically.
+//!
+//! Two implementations ship:
+//!
+//! * [`memory::MemoryBackend`] — the pre-persistence behaviour: appends
+//!   are acknowledged and dropped; replay yields nothing. A store over
+//!   it lives and dies with the process.
+//! * [`log::LogBackend`] — a log-structured file of length-prefixed,
+//!   CRC-checked frames (`lbtrust-net::wire::frame_record`) whose
+//!   payloads reuse the canonical wire encoding. A record's presence in
+//!   the log *is* its recorded verification outcome: replay trusts it
+//!   and primes the shared verification cache instead of re-running
+//!   signature checks, which is why reopening a store is much cheaper
+//!   than a cold import.
+
+pub mod log;
+pub mod memory;
+
+use crate::cert::LinkedCert;
+use crate::digest::CertDigest;
+use lbtrust_datalog::Symbol;
+use lbtrust_net::wire::{frame_record, read_frame};
+use std::fmt;
+
+/// Frame tag for a certificate-import record.
+pub const REC_CERT: u8 = 1;
+/// Frame tag for a revocation record.
+pub const REC_REVOKE: u8 = 2;
+/// Frame tag for a clock-advance record.
+pub const REC_TICK: u8 = 3;
+
+/// One durable mutation. Records are appended only after verification
+/// succeeds, so presence in a log is itself the recorded verification
+/// outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogRecord {
+    /// A certificate whose both signatures verified at append time.
+    Cert(LinkedCert),
+    /// A revocation whose signature verified at append time.
+    Revoke {
+        /// The withdrawing principal.
+        issuer: Symbol,
+        /// Content address of the withdrawn certificate.
+        target: CertDigest,
+        /// The verified signature (re-primed into the cache on replay).
+        signature: Vec<u8>,
+    },
+    /// A logical-clock advance of `ticks`.
+    Tick(u64),
+}
+
+/// Backend failure: I/O trouble or a corrupt record mid-log (a corrupt
+/// *tail* is not an error — replay stops cleanly before it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// An operating-system I/O failure.
+    Io {
+        /// What the backend was doing.
+        context: String,
+        /// The OS error rendered.
+        message: String,
+    },
+    /// The log holds an *intact* frame (CRC valid) this binary cannot
+    /// decode — an unknown record kind or payload format, i.e. version
+    /// skew rather than corruption. Refusing to open is deliberate:
+    /// truncating here would destroy real history (possibly including
+    /// revocations) a newer binary wrote.
+    UnsupportedRecord {
+        /// Where the log lives.
+        context: String,
+        /// Byte offset of the undecodable frame.
+        offset: u64,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { context, message } => {
+                write!(f, "storage backend i/o failure while {context}: {message}")
+            }
+            StorageError::UnsupportedRecord { context, offset } => write!(
+                f,
+                "log {context} holds an intact but undecodable record at byte {offset} \
+                 (version skew?); refusing to open rather than truncate history"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// What a backend recovered at open time.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayLog {
+    /// The valid records, in append order.
+    pub records: Vec<LogRecord>,
+    /// Bytes of log covered by valid records.
+    pub valid_bytes: u64,
+    /// Whether unreadable bytes (torn write, bit rot — a frame that
+    /// fails its length or CRC check) followed the last valid record.
+    pub truncated_tail: bool,
+    /// Byte offset of an *intact* frame whose record could not be
+    /// decoded (unknown kind / malformed payload): version skew, not
+    /// corruption. Backends must refuse to truncate at this boundary.
+    pub unsupported_at: Option<u64>,
+}
+
+/// The durability substrate all store mutation flows through.
+pub trait StorageBackend: Send {
+    /// Durably appends one record (called *before* the in-memory state
+    /// changes; an error leaves the store untouched).
+    fn append(&mut self, record: &LogRecord) -> Result<(), StorageError>;
+
+    /// Reads every valid record from the start of the log, stopping
+    /// cleanly at the first truncated or corrupt frame.
+    fn replay(&mut self) -> Result<ReplayLog, StorageError>;
+
+    /// Flushes buffered appends to the underlying medium.
+    fn sync(&mut self) -> Result<(), StorageError>;
+
+    /// A short human-readable description ("memory", the file path, …).
+    fn describe(&self) -> String;
+}
+
+/// Encodes one record as a framed byte string.
+pub fn encode_record(record: &LogRecord) -> Vec<u8> {
+    match record {
+        LogRecord::Cert(cert) => frame_record(REC_CERT, &cert.wire_bytes()),
+        LogRecord::Revoke {
+            issuer,
+            target,
+            signature,
+        } => {
+            let payload = format!(
+                "lbtrust-revokerec:v1\nissuer:{issuer}\ntarget:{}\nsig:{}\n",
+                target.to_hex(),
+                lbtrust_net::to_hex(signature)
+            );
+            frame_record(REC_REVOKE, payload.as_bytes())
+        }
+        LogRecord::Tick(ticks) => frame_record(REC_TICK, format!("ticks:{ticks}").as_bytes()),
+    }
+}
+
+/// Decodes one frame body back into a record. `None` means the frame
+/// passed its CRC but carries an unknown tag or malformed payload —
+/// replay treats that the same as a corrupt tail.
+pub fn decode_record(kind: u8, payload: &[u8]) -> Option<LogRecord> {
+    match kind {
+        REC_CERT => LinkedCert::parse_wire_bytes(payload).map(LogRecord::Cert),
+        REC_REVOKE => {
+            let text = std::str::from_utf8(payload).ok()?;
+            let mut lines = text.lines();
+            if lines.next()? != "lbtrust-revokerec:v1" {
+                return None;
+            }
+            let issuer = Symbol::intern(lines.next()?.strip_prefix("issuer:")?);
+            let target = CertDigest::parse_hex(lines.next()?.strip_prefix("target:")?)?;
+            let signature = lbtrust_net::from_hex(lines.next()?.strip_prefix("sig:")?)?;
+            if lines.next().is_some() {
+                return None;
+            }
+            Some(LogRecord::Revoke {
+                issuer,
+                target,
+                signature,
+            })
+        }
+        REC_TICK => {
+            let text = std::str::from_utf8(payload).ok()?;
+            Some(LogRecord::Tick(text.strip_prefix("ticks:")?.parse().ok()?))
+        }
+        _ => None,
+    }
+}
+
+/// Scans a byte buffer of framed records, decoding until the first
+/// invalid frame. The stop reason is distinguished: an *unreadable*
+/// frame (short / bad CRC) marks a torn tail, safe to discard; an
+/// intact frame that fails to decode marks version skew and is
+/// reported via `unsupported_at` so callers refuse to truncate there.
+/// Shared by backends and by tooling that inspects raw log bytes.
+pub fn scan_records(buf: &[u8]) -> ReplayLog {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    let mut unsupported_at = None;
+    while let Some((kind, payload, next)) = read_frame(buf, offset) {
+        match decode_record(kind, payload) {
+            Some(record) => records.push(record),
+            None => {
+                unsupported_at = Some(offset as u64);
+                break;
+            }
+        }
+        offset = next;
+    }
+    ReplayLog {
+        records,
+        valid_bytes: offset as u64,
+        truncated_tail: unsupported_at.is_none() && offset < buf.len(),
+        unsupported_at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbtrust_datalog::parse_rule;
+    use std::sync::Arc;
+
+    fn cert(rule_src: &str, ttl: Option<u64>) -> LinkedCert {
+        LinkedCert {
+            issuer: Symbol::intern("alice"),
+            rule: Arc::new(parse_rule(rule_src).unwrap()),
+            links: vec![CertDigest::of(b"support")],
+            ttl,
+            signature: vec![1, 2, 3],
+            rule_sig: vec![4, 5],
+        }
+    }
+
+    #[test]
+    fn record_codec_roundtrip() {
+        let records = vec![
+            LogRecord::Cert(cert("good(carol).", Some(9))),
+            LogRecord::Revoke {
+                issuer: Symbol::intern("alice"),
+                target: CertDigest::of(b"victim"),
+                signature: vec![7; 16],
+            },
+            LogRecord::Tick(42),
+        ];
+        let mut buf = Vec::new();
+        for r in &records {
+            buf.extend_from_slice(&encode_record(r));
+        }
+        let log = scan_records(&buf);
+        assert_eq!(log.records, records);
+        assert_eq!(log.valid_bytes as usize, buf.len());
+        assert!(!log.truncated_tail);
+    }
+
+    #[test]
+    fn scan_stops_at_corrupt_tail() {
+        let mut buf = encode_record(&LogRecord::Tick(1));
+        let keep = buf.len();
+        buf.extend_from_slice(&encode_record(&LogRecord::Tick(2)));
+        buf[keep + 6] ^= 0xff; // corrupt the second frame's body
+        let log = scan_records(&buf);
+        assert_eq!(log.records, vec![LogRecord::Tick(1)]);
+        assert_eq!(log.valid_bytes as usize, keep);
+        assert!(log.truncated_tail);
+    }
+
+    #[test]
+    fn unknown_tag_is_version_skew_not_corruption() {
+        let mut buf = encode_record(&LogRecord::Tick(3));
+        let keep = buf.len();
+        buf.extend_from_slice(&lbtrust_net::wire::frame_record(99, b"future"));
+        let log = scan_records(&buf);
+        assert_eq!(log.records.len(), 1);
+        assert_eq!(log.valid_bytes as usize, keep);
+        assert!(
+            !log.truncated_tail,
+            "an intact frame must not look like a torn tail"
+        );
+        assert_eq!(log.unsupported_at, Some(keep as u64));
+    }
+}

@@ -72,6 +72,49 @@ impl LinkedCert {
     pub fn rule_bytes(&self) -> Vec<u8> {
         rule_bytes(&self.rule)
     }
+
+    /// Parses the canonical wire form produced by
+    /// [`LinkedCert::wire_bytes`] back into a certificate — the decode
+    /// half of the durable log's record payloads. Returns `None` on any
+    /// structural deviation; round-tripping preserves the content
+    /// address exactly (`parse_wire_bytes(c.wire_bytes()).digest() ==
+    /// c.digest()`).
+    pub fn parse_wire_bytes(bytes: &[u8]) -> Option<LinkedCert> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let mut lines = text.lines();
+        if lines.next()? != "lbtrust-cert:v1" {
+            return None;
+        }
+        let issuer = Symbol::intern(lines.next()?.strip_prefix("issuer:")?);
+        let rule_src = lines.next()?.strip_prefix("rule:")?;
+        let rule = Arc::new(lbtrust_datalog::parse_rule(rule_src).ok()?);
+        let links_field = lines.next()?.strip_prefix("links:")?;
+        let links = if links_field.is_empty() {
+            Vec::new()
+        } else {
+            links_field
+                .split(',')
+                .map(CertDigest::parse_hex)
+                .collect::<Option<Vec<_>>>()?
+        };
+        let ttl = match lines.next()?.strip_prefix("ttl:")? {
+            "none" => None,
+            t => Some(t.parse().ok()?),
+        };
+        let signature = lbtrust_net::from_hex(lines.next()?.strip_prefix("sig:")?)?;
+        let rule_sig = lbtrust_net::from_hex(lines.next()?.strip_prefix("rulesig:")?)?;
+        if lines.next().is_some() {
+            return None; // trailing garbage
+        }
+        Some(LinkedCert {
+            issuer,
+            rule,
+            links,
+            ttl,
+            signature,
+            rule_sig,
+        })
+    }
 }
 
 /// The canonical to-be-signed form, exposed so issuers can sign before
@@ -141,6 +184,41 @@ mod tests {
         b.rule_sig = vec![8, 8, 8];
         assert_eq!(a.signing_bytes(), b.signing_bytes());
         assert_ne!(a.wire_bytes(), b.wire_bytes());
+    }
+
+    #[test]
+    fn wire_bytes_roundtrip() {
+        for c in [
+            cert("good(carol).", vec![], None),
+            cert(
+                "p(x).",
+                vec![CertDigest::of(b"a"), CertDigest::of(b"b")],
+                Some(42),
+            ),
+            cert("access(P,O,read) <- good(P).", vec![], Some(1)),
+        ] {
+            let parsed = LinkedCert::parse_wire_bytes(&c.wire_bytes()).expect("roundtrip");
+            assert_eq!(parsed, c);
+            assert_eq!(parsed.digest(), c.digest());
+        }
+    }
+
+    #[test]
+    fn parse_wire_bytes_rejects_malformed() {
+        let c = cert("good(carol).", vec![], None);
+        let bytes = c.wire_bytes();
+        assert!(LinkedCert::parse_wire_bytes(b"garbage").is_none());
+        assert!(
+            LinkedCert::parse_wire_bytes(&bytes[1..]).is_none(),
+            "bad magic"
+        );
+        assert!(
+            LinkedCert::parse_wire_bytes(&bytes[..bytes.len() - 2]).is_none(),
+            "truncated hex"
+        );
+        let mut trailing = bytes.clone();
+        trailing.extend_from_slice(b"extra:1\n");
+        assert!(LinkedCert::parse_wire_bytes(&trailing).is_none());
     }
 
     #[test]

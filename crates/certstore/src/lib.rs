@@ -24,6 +24,18 @@
 //!   `access`, …) are repaired incrementally instead of rebuilding the
 //!   workspace.
 //!
+//! * **Durability and audit** ([`backend`], [`audit`]) — since PR 2,
+//!   every mutation flows through a pluggable [`backend::StorageBackend`]
+//!   as an append-only record: the in-memory backend reproduces the old
+//!   ephemeral behaviour, while the log-structured file backend makes
+//!   stores survive restarts ([`CertStore::open`] replays the segment,
+//!   skipping signature re-verification by priming recorded outcomes
+//!   into the shared cache). An append-only audit trail records every
+//!   lifecycle transition so conclusions can be traced to the
+//!   credential that introduced them even after revocation.
+//! * **Bounded memory** ([`lru`]) — the verification cache and the
+//!   entry map accept LRU capacity bounds with O(1) touch/evict.
+//!
 //! The crate deliberately sits *below* the runtime: it knows rules,
 //! digests and signatures, but resolves keys through the
 //! [`verify::SignatureVerifier`] trait the runtime implements.
@@ -31,17 +43,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
+pub mod backend;
 pub mod cert;
 pub mod digest;
+pub mod lru;
 pub mod revocation;
 pub mod store;
 pub mod verify;
 
+pub use audit::{AuditAction, AuditEntry, AuditLog};
+pub use backend::{LogRecord, StorageBackend, StorageError};
 pub use cert::LinkedCert;
 pub use digest::CertDigest;
 pub use revocation::Revocation;
 pub use store::{
-    CertStatus, CertStore, CertStoreError, ImportOutcome, RetractReason, RetractionEvent,
-    StoreStats,
+    CertStatus, CertStore, CertStoreError, ImportOutcome, ReplayReport, RetractReason,
+    RetractionEvent, StoreStats,
 };
-pub use verify::{shared_verify_cache, SharedVerifyCache, SignatureVerifier, VerifyCache};
+pub use verify::{
+    shared_verify_cache, shared_verify_cache_with_capacity, SharedVerifyCache, SignatureVerifier,
+    VerifyCache,
+};

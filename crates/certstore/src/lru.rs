@@ -1,0 +1,268 @@
+//! A slab-backed LRU map with O(1) touch, insert and evict.
+//!
+//! The verification cache and the certificate store both grow without
+//! bound under sustained traffic (every distinct signature leaves a
+//! memo; every dead certificate leaves a tombstone). [`LruMap`] bounds
+//! them: a `HashMap` from key to slab index plus an intrusive doubly
+//! linked recency list threaded through the slab, so lookups, touches
+//! and evictions are all constant-time — no allocation per touch, no
+//! rescans.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sentinel index meaning "no node".
+const NIL: usize = usize::MAX;
+
+/// Slab slot: `value` is `None` only while the slot sits on the free
+/// list awaiting reuse.
+struct Node<K, V> {
+    key: K,
+    value: Option<V>,
+    prev: usize,
+    next: usize,
+}
+
+/// A bounded map evicting the least-recently-used entry on overflow.
+/// With `capacity == None` it behaves as an ordinary map that also
+/// tracks recency (eviction never triggers).
+pub struct LruMap<K, V> {
+    index: HashMap<K, usize>,
+    slab: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used.
+    tail: usize,
+    capacity: Option<usize>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
+    /// An empty map evicting above `capacity` (`None` = unbounded).
+    pub fn new(capacity: Option<usize>) -> LruMap<K, V> {
+        LruMap {
+            index: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The configured bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Rebounds the map, returning entries evicted to fit.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) -> Vec<(K, V)> {
+        self.capacity = capacity;
+        let mut evicted = Vec::new();
+        while let Some(cap) = self.capacity {
+            if self.len() <= cap {
+                break;
+            }
+            match self.pop_lru() {
+                Some(kv) => evicted.push(kv),
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    /// Looks up without touching recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        let &i = self.index.get(key)?;
+        self.slab[i].value.as_ref()
+    }
+
+    /// Looks up and marks the entry most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let &i = self.index.get(key)?;
+        self.detach(i);
+        self.attach_front(i);
+        self.slab[i].value.as_ref()
+    }
+
+    /// Marks the entry most recently used without reading it. Returns
+    /// whether the key was present.
+    pub fn touch(&mut self, key: &K) -> bool {
+        if let Some(&i) = self.index.get(key) {
+            self.detach(i);
+            self.attach_front(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts (or replaces, touching) an entry; returns the entry
+    /// evicted to stay within capacity, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&i) = self.index.get(&key) {
+            self.slab[i].value = Some(value);
+            self.detach(i);
+            self.attach_front(i);
+            return None;
+        }
+        let node = Node {
+            key: key.clone(),
+            value: Some(value),
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = node;
+                i
+            }
+            None => {
+                self.slab.push(node);
+                self.slab.len() - 1
+            }
+        };
+        self.index.insert(key, i);
+        self.attach_front(i);
+        match self.capacity {
+            Some(cap) if self.len() > cap => self.pop_lru(),
+            _ => None,
+        }
+    }
+
+    /// Removes an entry, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let i = self.index.remove(key)?;
+        self.detach(i);
+        self.free.push(i);
+        self.slab[i].value.take()
+    }
+
+    /// Removes and returns the least-recently-used entry.
+    pub fn pop_lru(&mut self) -> Option<(K, V)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let i = self.tail;
+        let key = self.slab[i].key.clone();
+        self.index.remove(&key);
+        self.detach(i);
+        self.free.push(i);
+        let value = self.slab[i].value.take().expect("live node has a value");
+        Some((key, value))
+    }
+
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == i {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == i {
+            self.tail = prev;
+        }
+        self.slab[i].prev = NIL;
+        self.slab[i].next = NIL;
+    }
+
+    fn attach_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_follows_recency() {
+        let mut lru: LruMap<u32, &str> = LruMap::new(Some(2));
+        assert!(lru.insert(1, "a").is_none());
+        assert!(lru.insert(2, "b").is_none());
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(lru.get(&1), Some(&"a"));
+        let evicted = lru.insert(3, "c").expect("over capacity");
+        assert_eq!(evicted, (2, "b"));
+        assert_eq!(lru.len(), 2);
+        assert!(lru.peek(&1).is_some() && lru.peek(&3).is_some());
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let mut lru: LruMap<u32, u32> = LruMap::new(None);
+        for i in 0..1000 {
+            assert!(lru.insert(i, i * 2).is_none());
+        }
+        assert_eq!(lru.len(), 1000);
+        assert_eq!(lru.peek(&999), Some(&1998));
+    }
+
+    #[test]
+    fn remove_and_slot_reuse() {
+        let mut lru: LruMap<u32, &str> = LruMap::new(Some(3));
+        lru.insert(1, "a");
+        lru.insert(2, "b");
+        assert_eq!(lru.remove(&1), Some("a"));
+        assert_eq!(lru.remove(&1), None);
+        lru.insert(3, "c");
+        lru.insert(4, "d");
+        assert_eq!(lru.len(), 3);
+        // 2 is now the oldest untouched entry.
+        assert_eq!(lru.insert(5, "e"), Some((2, "b")));
+    }
+
+    #[test]
+    fn replace_touches() {
+        let mut lru: LruMap<u32, &str> = LruMap::new(Some(2));
+        lru.insert(1, "a");
+        lru.insert(2, "b");
+        assert!(lru.insert(1, "a2").is_none(), "replace, not grow");
+        assert_eq!(lru.insert(3, "c"), Some((2, "b")), "2 was LRU after touch");
+        assert_eq!(lru.peek(&1), Some(&"a2"));
+    }
+
+    #[test]
+    fn set_capacity_evicts_down() {
+        let mut lru: LruMap<u32, u32> = LruMap::new(None);
+        for i in 0..5 {
+            lru.insert(i, i);
+        }
+        lru.touch(&0);
+        let evicted = lru.set_capacity(Some(2));
+        assert_eq!(evicted, vec![(1, 1), (2, 2), (3, 3)]);
+        assert_eq!(lru.len(), 2);
+        assert!(lru.peek(&0).is_some() && lru.peek(&4).is_some());
+    }
+
+    #[test]
+    fn pop_lru_orders() {
+        let mut lru: LruMap<u32, ()> = LruMap::new(None);
+        for i in 0..4 {
+            lru.insert(i, ());
+        }
+        lru.touch(&0);
+        let order: Vec<u32> = std::iter::from_fn(|| lru.pop_lru().map(|(k, _)| k)).collect();
+        assert_eq!(order, vec![1, 2, 3, 0]);
+    }
+}

@@ -1,13 +1,29 @@
 //! The content-addressed certificate store.
+//!
+//! Since PR 2 the store is layered over a pluggable
+//! [`StorageBackend`]: every mutation — verified import, verified
+//! revocation, clock advance — is appended as a [`LogRecord`] *before*
+//! the in-memory indexes change, and [`CertStore::open`] rebuilds the
+//! entire store (entries, revocation set, logical clock, audit trail)
+//! by replaying a durable log. Replay never re-runs signature checks:
+//! a record's presence in the log is its recorded verification
+//! outcome, which replay primes into the shared verification cache.
 
+use crate::audit::{AuditAction, AuditLog};
+use crate::backend::log::LogBackend;
+use crate::backend::memory::MemoryBackend;
+use crate::backend::{LogRecord, ReplayLog, StorageBackend, StorageError};
 use crate::cert::LinkedCert;
 use crate::digest::CertDigest;
+use crate::lru::LruMap;
 use crate::revocation::Revocation;
 use crate::verify::{shared_verify_cache, CacheStats, SharedVerifyCache, SignatureVerifier};
 use lbtrust_datalog::ast::Rule;
 use lbtrust_datalog::Symbol;
-use std::collections::{HashMap, HashSet};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Lifecycle state of a stored certificate.
@@ -110,6 +126,8 @@ pub enum CertStoreError {
         /// Who tried to revoke it.
         revoker: Symbol,
     },
+    /// The storage backend failed; the in-memory state is unchanged.
+    Storage(StorageError),
 }
 
 impl fmt::Display for CertStoreError {
@@ -151,11 +169,18 @@ impl fmt::Display for CertStoreError {
                 "revocation of {} by {revoker}, but it was issued by {cert_issuer}",
                 cert.short()
             ),
+            CertStoreError::Storage(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for CertStoreError {}
+
+impl From<StorageError> for CertStoreError {
+    fn from(e: StorageError) -> Self {
+        CertStoreError::Storage(e)
+    }
+}
 
 /// Counters for the harness and benches.
 #[derive(Clone, Copy, Debug, Default)]
@@ -170,8 +195,24 @@ pub struct StoreStats {
     pub expirations: u64,
     /// Certificates broken by a dead link (cascade).
     pub link_breaks: u64,
+    /// Dead entries (tombstones) dropped by the entry-map LRU bound.
+    pub evictions: u64,
+    /// Records rebuilt from the backend at open time.
+    pub replayed: u64,
     /// Verification-cache counters at the shared cache.
     pub cache: CacheStats,
+}
+
+/// What [`CertStore::open`] recovered from its backend.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplayReport {
+    /// Valid records replayed.
+    pub records: usize,
+    /// Bytes of log covered by valid records.
+    pub bytes: u64,
+    /// Whether a torn/corrupt tail followed the last valid record (it
+    /// was discarded and physically truncated).
+    pub truncated_tail: bool,
 }
 
 /// One stored certificate with lifecycle metadata.
@@ -188,10 +229,13 @@ pub struct Entry {
 }
 
 /// A content-addressed store of verified, linked, revocable
-/// certificates over a logical clock.
+/// certificates over a logical clock, durably backed by a
+/// [`StorageBackend`].
 pub struct CertStore {
     entries: HashMap<CertDigest, Entry>,
-    /// Insertion order, for deterministic iteration.
+    /// Insertion order, for deterministic iteration. Evicted digests
+    /// stay listed (their entries are gone); readers filter through
+    /// `entries`.
     order: Vec<CertDigest>,
     /// Reverse link index: support -> certificates citing it.
     dependents: HashMap<CertDigest, Vec<CertDigest>>,
@@ -200,21 +244,49 @@ pub struct CertStore {
     /// import is rejected iff the certificate's own issuer is among the
     /// revokers — another principal's self-signed revocation object
     /// carries no authority and must not mask the real issuer's).
+    /// Survives tombstone eviction, so revoked stays revoked.
     revoked: HashMap<CertDigest, HashSet<Symbol>>,
     clock: u64,
     cache: SharedVerifyCache,
     stats: StoreStats,
+    /// The durability substrate; every mutation appends here first.
+    backend: Box<dyn StorageBackend>,
+    /// The append-only lifecycle trail.
+    audit: AuditLog,
+    /// Min-heap of `(deadline, digest)` so clock advances touch only
+    /// certificates actually due, not every entry.
+    expiry: BinaryHeap<Reverse<(u64, CertDigest)>>,
+    /// Cached list of live digests in insertion order.
+    active_cache: Vec<CertDigest>,
+    /// Whether `active_cache` needs a rebuild (set when an entry dies).
+    active_dirty: bool,
+    /// Bound on the entry map (`None` = unbounded). Only *dead*
+    /// entries (tombstones) are ever evicted; live certificates are
+    /// never dropped, so the bound is best-effort when the live set
+    /// alone exceeds it.
+    entry_capacity: Option<usize>,
+    /// Recency index over dead entries, for O(1) tombstone eviction.
+    dead_lru: LruMap<CertDigest, ()>,
+    replay_report: ReplayReport,
+    replay_events: Vec<RetractionEvent>,
 }
 
 impl CertStore {
-    /// An empty store with a private verification cache.
+    /// An empty in-memory store with a private verification cache.
     pub fn new() -> CertStore {
         CertStore::with_cache(shared_verify_cache())
     }
 
-    /// An empty store sharing `cache` with other stores/components, so
-    /// a signature checked anywhere is checked nowhere else again.
+    /// An empty in-memory store sharing `cache` with other
+    /// stores/components, so a signature checked anywhere is checked
+    /// nowhere else again.
     pub fn with_cache(cache: SharedVerifyCache) -> CertStore {
+        CertStore::with_backend(Box::new(MemoryBackend::new()), cache)
+    }
+
+    /// An empty store over an explicit backend (no replay; see
+    /// [`CertStore::open_backend`] to recover existing state).
+    pub fn with_backend(backend: Box<dyn StorageBackend>, cache: SharedVerifyCache) -> CertStore {
         CertStore {
             entries: HashMap::new(),
             order: Vec::new(),
@@ -223,7 +295,58 @@ impl CertStore {
             clock: 0,
             cache,
             stats: StoreStats::default(),
+            backend,
+            audit: AuditLog::new(),
+            expiry: BinaryHeap::new(),
+            active_cache: Vec::new(),
+            active_dirty: false,
+            entry_capacity: None,
+            dead_lru: LruMap::new(None),
+            replay_report: ReplayReport::default(),
+            replay_events: Vec::new(),
         }
+    }
+
+    /// Opens (creating if absent) a durable store over the segment log
+    /// at `path`, replaying its records: active/revoked/expired state,
+    /// the logical clock, and the audit trail are rebuilt
+    /// deterministically, and every recorded verification outcome is
+    /// primed into `cache` so nothing is re-verified.
+    pub fn open(
+        path: impl AsRef<Path>,
+        cache: SharedVerifyCache,
+    ) -> Result<CertStore, CertStoreError> {
+        CertStore::open_backend(Box::new(LogBackend::open(path)?), cache)
+    }
+
+    /// Opens a store over any backend, replaying whatever it holds.
+    pub fn open_backend(
+        mut backend: Box<dyn StorageBackend>,
+        cache: SharedVerifyCache,
+    ) -> Result<CertStore, CertStoreError> {
+        let log = backend.replay()?;
+        let mut store = CertStore::with_backend(backend, cache);
+        store.apply_replay(log);
+        Ok(store)
+    }
+
+    /// Bounds the entry map to `capacity` entries (`None` = unbounded),
+    /// evicting least-recently-touched *dead* entries (tombstones) to
+    /// fit. Live certificates are never evicted.
+    pub fn set_entry_capacity(&mut self, capacity: Option<usize>) {
+        self.entry_capacity = capacity;
+        self.enforce_capacity();
+    }
+
+    /// Builder form of [`CertStore::set_entry_capacity`].
+    pub fn with_entry_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.set_entry_capacity(capacity);
+        self
+    }
+
+    /// The configured entry-map bound.
+    pub fn entry_capacity(&self) -> Option<usize> {
+        self.entry_capacity
     }
 
     /// The store's logical time.
@@ -243,7 +366,38 @@ impl CertStore {
         s
     }
 
-    /// Number of stored certificates (any status).
+    /// The append-only lifecycle trail: every import, revocation,
+    /// expiry, link break and eviction this store (or the log it was
+    /// reopened from) ever witnessed.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// What replay recovered when this store was opened (zeros for a
+    /// fresh or in-memory store).
+    pub fn replay_report(&self) -> ReplayReport {
+        self.replay_report
+    }
+
+    /// Drains the retraction events replay produced for certificates
+    /// that died *within* the log's history — the runtime reconciles
+    /// its workspace against these after a reopen.
+    pub fn take_replay_events(&mut self) -> Vec<RetractionEvent> {
+        std::mem::take(&mut self.replay_events)
+    }
+
+    /// Where this store's records live ("memory" or the segment path).
+    pub fn backend_describe(&self) -> String {
+        self.backend.describe()
+    }
+
+    /// Flushes buffered appends to the backend's medium.
+    pub fn sync(&mut self) -> Result<(), CertStoreError> {
+        self.backend.sync().map_err(CertStoreError::from)
+    }
+
+    /// Number of stored certificates (any status; evicted tombstones no
+    /// longer count).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -263,20 +417,24 @@ impl CertStore {
         self.entries.get(digest).map(|e| e.status)
     }
 
-    /// Digests of live certificates in insertion order.
+    /// Digests of live certificates in insertion order. Served from a
+    /// maintained cache — no per-call rescan of the entry map.
     pub fn active(&self) -> Vec<CertDigest> {
-        self.order
-            .iter()
-            .filter(|d| self.status(d) == Some(CertStatus::Active))
-            .copied()
-            .collect()
+        debug_assert!(!self.active_dirty, "mutators refresh before returning");
+        self.active_cache.clone()
+    }
+
+    /// Number of live certificates, O(1).
+    pub fn active_len(&self) -> usize {
+        self.active_cache.len()
     }
 
     /// Imports one certificate: resolves its links against the store,
-    /// verifies both signatures through the shared cache, and files it
-    /// under its content address. Re-importing an already-stored live
-    /// certificate is answered from the store and cache without a fresh
-    /// signature check — the caching fast path.
+    /// verifies both signatures through the shared cache, appends the
+    /// record to the backend, and files it under its content address.
+    /// Re-importing an already-stored live certificate is answered from
+    /// the store and cache without a fresh signature check or a new log
+    /// record — the caching fast path.
     pub fn insert(
         &mut self,
         cert: LinkedCert,
@@ -307,14 +465,39 @@ impl CertStore {
                         newly_added: false,
                     })
                 }
-                status => Err(CertStoreError::NotLive(digest, status)),
+                status => {
+                    self.dead_lru.touch(&digest);
+                    Err(CertStoreError::NotLive(digest, status))
+                }
             };
         }
-        // Transitive link resolution: every cited support must be held
-        // and live. (Supports themselves were link-checked when they
-        // were imported, so one level of checking here is transitive in
-        // effect.)
-        for link in &cert.links {
+        self.check_links(digest, &cert.links)?;
+        let (ok, hit) = self.check_cert_signatures(&cert, verifier);
+        if !ok {
+            return Err(CertStoreError::BadSignature(digest));
+        }
+        // Durability first: the record reaches the backend before the
+        // in-memory state changes, so an append failure leaves the
+        // store consistent.
+        let record = LogRecord::Cert(cert);
+        self.backend.append(&record)?;
+        let LogRecord::Cert(cert) = record else {
+            unreachable!("constructed above")
+        };
+        self.apply_insert(cert);
+        Ok(ImportOutcome {
+            digest,
+            cache_hit: hit,
+            newly_added: true,
+        })
+    }
+
+    /// Transitive link resolution: every cited support must be held
+    /// and live. (Supports themselves were link-checked when they were
+    /// imported, so one level of checking here is transitive in
+    /// effect.)
+    fn check_links(&self, digest: CertDigest, links: &[CertDigest]) -> Result<(), CertStoreError> {
+        for link in links {
             match self.entries.get(link) {
                 None => {
                     return Err(CertStoreError::BrokenLink {
@@ -332,14 +515,26 @@ impl CertStore {
                 Some(_) => {}
             }
         }
-        let (ok, hit) = self.check_cert_signatures(&cert, verifier);
-        if !ok {
-            return Err(CertStoreError::BadSignature(digest));
-        }
+        Ok(())
+    }
+
+    /// Files a verified (or replayed-as-verified) certificate.
+    fn apply_insert(&mut self, cert: LinkedCert) -> CertDigest {
+        let digest = cert.digest();
         let expires_at = cert.ttl.map(|t| self.clock.saturating_add(t));
         for link in &cert.links {
             self.dependents.entry(*link).or_default().push(digest);
         }
+        if let Some(deadline) = expires_at {
+            self.expiry.push(Reverse((deadline, digest)));
+        }
+        self.audit.record(
+            digest,
+            cert.issuer,
+            AuditAction::Imported,
+            self.clock,
+            Some(cert.rule.clone()),
+        );
         self.entries.insert(
             digest,
             Entry {
@@ -350,12 +545,12 @@ impl CertStore {
             },
         );
         self.order.push(digest);
+        if !self.active_dirty {
+            self.active_cache.push(digest);
+        }
         self.stats.imports += 1;
-        Ok(ImportOutcome {
-            digest,
-            cache_hit: hit,
-            newly_added: true,
-        })
+        self.enforce_capacity();
+        digest
     }
 
     /// Imports a batch whose members may link to each other: passes are
@@ -407,7 +602,8 @@ impl CertStore {
 
     /// Applies a signed revocation. Verified revocations of unknown
     /// certificates are remembered and block their later import.
-    /// Revocation is idempotent: re-revoking yields no new events.
+    /// Revocation is idempotent: re-revoking yields no new events and
+    /// no new log record.
     pub fn revoke(
         &mut self,
         revocation: &Revocation,
@@ -420,7 +616,7 @@ impl CertStore {
                 return Err(CertStoreError::BadRevocation(target));
             }
         }
-        if let Some(entry) = self.entries.get_mut(&target) {
+        if let Some(entry) = self.entries.get(&target) {
             if entry.cert.issuer != revocation.issuer {
                 return Err(CertStoreError::IssuerMismatch {
                     cert: target,
@@ -428,62 +624,106 @@ impl CertStore {
                     revoker: revocation.issuer,
                 });
             }
-            if entry.status != CertStatus::Active {
-                self.revoked
-                    .entry(target)
-                    .or_default()
-                    .insert(revocation.issuer);
-                return Ok(Vec::new()); // idempotent
-            }
-            entry.status = CertStatus::Revoked;
-            let mut events = vec![RetractionEvent {
-                digest: target,
-                issuer: entry.cert.issuer,
-                rule: entry.cert.rule.clone(),
-                rule_sig: entry.cert.rule_sig.clone(),
-                reason: RetractReason::Revoked,
-            }];
-            self.stats.revocations += 1;
-            self.revoked
-                .entry(target)
-                .or_default()
-                .insert(revocation.issuer);
-            self.cascade_broken(&[target], &mut events);
-            Ok(events)
-        } else {
-            self.revoked
-                .entry(target)
-                .or_default()
-                .insert(revocation.issuer);
-            self.stats.revocations += 1;
-            Ok(Vec::new())
         }
+        // Idempotence gate: nothing changes, nothing is appended.
+        let known_revoker = self
+            .revoked
+            .get(&target)
+            .is_some_and(|r| r.contains(&revocation.issuer));
+        let entry_active = self.status(&target) == Some(CertStatus::Active);
+        if known_revoker && !entry_active {
+            self.dead_lru.touch(&target);
+            return Ok(Vec::new());
+        }
+        self.backend.append(&LogRecord::Revoke {
+            issuer: revocation.issuer,
+            target,
+            signature: revocation.signature.clone(),
+        })?;
+        let events = self.apply_revoke(revocation.issuer, target);
+        self.refresh_active();
+        Ok(events)
+    }
+
+    /// Applies a revocation whose signature already verified (or was
+    /// recorded as verified in the log).
+    fn apply_revoke(&mut self, issuer: Symbol, target: CertDigest) -> Vec<RetractionEvent> {
+        self.revoked.entry(target).or_default().insert(issuer);
+        let Some(entry) = self.entries.get_mut(&target) else {
+            // Pre-arrival revocation: remembered, blocks later import.
+            self.stats.revocations += 1;
+            self.audit
+                .record(target, issuer, AuditAction::Revoked, self.clock, None);
+            return Vec::new();
+        };
+        if entry.cert.issuer != issuer || entry.status != CertStatus::Active {
+            // Foreign revocation object or already dead: recorded in
+            // the revokers set above; no lifecycle change.
+            return Vec::new();
+        }
+        entry.status = CertStatus::Revoked;
+        let mut events = vec![RetractionEvent {
+            digest: target,
+            issuer: entry.cert.issuer,
+            rule: entry.cert.rule.clone(),
+            rule_sig: entry.cert.rule_sig.clone(),
+            reason: RetractReason::Revoked,
+        }];
+        self.stats.revocations += 1;
+        self.active_dirty = true;
+        self.dead_lru.insert(target, ());
+        self.audit
+            .record(target, issuer, AuditAction::Revoked, self.clock, None);
+        self.cascade_broken(&[target], &mut events);
+        self.enforce_capacity();
+        events
     }
 
     /// Advances the logical clock, expiring overdue certificates and
-    /// breaking their dependents.
-    pub fn advance_clock(&mut self, ticks: u64) -> Vec<RetractionEvent> {
+    /// breaking their dependents. The advance is appended to the
+    /// backend so reopened stores resume at the same logical time.
+    pub fn advance_clock(&mut self, ticks: u64) -> Result<Vec<RetractionEvent>, CertStoreError> {
+        self.backend.append(&LogRecord::Tick(ticks))?;
+        let events = self.apply_advance(ticks);
+        self.refresh_active();
+        Ok(events)
+    }
+
+    fn apply_advance(&mut self, ticks: u64) -> Vec<RetractionEvent> {
         self.clock = self.clock.saturating_add(ticks);
         let mut events = Vec::new();
         let mut expired = Vec::new();
-        for digest in &self.order {
-            let entry = self.entries.get_mut(digest).expect("ordered entries exist");
-            if entry.status == CertStatus::Active
-                && entry.expires_at.is_some_and(|t| t <= self.clock)
-            {
-                entry.status = CertStatus::Expired;
-                events.push(RetractionEvent {
-                    digest: *digest,
-                    issuer: entry.cert.issuer,
-                    rule: entry.cert.rule.clone(),
-                    rule_sig: entry.cert.rule_sig.clone(),
-                    reason: RetractReason::Expired,
-                });
-                expired.push(*digest);
-                self.stats.expirations += 1;
+        // Only certificates actually due are touched: the heap is keyed
+        // by TTL deadline, so a tick expiring nothing is O(1).
+        while let Some(&Reverse((deadline, digest))) = self.expiry.peek() {
+            if deadline > self.clock {
+                break;
             }
+            self.expiry.pop();
+            let Some(entry) = self.entries.get_mut(&digest) else {
+                continue; // evicted tombstone
+            };
+            if entry.status != CertStatus::Active || entry.expires_at != Some(deadline) {
+                continue; // already dead by another cause
+            }
+            entry.status = CertStatus::Expired;
+            events.push(RetractionEvent {
+                digest,
+                issuer: entry.cert.issuer,
+                rule: entry.cert.rule.clone(),
+                rule_sig: entry.cert.rule_sig.clone(),
+                reason: RetractReason::Expired,
+            });
+            let issuer = entry.cert.issuer;
+            expired.push(digest);
+            self.stats.expirations += 1;
+            self.active_dirty = true;
+            self.dead_lru.insert(digest, ());
+            self.audit
+                .record(digest, issuer, AuditAction::Expired, self.clock, None);
         }
         self.cascade_broken(&expired, &mut events);
+        self.enforce_capacity();
         events
     }
 
@@ -494,7 +734,9 @@ impl CertStore {
         while let Some(dead) = frontier.pop() {
             let dependents = self.dependents.get(&dead).cloned().unwrap_or_default();
             for dep in dependents {
-                let entry = self.entries.get_mut(&dep).expect("dependent exists");
+                let Some(entry) = self.entries.get_mut(&dep) else {
+                    continue; // evicted tombstone (was already dead)
+                };
                 if entry.status == CertStatus::Active {
                     entry.status = CertStatus::Broken;
                     events.push(RetractionEvent {
@@ -504,11 +746,138 @@ impl CertStore {
                         rule_sig: entry.cert.rule_sig.clone(),
                         reason: RetractReason::LinkBroken,
                     });
+                    let issuer = entry.cert.issuer;
                     self.stats.link_breaks += 1;
+                    self.active_dirty = true;
+                    self.dead_lru.insert(dep, ());
+                    self.audit
+                        .record(dep, issuer, AuditAction::LinkBroken, self.clock, None);
                     frontier.push(dep);
                 }
             }
         }
+    }
+
+    /// Evicts least-recently-touched tombstones while the entry map
+    /// exceeds its bound. Live certificates are never evicted, so the
+    /// loop stops when only live entries remain.
+    fn enforce_capacity(&mut self) {
+        let Some(cap) = self.entry_capacity else {
+            return;
+        };
+        while self.entries.len() > cap {
+            let Some((victim, ())) = self.dead_lru.pop_lru() else {
+                break; // everything over budget is live
+            };
+            let Some(entry) = self.entries.remove(&victim) else {
+                continue;
+            };
+            for link in &entry.cert.links {
+                if let Some(deps) = self.dependents.get_mut(link) {
+                    deps.retain(|d| *d != victim);
+                }
+            }
+            // Its own dependents (if any) are dead too — drop the index.
+            self.dependents.remove(&victim);
+            self.stats.evictions += 1;
+            self.audit.record(
+                victim,
+                entry.cert.issuer,
+                AuditAction::Evicted,
+                self.clock,
+                None,
+            );
+        }
+        // Amortized compaction: once evicted tombstones make up more
+        // than half of `order`, drop them so iteration (and
+        // `refresh_active`) scales with live-ish entries, not with
+        // all-time history.
+        if self.order.len() > 16 && self.order.len() > 2 * self.entries.len() {
+            self.order.retain(|d| self.entries.contains_key(d));
+        }
+    }
+
+    /// Rebuilds the live-digest cache after deaths.
+    fn refresh_active(&mut self) {
+        if !self.active_dirty {
+            return;
+        }
+        self.active_cache = self
+            .order
+            .iter()
+            .filter(|d| self.entries.get(d).map(|e| e.status) == Some(CertStatus::Active))
+            .copied()
+            .collect();
+        self.active_dirty = false;
+    }
+
+    /// Rebuilds state from a backend's records: inserts skip signature
+    /// re-verification (the recorded outcome is primed into the shared
+    /// cache instead), revocations and clock advances re-run the same
+    /// transition logic the live paths use, so the result is
+    /// byte-for-byte the state an uninterrupted store would hold.
+    fn apply_replay(&mut self, log: ReplayLog) {
+        let mut events = Vec::new();
+        let records = log.records.len();
+        for record in log.records {
+            self.stats.replayed += 1;
+            match record {
+                LogRecord::Cert(cert) => {
+                    {
+                        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+                        cache.prime(cert.issuer, &cert.signing_bytes(), &cert.signature, true);
+                        cache.prime(cert.issuer, &cert.rule_bytes(), &cert.rule_sig, true);
+                    }
+                    let digest = cert.digest();
+                    // A faithful log cannot trip these guards (the
+                    // original insert validated them), but a log from a
+                    // newer/older version might; skipping keeps replay
+                    // total.
+                    let blocked = self
+                        .revoked
+                        .get(&digest)
+                        .is_some_and(|r| r.contains(&cert.issuer));
+                    if blocked
+                        || self.entries.contains_key(&digest)
+                        || self.check_links(digest, &cert.links).is_err()
+                    {
+                        continue;
+                    }
+                    self.apply_insert(cert);
+                }
+                LogRecord::Revoke {
+                    issuer,
+                    target,
+                    signature,
+                } => {
+                    {
+                        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+                        cache.prime(
+                            issuer,
+                            &lbtrust_net::revoke_signing_bytes(issuer, target.as_bytes()),
+                            &signature,
+                            true,
+                        );
+                    }
+                    if self
+                        .entries
+                        .get(&target)
+                        .is_some_and(|e| e.cert.issuer != issuer)
+                    {
+                        continue; // foreign revocation object; no authority
+                    }
+                    events.extend(self.apply_revoke(issuer, target));
+                }
+                LogRecord::Tick(ticks) => events.extend(self.apply_advance(ticks)),
+            }
+        }
+        self.refresh_active();
+        self.replay_report = ReplayReport {
+            records,
+            bytes: log.valid_bytes,
+            truncated_tail: log.truncated_tail,
+        };
+        self.replay_events = events;
     }
 
     fn check_cert_signatures(
@@ -646,6 +1015,7 @@ mod tests {
             .unwrap();
         assert_eq!(outcomes.len(), 3);
         assert_eq!(store.active().len(), 3);
+        assert_eq!(store.active_len(), 3);
     }
 
     #[test]
@@ -749,8 +1119,8 @@ mod tests {
         let leaf_d = leaf.digest();
         store.insert(leaf, &toy_verifier()).unwrap();
 
-        assert!(store.advance_clock(4).is_empty(), "not yet due");
-        let events = store.advance_clock(1);
+        assert!(store.advance_clock(4).unwrap().is_empty(), "not yet due");
+        let events = store.advance_clock(1).unwrap();
         assert_eq!(events.len(), 2, "root expired + leaf broken");
         assert_eq!(events[0].reason, RetractReason::Expired);
         assert_eq!(store.status(&root_d), Some(CertStatus::Expired));
@@ -777,5 +1147,93 @@ mod tests {
         let stats = cache.lock().unwrap().stats();
         assert_eq!(stats.misses, 2, "two signatures checked once each");
         assert!(stats.hits >= 2);
+    }
+
+    #[test]
+    fn audit_trail_cites_introducer_after_revocation() {
+        let mut store = CertStore::new();
+        let c = cert("alice", "good(carol).", vec![], None);
+        let rule_text = c.rule.to_string();
+        let d = store.insert(c, &toy_verifier()).unwrap().digest;
+        store
+            .revoke(&revocation("alice", d), &toy_verifier())
+            .unwrap();
+        let intro = store.audit().introducers(&rule_text);
+        assert_eq!(intro.len(), 1, "introducer cited after revocation");
+        assert_eq!(intro[0].digest, d);
+        assert_eq!(store.audit().latest_action(&d), Some(AuditAction::Revoked));
+    }
+
+    #[test]
+    fn tombstone_eviction_respects_capacity_and_liveness() {
+        let mut store = CertStore::new().with_entry_capacity(Some(3));
+        let mut dead = Vec::new();
+        // Four certificates; revoke three.
+        for i in 0..4 {
+            let c = cert("alice", &format!("p(x{i})."), vec![], None);
+            let d = store.insert(c, &toy_verifier()).unwrap().digest;
+            if i < 3 {
+                dead.push(d);
+            }
+        }
+        for d in &dead {
+            store
+                .revoke(&revocation("alice", *d), &toy_verifier())
+                .unwrap();
+        }
+        // Capacity 3, 4 entries, 3 dead: one tombstone evicted.
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.stats().evictions, 1);
+        assert_eq!(store.active_len(), 1, "the live certificate survived");
+        // The evicted digest still cannot be re-imported: the revokers
+        // set outlives the tombstone.
+        let c0 = cert("alice", "p(x0).", vec![], None);
+        assert!(matches!(
+            store.insert(c0, &toy_verifier()),
+            Err(CertStoreError::Revoked(_))
+        ));
+        // Audit remembers the eviction.
+        assert!(store
+            .audit()
+            .entries()
+            .iter()
+            .any(|e| e.action == AuditAction::Evicted));
+    }
+
+    #[test]
+    fn live_entries_are_never_evicted() {
+        let mut store = CertStore::new().with_entry_capacity(Some(2));
+        for i in 0..5 {
+            let c = cert("alice", &format!("q(x{i})."), vec![], None);
+            store.insert(c, &toy_verifier()).unwrap();
+        }
+        assert_eq!(store.len(), 5, "no dead entries to evict");
+        assert_eq!(store.stats().evictions, 0);
+        assert_eq!(store.active_len(), 5);
+    }
+
+    #[test]
+    fn heap_expiry_handles_interleaved_deadlines() {
+        let mut store = CertStore::new();
+        let c1 = cert("alice", "a(x).", vec![], Some(10));
+        let c2 = cert("alice", "b(x).", vec![], Some(3));
+        let c3 = cert("alice", "c(x).", vec![], None);
+        let (d1, d2, d3) = (c1.digest(), c2.digest(), c3.digest());
+        for c in [c1, c2, c3] {
+            store.insert(c, &toy_verifier()).unwrap();
+        }
+        // Revoke the one that would expire first: its heap entry must
+        // not double-fire.
+        store
+            .revoke(&revocation("alice", d2), &toy_verifier())
+            .unwrap();
+        assert!(store.advance_clock(5).unwrap().is_empty());
+        let events = store.advance_clock(5).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].digest, d1);
+        assert_eq!(store.status(&d1), Some(CertStatus::Expired));
+        assert_eq!(store.status(&d2), Some(CertStatus::Revoked));
+        assert_eq!(store.status(&d3), Some(CertStatus::Active));
+        assert_eq!(store.active(), vec![d3]);
     }
 }

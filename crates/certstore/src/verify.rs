@@ -6,10 +6,21 @@
 //! *outcomes* keyed by `(signer, digest(message), digest(signature))`,
 //! so a signature over identical canonical bytes is verified exactly
 //! once per process and every later check is a hash lookup.
+//!
+//! Two extensions serve the durable store ([`crate::backend`]):
+//!
+//! * **Bounded memory** — the memo table is an [`crate::lru::LruMap`];
+//!   [`VerifyCache::with_capacity`] bounds it and evicts the
+//!   least-recently-checked outcome in O(1).
+//! * **Priming** — [`VerifyCache::prime`] installs an outcome without
+//!   running a verifier. Log replay primes recorded outcomes (so a
+//!   reopened store never re-pays the modular exponentiation) and the
+//!   runtime's parallel import fans real checks across threads, then
+//!   primes the shared cache with their results.
 
 use crate::digest::CertDigest;
+use crate::lru::LruMap;
 use lbtrust_datalog::Symbol;
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// Resolves a principal's key material and checks signatures. The
@@ -34,19 +45,58 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to run a real signature check.
     pub misses: u64,
+    /// Outcomes installed without a verifier (replay, parallel import).
+    pub primed: u64,
+    /// Outcomes evicted by the LRU bound.
+    pub evictions: u64,
 }
 
+/// The memo key: signer plus content addresses of message and signature.
+type OutcomeKey = (Symbol, CertDigest, CertDigest);
+
 /// A memo table of signature-verification outcomes.
-#[derive(Debug, Default)]
 pub struct VerifyCache {
-    outcomes: HashMap<(Symbol, CertDigest, CertDigest), bool>,
+    outcomes: LruMap<OutcomeKey, bool>,
     stats: CacheStats,
 }
 
+impl Default for VerifyCache {
+    fn default() -> Self {
+        VerifyCache::new()
+    }
+}
+
 impl VerifyCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> VerifyCache {
-        VerifyCache::default()
+        VerifyCache {
+            outcomes: LruMap::new(None),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// An empty cache bounded to `capacity` memoized outcomes, evicting
+    /// the least-recently-checked outcome beyond that.
+    pub fn with_capacity(capacity: usize) -> VerifyCache {
+        VerifyCache {
+            outcomes: LruMap::new(Some(capacity)),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Rebounds the memo table (`None` = unbounded), evicting down.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        let evicted = self.outcomes.set_capacity(capacity);
+        self.stats.evictions += evicted.len() as u64;
+    }
+
+    /// The configured bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.outcomes.capacity()
+    }
+
+    fn key(signer: Symbol, message: &[u8], signature: &[u8]) -> OutcomeKey {
+        (signer, CertDigest::of(message), CertDigest::of(signature))
     }
 
     /// Checks `signature` over `message` as `signer`, consulting the
@@ -58,15 +108,36 @@ impl VerifyCache {
         message: &[u8],
         signature: &[u8],
     ) -> (bool, bool) {
-        let key = (signer, CertDigest::of(message), CertDigest::of(signature));
+        let key = Self::key(signer, message, signature);
         if let Some(&ok) = self.outcomes.get(&key) {
             self.stats.hits += 1;
             return (ok, true);
         }
         self.stats.misses += 1;
         let ok = verifier.verify(signer, message, signature);
-        self.outcomes.insert(key, ok);
+        if self.outcomes.insert(key, ok).is_some() {
+            self.stats.evictions += 1;
+        }
         (ok, false)
+    }
+
+    /// Whether an outcome for this exact check is memoized (recency is
+    /// not touched).
+    pub fn is_cached(&self, signer: Symbol, message: &[u8], signature: &[u8]) -> bool {
+        self.outcomes
+            .peek(&Self::key(signer, message, signature))
+            .is_some()
+    }
+
+    /// Installs an outcome without running a verifier — the trusted
+    /// fast path for log replay (the outcome was recorded when the
+    /// signature was first checked) and for parallel pre-verification.
+    pub fn prime(&mut self, signer: Symbol, message: &[u8], signature: &[u8], outcome: bool) {
+        let key = Self::key(signer, message, signature);
+        if self.outcomes.insert(key, outcome).is_some() {
+            self.stats.evictions += 1;
+        }
+        self.stats.primed += 1;
     }
 
     /// Hit/miss counters.
@@ -84,9 +155,10 @@ impl VerifyCache {
         self.outcomes.is_empty()
     }
 
-    /// Drops all memoized outcomes (keeps counters).
+    /// Drops all memoized outcomes (keeps counters and capacity).
     pub fn clear(&mut self) {
-        self.outcomes.clear();
+        let capacity = self.outcomes.capacity();
+        self.outcomes = LruMap::new(capacity);
     }
 }
 
@@ -94,9 +166,14 @@ impl VerifyCache {
 /// builtins — the "checked once, reused across principals" property.
 pub type SharedVerifyCache = Arc<Mutex<VerifyCache>>;
 
-/// Builds an empty shared cache.
+/// Builds an empty, unbounded shared cache.
 pub fn shared_verify_cache() -> SharedVerifyCache {
     Arc::new(Mutex::new(VerifyCache::new()))
+}
+
+/// Builds an empty shared cache bounded to `capacity` outcomes.
+pub fn shared_verify_cache_with_capacity(capacity: usize) -> SharedVerifyCache {
+    Arc::new(Mutex::new(VerifyCache::with_capacity(capacity)))
 }
 
 #[cfg(test)]
@@ -118,7 +195,14 @@ mod tests {
         assert!(ok1 && ok2);
         assert!(!hit1 && hit2);
         assert_eq!(calls.get(), 1, "real verification must run once");
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                ..CacheStats::default()
+            }
+        );
     }
 
     #[test]
@@ -145,5 +229,47 @@ mod tests {
         cache.check(&verifier, a, b"n", b"s");
         cache.check(&verifier, a, b"m", b"t");
         assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn primed_outcome_skips_verifier() {
+        let calls = Cell::new(0u32);
+        let verifier = |_s: Symbol, _m: &[u8], _sig: &[u8]| {
+            calls.set(calls.get() + 1);
+            false // a real check would *fail*; the primed outcome wins
+        };
+        let mut cache = VerifyCache::new();
+        let p = Symbol::intern("p");
+        cache.prime(p, b"msg", b"sig", true);
+        assert!(cache.is_cached(p, b"msg", b"sig"));
+        let (ok, hit) = cache.check(&verifier, p, b"msg", b"sig");
+        assert!(ok && hit);
+        assert_eq!(calls.get(), 0, "primed outcome answers without verifier");
+        assert_eq!(cache.stats().primed, 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru() {
+        let calls = Cell::new(0u32);
+        let verifier = |_s: Symbol, _m: &[u8], _sig: &[u8]| {
+            calls.set(calls.get() + 1);
+            true
+        };
+        let mut cache = VerifyCache::with_capacity(2);
+        let p = Symbol::intern("p");
+        cache.check(&verifier, p, b"m1", b"s");
+        cache.check(&verifier, p, b"m2", b"s");
+        // Touch m1 so m2 is LRU, then overflow.
+        cache.check(&verifier, p, b"m1", b"s");
+        cache.check(&verifier, p, b"m3", b"s");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // m1 survived (it was touched) …
+        assert!(cache.is_cached(p, b"m1", b"s"));
+        // … and m2 was evicted: checking it again runs the verifier.
+        let before = calls.get();
+        let (_, hit) = cache.check(&verifier, p, b"m2", b"s");
+        assert!(!hit);
+        assert_eq!(calls.get(), before + 1);
     }
 }

@@ -15,13 +15,14 @@ use crate::principal::{
 use crate::says::SAYS_DECLS;
 use crate::workspace::{RetractOutcome, Workspace, WsError};
 use lbtrust_certstore::{
-    cert, shared_verify_cache, CertDigest, CertStore, CertStoreError, ImportOutcome, LinkedCert,
-    Revocation, SharedVerifyCache,
+    cert, shared_verify_cache, AuditEntry, CertDigest, CertStore, CertStoreError, ImportOutcome,
+    LinkedCert, Revocation, SharedVerifyCache, SignatureVerifier,
 };
 use lbtrust_datalog::{Symbol, Tuple, Value};
 use lbtrust_net::{NetworkConfig, NodeId, RevokeMessage, SimNetwork, WireMessage, WirePacket};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// System-level errors.
@@ -40,6 +41,8 @@ pub enum SysError {
     Cert(CertStoreError),
     /// Certificate issuing failed (bad body, missing keys, RSA error).
     Issue(String),
+    /// Setting up the persistence directory failed.
+    Persist(String),
 }
 
 impl fmt::Display for SysError {
@@ -52,6 +55,7 @@ impl fmt::Display for SysError {
             }
             SysError::Cert(e) => write!(f, "{e}"),
             SysError::Issue(m) => write!(f, "certificate issue failed: {m}"),
+            SysError::Persist(m) => write!(f, "persistence setup failed: {m}"),
         }
     }
 }
@@ -94,6 +98,12 @@ pub struct SystemStats {
     pub dred_repairs: usize,
     /// Retractions that forced a full rebuild on the next evaluation.
     pub retraction_rebuilds: usize,
+    /// Certificates reconciled from durable logs at principal
+    /// registration (replayed, not re-verified).
+    pub certs_replayed: usize,
+    /// Import bundles whose signature checks were fanned across worker
+    /// threads before the store walked the bundle.
+    pub parallel_verify_batches: usize,
 }
 
 /// RSA modulus size used for principals (the paper's §6 uses 1024-bit).
@@ -124,7 +134,17 @@ pub struct System {
     /// so expiry/revocation can retract exactly those (and DRed repairs
     /// their consequences).
     cert_facts: HashMap<(Principal, CertDigest), Vec<(Symbol, Tuple)>>,
+    /// When set, each principal's certificate store is a durable
+    /// segment log at `<dir>/<principal>.certlog`, replayed (and the
+    /// workspace reconciled) at registration.
+    persist_dir: Option<PathBuf>,
 }
+
+/// Bundles at or above this size fan their signature checks across
+/// `std::thread::scope` workers before the store walks the bundle;
+/// smaller bundles verify serially (thread spawn would cost more than
+/// the checks).
+pub const PARALLEL_VERIFY_MIN: usize = 8;
 
 impl System {
     /// Creates a system over a perfect network.
@@ -149,7 +169,36 @@ impl System {
             stores: HashMap::new(),
             vcache: shared_verify_cache(),
             cert_facts: HashMap::new(),
+            persist_dir: None,
         }
+    }
+
+    /// Creates a system whose certificate stores are durable: each
+    /// principal registered afterwards opens (or creates) a segment log
+    /// under `dir`, replays it, and reconciles its workspace — active
+    /// certificates re-assert their `export`/`says` facts without any
+    /// signature re-verification, and previously revoked certificates
+    /// stay rejected. Reopening the same directory with the same
+    /// principals (same registration order) reproduces the pre-restart
+    /// state.
+    pub fn open_persistent(dir: impl AsRef<Path>) -> Result<System, SysError> {
+        System::new().persist_at(dir)
+    }
+
+    /// Builder form: makes this system's stores durable under `dir`
+    /// (see [`System::open_persistent`]). Must be called before
+    /// principals are registered.
+    pub fn persist_at(mut self, dir: impl AsRef<Path>) -> Result<Self, SysError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| SysError::Persist(format!("creating {}: {e}", dir.display())))?;
+        self.persist_dir = Some(dir);
+        Ok(self)
+    }
+
+    /// Where durable stores live, if persistence is on.
+    pub fn persist_dir(&self) -> Option<&Path> {
+        self.persist_dir.as_deref()
     }
 
     /// Overrides the RSA modulus size (tests use 512 for speed; the
@@ -231,6 +280,34 @@ impl System {
             );
         }
 
+        // The certificate store: ephemeral by default, a replayed
+        // segment log under persistence.
+        let mut store = match &self.persist_dir {
+            Some(dir) => {
+                let path = dir.join(format!("{name}.certlog"));
+                CertStore::open(path, self.vcache.clone()).map_err(SysError::Cert)?
+            }
+            None => CertStore::with_cache(self.vcache.clone()),
+        };
+        // Replay reconciliation: every certificate the log shows as
+        // still active re-introduces exactly the facts a live import
+        // would have asserted (`export[me](issuer, R, S)` + `says`), so
+        // the workspace's derived state matches the pre-restart system
+        // once policies are reloaded. Certificates the log shows as
+        // revoked/expired produced retraction events during replay, but
+        // a freshly registered workspace holds no facts for them — the
+        // events are drained so they cannot fire twice.
+        let _ = store.take_replay_events();
+        let mut replayed: Vec<(Symbol, Tuple)> = Vec::new();
+        for digest in store.active() {
+            let entry = store.get(&digest).expect("active digest is stored");
+            let facts = cert_workspace_facts(me, &entry.cert);
+            replayed.extend(facts.iter().cloned());
+            self.cert_facts.insert((me, digest), facts);
+            self.stats.certs_replayed += 1;
+        }
+        ws.assert_facts(&replayed);
+
         // Commit a baseline so any later constraint violation rolls back
         // to a fully introduced workspace, not an empty one.
         ws.evaluate().map_err(SysError::Workspace)?;
@@ -245,8 +322,7 @@ impl System {
         self.workspaces.insert(me, ws);
         self.order.push(me);
         self.drained.insert(me, HashSet::new());
-        self.stores
-            .insert(me, CertStore::with_cache(self.vcache.clone()));
+        self.stores.insert(me, store);
         Ok(me)
     }
 
@@ -420,11 +496,14 @@ impl System {
         if !self.workspaces.contains_key(&to) {
             return Err(SysError::UnknownPrincipal(to));
         }
+        // Bulk loads fan the expensive signature checks across worker
+        // threads first; the store's serial walk then answers every
+        // check from the shared cache.
+        self.prewarm_verifications(&certs);
         let verifier = self.key_verifier();
         let store = self.stores.get_mut(&to).expect("store per principal");
         let outcomes = store.import_bundle(certs, &verifier)?;
-        let export = Symbol::intern("export");
-        let says = Symbol::intern("says");
+        store.sync()?;
         for outcome in &outcomes {
             // Assert facts for fresh imports *and* for live certificates
             // whose facts never landed (a bundle that failed part-way
@@ -441,24 +520,10 @@ impl System {
                 .get(&outcome.digest)
                 .expect("just imported")
                 .clone();
+            let facts = cert_workspace_facts(to, &entry.cert);
             let ws = self.workspaces.get_mut(&to).expect("checked above");
-            let export_tuple = vec![
-                Value::Sym(to),
-                Value::Sym(entry.cert.issuer),
-                Value::Quote(entry.cert.rule.clone()),
-                Value::bytes(&entry.cert.rule_sig),
-            ];
-            let says_tuple = vec![
-                Value::Sym(entry.cert.issuer),
-                Value::Sym(to),
-                Value::Quote(entry.cert.rule.clone()),
-            ];
-            ws.assert_fact(export, export_tuple.clone());
-            ws.assert_fact(says, says_tuple.clone());
-            self.cert_facts.insert(
-                (to, outcome.digest),
-                vec![(export, export_tuple), (says, says_tuple)],
-            );
+            ws.assert_facts(&facts);
+            self.cert_facts.insert((to, outcome.digest), facts);
             self.stats.certs_imported += 1;
         }
         self.workspaces
@@ -466,6 +531,63 @@ impl System {
             .expect("checked above")
             .evaluate()?;
         Ok(outcomes)
+    }
+
+    /// Verifies a bundle's signatures in parallel, priming the shared
+    /// cache with the outcomes. A no-op for bundles below
+    /// [`PARALLEL_VERIFY_MIN`] or when everything is already cached.
+    /// Correctness is unchanged: the store re-asks the cache for every
+    /// signature and any outcome not primed here is checked serially.
+    fn prewarm_verifications(&mut self, certs: &[LinkedCert]) {
+        if certs.len() < PARALLEL_VERIFY_MIN {
+            return;
+        }
+        // Both signatures of every certificate, deduplicated against
+        // outcomes the cache already holds.
+        let mut jobs: Vec<(Symbol, Vec<u8>, &[u8])> = Vec::with_capacity(certs.len() * 2);
+        {
+            let cache = self.vcache.lock().unwrap_or_else(|e| e.into_inner());
+            for cert in certs {
+                let signing = cert.signing_bytes();
+                if !cache.is_cached(cert.issuer, &signing, &cert.signature) {
+                    jobs.push((cert.issuer, signing, &cert.signature));
+                }
+                let rule = cert.rule_bytes();
+                if !cache.is_cached(cert.issuer, &rule, &cert.rule_sig) {
+                    jobs.push((cert.issuer, rule, &cert.rule_sig));
+                }
+            }
+        }
+        if jobs.is_empty() {
+            return;
+        }
+        // At least two workers so the fan-out is real even on
+        // single-core hosts (the checks are pure CPU; extra threads
+        // cost one spawn each and change no outcome), scaling up with
+        // the machine.
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(2, 16)
+            .min(jobs.len());
+        let verifier = self.key_verifier();
+        let chunk = jobs.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for part in jobs.chunks(chunk) {
+                let verifier = &verifier;
+                let vcache = &self.vcache;
+                scope.spawn(move || {
+                    for (signer, message, signature) in part {
+                        let ok = verifier.verify(*signer, message, signature);
+                        vcache
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .prime(*signer, message, signature, ok);
+                    }
+                });
+            }
+        });
+        self.stats.parallel_verify_batches += 1;
     }
 
     /// Re-imports certificates already held by `to`: answered from the
@@ -486,6 +608,7 @@ impl System {
         for cert in certs {
             outcomes.push(store.insert(cert.clone(), &verifier)?);
         }
+        store.sync()?;
         Ok(outcomes)
     }
 
@@ -555,6 +678,7 @@ impl System {
             .get_mut(&at)
             .ok_or(SysError::UnknownPrincipal(at))?;
         let events = store.revoke(revocation, &verifier)?;
+        store.sync()?;
         self.stats.revocations += 1;
         self.retract_cert_facts(at, &events);
         Ok(())
@@ -567,11 +691,33 @@ impl System {
         let mut died = 0;
         for &p in &self.order.clone() {
             let store = self.stores.get_mut(&p).expect("store per principal");
-            let events = store.advance_clock(ticks);
+            let events = store.advance_clock(ticks)?;
+            store.sync()?;
             died += events.len();
             self.retract_cert_facts(p, &events);
         }
         Ok(died)
+    }
+
+    /// Audit query: which credential(s) introduced the certified rule
+    /// `rule_src` into `who`'s store? Answers from the store's
+    /// append-only audit trail, so the citation survives the
+    /// credential's revocation, expiry, tombstone eviction — and, for
+    /// durable stores, process restarts.
+    pub fn audit_introducers(
+        &self,
+        who: Principal,
+        rule_src: &str,
+    ) -> Result<Vec<AuditEntry>, SysError> {
+        let rule =
+            lbtrust_datalog::parse_rule(rule_src).map_err(|e| SysError::Issue(e.to_string()))?;
+        let store = self.cert_store(who)?;
+        Ok(store
+            .audit()
+            .introducers(&rule.to_string())
+            .into_iter()
+            .cloned()
+            .collect())
     }
 
     /// Retracts the workspace facts behind each retraction event in one
@@ -755,6 +901,30 @@ impl Default for System {
     fn default() -> Self {
         System::new()
     }
+}
+
+/// The workspace base facts one imported certificate introduces at
+/// principal `to`: the authenticated-import tuple (`export[to](issuer,
+/// R, S)`, re-verified by the declarative `exp2`/`exp3` pipeline) plus
+/// `says(issuer, to, R)` directly for workspaces without the auth
+/// prelude. Shared by live import and log-replay reconciliation so both
+/// assert byte-identical facts.
+fn cert_workspace_facts(to: Principal, cert: &LinkedCert) -> Vec<(Symbol, Tuple)> {
+    let export_tuple = vec![
+        Value::Sym(to),
+        Value::Sym(cert.issuer),
+        Value::Quote(cert.rule.clone()),
+        Value::bytes(&cert.rule_sig),
+    ];
+    let says_tuple = vec![
+        Value::Sym(cert.issuer),
+        Value::Sym(to),
+        Value::Quote(cert.rule.clone()),
+    ];
+    vec![
+        (Symbol::intern("export"), export_tuple),
+        (Symbol::intern("says"), says_tuple),
+    ]
 }
 
 /// Decodes an `export[to](from, R, S)` tuple into a wire message.

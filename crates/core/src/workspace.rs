@@ -280,6 +280,15 @@ impl Workspace {
         self.seeds.entry(pred).or_insert(mark);
     }
 
+    /// Asserts a batch of base facts (one supporting copy each) — the
+    /// certificate-import and log-replay reconciliation path, which
+    /// asserts many `export`/`says` facts before one evaluation.
+    pub fn assert_facts(&mut self, facts: &[(Symbol, Tuple)]) {
+        for (pred, tuple) in facts {
+            self.assert_fact(*pred, tuple.clone());
+        }
+    }
+
     /// Parses and asserts facts, e.g. `"neighbor(a,b). neighbor(b,c)."`.
     /// Quote arguments are allowed when they contain no pattern
     /// constructs (`important([| payload(1). |]).`).

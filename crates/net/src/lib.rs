@@ -17,7 +17,7 @@ pub mod wire;
 pub use network::{Envelope, NetworkConfig, NetworkStats, SimNetwork};
 pub use node::NodeId;
 pub use wire::{
-    decode, decode_packet, digest_bytes, encode, encode_packet, encode_revoke, from_hex,
-    revoke_signing_bytes, rule_bytes, to_hex, RevokeMessage, WireDigest, WireError, WireMessage,
-    WirePacket,
+    decode, decode_packet, digest_bytes, encode, encode_packet, encode_revoke, frame_record,
+    from_hex, read_frame, revoke_signing_bytes, rule_bytes, to_hex, RevokeMessage, WireDigest,
+    WireError, WireMessage, WirePacket, FRAME_OVERHEAD, MAX_FRAME_BODY,
 };

@@ -7,6 +7,7 @@
 //! signatures and MACs are computed. A message is one `export` tuple:
 //! `export[<to>](<from>, <rule-quote>, <signature-bytes>)`.
 
+use lbtrust_crypto::crc32::crc32;
 use lbtrust_crypto::sha256::Sha256;
 use lbtrust_datalog::ast::{Atom, Rule, Term};
 use lbtrust_datalog::{parse_rule, Symbol, Value};
@@ -42,6 +43,65 @@ pub fn from_hex(s: &str) -> Option<Vec<u8>> {
         .step_by(2)
         .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
         .collect()
+}
+
+// ---- record framing (durable logs) ----------------------------------------
+//
+// The certificate store's segment log reuses the canonical wire
+// encoding for its payloads; the framing below adds what a durable,
+// append-only file needs on top of it: a length prefix so records can
+// be scanned without parsing, and a CRC-32 so a torn write or flipped
+// bit at the tail is detected and replay stops cleanly at the last
+// valid record.
+//
+// Layout of one frame (all integers little-endian):
+//
+// ```text
+// [len: u32] [kind: u8] [payload: len-1 bytes] [crc32: u32]
+// ```
+//
+// `len` counts the kind byte plus the payload; the CRC covers the same
+// span (kind + payload).
+
+/// Bytes of framing overhead per record (`len` prefix + CRC suffix).
+pub const FRAME_OVERHEAD: usize = 8;
+
+/// Upper bound on one frame's body (kind + payload); a corrupt length
+/// prefix larger than this is treated as end-of-log rather than an
+/// instruction to scan gigabytes.
+pub const MAX_FRAME_BODY: usize = 16 * 1024 * 1024;
+
+/// Frames one record: length prefix, kind tag, payload, CRC-32 trailer.
+pub fn frame_record(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let body_len = payload.len() + 1;
+    let mut out = Vec::with_capacity(body_len + FRAME_OVERHEAD);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(&out[4..]).to_le_bytes());
+    out
+}
+
+/// Reads the frame starting at `offset`, returning `(kind, payload,
+/// next_offset)`. Returns `None` when the buffer ends (cleanly or with
+/// a truncated frame), the length prefix is implausible, or the CRC
+/// does not match — replay treats all of these as end-of-log.
+pub fn read_frame(buf: &[u8], offset: usize) -> Option<(u8, &[u8], usize)> {
+    let rest = buf.get(offset..)?;
+    if rest.len() < 4 {
+        return None;
+    }
+    let body_len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+    if body_len == 0 || body_len > MAX_FRAME_BODY {
+        return None;
+    }
+    let body = rest.get(4..4 + body_len)?;
+    let crc_bytes = rest.get(4 + body_len..4 + body_len + 4)?;
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(body) != stored {
+        return None;
+    }
+    Some((body[0], &body[1..], offset + 4 + body_len + 4))
 }
 
 /// The byte string a revocation signature covers: issuer name plus the
@@ -248,6 +308,70 @@ fn export_from_atom(head: &Atom) -> Result<WireMessage, WireError> {
         rule,
         auth,
     })
+}
+
+#[cfg(test)]
+mod frame_tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_single_and_sequence() {
+        let buf = frame_record(1, b"hello");
+        let (kind, payload, next) = read_frame(&buf, 0).unwrap();
+        assert_eq!(kind, 1);
+        assert_eq!(payload, b"hello");
+        assert_eq!(next, buf.len());
+
+        let mut log = Vec::new();
+        for (k, p) in [(1u8, &b"alpha"[..]), (2, b""), (3, b"gamma")] {
+            log.extend_from_slice(&frame_record(k, p));
+        }
+        let mut offset = 0;
+        let mut seen = Vec::new();
+        while let Some((k, p, next)) = read_frame(&log, offset) {
+            seen.push((k, p.to_vec()));
+            offset = next;
+        }
+        assert_eq!(offset, log.len());
+        assert_eq!(
+            seen,
+            vec![
+                (1, b"alpha".to_vec()),
+                (2, Vec::new()),
+                (3, b"gamma".to_vec())
+            ]
+        );
+    }
+
+    #[test]
+    fn truncated_tail_stops_cleanly() {
+        let mut log = frame_record(1, b"first");
+        let keep = log.len();
+        log.extend_from_slice(&frame_record(2, b"second"));
+        log.truncate(keep + 5); // tear the second frame mid-body
+        let (_, payload, next) = read_frame(&log, 0).unwrap();
+        assert_eq!(payload, b"first");
+        assert!(
+            read_frame(&log, next).is_none(),
+            "torn frame must not parse"
+        );
+    }
+
+    #[test]
+    fn corrupted_frame_fails_crc() {
+        let mut buf = frame_record(7, b"payload-bytes");
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x40;
+        assert!(read_frame(&buf, 0).is_none());
+    }
+
+    #[test]
+    fn implausible_length_prefix_rejected() {
+        let mut buf = frame_record(1, b"x");
+        buf[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_frame(&buf, 0).is_none());
+        assert!(read_frame(&[0, 0, 0], 0).is_none(), "short header");
+    }
 }
 
 #[cfg(test)]

@@ -80,11 +80,18 @@ impl Bencher {
 /// The top-level benchmark driver.
 pub struct Criterion {
     sample_size: usize,
+    /// `--test` smoke mode: one sample per benchmark, overriding any
+    /// per-group `sample_size()` (mirroring real criterion, whose
+    /// `--test` ignores configured sampling).
+    smoke: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            smoke: false,
+        }
     }
 }
 
@@ -94,11 +101,24 @@ impl Criterion {
         self
     }
 
+    /// Builds a driver honoring the CLI subset the shim understands:
+    /// `--test` (real criterion's smoke mode) runs every benchmark for
+    /// a single sample so `cargo bench -- --test` exercises the code
+    /// quickly in CI without timing noise mattering.
+    pub fn from_args() -> Criterion {
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: if smoke { 1 } else { 10 },
+            smoke,
+        }
+    }
+
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
             sample_size: self.sample_size,
+            smoke: self.smoke,
             _parent: self,
         }
     }
@@ -119,13 +139,17 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    smoke: bool,
     _parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the requested sample count (capped internally).
+    /// Sets the requested sample count (capped internally; ignored in
+    /// `--test` smoke mode, which always runs one sample).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n;
+        if !self.smoke {
+            self.sample_size = n;
+        }
         self
     }
 
@@ -164,10 +188,40 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
         mean: Duration::ZERO,
     };
     f(&mut b);
-    println!(
+    let line = format!(
         "bench {label:<56} {:>12.3} µs/iter",
         b.mean.as_secs_f64() * 1e6
     );
+    println!("{line}");
+    persist_summary(&line);
+}
+
+/// Appends the summary line to `<target>/criterion/summary.txt`
+/// (mirroring real criterion's on-disk reports well enough for CI to
+/// archive the numbers as a workflow artifact). The target directory is
+/// found from the bench executable's own path, since cargo runs bench
+/// binaries with the *package* directory as cwd. Best-effort: benches
+/// must not fail because a summary file could not be written.
+fn persist_summary(line: &str) {
+    use std::io::Write;
+    let dir = std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            exe.ancestors()
+                .find(|p| p.file_name().is_some_and(|n| n == "target"))
+                .map(|t| t.join("criterion"))
+        })
+        .unwrap_or_else(|| std::path::Path::new("target").join("criterion"));
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("summary.txt"))
+    {
+        let _ = writeln!(f, "{line}");
+    }
 }
 
 /// Collects benchmark functions into a named group runner.
@@ -180,12 +234,12 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generates `main` running the listed groups.
+/// Generates `main` running the listed groups (honoring `--test`).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            let mut c = $crate::Criterion::default();
+            let mut c = $crate::Criterion::from_args();
             $($group(&mut c);)+
         }
     };

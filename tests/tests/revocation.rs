@@ -419,3 +419,63 @@ fn quiescence_converges_with_certs_and_says_traffic_mixed() {
     assert!(ws.holds_src("access(luke,file1,read)").unwrap());
     assert!(!ws.holds_src("access(mona,file1,read)").unwrap());
 }
+
+#[test]
+fn bulk_import_verifies_in_parallel_with_identical_results() {
+    // A bundle at or above the parallel threshold fans its signature
+    // checks across worker threads; the outcome must be identical to a
+    // serial import — same derived facts, every signature accounted for.
+    let (mut sys, alice, bob) = alice_bob_system();
+    let n = 16usize;
+    let facts: String = (0..n).map(|i| format!("good(bulk{i}). ")).collect();
+    let certs = sys.issue_certificates(alice, &facts, &[], None).unwrap();
+    let outcomes = sys.import_certificates(bob, certs).unwrap();
+    assert_eq!(outcomes.len(), n);
+    assert!(
+        sys.stats().parallel_verify_batches >= 1,
+        "bundle of {n} must take the parallel path: {:?}",
+        sys.stats()
+    );
+    // Every store-side check was answered from the primed cache.
+    assert!(outcomes.iter().all(|o| o.cache_hit));
+    sys.run_to_quiescence(16).unwrap();
+    for i in 0..n {
+        assert!(sys
+            .workspace(bob)
+            .unwrap()
+            .holds_src(&format!("access(bulk{i},file1,read)"))
+            .unwrap());
+    }
+
+    // Below the threshold the serial path is used and behaves the same.
+    let (mut sys2, alice2, bob2) = alice_bob_system();
+    let small = sys2
+        .issue_certificates(alice2, "good(solo1). good(solo2).", &[], None)
+        .unwrap();
+    sys2.import_certificates(bob2, small).unwrap();
+    assert_eq!(sys2.stats().parallel_verify_batches, 0);
+    sys2.run_to_quiescence(16).unwrap();
+    assert!(sys2
+        .workspace(bob2)
+        .unwrap()
+        .holds_src("access(solo1,file1,read)")
+        .unwrap());
+}
+
+#[test]
+fn forged_signature_in_parallel_bundle_still_rejected() {
+    // Negative outcomes primed by the parallel pass must reject exactly
+    // like serial verification does.
+    let (mut sys, alice, bob) = alice_bob_system();
+    let facts: String = (0..12).map(|i| format!("good(f{i}). ")).collect();
+    let mut certs = sys.issue_certificates(alice, &facts, &[], None).unwrap();
+    certs[7].signature[0] ^= 0xff;
+    let err = sys.import_certificates(bob, certs).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            lbtrust::SysError::Cert(CertStoreError::BadSignature(_))
+        ),
+        "forged member must fail verification: {err}"
+    );
+}
