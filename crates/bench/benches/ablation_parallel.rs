@@ -1,0 +1,231 @@
+//! Experiment A10: the sharded quiescence engine. Two fan-out
+//! workloads over a 32-principal deployment, swept across 1/2/4/8
+//! worker shards:
+//!
+//! * **fanout_chain** — a hub `says` a fresh 12-edge chain to every
+//!   receiver each iteration; receivers fold the said edges into a
+//!   local transitive closure. Phase-1/phase-3 evaluation work is
+//!   embarrassingly parallel across the 31 receivers.
+//! * **fanout_revocation** — the hub revokes a batch of certificates
+//!   every iteration; the broadcast fans out to 31 receiving stores,
+//!   each verifying, transitioning and DRed-retracting in its
+//!   destination shard.
+//!
+//! A `parallel-scaling` summary (speedup of each shard count over the
+//! serial engine) is appended to `target/criterion/summary.txt`, the
+//! artifact CI archives. Scaling tracks the host's core count: on a
+//! single-core container every shard count measures ~1x — run on a
+//! multi-core host to see the delivery phase spread out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbtrust::datalog::Symbol;
+use lbtrust::{AuthScheme, Principal, SyncPolicy, System};
+use std::cell::Cell;
+use std::time::Duration;
+
+/// Principals in the deployment (1 hub + N-1 receivers).
+const PRINCIPALS: usize = 32;
+/// Edges in each iteration's fresh said-chain.
+const CHAIN: usize = 12;
+/// Certificates revoked per iteration of the revocation workload.
+const REVOKE_BATCH: usize = 4;
+/// Revocation batches pre-issued per system (one per iteration; the
+/// shim caps samples at 30 plus one warmup).
+const REVOKE_BATCHES: usize = 36;
+
+/// A hub-and-receivers system on Plaintext auth (no signing cost, so
+/// the measured work is evaluation + delivery, the phases the shards
+/// split). Receivers run the said-edge transitive closure.
+fn fanout_chain_system(shards: usize) -> (System, Principal) {
+    let mut sys = System::new()
+        .with_rsa_bits(512)
+        .with_shards(shards)
+        .with_sync_policy(SyncPolicy::Batched);
+    let hub = sys.add_principal("hub", "n0").unwrap();
+    let receivers: Vec<String> = (1..PRINCIPALS).map(|i| format!("r{i}")).collect();
+    for (i, name) in receivers.iter().enumerate() {
+        let p = sys.add_principal(name, &format!("m{i}")).unwrap();
+        sys.set_auth_scheme(p, AuthScheme::Plaintext).unwrap();
+        sys.workspace_mut(p)
+            .unwrap()
+            .load(
+                "policy",
+                "edge(X,Y) <- says(hub,me,[| ledge(X,Y) |]).\n\
+                 reach(X,Y) <- edge(X,Y).\n\
+                 reach(X,Z) <- reach(X,Y), edge(Y,Z).\n",
+            )
+            .unwrap();
+    }
+    sys.set_auth_scheme(hub, AuthScheme::Plaintext).unwrap();
+    for name in &receivers {
+        sys.workspace_mut(hub)
+            .unwrap()
+            .load(
+                "policy",
+                &format!("says(me,{name},[| ledge(X,Y). |]) <- vedge(X,Y)."),
+            )
+            .unwrap();
+    }
+    sys.run_to_quiescence(8).unwrap();
+    (sys, hub)
+}
+
+/// One iteration of the chain workload: a fresh uniquely-named chain
+/// asserted at the hub, then quiescence (ships ~31x12 messages, one
+/// batched import evaluation per receiver).
+fn chain_iteration(sys: &mut System, hub: Principal, round: usize) {
+    let facts: String = (0..CHAIN)
+        .map(|k| format!("vedge(c{round}e{k},c{round}e{k2}). ", k2 = k + 1))
+        .collect();
+    sys.workspace_mut(hub).unwrap().assert_src(&facts).unwrap();
+    sys.run_to_quiescence(8).unwrap();
+}
+
+/// A hub-and-receivers system where every receiver imported the same
+/// pre-issued certificates (RSA-backed; verification amortized through
+/// the shared cache), ready for batch-by-batch revocation.
+fn fanout_revocation_system(
+    shards: usize,
+) -> (System, Principal, Vec<lbtrust::certstore::CertDigest>) {
+    let mut sys = System::new()
+        .with_rsa_bits(512)
+        .with_shards(shards)
+        .with_sync_policy(SyncPolicy::Batched);
+    let hub = sys.add_principal("hub", "n0").unwrap();
+    let receivers: Vec<Principal> = (1..PRINCIPALS)
+        .map(|i| {
+            sys.add_principal(&format!("r{i}"), &format!("m{i}"))
+                .unwrap()
+        })
+        .collect();
+    let facts: String = (0..REVOKE_BATCHES * REVOKE_BATCH)
+        .map(|i| format!("good(p{i}). "))
+        .collect();
+    let certs = sys.issue_certificates(hub, &facts, &[], None).unwrap();
+    for &r in &receivers {
+        sys.workspace_mut(r)
+            .unwrap()
+            .load("policy", "access(P,f,read) <- says(hub,me,[| good(P) |]).")
+            .unwrap();
+        sys.import_certificates(r, certs.clone()).unwrap();
+    }
+    sys.run_to_quiescence(8).unwrap();
+    let digests = certs.iter().map(|c| c.digest()).collect();
+    (sys, hub, digests)
+}
+
+/// One iteration: revoke the next batch and quiesce — 31 receiving
+/// stores apply each revocation and DRed-retract its conclusions.
+fn revocation_iteration(
+    sys: &mut System,
+    hub: Principal,
+    digests: &[lbtrust::certstore::CertDigest],
+    round: usize,
+) {
+    let start = (round * REVOKE_BATCH) % digests.len();
+    for d in &digests[start..start + REVOKE_BATCH] {
+        sys.revoke_certificate(hub, *d).unwrap();
+    }
+    sys.run_to_quiescence(8).unwrap();
+}
+
+/// Appends a line to the same `target/criterion/summary.txt` the shim
+/// writes, so the scaling summary rides the CI artifact. Best-effort.
+fn persist_line(line: &str) {
+    use std::io::Write;
+    // Same target-dir discovery (and fallback) as the criterion shim's
+    // own summary writer, so both land in one artifact file.
+    let dir = std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            exe.ancestors()
+                .find(|p| p.file_name().is_some_and(|n| n == "target"))
+                .map(|t| t.join("criterion"))
+        })
+        .unwrap_or_else(|| std::path::Path::new("target").join("criterion"));
+    println!("{line}");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("summary.txt"))
+    {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+fn report_scaling(workload: &str, means: &[(usize, Duration)]) {
+    let Some(&(_, serial)) = means.iter().find(|(s, _)| *s == 1) else {
+        return;
+    };
+    for &(shards, mean) in means {
+        let speedup = serial.as_secs_f64() / mean.as_secs_f64().max(1e-12);
+        persist_line(&format!(
+            "parallel-scaling {workload:<24} shards={shards} {:>10.3} ms/iter {speedup:>6.2}x vs serial ({} principals, {} cores)",
+            mean.as_secs_f64() * 1e3,
+            PRINCIPALS,
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        ));
+    }
+}
+
+fn sharded_quiescence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_parallel");
+    group.sample_size(10);
+
+    let mut chain_means: Vec<(usize, Duration)> = Vec::new();
+    for &shards in &[1usize, 2, 4, 8] {
+        let (mut sys, hub) = fanout_chain_system(shards);
+        let round = Cell::new(0usize);
+        group.bench_with_input(BenchmarkId::new("fanout_chain", shards), &shards, |b, _| {
+            b.iter(|| {
+                let r = round.get();
+                round.set(r + 1);
+                chain_iteration(&mut sys, hub, r);
+            });
+            chain_means.push((shards, b.mean));
+        });
+    }
+
+    let mut revoke_means: Vec<(usize, Duration)> = Vec::new();
+    for &shards in &[1usize, 2, 4, 8] {
+        let (mut sys, hub, digests) = fanout_revocation_system(shards);
+        let round = Cell::new(0usize);
+        group.bench_with_input(
+            BenchmarkId::new("fanout_revocation", shards),
+            &shards,
+            |b, _| {
+                b.iter(|| {
+                    let r = round.get();
+                    round.set(r + 1);
+                    revocation_iteration(&mut sys, hub, &digests, r);
+                });
+                revoke_means.push((shards, b.mean));
+            },
+        );
+    }
+    group.finish();
+
+    report_scaling("fanout_chain", &chain_means);
+    report_scaling("fanout_revocation", &revoke_means);
+
+    // Sanity for the equivalence claim the proptest pins down in
+    // miniature: a serial and an 8-shard run of the same chain
+    // iteration leave identical receiver states.
+    let (mut a, hub_a) = fanout_chain_system(1);
+    let (mut b, hub_b) = fanout_chain_system(8);
+    chain_iteration(&mut a, hub_a, 9999);
+    chain_iteration(&mut b, hub_b, 9999);
+    let reach = Symbol::intern("reach");
+    let r1 = Symbol::intern("r1");
+    assert_eq!(
+        a.workspace(r1).unwrap().tuples(reach).len(),
+        b.workspace(r1).unwrap().tuples(reach).len(),
+        "serial and sharded engines must derive the same closure"
+    );
+}
+
+criterion_group!(benches, sharded_quiescence);
+criterion_main!(benches);

@@ -199,6 +199,11 @@ pub struct StoreStats {
     pub evictions: u64,
     /// Records rebuilt from the backend at open time.
     pub replayed: u64,
+    /// Backend syncs actually performed ([`CertStore::sync`] on a
+    /// clean store is a no-op and does not count). For the log backend
+    /// each one is a flush + fsync, so this counter is what the
+    /// group-commit durability policy drives down.
+    pub syncs: u64,
     /// Verification-cache counters at the shared cache.
     pub cache: CacheStats,
 }
@@ -269,6 +274,10 @@ pub struct CertStore {
     dead_lru: LruMap<CertDigest, ()>,
     replay_report: ReplayReport,
     replay_events: Vec<RetractionEvent>,
+    /// Whether records were appended since the last [`CertStore::sync`].
+    /// Lets group-commit callers sync many stores cheaply: a clean
+    /// store's sync is a no-op, not an fsync.
+    dirty: bool,
 }
 
 impl CertStore {
@@ -304,6 +313,7 @@ impl CertStore {
             dead_lru: LruMap::new(None),
             replay_report: ReplayReport::default(),
             replay_events: Vec::new(),
+            dirty: false,
         }
     }
 
@@ -391,9 +401,24 @@ impl CertStore {
         self.backend.describe()
     }
 
-    /// Flushes buffered appends to the backend's medium.
+    /// Flushes buffered appends to the backend's medium. A no-op on a
+    /// clean store (nothing appended since the last sync), so callers
+    /// running a group commit can sweep every store and pay an fsync
+    /// only where one is due.
     pub fn sync(&mut self) -> Result<(), CertStoreError> {
-        self.backend.sync().map_err(CertStoreError::from)
+        if !self.dirty {
+            return Ok(());
+        }
+        self.backend.sync()?;
+        self.dirty = false;
+        self.stats.syncs += 1;
+        Ok(())
+    }
+
+    /// Whether records were appended since the last [`CertStore::sync`]
+    /// — i.e. whether in-memory state is ahead of the durable medium.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
     }
 
     /// Number of stored certificates (any status; evicted tombstones no
@@ -481,6 +506,7 @@ impl CertStore {
         // store consistent.
         let record = LogRecord::Cert(cert);
         self.backend.append(&record)?;
+        self.dirty = true;
         let LogRecord::Cert(cert) = record else {
             unreachable!("constructed above")
         };
@@ -640,6 +666,7 @@ impl CertStore {
             target,
             signature: revocation.signature.clone(),
         })?;
+        self.dirty = true;
         let events = self.apply_revoke(revocation.issuer, target);
         self.refresh_active();
         Ok(events)
@@ -684,6 +711,7 @@ impl CertStore {
     /// backend so reopened stores resume at the same logical time.
     pub fn advance_clock(&mut self, ticks: u64) -> Result<Vec<RetractionEvent>, CertStoreError> {
         self.backend.append(&LogRecord::Tick(ticks))?;
+        self.dirty = true;
         let events = self.apply_advance(ticks);
         self.refresh_active();
         Ok(events)

@@ -56,12 +56,13 @@ pub mod delegation;
 pub mod principal;
 pub mod pull;
 pub mod says;
+mod shard;
 pub mod system;
 pub mod workspace;
 
 pub use auth::{AuthScheme, KeyVerifier};
 pub use principal::{KeyDirectory, Principal, SharedKeys};
-pub use system::{SysError, System, SystemStats};
+pub use system::{SyncPolicy, SysError, System, SystemStats};
 pub use workspace::{RetractOutcome, Workspace, WsError};
 
 // Re-export the substrate crates so downstream users need one dependency.

@@ -1,0 +1,103 @@
+//! Shard partitioning for the parallel distributed fixpoint.
+//!
+//! The paper's execution model is *distributed*: each principal runs
+//! its local fixpoint independently and exchanges signed tuples. The
+//! runtime exploits exactly that independence — workspaces (and their
+//! certificate stores) are partitioned into contiguous slices of the
+//! registration order, each slice owned exclusively by one
+//! `std::thread::scope` worker, so the hot path takes no locks. The
+//! only shared state workers touch is the process-wide verification
+//! cache (already `Sync`) and the key directory (behind an `RwLock`
+//! that is only read during a run).
+//!
+//! Determinism: workers never talk to each other; every cross-shard
+//! effect (network sends, placement updates, statistics) is merged
+//! sequentially in shard order, which is registration order. A run
+//! with N shards therefore reaches the same quiescent state as the
+//! serial engine — the property the `parallel` equivalence proptest
+//! pins down.
+
+/// Caps a requested shard count to the number of work items (spawning
+/// more workers than workspaces buys nothing) and to at least one.
+pub(crate) fn clamp_shards(requested: usize, items: usize) -> usize {
+    requested.max(1).min(items.max(1))
+}
+
+/// The per-shard slice length that splits `len` items into at most
+/// `shards` contiguous chunks.
+pub(crate) fn chunk_len(len: usize, shards: usize) -> usize {
+    len.div_ceil(shards.max(1)).max(1)
+}
+
+/// Runs one closure invocation per shard, in parallel when there is
+/// more than one shard, returning results in shard order.
+///
+/// Each shard's work vector is moved into its worker, so items may be
+/// exclusive references (`&mut Workspace`, `&mut CertStore`) — the
+/// caller guarantees disjointness by construction (each principal's
+/// state appears in exactly one shard). The single-shard case runs
+/// inline: no thread is spawned, making `shards = 1` byte-for-byte
+/// the serial engine.
+pub(crate) fn map_shards<T, R, F>(work: Vec<Vec<T>>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(Vec<T>) -> R + Sync,
+{
+    if work.len() <= 1 {
+        return work.into_iter().map(f).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = work
+            .into_iter()
+            .map(|chunk| {
+                let f = &f;
+                scope.spawn(move || f(chunk))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamping_and_chunking() {
+        assert_eq!(clamp_shards(0, 5), 1);
+        assert_eq!(clamp_shards(4, 5), 4);
+        assert_eq!(clamp_shards(8, 5), 5);
+        assert_eq!(clamp_shards(4, 0), 1);
+        assert_eq!(chunk_len(10, 4), 3);
+        assert_eq!(chunk_len(8, 4), 2);
+        assert_eq!(chunk_len(0, 4), 1);
+        assert_eq!(chunk_len(5, 1), 5);
+    }
+
+    #[test]
+    fn map_shards_preserves_shard_order() {
+        let work: Vec<Vec<usize>> = vec![vec![1, 2], vec![3, 4], vec![5]];
+        let sums = map_shards(work, |chunk| chunk.into_iter().sum::<usize>());
+        assert_eq!(sums, vec![3, 7, 5]);
+    }
+
+    #[test]
+    fn map_shards_moves_exclusive_refs() {
+        let mut data = [0usize; 6];
+        let mut refs: Vec<&mut usize> = data.iter_mut().collect();
+        let mut work: Vec<Vec<&mut usize>> = Vec::new();
+        while !refs.is_empty() {
+            work.push(refs.drain(..refs.len().min(2)).collect());
+        }
+        map_shards(work, |chunk| {
+            for r in chunk {
+                *r += 1;
+            }
+        });
+        assert_eq!(data, [1; 6]);
+    }
+}

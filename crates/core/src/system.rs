@@ -13,6 +13,7 @@ use crate::principal::{
     rsa_priv_handle, rsa_pub_handle, shared_keys, shared_secret_handle, Principal, SharedKeys,
 };
 use crate::says::SAYS_DECLS;
+use crate::shard::{chunk_len, clamp_shards, map_shards};
 use crate::workspace::{RetractOutcome, Workspace, WsError};
 use lbtrust_certstore::{
     cert, shared_verify_cache, AuditEntry, CertDigest, CertStore, CertStoreError, ImportOutcome,
@@ -109,6 +110,30 @@ pub struct SystemStats {
 /// RSA modulus size used for principals (the paper's §6 uses 1024-bit).
 pub const DEFAULT_RSA_BITS: usize = 1024;
 
+/// When persistent certificate stores flush appended records to the
+/// durable medium.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Sync after every mutation — each import bundle, each applied
+    /// revocation, each clock advance pays its own fsync immediately.
+    /// Nothing acknowledged is ever lost, at the price of an fsync per
+    /// mutation per store.
+    #[default]
+    Eager,
+    /// Group commit: mutations leave their store dirty and
+    /// [`System::run_to_quiescence`] syncs every dirty store once per
+    /// step (and [`System::import_certificates`] once per bundle). A
+    /// crash between group commits loses at most the mutations since
+    /// the last one; replay recovers exactly the synced prefix. Call
+    /// [`System::flush`] to force a commit point outside a quiescence
+    /// run.
+    Batched,
+}
+
+/// One principal's imported-certificate fact index: which workspace
+/// base facts each certificate introduced, by content address.
+type CertFactIndex = HashMap<CertDigest, Vec<(Symbol, Tuple)>>;
+
 /// The multi-principal LBTrust runtime.
 pub struct System {
     keys: SharedKeys,
@@ -118,8 +143,10 @@ pub struct System {
     /// Placement: principal -> physical node (the `loc` relation).
     placement: HashMap<Principal, NodeId>,
     net: SimNetwork,
-    /// Export tuples already shipped, per principal.
-    drained: HashMap<Principal, HashSet<Tuple>>,
+    /// Structural fingerprints of export tuples already shipped, per
+    /// principal — 16 bytes per tuple instead of a deep clone of each
+    /// exported tuple (symbols, quoted rules, signature bytes).
+    drained: HashMap<Principal, HashSet<TupleFingerprint>>,
     rsa_bits: usize,
     auth: HashMap<Principal, AuthScheme>,
     stats: SystemStats,
@@ -130,14 +157,23 @@ pub struct System {
     /// canonical bytes is checked once, by whichever principal sees it
     /// first, and every later check anywhere is a memo lookup.
     vcache: SharedVerifyCache,
-    /// Which workspace base facts each imported certificate introduced,
-    /// so expiry/revocation can retract exactly those (and DRed repairs
-    /// their consequences).
-    cert_facts: HashMap<(Principal, CertDigest), Vec<(Symbol, Tuple)>>,
+    /// Which workspace base facts each imported certificate introduced
+    /// at each principal, so expiry/revocation can retract exactly
+    /// those (and DRed repairs their consequences). Keyed per principal
+    /// first so a delivery shard can own one principal's slice
+    /// exclusively.
+    cert_facts: HashMap<Principal, CertFactIndex>,
     /// When set, each principal's certificate store is a durable
     /// segment log at `<dir>/<principal>.certlog`, replayed (and the
     /// workspace reconciled) at registration.
     persist_dir: Option<PathBuf>,
+    /// When stores fsync (see [`SyncPolicy`]).
+    sync_policy: SyncPolicy,
+    /// Worker shards for [`System::run_to_quiescence`]: workspaces (and
+    /// their stores) are partitioned into this many contiguous slices
+    /// of the registration order, evaluated by `std::thread::scope`
+    /// workers. `1` (the default) is the serial engine.
+    shards: usize,
 }
 
 /// Bundles at or above this size fan their signature checks across
@@ -170,6 +206,8 @@ impl System {
             vcache: shared_verify_cache(),
             cert_facts: HashMap::new(),
             persist_dir: None,
+            sync_policy: SyncPolicy::default(),
+            shards: 1,
         }
     }
 
@@ -206,6 +244,65 @@ impl System {
     pub fn with_rsa_bits(mut self, bits: usize) -> Self {
         self.rsa_bits = bits;
         self
+    }
+
+    /// Builder form of [`System::set_sync_policy`].
+    pub fn with_sync_policy(mut self, policy: SyncPolicy) -> Self {
+        self.sync_policy = policy;
+        self
+    }
+
+    /// Sets when persistent stores fsync (see [`SyncPolicy`]). Safe to
+    /// change at any point: switching from `Batched` to `Eager` does
+    /// not itself sync — call [`System::flush`] first if the dirty
+    /// stores must land before the policy change takes effect.
+    pub fn set_sync_policy(&mut self, policy: SyncPolicy) {
+        self.sync_policy = policy;
+    }
+
+    /// The current durability policy.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.sync_policy
+    }
+
+    /// Builder form of [`System::set_shards`].
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.set_shards(shards);
+        self
+    }
+
+    /// Sets how many worker shards [`System::run_to_quiescence`] uses:
+    /// workspaces are partitioned into `shards` contiguous slices of
+    /// the registration order, each evaluated by its own scoped worker
+    /// thread during the local-fixpoint, export-drain and
+    /// delivery-import phases. `1` (the default) runs everything
+    /// inline. Any shard count reaches the same quiescent state — the
+    /// merge points (network sends, placement, statistics) are
+    /// sequential and ordered.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Forces every store's buffered appends to durable storage — the
+    /// explicit group-commit point for [`SyncPolicy::Batched`] callers
+    /// outside [`System::run_to_quiescence`] (which group-commits at
+    /// every step on its own). Clean stores are skipped; a no-op under
+    /// [`SyncPolicy::Eager`] where nothing is ever left dirty.
+    pub fn flush(&mut self) -> Result<(), SysError> {
+        let order = self.order.clone();
+        self.sync_stores(&order)
+    }
+
+    /// Total backend syncs performed across every principal's store —
+    /// for log-backed stores, the number of fsyncs the deployment has
+    /// paid. The counter [`SyncPolicy::Batched`] exists to shrink.
+    pub fn fsyncs(&self) -> u64 {
+        self.stores.values().map(|s| s.stats().syncs).sum()
     }
 
     /// Shared key directory (for inspection).
@@ -299,11 +396,12 @@ impl System {
         // events are drained so they cannot fire twice.
         let _ = store.take_replay_events();
         let mut replayed: Vec<(Symbol, Tuple)> = Vec::new();
+        let my_facts = self.cert_facts.entry(me).or_default();
         for digest in store.active() {
             let entry = store.get(&digest).expect("active digest is stored");
             let facts = cert_workspace_facts(me, &entry.cert);
             replayed.extend(facts.iter().cloned());
-            self.cert_facts.insert((me, digest), facts);
+            my_facts.insert(digest, facts);
             self.stats.certs_replayed += 1;
         }
         ws.assert_facts(&replayed);
@@ -503,6 +601,9 @@ impl System {
         let verifier = self.key_verifier();
         let store = self.stores.get_mut(&to).expect("store per principal");
         let outcomes = store.import_bundle(certs, &verifier)?;
+        // One commit point per bundle under either policy: an
+        // acknowledged import is durable, and the fsync amortizes over
+        // the whole bundle rather than per certificate.
         store.sync()?;
         for outcome in &outcomes {
             // Assert facts for fresh imports *and* for live certificates
@@ -510,7 +611,11 @@ impl System {
             // leaves its successful members Active in the store; a retry
             // arrives here with newly_added=false and must still finish
             // the workspace half of the import).
-            if self.cert_facts.contains_key(&(to, outcome.digest)) {
+            if self
+                .cert_facts
+                .get(&to)
+                .is_some_and(|m| m.contains_key(&outcome.digest))
+            {
                 continue;
             }
             let entry = self
@@ -523,7 +628,10 @@ impl System {
             let facts = cert_workspace_facts(to, &entry.cert);
             let ws = self.workspaces.get_mut(&to).expect("checked above");
             ws.assert_facts(&facts);
-            self.cert_facts.insert((to, outcome.digest), facts);
+            self.cert_facts
+                .entry(to)
+                .or_default()
+                .insert(outcome.digest, facts);
             self.stats.certs_imported += 1;
         }
         self.workspaces
@@ -641,20 +749,12 @@ impl System {
         // Local application at the issuer's node is immediate …
         self.apply_revocation(issuer, &revocation)?;
         // … and everybody else learns over the wire.
-        let from_node = self
-            .placement
-            .get(&issuer)
-            .copied()
-            .unwrap_or_else(|| NodeId::new(issuer.as_str()));
+        let from_node = self.node_of(issuer);
         for &other in &self.order.clone() {
             if other == issuer {
                 continue;
             }
-            let to_node = self
-                .placement
-                .get(&other)
-                .copied()
-                .unwrap_or_else(|| NodeId::new(other.as_str()));
+            let to_node = self.node_of(other);
             let packet = WirePacket::Revoke(RevokeMessage {
                 from: issuer,
                 to: other,
@@ -673,12 +773,15 @@ impl System {
     /// introduced — incrementally via DRed where the program admits it.
     fn apply_revocation(&mut self, at: Principal, revocation: &Revocation) -> Result<(), SysError> {
         let verifier = self.key_verifier();
+        let eager = self.sync_policy == SyncPolicy::Eager;
         let store = self
             .stores
             .get_mut(&at)
             .ok_or(SysError::UnknownPrincipal(at))?;
         let events = store.revoke(revocation, &verifier)?;
-        store.sync()?;
+        if eager {
+            store.sync()?;
+        }
         self.stats.revocations += 1;
         self.retract_cert_facts(at, &events);
         Ok(())
@@ -689,10 +792,13 @@ impl System {
     /// Returns the number of certificates that died.
     pub fn advance_time(&mut self, ticks: u64) -> Result<usize, SysError> {
         let mut died = 0;
+        let eager = self.sync_policy == SyncPolicy::Eager;
         for &p in &self.order.clone() {
             let store = self.stores.get_mut(&p).expect("store per principal");
             let events = store.advance_clock(ticks)?;
-            store.sync()?;
+            if eager {
+                store.sync()?;
+            }
             died += events.len();
             self.retract_cert_facts(p, &events);
         }
@@ -724,9 +830,11 @@ impl System {
     /// batched DRed pass per principal.
     fn retract_cert_facts(&mut self, at: Principal, events: &[lbtrust_certstore::RetractionEvent]) {
         let mut batch: Vec<(Symbol, Tuple)> = Vec::new();
-        for event in events {
-            if let Some(facts) = self.cert_facts.remove(&(at, event.digest)) {
-                batch.extend(facts);
+        if let Some(my_facts) = self.cert_facts.get_mut(&at) {
+            for event in events {
+                if let Some(facts) = my_facts.remove(&event.digest) {
+                    batch.extend(facts);
+                }
             }
         }
         if batch.is_empty() {
@@ -747,18 +855,66 @@ impl System {
     /// delivers messages (triggering imports), and repeats until no
     /// workspace derives anything new and the network is empty.
     ///
+    /// With [`System::set_shards`] above 1, the local-fixpoint,
+    /// export-drain and delivery-import phases run in parallel across
+    /// worker shards, each owning a disjoint contiguous slice of the
+    /// registration order; placement updates, network traffic and
+    /// statistics are merged sequentially in that same order, so every
+    /// shard count reaches the identical quiescent state.
+    ///
     /// Messages whose import violates the receiver's verification
     /// constraint are rejected (the receiving workspace rolls back) and
     /// counted in [`SystemStats::messages_rejected`].
     pub fn run_to_quiescence(&mut self, max_steps: usize) -> Result<SystemStats, SysError> {
         let export = Symbol::intern("export");
-        for step in 0..max_steps {
+        let loc = Symbol::intern("loc");
+        // One snapshot of the registration order per call (it cannot
+        // change mid-run); the phases below each borrow the system
+        // mutably, so re-cloning inside the step loop would cost five
+        // allocations per step.
+        let order = self.order.clone();
+        for _ in 0..max_steps {
             self.stats.steps += 1;
-            // 1. Local fixpoints. A constraint violation rolls the
-            // offending workspace back to its last good state (the
-            // paper's fail-with-error semantics) and the system carries
-            // on.
-            for &p in &self.order.clone() {
+            // 1. Local fixpoints, one worker per shard. A constraint
+            // violation rolls the offending workspace back to its last
+            // good state (the paper's fail-with-error semantics) and
+            // the system carries on.
+            self.local_fixpoints(&order)?;
+            // 1b. Data-driven placement (§5.2 ld1/ld2): `loc(P, N)`
+            // facts derived in any workspace update the placement map —
+            // "users can easily enforce various distribution plans by
+            // modifying the loc table". Sequential, in registration
+            // order, so conflicting placements resolve deterministically.
+            self.update_placement(&order, loc);
+            // 2. Drain fresh export tuples into the network: shards
+            // scan their workspaces in parallel, the send itself is a
+            // sequential merge so delivery order stays deterministic.
+            let shipped = self.drain_exports(&order, export);
+            // 3. Deliver and import, routed per destination shard.
+            let delivered = self.deliver_and_import(&order, export)?;
+            // 4. Group commit: under `Batched`, every store that
+            // appended during this step syncs exactly once, here.
+            if self.sync_policy == SyncPolicy::Batched {
+                self.sync_stores(&order)?;
+            }
+            // Quiescent when nothing was shipped or delivered this step
+            // (local fixpoints already ran).
+            if shipped == 0 && delivered == 0 {
+                return Ok(self.stats);
+            }
+        }
+        Err(SysError::NoQuiescence { steps: max_steps })
+    }
+
+    /// Phase 1: every workspace to its local fixpoint, partitioned
+    /// across shards. Constraint violations are rollbacks (counted);
+    /// any other evaluation error aborts the run.
+    fn local_fixpoints(&mut self, order: &[Principal]) -> Result<(), SysError> {
+        let shards = clamp_shards(self.shards, order.len());
+        if shards <= 1 {
+            // Serial fast path: iterate directly instead of building
+            // the per-shard reference maps the parallel split needs.
+            for &p in order {
                 let ws = self.workspaces.get_mut(&p).expect("registered");
                 match ws.evaluate() {
                     Ok(_) => {}
@@ -766,135 +922,417 @@ impl System {
                     Err(e) => return Err(e.into()),
                 }
             }
-            // 1b. Data-driven placement (§5.2 ld1/ld2): `loc(P, N)`
-            // facts derived in any workspace update the placement map —
-            // "users can easily enforce various distribution plans by
-            // modifying the loc table".
-            let loc = Symbol::intern("loc");
-            for &p in &self.order.clone() {
-                let tuples = self.workspaces.get(&p).expect("registered").tuples(loc);
-                for t in tuples {
-                    if let [Value::Sym(who), Value::Sym(node)] = t.as_slice() {
-                        self.placement.insert(*who, NodeId::from(*node));
-                    }
-                }
-            }
-            // 2. Drain fresh export tuples into the network.
-            let mut shipped = 0usize;
-            for &p in &self.order.clone() {
-                let tuples: Vec<Tuple> = {
-                    let ws = self.workspaces.get(&p).expect("registered");
-                    ws.tuples(export)
-                };
-                let seen = self.drained.get_mut(&p).expect("registered");
-                for tuple in tuples {
-                    if seen.contains(&tuple) {
-                        continue;
-                    }
-                    seen.insert(tuple.clone());
-                    let Some(msg) = export_tuple_to_message(&tuple) else {
-                        continue;
-                    };
-                    // Tuples addressed *to* this principal are received
-                    // imports sitting in its own export[me] partition,
-                    // not outgoing traffic.
-                    if msg.to == p {
-                        continue;
-                    }
-                    let from_node = self
-                        .placement
-                        .get(&p)
-                        .copied()
-                        .unwrap_or_else(|| NodeId::new(p.as_str()));
-                    let to_node = self
-                        .placement
-                        .get(&msg.to)
-                        .copied()
-                        .unwrap_or_else(|| NodeId::new(msg.to.as_str()));
-                    self.net.send(from_node, to_node, lbtrust_net::encode(&msg));
-                    self.stats.messages_sent += 1;
-                    shipped += 1;
-                }
-            }
-            // 3. Deliver and import. Deliveries are batched per
-            // destination (one evaluation per workspace per step); when a
-            // batch trips the verification constraint, the batch rolls
-            // back and messages are retried one at a time so only the
-            // offending ones are rejected.
-            let mut delivered = 0usize;
-            let mut inbox: HashMap<Principal, Vec<Tuple>> = HashMap::new();
-            while let Some(envelope) = self.net.deliver_next() {
-                delivered += 1;
-                let Ok(packet) = lbtrust_net::decode_packet(&envelope.payload) else {
-                    self.stats.messages_rejected += 1;
-                    continue;
-                };
-                let msg = match packet {
-                    WirePacket::Export(msg) => msg,
-                    WirePacket::Revoke(rev) => {
-                        // A revocation notice: verify and apply to the
-                        // receiver's store, retracting the dead
-                        // certificate's facts via DRed. Bad signatures
-                        // and unknown receivers count as rejections.
-                        if !self.workspaces.contains_key(&rev.to) {
-                            self.stats.messages_rejected += 1;
-                            continue;
-                        }
-                        let revocation = Revocation {
-                            issuer: rev.from,
-                            target: CertDigest(rev.digest),
-                            signature: rev.auth,
-                        };
-                        match self.apply_revocation(rev.to, &revocation) {
-                            Ok(()) => self.stats.messages_accepted += 1,
-                            Err(_) => self.stats.messages_rejected += 1,
-                        }
-                        continue;
-                    }
-                };
-                if !self.workspaces.contains_key(&msg.to) {
-                    self.stats.messages_rejected += 1;
-                    continue;
-                }
-                inbox.entry(msg.to).or_default().push(vec![
-                    Value::Sym(msg.to),
-                    Value::Sym(msg.from),
-                    Value::Quote(msg.rule.clone()),
-                    Value::bytes(&msg.auth),
-                ]);
-            }
-            for (to, tuples) in inbox {
-                let ws = self.workspaces.get_mut(&to).expect("checked above");
-                let n = tuples.len();
-                for tuple in &tuples {
-                    ws.assert_fact(export, tuple.clone());
-                }
+            return Ok(());
+        }
+        let chunk = chunk_len(order.len(), shards);
+        let mut refs: HashMap<Principal, &mut Workspace> =
+            self.workspaces.iter_mut().map(|(p, ws)| (*p, ws)).collect();
+        let work: Vec<Vec<&mut Workspace>> = order
+            .chunks(chunk)
+            .map(|slice| {
+                slice
+                    .iter()
+                    .map(|p| refs.remove(p).expect("registered"))
+                    .collect()
+            })
+            .collect();
+        let results = map_shards(work, |workspaces| {
+            let mut rollbacks = 0usize;
+            for ws in workspaces {
                 match ws.evaluate() {
-                    Ok(_) => self.stats.messages_accepted += n,
-                    Err(WsError::Constraint(_)) => {
-                        // Batch rolled back; isolate the poisoned
-                        // message(s).
-                        for tuple in tuples {
-                            ws.assert_fact(export, tuple);
-                            match ws.evaluate() {
-                                Ok(_) => self.stats.messages_accepted += 1,
-                                Err(WsError::Constraint(_)) => self.stats.messages_rejected += 1,
-                                Err(e) => return Err(e.into()),
-                            }
-                        }
-                    }
-                    Err(e) => return Err(e.into()),
+                    Ok(_) => {}
+                    Err(WsError::Constraint(_)) => rollbacks += 1,
+                    Err(e) => return Err(e),
                 }
             }
-            // Quiescent when nothing was shipped or delivered this step
-            // (local fixpoints already ran).
-            if shipped == 0 && delivered == 0 {
-                let _ = step;
-                return Ok(self.stats);
+            Ok(rollbacks)
+        });
+        for result in results {
+            self.stats.local_rollbacks += result.map_err(SysError::Workspace)?;
+        }
+        Ok(())
+    }
+
+    /// Phase 1b: fold derived `loc(P, N)` facts into the placement map.
+    fn update_placement(&mut self, order: &[Principal], loc: Symbol) {
+        for &p in order {
+            let tuples = self.workspaces.get(&p).expect("registered").tuples(loc);
+            for t in tuples {
+                if let [Value::Sym(who), Value::Sym(node)] = t.as_slice() {
+                    self.placement.insert(*who, NodeId::from(*node));
+                }
             }
         }
-        Err(SysError::NoQuiescence { steps: max_steps })
     }
+
+    /// Phase 2: collect fresh export tuples and send them, sequentially
+    /// and in registration order so the network delivers in the same
+    /// order every run. This phase stays serial on purpose — the scan
+    /// is a dedup over each workspace's export partition, far cheaper
+    /// than the evaluation phases the shards split, and cheaper than a
+    /// round of worker spawns.
+    fn drain_exports(&mut self, order: &[Principal], export: Symbol) -> usize {
+        let mut shipped = 0usize;
+        for &me in order {
+            let tuples: Vec<Tuple> = self.workspaces.get(&me).expect("registered").tuples(export);
+            let seen = self.drained.get_mut(&me).expect("registered");
+            let mut outgoing: Vec<WireMessage> = Vec::new();
+            for tuple in tuples {
+                if !seen.insert(tuple_fingerprint(&tuple)) {
+                    continue;
+                }
+                let Some(msg) = export_tuple_to_message(&tuple) else {
+                    continue;
+                };
+                // Tuples addressed *to* this principal are received
+                // imports sitting in its own export[me] partition, not
+                // outgoing traffic.
+                if msg.to == me {
+                    continue;
+                }
+                outgoing.push(msg);
+            }
+            for msg in outgoing {
+                let from_node = self.node_of(me);
+                let to_node = self.node_of(msg.to);
+                self.net.send(from_node, to_node, lbtrust_net::encode(&msg));
+                self.stats.messages_sent += 1;
+                shipped += 1;
+            }
+        }
+        shipped
+    }
+
+    /// Phase 3: drain the network sequentially (envelope order is part
+    /// of the deterministic semantics), routing each packet to its
+    /// destination principal; then let each destination shard verify,
+    /// import, evaluate and retract in parallel. Deliveries are batched
+    /// per destination (one evaluation per workspace per step); when a
+    /// batch trips the verification constraint, the batch rolls back
+    /// and messages are retried one at a time so only the offending
+    /// ones are rejected.
+    fn deliver_and_import(
+        &mut self,
+        order: &[Principal],
+        export: Symbol,
+    ) -> Result<usize, SysError> {
+        let mut delivered = 0usize;
+        let mut inbox: HashMap<Principal, Vec<Tuple>> = HashMap::new();
+        let mut revocations: HashMap<Principal, Vec<Revocation>> = HashMap::new();
+        while let Some(envelope) = self.net.deliver_next() {
+            delivered += 1;
+            let Ok(packet) = lbtrust_net::decode_packet(&envelope.payload) else {
+                self.stats.messages_rejected += 1;
+                continue;
+            };
+            match packet {
+                WirePacket::Export(msg) => {
+                    if !self.workspaces.contains_key(&msg.to) {
+                        self.stats.messages_rejected += 1;
+                        continue;
+                    }
+                    inbox.entry(msg.to).or_default().push(vec![
+                        Value::Sym(msg.to),
+                        Value::Sym(msg.from),
+                        Value::Quote(msg.rule.clone()),
+                        Value::bytes(&msg.auth),
+                    ]);
+                }
+                WirePacket::Revoke(rev) => {
+                    // A revocation notice: applied to the receiver's
+                    // store by its destination shard below. Unknown
+                    // receivers count as rejections immediately.
+                    if !self.workspaces.contains_key(&rev.to) {
+                        self.stats.messages_rejected += 1;
+                        continue;
+                    }
+                    revocations.entry(rev.to).or_default().push(Revocation {
+                        issuer: rev.from,
+                        target: CertDigest(rev.digest),
+                        signature: rev.auth,
+                    });
+                }
+            }
+        }
+        if inbox.is_empty() && revocations.is_empty() {
+            return Ok(delivered);
+        }
+        let destinations: Vec<Principal> = order
+            .iter()
+            .copied()
+            .filter(|p| inbox.contains_key(p) || revocations.contains_key(p))
+            .collect();
+        for &p in &destinations {
+            self.cert_facts.entry(p).or_default();
+        }
+        let shards = clamp_shards(self.shards, destinations.len());
+        let verifier = self.key_verifier();
+        let eager = self.sync_policy == SyncPolicy::Eager;
+        if shards <= 1 {
+            // Serial fast path: process destinations in registration
+            // order without the per-shard reference maps. Outcomes are
+            // merged before an error propagates, so the statistics
+            // always reflect the mutations actually applied.
+            for p in destinations {
+                let task = DeliveryTask {
+                    ws: self.workspaces.get_mut(&p).expect("registered"),
+                    store: self.stores.get_mut(&p).expect("registered"),
+                    facts: self.cert_facts.get_mut(&p).expect("entry ensured above"),
+                    revocations: revocations.remove(&p).unwrap_or_default(),
+                    tuples: inbox.remove(&p).unwrap_or_default(),
+                };
+                let (outcome, error) = process_destination(task, &verifier, eager, export);
+                self.merge_delivery(outcome);
+                if let Some(e) = error {
+                    return Err(e.into());
+                }
+            }
+            return Ok(delivered);
+        }
+        let chunk = chunk_len(destinations.len(), shards);
+        let mut ws_refs: HashMap<Principal, &mut Workspace> =
+            self.workspaces.iter_mut().map(|(p, ws)| (*p, ws)).collect();
+        let mut store_refs: HashMap<Principal, &mut CertStore> =
+            self.stores.iter_mut().map(|(p, s)| (*p, s)).collect();
+        let mut fact_refs: HashMap<Principal, &mut CertFactIndex> =
+            self.cert_facts.iter_mut().map(|(p, m)| (*p, m)).collect();
+        let work: Vec<Vec<DeliveryTask>> = destinations
+            .chunks(chunk)
+            .map(|slice| {
+                slice
+                    .iter()
+                    .map(|p| DeliveryTask {
+                        ws: ws_refs.remove(p).expect("registered"),
+                        store: store_refs.remove(p).expect("registered"),
+                        facts: fact_refs.remove(p).expect("entry ensured above"),
+                        revocations: revocations.remove(p).unwrap_or_default(),
+                        tuples: inbox.remove(p).unwrap_or_default(),
+                    })
+                    .collect()
+            })
+            .collect();
+        let results = map_shards(work, |tasks| {
+            // A hard error stops this shard (matching the serial
+            // engine's stop-at-first-error), but the counters for
+            // everything already applied still come back for merging.
+            let mut outcome = DeliveryOutcome::default();
+            let mut error = None;
+            for task in tasks {
+                let (one, err) = process_destination(task, &verifier, eager, export);
+                outcome.absorb(one);
+                if err.is_some() {
+                    error = err;
+                    break;
+                }
+            }
+            (outcome, error)
+        });
+        let mut first_error = None;
+        for (outcome, error) in results {
+            self.merge_delivery(outcome);
+            if first_error.is_none() {
+                first_error = error;
+            }
+        }
+        match first_error {
+            Some(e) => Err(e.into()),
+            None => Ok(delivered),
+        }
+    }
+
+    /// Folds one delivery outcome into the system counters.
+    fn merge_delivery(&mut self, outcome: DeliveryOutcome) {
+        self.stats.messages_accepted += outcome.accepted;
+        self.stats.messages_rejected += outcome.rejected;
+        self.stats.revocations += outcome.revocations;
+        self.stats.retractions += outcome.retractions;
+        self.stats.dred_repairs += outcome.dred_repairs;
+        self.stats.retraction_rebuilds += outcome.retraction_rebuilds;
+    }
+
+    /// Syncs every dirty store once — the group-commit sweep. Shards
+    /// sync their stores in parallel so independent fsyncs overlap.
+    fn sync_stores(&mut self, order: &[Principal]) -> Result<(), SysError> {
+        let dirty: Vec<Principal> = order
+            .iter()
+            .copied()
+            .filter(|p| self.stores.get(p).is_some_and(|s| s.is_dirty()))
+            .collect();
+        if dirty.is_empty() {
+            return Ok(());
+        }
+        let shards = clamp_shards(self.shards, dirty.len());
+        let chunk = chunk_len(dirty.len(), shards);
+        let mut refs: HashMap<Principal, &mut CertStore> =
+            self.stores.iter_mut().map(|(p, s)| (*p, s)).collect();
+        let work: Vec<Vec<&mut CertStore>> = dirty
+            .chunks(chunk)
+            .map(|slice| {
+                slice
+                    .iter()
+                    .map(|p| refs.remove(p).expect("registered"))
+                    .collect()
+            })
+            .collect();
+        let results = map_shards(work, |stores| {
+            for store in stores {
+                store.sync()?;
+            }
+            Ok::<_, CertStoreError>(())
+        });
+        for result in results {
+            result?;
+        }
+        Ok(())
+    }
+
+    /// The node hosting `p`, defaulting to a node named after the
+    /// principal (matching how unplaced principals behaved before
+    /// placement became data).
+    fn node_of(&self, p: Principal) -> NodeId {
+        self.placement
+            .get(&p)
+            .copied()
+            .unwrap_or_else(|| NodeId::new(p.as_str()))
+    }
+}
+
+/// One destination's work for a delivery shard: exclusive references
+/// to everything the destination owns (workspace, certificate store,
+/// the fact index for its imported certificates) plus the routed
+/// packets.
+struct DeliveryTask<'a> {
+    ws: &'a mut Workspace,
+    store: &'a mut CertStore,
+    facts: &'a mut CertFactIndex,
+    revocations: Vec<Revocation>,
+    tuples: Vec<Tuple>,
+}
+
+/// Counters one delivery shard hands back for the sequential merge
+/// into [`SystemStats`].
+#[derive(Default)]
+struct DeliveryOutcome {
+    accepted: usize,
+    rejected: usize,
+    revocations: usize,
+    retractions: usize,
+    dred_repairs: usize,
+    retraction_rebuilds: usize,
+}
+
+impl DeliveryOutcome {
+    fn absorb(&mut self, other: DeliveryOutcome) {
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.revocations += other.revocations;
+        self.retractions += other.retractions;
+        self.dred_repairs += other.dred_repairs;
+        self.retraction_rebuilds += other.retraction_rebuilds;
+    }
+}
+
+/// Applies one destination's routed packets: revocations first (store
+/// transition + DRed retraction of the dead certificates' facts), then
+/// the export batch (assert + one evaluation, with per-message retry
+/// after a constraint rollback). Runs on a shard worker; everything it
+/// touches is owned exclusively by the task except the shared
+/// verification cache and key directory behind `verifier`. The outcome
+/// counters are returned even when a hard error cuts the work short,
+/// so statistics stay faithful to the mutations actually applied.
+fn process_destination(
+    task: DeliveryTask<'_>,
+    verifier: &KeyVerifier,
+    eager: bool,
+    export: Symbol,
+) -> (DeliveryOutcome, Option<WsError>) {
+    let DeliveryTask {
+        ws,
+        store,
+        facts,
+        revocations,
+        tuples,
+    } = task;
+    let mut out = DeliveryOutcome::default();
+    for revocation in revocations {
+        // Bad signatures (and, under Eager, a failed commit) count as
+        // rejections, exactly like tampered exports.
+        let applied = store.revoke(&revocation, verifier).and_then(|events| {
+            if eager {
+                store.sync().map(|()| events)
+            } else {
+                Ok(events)
+            }
+        });
+        match applied {
+            Ok(events) => {
+                out.accepted += 1;
+                out.revocations += 1;
+                let mut batch: Vec<(Symbol, Tuple)> = Vec::new();
+                for event in &events {
+                    if let Some(fs) = facts.remove(&event.digest) {
+                        batch.extend(fs);
+                    }
+                }
+                if !batch.is_empty() {
+                    out.retractions += batch.len();
+                    match ws.retract_facts(&batch) {
+                        RetractOutcome::Incremental(_) => out.dred_repairs += 1,
+                        RetractOutcome::Deferred => out.retraction_rebuilds += 1,
+                        RetractOutcome::Noop => {}
+                    }
+                }
+            }
+            Err(_) => out.rejected += 1,
+        }
+    }
+    if !tuples.is_empty() {
+        let n = tuples.len();
+        for tuple in &tuples {
+            ws.assert_fact(export, tuple.clone());
+        }
+        match ws.evaluate() {
+            Ok(_) => out.accepted += n,
+            Err(WsError::Constraint(_)) => {
+                // Batch rolled back; isolate the poisoned message(s).
+                for tuple in tuples {
+                    ws.assert_fact(export, tuple);
+                    match ws.evaluate() {
+                        Ok(_) => out.accepted += 1,
+                        Err(WsError::Constraint(_)) => out.rejected += 1,
+                        Err(e) => return (out, Some(e)),
+                    }
+                }
+            }
+            Err(e) => return (out, Some(e)),
+        }
+    }
+    (out, None)
+}
+
+/// The shipped-dedup key: two independently seeded structural hashes
+/// of an export tuple. 16 bytes per remembered tuple instead of a deep
+/// clone of its symbols, quoted rule and signature bytes, and computed
+/// by the same allocation-free structural walk `HashSet<Tuple>` used —
+/// no rendering, no cryptographic digest on the drain hot loop. 128
+/// bits of combined fingerprint makes an accidental collision (which
+/// would silently drop one export message) about as likely as a SHA
+/// collision in practice.
+type TupleFingerprint = (u64, u64);
+
+/// Fingerprints an export tuple for the shipped-dedup sets. The
+/// structural `Hash` impls distinguish value variants, so `Sym("42")`
+/// and `Int(42)` — which render identically — cannot collide the way
+/// text-keyed schemes would.
+fn tuple_fingerprint(tuple: &[Value]) -> TupleFingerprint {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut a = DefaultHasher::new();
+    tuple.hash(&mut a);
+    let mut b = DefaultHasher::new();
+    0x9e37_79b9_7f4a_7c15u64.hash(&mut b);
+    tuple.hash(&mut b);
+    (a.finish(), b.finish())
 }
 
 impl Default for System {
@@ -1061,6 +1499,150 @@ mod tests {
             .unwrap();
         sys.run_to_quiescence(8).unwrap();
         assert_eq!(sys.location(bob).unwrap().name(), "rack42");
+    }
+
+    #[test]
+    fn sharded_engine_reaches_same_state_as_serial() {
+        // The same three-principal says/access workload on the serial
+        // engine and on more shards than principals: identical derived
+        // facts and identical message statistics.
+        fn build(shards: usize) -> System {
+            let mut sys = System::new().with_rsa_bits(512).with_shards(shards);
+            let alice = sys.add_principal("alice", "n1").unwrap();
+            let _bob = sys.add_principal("bob", "n2").unwrap();
+            let _carol = sys.add_principal("carol", "n3").unwrap();
+            for target in ["bob", "carol"] {
+                sys.workspace_mut(alice)
+                    .unwrap()
+                    .load(
+                        "policy",
+                        &format!("says(me,{target},[| good(X). |]) <- vouched(X)."),
+                    )
+                    .unwrap();
+            }
+            sys.workspace_mut(alice)
+                .unwrap()
+                .assert_src("vouched(dave). vouched(erin).")
+                .unwrap();
+            for receiver in ["bob", "carol"] {
+                let p = Symbol::intern(receiver);
+                sys.workspace_mut(p)
+                    .unwrap()
+                    .load(
+                        "policy",
+                        "access(P,file1,read) <- says(alice,me,[| good(P) |]).",
+                    )
+                    .unwrap();
+            }
+            sys.run_to_quiescence(16).unwrap();
+            sys
+        }
+        let serial = build(1);
+        let parallel = build(8);
+        for receiver in ["bob", "carol"] {
+            let p = Symbol::intern(receiver);
+            for person in ["dave", "erin"] {
+                assert!(parallel
+                    .workspace(p)
+                    .unwrap()
+                    .holds_src(&format!("access({person},file1,read)"))
+                    .unwrap());
+            }
+            assert_eq!(
+                serial.workspace(p).unwrap().tuples(sym("access")).len(),
+                parallel.workspace(p).unwrap().tuples(sym("access")).len(),
+            );
+        }
+        assert_eq!(serial.stats().messages_sent, parallel.stats().messages_sent);
+        assert_eq!(
+            serial.stats().messages_accepted,
+            parallel.stats().messages_accepted
+        );
+        assert_eq!(serial.stats().steps, parallel.stats().steps);
+    }
+
+    #[test]
+    fn batched_policy_defers_syncs_until_group_commit() {
+        let dir = std::env::temp_dir().join(format!(
+            "lbtrust-batched-unit-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sys = System::open_persistent(&dir)
+            .unwrap()
+            .with_rsa_bits(512)
+            .with_sync_policy(SyncPolicy::Batched);
+        let alice = sys.add_principal("alice", "n1").unwrap();
+        let bob = sys.add_principal("bob", "n2").unwrap();
+        let cert = sys
+            .issue_certificate(alice, "good(carol).", &[], None)
+            .unwrap();
+        let digest = cert.digest();
+        // Imports commit once per bundle even under Batched.
+        sys.import_certificates(bob, vec![cert]).unwrap();
+        assert!(!sys.cert_store(bob).unwrap().is_dirty());
+        // A clock advance defers: the store stays dirty until a group
+        // commit (quiescence step or explicit flush).
+        sys.advance_time(1).unwrap();
+        assert!(sys.cert_store(bob).unwrap().is_dirty());
+        let before = sys.fsyncs();
+        sys.flush().unwrap();
+        assert!(!sys.cert_store(bob).unwrap().is_dirty());
+        assert!(sys.fsyncs() > before);
+        // A revocation broadcast settles durably through the step's
+        // group commit.
+        sys.revoke_certificate(alice, digest).unwrap();
+        sys.run_to_quiescence(16).unwrap();
+        assert!(!sys.cert_store(alice).unwrap().is_dirty());
+        assert!(!sys.cert_store(bob).unwrap().is_dirty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_revocation_broadcast_retracts_everywhere() {
+        let mut sys = System::new().with_rsa_bits(512).with_shards(4);
+        let alice = sys.add_principal("alice", "n1").unwrap();
+        let receivers: Vec<Principal> = (0..5)
+            .map(|i| {
+                sys.add_principal(&format!("r{i}"), &format!("m{i}"))
+                    .unwrap()
+            })
+            .collect();
+        let cert = sys
+            .issue_certificate(alice, "good(carol).", &[], None)
+            .unwrap();
+        let digest = cert.digest();
+        for &r in &receivers {
+            sys.workspace_mut(r)
+                .unwrap()
+                .load(
+                    "policy",
+                    "access(P,f,read) <- says(alice,me,[| good(P) |]).",
+                )
+                .unwrap();
+            sys.import_certificates(r, vec![cert.clone()]).unwrap();
+        }
+        sys.run_to_quiescence(16).unwrap();
+        for &r in &receivers {
+            assert!(sys
+                .workspace(r)
+                .unwrap()
+                .holds_src("access(carol,f,read)")
+                .unwrap());
+        }
+        sys.revoke_certificate(alice, digest).unwrap();
+        sys.run_to_quiescence(16).unwrap();
+        for &r in &receivers {
+            assert!(
+                !sys.workspace(r)
+                    .unwrap()
+                    .holds_src("access(carol,f,read)")
+                    .unwrap(),
+                "parallel delivery shards must retract the revoked facts"
+            );
+        }
+        assert_eq!(sys.stats().revocations, 1 + receivers.len());
     }
 
     #[test]

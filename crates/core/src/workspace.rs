@@ -756,6 +756,16 @@ impl Workspace {
     }
 }
 
+// The parallel quiescence engine moves exclusive workspace references
+// onto `std::thread::scope` workers. This assertion turns an
+// accidentally non-`Send` field added later (an `Rc`, a raw pointer)
+// into a compile error here, instead of a borrow-check maze inside the
+// shard plumbing.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Workspace>();
+};
+
 /// Converts a term to a ground value, accepting concrete quotes (code
 /// without pattern constructs) alongside ordinary values.
 fn term_to_ground_value(term: &lbtrust_datalog::Term) -> Option<Value> {

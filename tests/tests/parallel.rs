@@ -1,0 +1,173 @@
+//! Parallel-engine equivalence: a `System` run with worker shards must
+//! reach byte-for-byte the quiescent state of the serial engine — same
+//! derived facts in every workspace, same message/revocation
+//! statistics — because shards only ever own disjoint principals and
+//! every cross-shard effect merges sequentially in registration order.
+
+use lbtrust::{Principal, SyncPolicy, System};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Full materialized state of one workspace: predicate name -> sorted
+/// tuple renderings. Canonical `Display` makes this a total snapshot.
+fn workspace_snapshot(sys: &System, p: Principal) -> BTreeMap<String, Vec<String>> {
+    let mut out: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (pred, relation) in sys.workspace(p).unwrap().db().iter() {
+        let mut tuples: Vec<String> = relation
+            .iter()
+            .map(|t| {
+                t.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        tuples.sort();
+        out.insert(pred.to_string(), tuples);
+    }
+    out
+}
+
+/// The statistics the engines must agree on (all order-independent).
+fn stat_fingerprint(sys: &System) -> Vec<usize> {
+    let s = sys.stats();
+    vec![
+        s.messages_sent,
+        s.messages_accepted,
+        s.messages_rejected,
+        s.local_rollbacks,
+        s.steps,
+        s.certs_imported,
+        s.revocations,
+        s.retractions,
+    ]
+}
+
+/// Builds and quiesces one system over the generated workload: a hub
+/// fanning `says` facts out to every receiver, receivers deriving
+/// access plus a local transitive closure seeded by the said facts,
+/// and (optionally) a certificate fan-out with a mid-run revocation
+/// broadcast — the delivery paths the shards split.
+fn run_workload(
+    shards: usize,
+    receivers: usize,
+    vouched: &[u8],
+    edges: &[(u8, u8)],
+    revoke: bool,
+) -> System {
+    let mut sys = System::new()
+        .with_rsa_bits(512)
+        .with_shards(shards)
+        .with_sync_policy(if shards > 1 {
+            SyncPolicy::Batched
+        } else {
+            SyncPolicy::Eager
+        });
+    let hub = sys.add_principal("hub", "n0").unwrap();
+    let names: Vec<String> = (0..receivers).map(|i| format!("r{i}")).collect();
+    let mut recs: Vec<Principal> = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        recs.push(sys.add_principal(name, &format!("m{i}")).unwrap());
+    }
+    for name in &names {
+        sys.workspace_mut(hub)
+            .unwrap()
+            .load(
+                "policy",
+                &format!(
+                    "says(me,{name},[| good(X). |]) <- vouched(X).\n\
+                     says(me,{name},[| ledge(X,Y). |]) <- vedge(X,Y).\n"
+                ),
+            )
+            .unwrap();
+    }
+    for v in vouched {
+        sys.workspace_mut(hub)
+            .unwrap()
+            .assert_src(&format!("vouched(v{v})."))
+            .unwrap();
+    }
+    for (a, b) in edges {
+        sys.workspace_mut(hub)
+            .unwrap()
+            .assert_src(&format!("vedge(e{a},e{b})."))
+            .unwrap();
+    }
+    for &r in &recs {
+        sys.workspace_mut(r)
+            .unwrap()
+            .load(
+                "policy",
+                "access(P,f,read) <- says(hub,me,[| good(P) |]).\n\
+                 edge(X,Y) <- says(hub,me,[| ledge(X,Y) |]).\n\
+                 reach(X,Y) <- edge(X,Y).\n\
+                 reach(X,Z) <- reach(X,Y), edge(Y,Z).\n",
+            )
+            .unwrap();
+    }
+    // Certificate fan-out: the hub certifies one fact per vouched
+    // value; every receiver imports the bundle (exercising the shared
+    // verification cache across shards), and the first certificate is
+    // revoked mid-run so the broadcast crosses the delivery shards.
+    let facts: String = vouched.iter().map(|v| format!("cgood(c{v}). ")).collect();
+    let certs = sys.issue_certificates(hub, &facts, &[], None).unwrap();
+    for &r in &recs {
+        sys.import_certificates(r, certs.clone()).unwrap();
+    }
+    sys.run_to_quiescence(32).unwrap();
+    if revoke {
+        if let Some(first) = certs.first() {
+            sys.revoke_certificate(hub, first.digest()).unwrap();
+        }
+    }
+    sys.run_to_quiescence(32).unwrap();
+    sys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn parallel_engine_equals_serial_engine(
+        receivers in 2usize..5,
+        vouched in prop::collection::vec(0u8..12, 1..6),
+        edges in prop::collection::vec((0u8..6, 0u8..6), 0..8),
+        revoke in any::<bool>(),
+    ) {
+        let serial = run_workload(1, receivers, &vouched, &edges, revoke);
+        let parallel = run_workload(4, receivers, &vouched, &edges, revoke);
+        let all: Vec<Principal> = serial.principals().to_vec();
+        prop_assert_eq!(parallel.principals(), all.as_slice());
+        for &p in &all {
+            prop_assert_eq!(
+                workspace_snapshot(&serial, p),
+                workspace_snapshot(&parallel, p),
+                "workspace {} diverged between serial and sharded runs",
+                p
+            );
+            prop_assert_eq!(
+                serial.cert_store(p).unwrap().active(),
+                parallel.cert_store(p).unwrap().active()
+            );
+        }
+        prop_assert_eq!(stat_fingerprint(&serial), stat_fingerprint(&parallel));
+    }
+}
+
+/// Shard counts beyond the principal count (and absurd ones) still
+/// converge to the serial state — clamping keeps the partition total.
+#[test]
+fn oversharded_system_still_quiesces() {
+    let a = run_workload(1, 3, &[1, 2, 3], &[(0, 1), (1, 2)], true);
+    for shards in [2, 3, 7, 64] {
+        let b = run_workload(shards, 3, &[1, 2, 3], &[(0, 1), (1, 2)], true);
+        for &p in a.principals() {
+            assert_eq!(
+                workspace_snapshot(&a, p),
+                workspace_snapshot(&b, p),
+                "shards={shards} diverged at {p}"
+            );
+        }
+        assert_eq!(stat_fingerprint(&a), stat_fingerprint(&b));
+    }
+}

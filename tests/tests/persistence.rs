@@ -7,7 +7,8 @@
 //! with a warm verification cache is ≥ 5x faster than a cold import.
 
 use lbtrust::certstore::{shared_verify_cache, AuditAction, CertStore};
-use lbtrust::{SysError, System};
+use lbtrust::{SyncPolicy, SysError, System};
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -191,6 +192,181 @@ fn audit_trail_cites_introducer_for_revoked_conclusion_across_restart() {
         Some(AuditAction::Revoked)
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Snapshots every `.certlog` under `dir` — byte-for-byte what fsync
+/// has guaranteed at this moment (plus whatever the OS happens to have
+/// buffered; restoring the snapshot is the crash that throws the
+/// unsynced suffix away).
+fn snapshot_logs(dir: &PathBuf) -> HashMap<PathBuf, Vec<u8>> {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "certlog"))
+        .map(|p| {
+            let bytes = std::fs::read(&p).unwrap();
+            (p, bytes)
+        })
+        .collect()
+}
+
+#[test]
+fn batched_crash_replays_to_last_synced_prefix() {
+    let dir = fresh_dir("batched-crash");
+
+    // ---- first life, group-commit durability.
+    let mut sys = System::open_persistent(&dir)
+        .unwrap()
+        .with_rsa_bits(512)
+        .with_sync_policy(SyncPolicy::Batched);
+    let alice = sys.add_principal("alice", "n1").unwrap();
+    let bob = sys.add_principal("bob", "n2").unwrap();
+    sys.workspace_mut(bob)
+        .unwrap()
+        .load(
+            "policy",
+            "access(P,file1,read) <- says(alice,me,[| good(P) |]).",
+        )
+        .unwrap();
+    let cert = sys
+        .issue_certificate(alice, "good(carol).", &[], None)
+        .unwrap();
+    let digest = cert.digest();
+    sys.import_certificates(bob, vec![cert]).unwrap();
+    sys.run_to_quiescence(16).unwrap();
+    assert!(sys
+        .workspace(bob)
+        .unwrap()
+        .holds_src("access(carol,file1,read)")
+        .unwrap());
+    sys.flush().unwrap();
+
+    // Commit point: everything so far is fsynced. Snapshot it — this
+    // is the durable prefix a crash is guaranteed to preserve.
+    let synced = snapshot_logs(&dir);
+
+    // ---- mutations after the commit point, never flushed: a local
+    // revocation (applied to alice's store and broadcast) and a clock
+    // advance, both of which Batched leaves dirty.
+    sys.revoke_certificate(alice, digest).unwrap();
+    sys.advance_time(3).unwrap();
+    assert!(
+        sys.cert_store(alice).unwrap().is_dirty(),
+        "batched mutations must leave the store dirty until a group commit"
+    );
+
+    // ---- crash: the process dies before any sync. Only the synced
+    // prefix survives; restoring the snapshot discards the buffered
+    // suffix exactly as a power cut would.
+    drop(sys);
+    for (path, bytes) in &synced {
+        std::fs::write(path, bytes).unwrap();
+    }
+
+    // ---- second life: replay recovers the last synced prefix — the
+    // certificate is live again (its revocation never became durable)
+    // and the clock never advanced.
+    let mut sys2 = System::open_persistent(&dir)
+        .unwrap()
+        .with_rsa_bits(512)
+        .with_sync_policy(SyncPolicy::Batched);
+    let alice2 = sys2.add_principal("alice", "n1").unwrap();
+    let bob2 = sys2.add_principal("bob", "n2").unwrap();
+    sys2.workspace_mut(bob2)
+        .unwrap()
+        .load(
+            "policy",
+            "access(P,file1,read) <- says(alice,me,[| good(P) |]).",
+        )
+        .unwrap();
+    sys2.run_to_quiescence(16).unwrap();
+    assert_eq!(
+        sys2.cert_store(bob2).unwrap().active(),
+        vec![digest],
+        "the unsynced revocation must be gone after the crash"
+    );
+    assert_eq!(sys2.cert_store(alice2).unwrap().now(), 0);
+    assert!(sys2
+        .workspace(bob2)
+        .unwrap()
+        .holds_src("access(carol,file1,read)")
+        .unwrap());
+
+    // ---- the same mutations, this time carried through a quiescence
+    // run (whose per-step group commit makes the broadcast durable at
+    // every receiving store) plus a flush for the clock advance: now
+    // they survive the same crash.
+    sys2.revoke_certificate(alice2, digest).unwrap();
+    sys2.run_to_quiescence(16).unwrap();
+    sys2.advance_time(3).unwrap();
+    sys2.flush().unwrap();
+    let synced2 = snapshot_logs(&dir);
+    drop(sys2);
+    for (path, bytes) in &synced2 {
+        std::fs::write(path, bytes).unwrap();
+    }
+    let mut sys3 = System::open_persistent(&dir).unwrap().with_rsa_bits(512);
+    let alice3 = sys3.add_principal("alice", "n1").unwrap();
+    let bob3 = sys3.add_principal("bob", "n2").unwrap();
+    sys3.run_to_quiescence(16).unwrap();
+    assert!(
+        sys3.cert_store(bob3).unwrap().active().is_empty(),
+        "a flushed revocation must survive the crash"
+    );
+    assert_eq!(sys3.cert_store(alice3).unwrap().now(), 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batched_policy_cuts_fsyncs_at_least_10x_per_quiescence_run() {
+    // The same fan-out revocation workload under both policies; the
+    // counters are deterministic, so the ratio is a hard assertion,
+    // not a timing. Eager pays one fsync per revocation per store
+    // (local applications at the issuer plus one per delivered
+    // broadcast packet); Batched pays one per dirty store per
+    // quiescence step.
+    fn run(policy: SyncPolicy, tag: &str) -> (u64, u64) {
+        let dir = fresh_dir(tag);
+        let mut sys = System::open_persistent(&dir)
+            .unwrap()
+            .with_rsa_bits(512)
+            .with_sync_policy(policy);
+        let alice = sys.add_principal("alice", "n1").unwrap();
+        let receivers: Vec<_> = (0..4)
+            .map(|i| {
+                sys.add_principal(&format!("r{i}"), &format!("m{i}"))
+                    .unwrap()
+            })
+            .collect();
+        let facts: String = (0..16).map(|i| format!("good(p{i}). ")).collect();
+        let certs = sys.issue_certificates(alice, &facts, &[], None).unwrap();
+        for &r in &receivers {
+            sys.import_certificates(r, certs.clone()).unwrap();
+        }
+        sys.run_to_quiescence(16).unwrap();
+        let before = sys.fsyncs();
+        // The measured quiescence run: 16 revocations broadcast to 4
+        // receiving stores, all delivered within one step.
+        for cert in &certs {
+            sys.revoke_certificate(alice, cert.digest()).unwrap();
+        }
+        sys.run_to_quiescence(16).unwrap();
+        if policy == SyncPolicy::Batched {
+            sys.flush().unwrap();
+        }
+        let spent = sys.fsyncs() - before;
+        let _ = std::fs::remove_dir_all(&dir);
+        (spent, sys.stats().revocations as u64)
+    }
+    let (eager, eager_revs) = run(SyncPolicy::Eager, "fsync-eager");
+    let (batched, batched_revs) = run(SyncPolicy::Batched, "fsync-batched");
+    assert_eq!(eager_revs, batched_revs, "identical workloads");
+    eprintln!("fsyncs per quiescence run: eager={eager}, batched={batched}");
+    assert!(batched > 0, "batched still commits durably");
+    assert!(
+        eager >= 10 * batched,
+        "group commit must cut fsyncs >= 10x (eager={eager}, batched={batched})"
+    );
 }
 
 #[test]
