@@ -75,10 +75,16 @@ fn revocation_retraction_latency(c: &mut Criterion) {
     group.finish();
 }
 
-/// LRU eviction (ROADMAP "cache eviction policy tuning"): re-imports a
-/// working set through verification caches of shrinking capacity and
-/// reports hit rate vs memory. The unbounded run is the baseline; each
-/// bounded run prints its hit/miss/eviction counters.
+/// Cache eviction under a sequential working set larger than capacity
+/// (ROADMAP "2Q / scan-resistant eviction"): re-imports a working set
+/// through verification caches of shrinking capacity and reports hit
+/// rate vs memory. The unbounded run is the baseline. Bounded caches
+/// built by `shared_verify_cache_with_capacity` use the 2Q policy: the
+/// repeated sweep that collapses plain LRU to a 0% hit rate (the cliff
+/// earlier revisions of this bench demonstrated) retains a protected
+/// core under 2Q. Warmup runs two sweeps — the first fills probation,
+/// the second promotes the re-seen keys out of the ghost history into
+/// the protected queue — so the measured sweeps hit it.
 fn bounded_cache_hit_rate(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_certstore_lru");
     group.sample_size(10);
@@ -97,10 +103,13 @@ fn bounded_cache_hit_rate(c: &mut Criterion) {
         } else {
             shared_verify_cache_with_capacity(capacity)
         };
-        // Warm pass, then three re-import passes over the working set.
-        let mut store = CertStore::with_cache(cache.clone());
-        for cert in &certs {
-            store.insert(cert.clone(), &verifier).unwrap();
+        // Two warm sweeps (fill, then ghost-promote), then the measured
+        // re-import passes over the working set.
+        for _ in 0..2 {
+            let mut store = CertStore::with_cache(cache.clone());
+            for cert in &certs {
+                store.insert(cert.clone(), &verifier).unwrap();
+            }
         }
         let label = if capacity == 0 {
             "unbounded".to_string()

@@ -20,6 +20,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lbtrust::datalog::Symbol;
 use lbtrust::{AuthScheme, Principal, SyncPolicy, System};
+use lbtrust_bench::persist_line;
 use std::cell::Cell;
 use std::time::Duration;
 
@@ -127,33 +128,6 @@ fn revocation_iteration(
         sys.revoke_certificate(hub, *d).unwrap();
     }
     sys.run_to_quiescence(8).unwrap();
-}
-
-/// Appends a line to the same `target/criterion/summary.txt` the shim
-/// writes, so the scaling summary rides the CI artifact. Best-effort.
-fn persist_line(line: &str) {
-    use std::io::Write;
-    // Same target-dir discovery (and fallback) as the criterion shim's
-    // own summary writer, so both land in one artifact file.
-    let dir = std::env::current_exe()
-        .ok()
-        .and_then(|exe| {
-            exe.ancestors()
-                .find(|p| p.file_name().is_some_and(|n| n == "target"))
-                .map(|t| t.join("criterion"))
-        })
-        .unwrap_or_else(|| std::path::Path::new("target").join("criterion"));
-    println!("{line}");
-    if std::fs::create_dir_all(&dir).is_err() {
-        return;
-    }
-    if let Ok(mut f) = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(dir.join("summary.txt"))
-    {
-        let _ = writeln!(f, "{line}");
-    }
 }
 
 fn report_scaling(workload: &str, means: &[(usize, Duration)]) {

@@ -16,6 +16,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lbtrust::certstore::{shared_verify_cache, CertStore};
 use lbtrust::System;
+use lbtrust_bench::persist_line;
 use std::path::PathBuf;
 
 fn tmp_dir(tag: &str) -> PathBuf {
@@ -76,6 +77,17 @@ fn cold_vs_replay_vs_warm(c: &mut Criterion) {
                 store.len()
             })
         });
+
+        // Lifecycle observability: the StoreStats counters the
+        // segmented-log refactor added, reported into the same summary
+        // artifact the shim writes.
+        let store = CertStore::open(&log_path, warm.clone()).unwrap();
+        let stats = store.stats();
+        persist_line(&format!(
+            "persistence-stats n={nfacts:<3} segments={} live={}B dead={}B replayed={} from_ckpt={} (see ablation_compaction for the compacted shape)",
+            stats.segments, stats.live_bytes, stats.dead_bytes, stats.replayed,
+            stats.replayed_from_checkpoint,
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
     group.finish();

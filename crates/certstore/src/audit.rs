@@ -32,6 +32,21 @@ pub enum AuditAction {
     Evicted,
 }
 
+impl AuditAction {
+    /// Parses the rendering produced by the `Display` impl — the decode
+    /// half of the durable audit segment's record payloads.
+    pub fn parse(s: &str) -> Option<AuditAction> {
+        Some(match s {
+            "imported" => AuditAction::Imported,
+            "revoked" => AuditAction::Revoked,
+            "expired" => AuditAction::Expired,
+            "link-broken" => AuditAction::LinkBroken,
+            "evicted" => AuditAction::Evicted,
+            _ => return None,
+        })
+    }
+}
+
 impl fmt::Display for AuditAction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -89,6 +104,13 @@ impl AuditLog {
     /// An empty trail.
     pub fn new() -> AuditLog {
         AuditLog::default()
+    }
+
+    /// Rebuilds a trail from entries restored out of a durable audit
+    /// segment (history folded away by checkpointing; replay of the log
+    /// suffix appends the rest).
+    pub(crate) fn restore(entries: Vec<AuditEntry>) -> AuditLog {
+        AuditLog { entries }
     }
 
     /// Appends one entry (the store's internal hook).

@@ -27,14 +27,21 @@
 //! * **Durability and audit** ([`backend`], [`audit`]) — since PR 2,
 //!   every mutation flows through a pluggable [`backend::StorageBackend`]
 //!   as an append-only record: the in-memory backend reproduces the old
-//!   ephemeral behaviour, while the log-structured file backend makes
-//!   stores survive restarts ([`CertStore::open`] replays the segment,
+//!   ephemeral behaviour, while the segmented log backend makes stores
+//!   survive restarts ([`CertStore::open`] replays the segment set,
 //!   skipping signature re-verification by priming recorded outcomes
-//!   into the shared cache). An append-only audit trail records every
-//!   lifecycle transition so conclusions can be traced to the
-//!   credential that introduced them even after revocation.
+//!   into the shared cache). Since PR 4 the log has a full lifecycle:
+//!   size-triggered segment rotation under a CRC-framed manifest,
+//!   [`CertStore::checkpoint`] bounding replay to checkpoint + suffix,
+//!   and [`CertStore::compact`] reclaiming dead records while folding
+//!   their audit entries into a durable audit segment. The audit trail
+//!   records every lifecycle transition so conclusions can be traced to
+//!   the credential that introduced them even after revocation — and
+//!   after compaction.
 //! * **Bounded memory** ([`lru`]) — the verification cache and the
-//!   entry map accept LRU capacity bounds with O(1) touch/evict.
+//!   entry map accept capacity bounds with O(1) touch/evict, under
+//!   plain LRU or the scan-resistant 2Q policy
+//!   ([`lru::EvictionPolicy`]).
 //!
 //! The crate deliberately sits *below* the runtime: it knows rules,
 //! digests and signatures, but resolves keys through the
@@ -53,13 +60,16 @@ pub mod store;
 pub mod verify;
 
 pub use audit::{AuditAction, AuditEntry, AuditLog};
-pub use backend::{LogRecord, StorageBackend, StorageError};
+pub use backend::{
+    CheckpointCert, CheckpointState, Footprint, LogRecord, StorageBackend, StorageError,
+};
 pub use cert::LinkedCert;
 pub use digest::CertDigest;
+pub use lru::EvictionPolicy;
 pub use revocation::Revocation;
 pub use store::{
-    CertStatus, CertStore, CertStoreError, ImportOutcome, ReplayReport, RetractReason,
-    RetractionEvent, StoreStats,
+    CertStatus, CertStore, CertStoreError, ImportOutcome, MaintenanceReport, ReplayReport,
+    RetractReason, RetractionEvent, StoreStats,
 };
 pub use verify::{
     shared_verify_cache, shared_verify_cache_with_capacity, SharedVerifyCache, SignatureVerifier,

@@ -9,10 +9,12 @@
 //! a record's presence in the log is its recorded verification
 //! outcome, which replay primes into the shared verification cache.
 
-use crate::audit::{AuditAction, AuditLog};
+use crate::audit::{AuditAction, AuditEntry, AuditLog};
 use crate::backend::log::LogBackend;
 use crate::backend::memory::MemoryBackend;
-use crate::backend::{LogRecord, ReplayLog, StorageBackend, StorageError};
+use crate::backend::{
+    CheckpointCert, CheckpointState, LogRecord, ReplayLog, StorageBackend, StorageError,
+};
 use crate::cert::LinkedCert;
 use crate::digest::CertDigest;
 use crate::lru::LruMap;
@@ -204,6 +206,26 @@ pub struct StoreStats {
     /// each one is a flush + fsync, so this counter is what the
     /// group-commit durability policy drives down.
     pub syncs: u64,
+    /// Record segments the backend currently holds on disk (1 for an
+    /// unrotated log, 0 for the memory backend).
+    pub segments: u64,
+    /// Estimated bytes of *live* records: the active certificates and
+    /// remembered revocations a compaction would keep. Maintained
+    /// incrementally, so it is an estimate, not an fstat.
+    pub live_bytes: u64,
+    /// Bytes of dead (compactable) records: the backend's on-disk
+    /// record bytes minus [`StoreStats::live_bytes`]. What the
+    /// compactor exists to reclaim.
+    pub dead_bytes: u64,
+    /// Compactions performed ([`CertStore::compact`]: checkpoint +
+    /// prune of superseded segments).
+    pub compactions: u64,
+    /// Checkpoints installed without pruning ([`CertStore::checkpoint`]).
+    pub checkpoints: u64,
+    /// Records whose state was restored from a checkpoint at open time
+    /// instead of raw log replay (active certificates + remembered
+    /// revocations inside the checkpoint).
+    pub replayed_from_checkpoint: u64,
     /// Verification-cache counters at the shared cache.
     pub cache: CacheStats,
 }
@@ -211,13 +233,38 @@ pub struct StoreStats {
 /// What [`CertStore::open`] recovered from its backend.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ReplayReport {
-    /// Valid records replayed.
+    /// Valid records replayed (for a checkpointed log: the checkpoint
+    /// record plus the suffix after it — independent of how much
+    /// history the checkpoint superseded).
     pub records: usize,
     /// Bytes of log covered by valid records.
     pub bytes: u64,
     /// Whether a torn/corrupt tail followed the last valid record (it
     /// was discarded and physically truncated).
     pub truncated_tail: bool,
+    /// Whether replay was anchored at a checkpoint rather than the
+    /// start of history.
+    pub from_checkpoint: bool,
+    /// Audit entries restored from the durable audit segment (history
+    /// folded away by compaction).
+    pub audit_restored: usize,
+}
+
+/// What one [`CertStore::compact`] / [`CertStore::checkpoint`] call
+/// did to the backend's footprint.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaintenanceReport {
+    /// Whether the backend installed anything (the memory backend never
+    /// does — its in-memory store *is* the state).
+    pub performed: bool,
+    /// Record segments before the call.
+    pub segments_before: u64,
+    /// Record segments after the call.
+    pub segments_after: u64,
+    /// On-disk record bytes before the call.
+    pub bytes_before: u64,
+    /// On-disk record bytes after the call.
+    pub bytes_after: u64,
 }
 
 /// One stored certificate with lifecycle metadata.
@@ -278,7 +325,81 @@ pub struct CertStore {
     /// Lets group-commit callers sync many stores cheaply: a clean
     /// store's sync is a no-op, not an fsync.
     dirty: bool,
+    /// Estimated bytes of live records (what a compaction keeps):
+    /// incremented when a certificate lands or a revocation is
+    /// recorded, decremented when a certificate dies.
+    live_bytes: u64,
+    /// Audit entries already folded into the backend's durable audit
+    /// segment; the suffix past this marker rides the next checkpoint.
+    audit_persisted: usize,
 }
+
+/// Encoded size of a certificate record, mirroring
+/// [`crate::backend::encode_record`] byte-for-byte without building the
+/// encoding: the rule render is measured through a counting
+/// `fmt::Write`, every other field's length is arithmetic. Runs on the
+/// import/revoke/expiry hot paths, so no allocation; pinned against the
+/// real encoder by a unit test.
+fn cert_record_bytes(cert: &LinkedCert) -> u64 {
+    use std::fmt::Write;
+    struct Count(usize);
+    impl Write for Count {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            self.0 += s.len();
+            Ok(())
+        }
+    }
+    let mut rule = Count(0);
+    let _ = write!(rule, "{}", cert.rule);
+    let links = if cert.links.is_empty() {
+        0
+    } else {
+        cert.links.len() * 64 + (cert.links.len() - 1)
+    };
+    let ttl = match cert.ttl {
+        Some(t) => "ttl:\n".len() + decimal_digits(t),
+        None => "ttl:none\n".len(),
+    };
+    let payload = "lbtrust-cert:v1\n".len()
+        + "issuer:\n".len()
+        + cert.issuer.as_str().len()
+        + "rule:\n".len()
+        + rule.0
+        + "links:\n".len()
+        + links
+        + ttl
+        + "sig:\n".len()
+        + 2 * cert.signature.len()
+        + "rulesig:\n".len()
+        + 2 * cert.rule_sig.len();
+    (lbtrust_net::FRAME_OVERHEAD + 1 + payload) as u64
+}
+
+/// Digits in the decimal rendering of `n`.
+fn decimal_digits(mut n: u64) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
+}
+
+/// Encoded size of a revocation record (`sig_len` in raw bytes).
+fn revoke_record_bytes(issuer: Symbol, sig_len: usize) -> u64 {
+    let payload = "lbtrust-revokerec:v1\n".len()
+        + "issuer:\n".len()
+        + issuer.as_str().len()
+        + "target:\n".len()
+        + 64
+        + "sig:\n".len()
+        + 2 * sig_len;
+    (lbtrust_net::FRAME_OVERHEAD + 1 + payload) as u64
+}
+
+/// Nominal revocation-record size used when the signature is no longer
+/// on hand (checkpoint restore keeps `(issuer, target)` only).
+const REVOKE_RECORD_NOMINAL: u64 = 384;
 
 impl CertStore {
     /// An empty in-memory store with a private verification cache.
@@ -314,6 +435,8 @@ impl CertStore {
             replay_report: ReplayReport::default(),
             replay_events: Vec::new(),
             dirty: false,
+            live_bytes: 0,
+            audit_persisted: 0,
         }
     }
 
@@ -321,12 +444,28 @@ impl CertStore {
     /// at `path`, replaying its records: active/revoked/expired state,
     /// the logical clock, and the audit trail are rebuilt
     /// deterministically, and every recorded verification outcome is
-    /// primed into `cache` so nothing is re-verified.
+    /// primed into `cache` so nothing is re-verified. When the log
+    /// holds a checkpoint, replay starts there — checkpoint + suffix,
+    /// not full history.
     pub fn open(
         path: impl AsRef<Path>,
         cache: SharedVerifyCache,
     ) -> Result<CertStore, CertStoreError> {
         CertStore::open_backend(Box::new(LogBackend::open(path)?), cache)
+    }
+
+    /// [`CertStore::open`] with an explicit segment-rotation budget in
+    /// bytes (the default is
+    /// [`crate::backend::log::DEFAULT_ROTATE_BYTES`]).
+    pub fn open_with_budget(
+        path: impl AsRef<Path>,
+        cache: SharedVerifyCache,
+        rotate_bytes: u64,
+    ) -> Result<CertStore, CertStoreError> {
+        CertStore::open_backend(
+            Box::new(LogBackend::open_with_budget(path, rotate_bytes)?),
+            cache,
+        )
     }
 
     /// Opens a store over any backend, replaying whatever it holds.
@@ -369,11 +508,118 @@ impl CertStore {
         &self.cache
     }
 
-    /// Counters (cache counters read from the shared cache).
+    /// Counters (cache counters read from the shared cache; footprint
+    /// counters read from the backend).
     pub fn stats(&self) -> StoreStats {
         let mut s = self.stats;
         s.cache = self.cache.lock().unwrap_or_else(|e| e.into_inner()).stats();
+        let fp = self.backend.footprint();
+        s.segments = fp.segments;
+        s.live_bytes = self.live_bytes;
+        s.dead_bytes = fp.bytes.saturating_sub(self.live_bytes);
         s
+    }
+
+    /// Bytes of dead (compactable) records on the backend's medium —
+    /// the compaction trigger, computable without locking the shared
+    /// verification cache.
+    pub fn dead_bytes(&self) -> u64 {
+        self.backend
+            .footprint()
+            .bytes
+            .saturating_sub(self.live_bytes)
+    }
+
+    /// Seals the active segment and starts a fresh one, independent of
+    /// the size-triggered rotation. A no-op for the memory backend.
+    pub fn rotate(&mut self) -> Result<(), CertStoreError> {
+        self.backend.rotate()?;
+        Ok(())
+    }
+
+    /// Installs a checkpoint — the serialized materialized state (live
+    /// certificates, remembered revocations, the logical clock) — as
+    /// the new replay anchor, and folds the audit-trail suffix into the
+    /// durable audit segment. Reopening afterwards replays checkpoint +
+    /// log suffix instead of full history. Superseded segments stay on
+    /// disk; see [`CertStore::compact`] to reclaim them.
+    pub fn checkpoint(&mut self) -> Result<MaintenanceReport, CertStoreError> {
+        self.run_maintenance(false)
+    }
+
+    /// Compacts the log: installs a checkpoint (see
+    /// [`CertStore::checkpoint`]) and prunes every superseded segment,
+    /// reclaiming the disk held by dead records — revoked and expired
+    /// certificates, superseded clock ticks. What compaction forgets is
+    /// exactly what tombstone eviction already forgets: dead
+    /// non-revoked certificates lose their in-memory tombstone on the
+    /// *next* reopen, while revocations keep blocking re-imports
+    /// forever and the folded audit segment keeps every lifecycle entry
+    /// citable.
+    pub fn compact(&mut self) -> Result<MaintenanceReport, CertStoreError> {
+        self.run_maintenance(true)
+    }
+
+    fn run_maintenance(&mut self, prune: bool) -> Result<MaintenanceReport, CertStoreError> {
+        let before = self.backend.footprint();
+        let state = self.checkpoint_state();
+        let suffix: Vec<AuditEntry> = self.audit.entries()[self.audit_persisted..].to_vec();
+        let record = LogRecord::Checkpoint(Box::new(state));
+        let performed = self.backend.install_checkpoint(&record, &suffix, prune)?;
+        if performed {
+            self.audit_persisted = self.audit.len();
+            // The checkpoint durably captures everything appended so
+            // far, buffered or not.
+            self.dirty = false;
+            if prune {
+                self.stats.compactions += 1;
+                // Everything a pruned log holds is the checkpoint —
+                // live by definition. Re-anchor the estimate (the
+                // checkpoint encodes revocations denser than their raw
+                // records, so the incremental estimate drifts high).
+                self.live_bytes = self.backend.footprint().bytes;
+            } else {
+                self.stats.checkpoints += 1;
+            }
+        }
+        let after = self.backend.footprint();
+        Ok(MaintenanceReport {
+            performed,
+            segments_before: before.segments,
+            segments_after: after.segments,
+            bytes_before: before.bytes,
+            bytes_after: after.bytes,
+        })
+    }
+
+    /// The materialized state a checkpoint serializes: live
+    /// certificates in insertion order plus every remembered
+    /// revocation, deterministically ordered.
+    fn checkpoint_state(&self) -> CheckpointState {
+        debug_assert!(!self.active_dirty, "mutators refresh before returning");
+        let active = self
+            .active_cache
+            .iter()
+            .map(|d| {
+                let e = self.entries.get(d).expect("active digest is stored");
+                CheckpointCert {
+                    cert: e.cert.clone(),
+                    imported_at: e.imported_at,
+                    expires_at: e.expires_at,
+                }
+            })
+            .collect();
+        let mut revoked: Vec<(Symbol, CertDigest)> = self
+            .revoked
+            .iter()
+            .flat_map(|(target, issuers)| issuers.iter().map(move |i| (*i, *target)))
+            .collect();
+        revoked.sort_by(|a, b| (a.1, a.0.as_str()).cmp(&(b.1, b.0.as_str())));
+        CheckpointState {
+            clock: self.clock,
+            active,
+            revoked,
+        }
     }
 
     /// The append-only lifecycle trail: every import, revocation,
@@ -547,6 +793,7 @@ impl CertStore {
     /// Files a verified (or replayed-as-verified) certificate.
     fn apply_insert(&mut self, cert: LinkedCert) -> CertDigest {
         let digest = cert.digest();
+        self.live_bytes += cert_record_bytes(&cert);
         let expires_at = cert.ttl.map(|t| self.clock.saturating_add(t));
         for link in &cert.links {
             self.dependents.entry(*link).or_default().push(digest);
@@ -667,6 +914,7 @@ impl CertStore {
             signature: revocation.signature.clone(),
         })?;
         self.dirty = true;
+        self.live_bytes += revoke_record_bytes(revocation.issuer, revocation.signature.len());
         let events = self.apply_revoke(revocation.issuer, target);
         self.refresh_active();
         Ok(events)
@@ -683,12 +931,23 @@ impl CertStore {
                 .record(target, issuer, AuditAction::Revoked, self.clock, None);
             return Vec::new();
         };
-        if entry.cert.issuer != issuer || entry.status != CertStatus::Active {
-            // Foreign revocation object or already dead: recorded in
-            // the revokers set above; no lifecycle change.
+        if entry.cert.issuer != issuer {
+            // Foreign revocation object: no authority, no trail entry.
+            return Vec::new();
+        }
+        if entry.status != CertStatus::Active {
+            // A verified issuer revocation of an already-dead
+            // certificate: no lifecycle change, but the trail records
+            // it — deliberately matching the pre-arrival branch above,
+            // so replaying this record after a compaction forgot the
+            // tombstone rebuilds an identical audit trail.
+            self.stats.revocations += 1;
+            self.audit
+                .record(target, issuer, AuditAction::Revoked, self.clock, None);
             return Vec::new();
         }
         entry.status = CertStatus::Revoked;
+        let reclaimed = cert_record_bytes(&entry.cert);
         let mut events = vec![RetractionEvent {
             digest: target,
             issuer: entry.cert.issuer,
@@ -696,6 +955,7 @@ impl CertStore {
             rule_sig: entry.cert.rule_sig.clone(),
             reason: RetractReason::Revoked,
         }];
+        self.live_bytes = self.live_bytes.saturating_sub(reclaimed);
         self.stats.revocations += 1;
         self.active_dirty = true;
         self.dead_lru.insert(target, ());
@@ -735,6 +995,7 @@ impl CertStore {
                 continue; // already dead by another cause
             }
             entry.status = CertStatus::Expired;
+            let reclaimed = cert_record_bytes(&entry.cert);
             events.push(RetractionEvent {
                 digest,
                 issuer: entry.cert.issuer,
@@ -744,6 +1005,7 @@ impl CertStore {
             });
             let issuer = entry.cert.issuer;
             expired.push(digest);
+            self.live_bytes = self.live_bytes.saturating_sub(reclaimed);
             self.stats.expirations += 1;
             self.active_dirty = true;
             self.dead_lru.insert(digest, ());
@@ -767,6 +1029,7 @@ impl CertStore {
                 };
                 if entry.status == CertStatus::Active {
                     entry.status = CertStatus::Broken;
+                    let reclaimed = cert_record_bytes(&entry.cert);
                     events.push(RetractionEvent {
                         digest: dep,
                         issuer: entry.cert.issuer,
@@ -775,6 +1038,7 @@ impl CertStore {
                         reason: RetractReason::LinkBroken,
                     });
                     let issuer = entry.cert.issuer;
+                    self.live_bytes = self.live_bytes.saturating_sub(reclaimed);
                     self.stats.link_breaks += 1;
                     self.active_dirty = true;
                     self.dead_lru.insert(dep, ());
@@ -847,6 +1111,12 @@ impl CertStore {
     fn apply_replay(&mut self, log: ReplayLog) {
         let mut events = Vec::new();
         let records = log.records.len();
+        let from_checkpoint = log.from_checkpoint;
+        // The audit segment holds everything folded out of compacted
+        // history; replaying the suffix regenerates the rest.
+        let audit_restored = log.audit.len();
+        self.audit = AuditLog::restore(log.audit);
+        self.audit_persisted = audit_restored;
         for record in log.records {
             self.stats.replayed += 1;
             match record {
@@ -894,9 +1164,16 @@ impl CertStore {
                     {
                         continue; // foreign revocation object; no authority
                     }
+                    self.live_bytes += revoke_record_bytes(issuer, signature.len());
                     events.extend(self.apply_revoke(issuer, target));
                 }
                 LogRecord::Tick(ticks) => events.extend(self.apply_advance(ticks)),
+                LogRecord::Checkpoint(state) => {
+                    // A checkpoint supersedes everything before it;
+                    // events from superseded records must not fire.
+                    events.clear();
+                    self.restore_checkpoint(*state);
+                }
             }
         }
         self.refresh_active();
@@ -904,8 +1181,67 @@ impl CertStore {
             records,
             bytes: log.valid_bytes,
             truncated_tail: log.truncated_tail,
+            from_checkpoint,
+            audit_restored,
         };
         self.replay_events = events;
+    }
+
+    /// Resets the store to a checkpoint's materialized state: live
+    /// certificates land with their original import time and expiry
+    /// deadline (signatures primed as verified, no re-verification),
+    /// remembered revocations resume blocking imports. No audit entries
+    /// are generated — the checkpoint's history lives in the restored
+    /// audit segment.
+    fn restore_checkpoint(&mut self, state: CheckpointState) {
+        self.entries.clear();
+        self.order.clear();
+        self.dependents.clear();
+        self.revoked.clear();
+        self.expiry.clear();
+        self.active_cache.clear();
+        self.active_dirty = false;
+        self.dead_lru = LruMap::new(None);
+        self.live_bytes = 0;
+        self.clock = state.clock;
+        for CheckpointCert {
+            cert,
+            imported_at,
+            expires_at,
+        } in state.active
+        {
+            {
+                let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+                cache.prime(cert.issuer, &cert.signing_bytes(), &cert.signature, true);
+                cache.prime(cert.issuer, &cert.rule_bytes(), &cert.rule_sig, true);
+            }
+            let digest = cert.digest();
+            for link in &cert.links {
+                self.dependents.entry(*link).or_default().push(digest);
+            }
+            if let Some(deadline) = expires_at {
+                self.expiry.push(Reverse((deadline, digest)));
+            }
+            self.live_bytes += cert_record_bytes(&cert);
+            self.entries.insert(
+                digest,
+                Entry {
+                    cert,
+                    status: CertStatus::Active,
+                    imported_at,
+                    expires_at,
+                },
+            );
+            self.order.push(digest);
+            self.active_cache.push(digest);
+            self.stats.replayed_from_checkpoint += 1;
+        }
+        for (issuer, target) in state.revoked {
+            self.revoked.entry(target).or_default().insert(issuer);
+            self.live_bytes += REVOKE_RECORD_NOMINAL;
+            self.stats.replayed_from_checkpoint += 1;
+        }
+        self.enforce_capacity();
     }
 
     fn check_cert_signatures(
@@ -1238,6 +1574,151 @@ mod tests {
         assert_eq!(store.len(), 5, "no dead entries to evict");
         assert_eq!(store.stats().evictions, 0);
         assert_eq!(store.active_len(), 5);
+    }
+
+    fn tmp_store_path(tag: &str) -> std::path::PathBuf {
+        let base = std::env::var_os("CARGO_TARGET_TMPDIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(std::env::temp_dir);
+        base.join(format!(
+            "lbtrust-store-{}-{tag}.certlog",
+            std::process::id()
+        ))
+    }
+
+    fn wipe(path: &std::path::Path) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_dir_all(path.with_extension(""));
+    }
+
+    #[test]
+    fn compact_reclaims_dead_records_and_preserves_blocking() {
+        let path = tmp_store_path("compact");
+        wipe(&path);
+        let mut store = CertStore::open_with_budget(&path, shared_verify_cache(), 1024).unwrap();
+        // 12 certificates, 10 revoked: ≥80% dead cert records plus the
+        // revocation records themselves.
+        let mut digests = Vec::new();
+        for i in 0..12 {
+            let c = cert("alice", &format!("p(x{i})."), vec![], None);
+            digests.push(store.insert(c, &toy_verifier()).unwrap().digest);
+        }
+        for d in &digests[..10] {
+            store
+                .revoke(&revocation("alice", *d), &toy_verifier())
+                .unwrap();
+        }
+        let audit_before = store.audit().len();
+        let stats = store.stats();
+        assert!(stats.dead_bytes > 0, "dead records accumulate: {stats:?}");
+        let report = store.compact().unwrap();
+        assert!(report.performed);
+        assert!(
+            report.bytes_after < report.bytes_before,
+            "compaction must shrink the record footprint: {report:?}"
+        );
+        assert_eq!(store.stats().compactions, 1);
+        assert!(store.stats().dead_bytes < stats.dead_bytes);
+        drop(store);
+
+        let mut reopened = CertStore::open(&path, shared_verify_cache()).unwrap();
+        let report = reopened.replay_report();
+        assert!(report.from_checkpoint);
+        assert_eq!(report.records, 1, "one checkpoint record, no suffix");
+        assert!(reopened.stats().replayed_from_checkpoint > 0);
+        assert_eq!(reopened.active_len(), 2);
+        assert_eq!(reopened.audit().len(), audit_before, "trail folded intact");
+        // Revocations keep blocking after the compacted reopen.
+        let again = cert("alice", "p(x0).", vec![], None);
+        assert!(matches!(
+            reopened.insert(again, &toy_verifier()),
+            Err(CertStoreError::Revoked(_))
+        ));
+        wipe(&path);
+    }
+
+    #[test]
+    fn checkpoint_without_prune_keeps_segments_but_bounds_replay() {
+        let path = tmp_store_path("ckptonly");
+        wipe(&path);
+        let mut store = CertStore::open_with_budget(&path, shared_verify_cache(), 512).unwrap();
+        for i in 0..6 {
+            let c = cert("alice", &format!("q(x{i})."), vec![], None);
+            store.insert(c, &toy_verifier()).unwrap();
+        }
+        store.advance_clock(2).unwrap();
+        let report = store.checkpoint().unwrap();
+        assert!(report.performed);
+        assert!(
+            report.segments_after > report.segments_before
+                || report.bytes_after >= report.bytes_before,
+            "checkpoint keeps history on disk: {report:?}"
+        );
+        assert_eq!(store.stats().checkpoints, 1);
+        store.advance_clock(1).unwrap();
+        store.sync().unwrap();
+        drop(store);
+
+        let reopened = CertStore::open(&path, shared_verify_cache()).unwrap();
+        assert!(reopened.replay_report().from_checkpoint);
+        assert_eq!(
+            reopened.replay_report().records,
+            2,
+            "checkpoint + one suffix tick"
+        );
+        assert_eq!(reopened.active_len(), 6);
+        assert_eq!(reopened.now(), 3);
+        wipe(&path);
+    }
+
+    #[test]
+    fn record_size_arithmetic_matches_the_encoder() {
+        use crate::backend::encode_record;
+        for c in [
+            cert("alice", "good(carol).", vec![], None),
+            cert(
+                "a-longer-principal",
+                "p(x) <- q(x), !r(x).",
+                vec![],
+                Some(7),
+            ),
+            cert(
+                "alice",
+                "p(x).",
+                vec![CertDigest::of(b"l1"), CertDigest::of(b"l2")],
+                Some(1234567),
+            ),
+        ] {
+            assert_eq!(
+                cert_record_bytes(&c),
+                encode_record(&LogRecord::Cert(c.clone())).len() as u64,
+                "size arithmetic drifted from the encoder for {c:?}"
+            );
+        }
+        let issuer = Symbol::intern("alice");
+        let sig = vec![9u8; 37];
+        assert_eq!(
+            revoke_record_bytes(issuer, sig.len()),
+            encode_record(&LogRecord::Revoke {
+                issuer,
+                target: CertDigest::of(b"t"),
+                signature: sig,
+            })
+            .len() as u64
+        );
+    }
+
+    #[test]
+    fn memory_store_maintenance_is_a_noop() {
+        let mut store = CertStore::new();
+        store
+            .insert(cert("alice", "p(x).", vec![], None), &toy_verifier())
+            .unwrap();
+        let report = store.compact().unwrap();
+        assert!(!report.performed, "the in-memory store IS the state");
+        assert_eq!(store.stats().compactions, 0);
+        assert_eq!(store.stats().segments, 0);
+        assert_eq!(store.len(), 1);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //!   primes the shared cache with their results.
 
 use crate::digest::CertDigest;
-use crate::lru::LruMap;
+use crate::lru::{EvictionPolicy, LruMap};
 use lbtrust_datalog::Symbol;
 use std::sync::{Arc, Mutex};
 
@@ -78,8 +78,16 @@ impl VerifyCache {
     /// An empty cache bounded to `capacity` memoized outcomes, evicting
     /// the least-recently-checked outcome beyond that.
     pub fn with_capacity(capacity: usize) -> VerifyCache {
+        VerifyCache::with_capacity_policy(capacity, EvictionPolicy::Lru)
+    }
+
+    /// An empty cache bounded to `capacity` outcomes under an explicit
+    /// eviction policy. [`EvictionPolicy::TwoQueue`] degrades
+    /// gracefully when a sequential working set (a bulk import sweep)
+    /// exceeds capacity, where plain LRU's hit rate collapses to zero.
+    pub fn with_capacity_policy(capacity: usize, policy: EvictionPolicy) -> VerifyCache {
         VerifyCache {
-            outcomes: LruMap::new(Some(capacity)),
+            outcomes: LruMap::with_policy(Some(capacity), policy),
             stats: CacheStats::default(),
         }
     }
@@ -155,10 +163,12 @@ impl VerifyCache {
         self.outcomes.is_empty()
     }
 
-    /// Drops all memoized outcomes (keeps counters and capacity).
+    /// Drops all memoized outcomes (keeps counters, capacity and
+    /// eviction policy).
     pub fn clear(&mut self) {
         let capacity = self.outcomes.capacity();
-        self.outcomes = LruMap::new(capacity);
+        let policy = self.outcomes.policy();
+        self.outcomes = LruMap::with_policy(capacity, policy);
     }
 }
 
@@ -171,9 +181,16 @@ pub fn shared_verify_cache() -> SharedVerifyCache {
     Arc::new(Mutex::new(VerifyCache::new()))
 }
 
-/// Builds an empty shared cache bounded to `capacity` outcomes.
+/// Builds an empty shared cache bounded to `capacity` outcomes under
+/// the scan-resistant 2Q policy: the shared cache sits under every
+/// principal's import path, where one bulk sweep larger than capacity
+/// would flush an LRU cache completely (the `ablation_certstore_lru`
+/// cliff) — 2Q's protected queue keeps the reused core resident.
 pub fn shared_verify_cache_with_capacity(capacity: usize) -> SharedVerifyCache {
-    Arc::new(Mutex::new(VerifyCache::with_capacity(capacity)))
+    Arc::new(Mutex::new(VerifyCache::with_capacity_policy(
+        capacity,
+        EvictionPolicy::TwoQueue,
+    )))
 }
 
 #[cfg(test)]
@@ -246,6 +263,36 @@ mod tests {
         assert!(ok && hit);
         assert_eq!(calls.get(), 0, "primed outcome answers without verifier");
         assert_eq!(cache.stats().primed, 1);
+    }
+
+    #[test]
+    fn two_queue_cache_survives_sequential_sweep() {
+        // 48 distinct signatures swept repeatedly through a 32-outcome
+        // cache: LRU thrashes to zero hits after the warmup pass, 2Q
+        // retains a protected core.
+        fn sweep_hits(cache: &mut VerifyCache) -> u64 {
+            let verifier = |_s: Symbol, _m: &[u8], _sig: &[u8]| true;
+            let p = Symbol::intern("p");
+            for _ in 0..6 {
+                for i in 0..48u32 {
+                    cache.check(&verifier, p, &i.to_le_bytes(), b"s");
+                }
+            }
+            cache.stats().hits
+        }
+        let mut lru = VerifyCache::with_capacity_policy(32, EvictionPolicy::Lru);
+        let mut two_q = VerifyCache::with_capacity_policy(32, EvictionPolicy::TwoQueue);
+        let lru_hits = sweep_hits(&mut lru);
+        let two_q_hits = sweep_hits(&mut two_q);
+        assert_eq!(lru_hits, 0, "the LRU cliff");
+        assert!(
+            two_q_hits > 0,
+            "the shared-cache policy must degrade gracefully under scans"
+        );
+        // The shared-cache constructor uses 2Q.
+        let shared = shared_verify_cache_with_capacity(32);
+        let mut guard = shared.lock().unwrap();
+        assert!(sweep_hits(&mut guard) > 0);
     }
 
     #[test]

@@ -239,6 +239,258 @@ proptest! {
     }
 }
 
+/// One generated operation over a store that also performs lifecycle
+/// maintenance. Maintenance ops apply to the durable store only — the
+/// in-memory reference model is the *uncompacted* truth the reopened
+/// store is compared against.
+#[derive(Clone, Debug)]
+enum MaintOp {
+    Base(Op),
+    Compact,
+    Checkpoint,
+}
+
+fn maint_op_strategy() -> impl Strategy<Value = MaintOp> {
+    // The shim's `prop_oneof!` is unweighted; repeating the base arm
+    // biases sequences toward real mutations with occasional
+    // maintenance, like a deployment.
+    prop_oneof![
+        op_strategy().prop_map(MaintOp::Base),
+        op_strategy().prop_map(MaintOp::Base),
+        op_strategy().prop_map(MaintOp::Base),
+        op_strategy().prop_map(MaintOp::Base),
+        Just(MaintOp::Compact),
+        Just(MaintOp::Checkpoint),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Compaction/checkpoint equivalence: interleave compactions and
+    /// checkpoints at *any* points in a random command sequence, then
+    /// reopen from disk alone. The reopened store must match the
+    /// uncompacted in-memory store on every preserved observable — the
+    /// logical clock, the active set (digests, order, entries, expiry
+    /// deadlines), the audit trail length, revocation blocking — and
+    /// must keep behaving identically under further safe commands.
+    /// (The one sanctioned divergence: dead *non-revoked* certificates
+    /// lose their in-memory tombstone across a compacted reopen,
+    /// exactly as tombstone eviction already forgets them.)
+    #[test]
+    fn compaction_at_any_point_preserves_observable_state(
+        ops in prop::collection::vec(maint_op_strategy(), 1..32),
+    ) {
+        let certs = universe();
+        let path = fresh_log_path("maint");
+        let mut durable = CertStore::open(&path, shared_verify_cache()).unwrap();
+        let mut memory = CertStore::new();
+        for op in &ops {
+            match op {
+                MaintOp::Base(op) => {
+                    apply(&mut durable, &certs, op);
+                    apply(&mut memory, &certs, op);
+                }
+                MaintOp::Compact => {
+                    assert!(durable.compact().unwrap().performed);
+                }
+                MaintOp::Checkpoint => {
+                    assert!(durable.checkpoint().unwrap().performed);
+                }
+            }
+        }
+        drop(durable); // crash/restart: nothing but the files survive
+
+        let mut reopened = CertStore::open(&path, shared_verify_cache()).unwrap();
+        prop_assert_eq!(reopened.now(), memory.now(), "logical clock");
+        prop_assert_eq!(reopened.active(), memory.active(), "active set + order");
+        for d in reopened.active() {
+            let r = reopened.get(&d).unwrap();
+            let m = memory.get(&d).unwrap();
+            prop_assert_eq!(&r.cert, &m.cert, "active entry content");
+            prop_assert_eq!(r.expires_at, m.expires_at, "expiry deadline");
+        }
+        prop_assert_eq!(
+            reopened.audit().len(),
+            memory.audit().len(),
+            "every audit entry must survive compaction (folded or replayed)"
+        );
+        for cert in &certs {
+            let m = memory.status(&cert.digest());
+            let r = reopened.status(&cert.digest());
+            match m {
+                Some(CertStatus::Active) | None => prop_assert_eq!(r, m),
+                Some(dead) => prop_assert!(
+                    r == Some(dead) || r.is_none(),
+                    "dead status may only be identical or forgotten, got {:?} vs {:?}",
+                    r,
+                    m
+                ),
+            }
+        }
+        // Revocation rejection is preserved verbatim.
+        for cert in &certs {
+            if memory.status(&cert.digest()) == Some(CertStatus::Revoked) {
+                prop_assert!(matches!(
+                    reopened.insert(cert.clone(), &toy_verifier()),
+                    Err(CertStoreError::Revoked(_))
+                ));
+            }
+        }
+        // Continued operation stays equivalent: inserts of never-dead
+        // certificates, then a clock advance, land identically.
+        for (i, cert) in certs.iter().enumerate() {
+            match memory.status(&cert.digest()) {
+                None | Some(CertStatus::Active) => {
+                    let a = reopened.insert(cert.clone(), &toy_verifier());
+                    let b = memory.insert(cert.clone(), &toy_verifier());
+                    prop_assert_eq!(
+                        a.is_ok(),
+                        b.is_ok(),
+                        "continuation insert diverged for cert {}: {:?} vs {:?}",
+                        i,
+                        a.err(),
+                        b.err()
+                    );
+                }
+                _ => {}
+            }
+        }
+        let e1: Vec<_> = reopened.advance_clock(3).unwrap().iter().map(|e| e.digest).collect();
+        let e2: Vec<_> = memory.advance_clock(3).unwrap().iter().map(|e| e.digest).collect();
+        prop_assert_eq!(e1, e2, "expiry events after reopen");
+        prop_assert_eq!(reopened.active(), memory.active(), "post-advance active set");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(path.with_extension(""));
+    }
+}
+
+/// Snapshots every file under the store's path (single-segment file
+/// and/or segment directory) so a crash can be simulated by restoring
+/// it wholesale.
+fn snapshot_store_files(path: &std::path::Path) -> Vec<(PathBuf, Vec<u8>)> {
+    let mut files = Vec::new();
+    if path.exists() {
+        files.push((path.to_path_buf(), std::fs::read(path).unwrap()));
+    }
+    let dir = path.with_extension("");
+    if let Ok(entries) = std::fs::read_dir(&dir) {
+        for entry in entries.filter_map(|e| e.ok()) {
+            files.push((entry.path(), std::fs::read(entry.path()).unwrap()));
+        }
+    }
+    files
+}
+
+/// Crash during compaction: the compactor's work (the new checkpoint
+/// segment, the audit fold, the pruning of old segments) must be
+/// invisible until the manifest swap is durable — restoring the
+/// pre-compaction files must yield exactly the uncompacted store.
+#[test]
+fn crash_during_compaction_old_segments_win() {
+    let certs = universe();
+    let path = fresh_log_path("crashcompact");
+    // A tiny rotation budget so the history genuinely spans segments.
+    let mut store = CertStore::open_with_budget(&path, shared_verify_cache(), 512).unwrap();
+    let mut memory = CertStore::new();
+    for op in [
+        Op::Insert(0),
+        Op::Insert(1),
+        Op::Insert(2),
+        Op::Advance(2),
+        Op::Revoke(0),
+        Op::Insert(4),
+        Op::Revoke(4),
+        Op::Advance(3),
+        Op::Insert(6),
+    ] {
+        apply(&mut store, &certs, &op);
+        apply(&mut memory, &certs, &op);
+    }
+    store.sync().unwrap();
+    let audit_before = store.audit().len();
+    drop(store);
+
+    // The durable state at the crash point.
+    let snapshot = snapshot_store_files(&path);
+
+    // Run the compaction that will "crash": reopen, compact, drop.
+    let mut store = CertStore::open(&path, shared_verify_cache()).unwrap();
+    assert!(store.compact().unwrap().performed);
+    drop(store);
+
+    // Crash rollback: none of the compactor's renames/deletes became
+    // durable. Restore the snapshot wholesale.
+    let dir = path.with_extension("");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&dir);
+    for (file, bytes) in &snapshot {
+        std::fs::create_dir_all(file.parent().unwrap()).unwrap();
+        std::fs::write(file, bytes).unwrap();
+    }
+
+    // The reopened store is byte-for-byte the uncompacted one: full
+    // audit trail, full tombstone knowledge, same active set.
+    let reopened = CertStore::open(&path, shared_verify_cache()).unwrap();
+    assert!(!reopened.replay_report().from_checkpoint);
+    assert_eq!(reopened.audit().len(), audit_before);
+    assert_eq!(reopened.active(), memory.active());
+    assert_eq!(reopened.now(), memory.now());
+    for cert in &certs {
+        assert_eq!(
+            reopened.status(&cert.digest()),
+            memory.status(&cert.digest()),
+            "pre-compaction tombstones must be fully intact after the crash"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Bounded replay: after compaction, the records a reopen replays are
+/// checkpoint + suffix — independent of how much history preceded the
+/// checkpoint.
+#[test]
+fn replay_cost_is_independent_of_precheckpoint_history() {
+    let certs = universe();
+    let mut replayed = Vec::new();
+    for &history_multiplier in &[1u64, 4, 16] {
+        let path = fresh_log_path(&format!("bounded{history_multiplier}"));
+        let mut store = CertStore::open_with_budget(&path, shared_verify_cache(), 2048).unwrap();
+        // History: the same two live certificates, plus a pile of dead
+        // records scaling with the multiplier (churned TTL certs and
+        // superseded ticks).
+        store.insert(certs[0].clone(), &toy_verifier()).unwrap();
+        store.insert(certs[6].clone(), &toy_verifier()).unwrap();
+        for _ in 0..history_multiplier {
+            for _ in 0..8 {
+                store.advance_clock(1).unwrap();
+            }
+            let c = &certs[1]; // ttl cert: expires and gets re-imported
+            let _ = store.insert(c.clone(), &toy_verifier());
+            store.advance_clock(5).unwrap();
+        }
+        assert!(store.compact().unwrap().performed);
+        // A post-checkpoint suffix of fixed size.
+        store.advance_clock(1).unwrap();
+        store.sync().unwrap();
+        drop(store);
+
+        let store = CertStore::open(&path, shared_verify_cache()).unwrap();
+        let report = store.replay_report();
+        assert!(report.from_checkpoint);
+        replayed.push(report.records);
+        assert_eq!(store.status(&certs[0].digest()), Some(CertStatus::Active));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(path.with_extension(""));
+    }
+    assert_eq!(
+        replayed[0], replayed[1],
+        "replayed record count must not scale with pre-checkpoint history"
+    );
+    assert_eq!(replayed[1], replayed[2]);
+}
+
 /// Deterministic (non-property) regression: a truncated tail is
 /// physically dropped at reopen and appending afterwards works.
 #[test]

@@ -169,6 +169,13 @@ pub struct System {
     persist_dir: Option<PathBuf>,
     /// When stores fsync (see [`SyncPolicy`]).
     sync_policy: SyncPolicy,
+    /// Segment-rotation budget for persistent stores (`None` = the
+    /// backend default). Applied at principal registration.
+    rotate_bytes: Option<u64>,
+    /// Auto-compaction threshold: during a batched group commit, any
+    /// store holding at least this many dead (compactable) bytes is
+    /// compacted on its shard worker. `None` disables the trigger.
+    auto_compact_dead_bytes: Option<u64>,
     /// Worker shards for [`System::run_to_quiescence`]: workspaces (and
     /// their stores) are partitioned into this many contiguous slices
     /// of the registration order, evaluated by `std::thread::scope`
@@ -207,6 +214,8 @@ impl System {
             cert_facts: HashMap::new(),
             persist_dir: None,
             sync_policy: SyncPolicy::default(),
+            rotate_bytes: None,
+            auto_compact_dead_bytes: None,
             shards: 1,
         }
     }
@@ -265,6 +274,35 @@ impl System {
         self.sync_policy
     }
 
+    /// Builder form: sets the segment-rotation budget (bytes) for
+    /// persistent stores registered afterwards — the active segment of
+    /// each store's log is sealed and a fresh one started once it
+    /// exceeds the budget. Defaults to the backend's 4 MiB.
+    pub fn with_rotation_budget(mut self, bytes: u64) -> Self {
+        self.rotate_bytes = Some(bytes.max(1));
+        self
+    }
+
+    /// Builder form of [`System::set_auto_compaction`].
+    pub fn with_auto_compaction(mut self, dead_bytes: u64) -> Self {
+        self.set_auto_compaction(Some(dead_bytes));
+        self
+    }
+
+    /// Arms (or with `None` disarms) the auto-compaction trigger: every
+    /// batched group commit additionally compacts, on its shard worker,
+    /// any store whose dead-record bytes reached `dead_bytes`. Dead
+    /// bytes are what a compaction reclaims — records superseded by
+    /// revocation, expiry, or newer clock ticks.
+    pub fn set_auto_compaction(&mut self, dead_bytes: Option<u64>) {
+        self.auto_compact_dead_bytes = dead_bytes;
+    }
+
+    /// The auto-compaction threshold, if armed.
+    pub fn auto_compaction(&self) -> Option<u64> {
+        self.auto_compact_dead_bytes
+    }
+
     /// Builder form of [`System::set_shards`].
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.set_shards(shards);
@@ -303,6 +341,60 @@ impl System {
     /// paid. The counter [`SyncPolicy::Batched`] exists to shrink.
     pub fn fsyncs(&self) -> u64 {
         self.stores.values().map(|s| s.stats().syncs).sum()
+    }
+
+    /// Compacts every principal's store — checkpoint + prune of
+    /// superseded segments — in parallel across the configured shard
+    /// workers. Returns how many stores actually installed a compaction
+    /// (memory-backed stores never do). Dead records (revoked/expired
+    /// certificates, superseded ticks) stop occupying disk, reopen cost
+    /// drops to checkpoint + suffix, and audit citations survive via
+    /// the folded audit segment.
+    pub fn compact(&mut self) -> Result<usize, SysError> {
+        let order = self.order.clone();
+        self.maintain_stores(&order, true)
+    }
+
+    /// Checkpoints every principal's store without pruning: future
+    /// reopens replay checkpoint + suffix, while superseded segments
+    /// stay on disk. Runs on the shard workers like [`System::compact`].
+    pub fn checkpoint(&mut self) -> Result<usize, SysError> {
+        let order = self.order.clone();
+        self.maintain_stores(&order, false)
+    }
+
+    /// Runs per-store checkpoint/compaction across the shard workers.
+    fn maintain_stores(&mut self, order: &[Principal], prune: bool) -> Result<usize, SysError> {
+        if order.is_empty() {
+            return Ok(0);
+        }
+        let shards = clamp_shards(self.shards, order.len());
+        let chunk = chunk_len(order.len(), shards);
+        let mut refs: HashMap<Principal, &mut CertStore> =
+            self.stores.iter_mut().map(|(p, s)| (*p, s)).collect();
+        let work: Vec<Vec<&mut CertStore>> = order
+            .chunks(chunk)
+            .map(|slice| slice.iter().filter_map(|p| refs.remove(p)).collect())
+            .collect();
+        let results = map_shards(work, |stores| {
+            let mut performed = 0usize;
+            for store in stores {
+                let report = if prune {
+                    store.compact()?
+                } else {
+                    store.checkpoint()?
+                };
+                if report.performed {
+                    performed += 1;
+                }
+            }
+            Ok::<_, CertStoreError>(performed)
+        });
+        let mut total = 0;
+        for result in results {
+            total += result?;
+        }
+        Ok(total)
     }
 
     /// Shared key directory (for inspection).
@@ -382,7 +474,11 @@ impl System {
         let mut store = match &self.persist_dir {
             Some(dir) => {
                 let path = dir.join(format!("{name}.certlog"));
-                CertStore::open(path, self.vcache.clone()).map_err(SysError::Cert)?
+                match self.rotate_bytes {
+                    Some(budget) => CertStore::open_with_budget(path, self.vcache.clone(), budget)
+                        .map_err(SysError::Cert)?,
+                    None => CertStore::open(path, self.vcache.clone()).map_err(SysError::Cert)?,
+                }
             }
             None => CertStore::with_cache(self.vcache.clone()),
         };
@@ -1152,7 +1248,12 @@ impl System {
 
     /// Syncs every dirty store once — the group-commit sweep. Shards
     /// sync their stores in parallel so independent fsyncs overlap.
+    /// With auto-compaction armed, the same sweep compacts any store
+    /// whose dead-record bytes reached the threshold, still on its
+    /// shard worker — maintenance piggybacks on the commit point
+    /// instead of adding a stop-the-world phase.
     fn sync_stores(&mut self, order: &[Principal]) -> Result<(), SysError> {
+        let threshold = self.auto_compact_dead_bytes;
         let dirty: Vec<Principal> = order
             .iter()
             .copied()
@@ -1177,6 +1278,24 @@ impl System {
         let results = map_shards(work, |stores| {
             for store in stores {
                 store.sync()?;
+                if let Some(dead) = threshold {
+                    if store.dead_bytes() >= dead {
+                        match store.compact() {
+                            Ok(_) => {}
+                            // A store whose live state outgrew the
+                            // checkpoint frame budget cannot be
+                            // compacted — but it is healthy, and the
+                            // opportunistic trigger must not wedge
+                            // every future group commit over it. An
+                            // explicit `System::compact()` still
+                            // surfaces the condition.
+                            Err(CertStoreError::Storage(
+                                lbtrust_certstore::StorageError::CheckpointTooLarge { .. },
+                            )) => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
             }
             Ok::<_, CertStoreError>(())
         });

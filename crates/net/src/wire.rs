@@ -104,6 +104,52 @@ pub fn read_frame(buf: &[u8], offset: usize) -> Option<(u8, &[u8], usize)> {
     Some((body[0], &body[1..], offset + 4 + body_len + 4))
 }
 
+// ---- whole-file metadata frames (manifests, checkpoints) -------------------
+//
+// The segmented certificate log keeps small metadata files beside its
+// record segments: a MANIFEST naming the live segment set and the
+// latest checkpoint, and an audit segment of folded lifecycle entries.
+// These reuse the record framing above, but with a stricter contract —
+// a metadata file is exactly one frame, so a torn or trailing-garbage
+// file is detected as a whole rather than salvaged record-by-record.
+
+/// Frame kind of a segment-set manifest file.
+pub const META_MANIFEST: u8 = 0xA0;
+/// Frame kind of a checkpoint header (inside a checkpoint record's
+/// nested frame sequence).
+pub const META_CHECKPOINT: u8 = 0xA1;
+
+/// Frames a whole metadata file: one CRC-checked record that must span
+/// the file exactly (see [`read_meta_file`]).
+pub fn frame_meta_file(kind: u8, payload: &[u8]) -> Vec<u8> {
+    frame_record(kind, payload)
+}
+
+/// Reads a metadata file produced by [`frame_meta_file`]: the buffer
+/// must hold exactly one intact frame of the expected `kind`. Any
+/// deviation — wrong kind, bad CRC, trailing bytes — yields `None`, so
+/// a half-written manifest is rejected as a whole and the caller falls
+/// back to the previous generation.
+pub fn read_meta_file(kind: u8, bytes: &[u8]) -> Option<&[u8]> {
+    let (k, payload, next) = read_frame(bytes, 0)?;
+    (k == kind && next == bytes.len()).then_some(payload)
+}
+
+/// Scans a buffer of concatenated frames (a checkpoint record's nested
+/// sequence), yielding `(kind, payload)` pairs. Returns `None` unless
+/// every byte is covered by intact frames — a checkpoint is trusted
+/// state, so partial decode is refused rather than salvaged.
+pub fn read_frame_sequence(bytes: &[u8]) -> Option<Vec<(u8, &[u8])>> {
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let (kind, payload, next) = read_frame(bytes, offset)?;
+        out.push((kind, payload));
+        offset = next;
+    }
+    Some(out)
+}
+
 /// The byte string a revocation signature covers: issuer name plus the
 /// hex digest of the certificate being withdrawn.
 pub fn revoke_signing_bytes(issuer: Symbol, digest: &WireDigest) -> Vec<u8> {
@@ -363,6 +409,40 @@ mod frame_tests {
         let mid = buf.len() / 2;
         buf[mid] ^= 0x40;
         assert!(read_frame(&buf, 0).is_none());
+    }
+
+    #[test]
+    fn meta_file_roundtrip_and_rejects() {
+        let file = frame_meta_file(META_MANIFEST, b"segments:1,2\n");
+        assert_eq!(
+            read_meta_file(META_MANIFEST, &file).unwrap(),
+            b"segments:1,2\n"
+        );
+        // Wrong kind.
+        assert!(read_meta_file(META_CHECKPOINT, &file).is_none());
+        // Trailing garbage after the frame: the whole file is rejected.
+        let mut trailing = file.clone();
+        trailing.push(0x00);
+        assert!(read_meta_file(META_MANIFEST, &trailing).is_none());
+        // A torn prefix is rejected too.
+        assert!(read_meta_file(META_MANIFEST, &file[..file.len() - 2]).is_none());
+        // A flipped bit fails the CRC.
+        let mut corrupt = file.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x08;
+        assert!(read_meta_file(META_MANIFEST, &corrupt).is_none());
+    }
+
+    #[test]
+    fn frame_sequence_requires_full_coverage() {
+        let mut buf = frame_record(1, b"a");
+        buf.extend_from_slice(&frame_record(2, b"bb"));
+        let frames = read_frame_sequence(&buf).unwrap();
+        assert_eq!(frames, vec![(1u8, &b"a"[..]), (2u8, &b"bb"[..])]);
+        assert_eq!(read_frame_sequence(b"").unwrap(), vec![]);
+        // A torn tail poisons the whole sequence.
+        let torn = &buf[..buf.len() - 3];
+        assert!(read_frame_sequence(torn).is_none());
     }
 
     #[test]

@@ -369,6 +369,171 @@ fn batched_policy_cuts_fsyncs_at_least_10x_per_quiescence_run() {
     );
 }
 
+/// Recursively sums every byte under `dir` (segment sets live in
+/// per-store subdirectories since the segmented-log refactor).
+fn disk_bytes(dir: &std::path::Path) -> u64 {
+    let mut total = 0;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            if path.is_dir() {
+                total += disk_bytes(&path);
+            } else {
+                total += entry.metadata().map(|m| m.len()).unwrap_or(0);
+            }
+        }
+    }
+    total
+}
+
+/// The acceptance scenario for the segmented-log lifecycle: a store
+/// whose history is ≥ 90% dead records (revoked certificates and
+/// superseded ticks) must shrink its record segments ≥ 4x under
+/// compaction, reopen by replaying only checkpoint + suffix, and keep
+/// both audit citations and revocation rejection across the restart.
+#[test]
+fn compaction_reclaims_dead_history_and_bounds_replay() {
+    let dir = fresh_dir("compaction");
+    let (mut sys, alice, bob) = persistent_system(&dir);
+    let facts: String = (0..40).map(|i| format!("good(p{i}). ")).collect();
+    let certs = sys.issue_certificates(alice, &facts, &[], None).unwrap();
+    let digests: Vec<_> = certs.iter().map(|c| c.digest()).collect();
+    let revoked_cert = certs[0].clone();
+    sys.import_certificates(bob, certs).unwrap();
+    sys.run_to_quiescence(16).unwrap();
+    // Kill 36 of 40 certificates (90% dead) and churn the clock so
+    // superseded tick records pile up too.
+    for d in &digests[..36] {
+        sys.revoke_certificate(alice, *d).unwrap();
+    }
+    sys.run_to_quiescence(16).unwrap();
+    for _ in 0..50 {
+        sys.advance_time(1).unwrap();
+    }
+    sys.flush().unwrap();
+
+    let record_bytes = |s: &lbtrust::certstore::StoreStats| s.live_bytes + s.dead_bytes;
+    let stats_before = sys.cert_store(bob).unwrap().stats();
+    let disk_before = disk_bytes(&dir);
+    // 36 of 40 certificate records are dead (90%), as is every
+    // superseded tick; the live remainder is 4 certificates plus the
+    // revocation set (which compaction re-encodes far denser).
+    assert!(
+        stats_before.dead_bytes > stats_before.live_bytes,
+        "the scenario must be dominated by dead records: {stats_before:?}"
+    );
+
+    let compacted = sys.compact().unwrap();
+    assert!(compacted >= 2, "both durable stores compact");
+    let stats_after = sys.cert_store(bob).unwrap().stats();
+    let disk_after = disk_bytes(&dir);
+    eprintln!(
+        "compaction: record bytes {} -> {} ({:.1}x), disk {} -> {} ({:.1}x)",
+        record_bytes(&stats_before),
+        record_bytes(&stats_after),
+        record_bytes(&stats_before) as f64 / record_bytes(&stats_after).max(1) as f64,
+        disk_before,
+        disk_after,
+        disk_before as f64 / disk_after.max(1) as f64,
+    );
+    assert!(
+        record_bytes(&stats_before) >= 4 * record_bytes(&stats_after),
+        "record segments must shrink >= 4x ({} -> {})",
+        record_bytes(&stats_before),
+        record_bytes(&stats_after)
+    );
+    assert!(
+        disk_after < disk_before,
+        "total disk (audit segment included) must shrink too"
+    );
+    assert_eq!(stats_after.segments, 1, "one checkpoint segment remains");
+    drop(sys);
+
+    // ---- second life: bounded replay plus preserved semantics.
+    let (mut sys2, _alice2, bob2) = persistent_system(&dir);
+    sys2.run_to_quiescence(16).unwrap();
+    let report = sys2.cert_store(bob2).unwrap().replay_report();
+    assert!(report.from_checkpoint, "replay anchored at the checkpoint");
+    assert_eq!(
+        report.records, 1,
+        "exactly the checkpoint record — no dead history replayed"
+    );
+    // Live conclusions re-derive; revoked ones stay gone.
+    assert!(sys2
+        .workspace(bob2)
+        .unwrap()
+        .holds_src("access(p37,file1,read)")
+        .unwrap());
+    assert!(!sys2
+        .workspace(bob2)
+        .unwrap()
+        .holds_src("access(p0,file1,read)")
+        .unwrap());
+    // Audit citations survive compaction + restart.
+    let intro = sys2.audit_introducers(bob2, "good(p0).").unwrap();
+    assert_eq!(intro.len(), 1, "introducer cited from the folded trail");
+    assert_eq!(intro[0].digest, digests[0]);
+    // Revocation rejection survives compaction + restart.
+    let err = sys2
+        .import_certificates(bob2, vec![revoked_cert])
+        .unwrap_err();
+    assert!(
+        matches!(err, SysError::Cert(_)),
+        "revoked stays revoked: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Auto-compaction piggybacks on the batched group commit: once a
+/// store's dead bytes cross the threshold, the next commit point
+/// compacts it on its shard worker — no explicit maintenance calls.
+#[test]
+fn auto_compaction_triggers_during_batched_group_commit() {
+    let dir = fresh_dir("autocompact");
+    let mut sys = System::open_persistent(&dir)
+        .unwrap()
+        .with_rsa_bits(512)
+        .with_sync_policy(SyncPolicy::Batched)
+        .with_rotation_budget(2048)
+        .with_auto_compaction(4096)
+        .with_shards(2);
+    let alice = sys.add_principal("alice", "n1").unwrap();
+    let bob = sys.add_principal("bob", "n2").unwrap();
+    let facts: String = (0..24).map(|i| format!("good(q{i}). ")).collect();
+    let certs = sys.issue_certificates(alice, &facts, &[], None).unwrap();
+    sys.import_certificates(bob, certs.clone()).unwrap();
+    assert!(
+        sys.cert_store(bob).unwrap().stats().segments > 1,
+        "the 2 KiB rotation budget must have sealed segments"
+    );
+    for c in &certs {
+        sys.revoke_certificate(alice, c.digest()).unwrap();
+    }
+    sys.run_to_quiescence(16).unwrap();
+    let stats = sys.cert_store(bob).unwrap().stats();
+    assert!(
+        stats.compactions >= 1,
+        "the group commit must have auto-compacted bob's store: {stats:?}"
+    );
+    assert!(
+        stats.dead_bytes < 4096,
+        "dead bytes reclaimed below the threshold: {stats:?}"
+    );
+    drop(sys);
+    // The compacted deployment reopens correctly: everything revoked,
+    // nothing derivable, rejection durable.
+    let mut sys2 = System::open_persistent(&dir).unwrap().with_rsa_bits(512);
+    sys2.add_principal("alice", "n1").unwrap();
+    let bob2 = sys2.add_principal("bob", "n2").unwrap();
+    assert_eq!(sys2.cert_store(bob2).unwrap().active_len(), 0);
+    let err = sys2.import_certificates(bob2, vec![certs[0].clone()]);
+    assert!(
+        err.is_err(),
+        "revocations survive the auto-compacted restart"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn warm_reopen_at_least_5x_faster_than_cold_import() {
     let dir = fresh_dir("speed");
