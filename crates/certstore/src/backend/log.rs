@@ -924,7 +924,11 @@ mod tests {
                 imported_at: 3,
                 expires_at: None,
             }],
-            revoked: vec![(Symbol::intern("alice"), crate::CertDigest::of(b"gone"))],
+            revoked: vec![(
+                Symbol::intern("alice"),
+                crate::CertDigest::of(b"gone"),
+                vec![7; 4],
+            )],
         }));
         let audit = vec![AuditEntry {
             digest: crate::CertDigest::of(b"gone"),

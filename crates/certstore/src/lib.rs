@@ -69,7 +69,7 @@ pub use lru::EvictionPolicy;
 pub use revocation::Revocation;
 pub use store::{
     CertStatus, CertStore, CertStoreError, ImportOutcome, MaintenanceReport, ReplayReport,
-    RetractReason, RetractionEvent, StoreStats,
+    RetractReason, RetractionEvent, RevokeOutcome, StoreStats,
 };
 pub use verify::{
     shared_verify_cache, shared_verify_cache_with_capacity, SharedVerifyCache, SignatureVerifier,

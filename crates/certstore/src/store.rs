@@ -23,7 +23,7 @@ use crate::verify::{shared_verify_cache, CacheStats, SharedVerifyCache, Signatur
 use lbtrust_datalog::ast::Rule;
 use lbtrust_datalog::Symbol;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::path::Path;
 use std::sync::Arc;
@@ -90,6 +90,26 @@ pub struct ImportOutcome {
     pub cache_hit: bool,
     /// Whether this import added a new entry (false: already stored).
     pub newly_added: bool,
+}
+
+/// Outcome of applying one revocation object.
+#[derive(Clone, Debug)]
+pub struct RevokeOutcome {
+    /// Whether the store changed: the object was new (remembered,
+    /// logged, audited) rather than a re-application. Duplicate
+    /// deliveries — a duplicated wire packet, a gossip re-pull — come
+    /// back with `applied: false` and must not be re-counted.
+    pub applied: bool,
+    /// Whether the signer holds authority over the target here: the
+    /// certificate is unknown (a pre-arrival object, which will gate
+    /// its import) or was issued by the signer. A tolerantly absorbed
+    /// foreign object comes back `applied && !authoritative` — stored
+    /// and re-servable, but it revoked nothing and must not count as a
+    /// revocation.
+    pub authoritative: bool,
+    /// The workspace facts to retract (certificates whose lifecycle
+    /// ended because of this object). Always empty when `!applied`.
+    pub events: Vec<RetractionEvent>,
 }
 
 /// Store errors.
@@ -291,13 +311,27 @@ pub struct CertStore {
     order: Vec<CertDigest>,
     /// Reverse link index: support -> certificates citing it.
     dependents: HashMap<CertDigest, Vec<CertDigest>>,
-    /// Who has issued a verified revocation for each digest, including
-    /// revocations that arrived before their certificate (a later
-    /// import is rejected iff the certificate's own issuer is among the
-    /// revokers — another principal's self-signed revocation object
-    /// carries no authority and must not mask the real issuer's).
-    /// Survives tombstone eviction, so revoked stays revoked.
-    revoked: HashMap<CertDigest, HashSet<Symbol>>,
+    /// Who has issued a verified revocation for each digest — mapped to
+    /// the signature bytes so the store can *serve* its revocation
+    /// objects to anti-entropy peers — including revocations that
+    /// arrived before their certificate (a later import is rejected iff
+    /// the certificate's own issuer is among the revokers — another
+    /// principal's self-signed revocation object carries no authority
+    /// and must not mask the real issuer's). Survives tombstone
+    /// eviction, so revoked stays revoked. An empty signature marks an
+    /// object restored from a pre-signature checkpoint: it still blocks
+    /// imports but cannot be re-served.
+    revoked: HashMap<CertDigest, HashMap<Symbol, Vec<u8>>>,
+    /// Maintained XOR fold, per signer, of the re-servable (non-empty
+    /// signature) objects in `revoked` — kept current by
+    /// `apply_revoke`/checkpoint restore, so the per-step anti-entropy
+    /// summary is O(signers), not a rescan of every object.
+    fp_cache: HashMap<Symbol, lbtrust_net::WireDigest>,
+    /// The same objects indexed by signer (sorted targets), so serving
+    /// one signer's pull is O(that signer's objects), not a walk of
+    /// every target's signer map. Maintained in lockstep with
+    /// `fp_cache`.
+    by_signer: HashMap<Symbol, std::collections::BTreeSet<CertDigest>>,
     clock: u64,
     cache: SharedVerifyCache,
     stats: StoreStats,
@@ -422,6 +456,8 @@ impl CertStore {
             order: Vec::new(),
             dependents: HashMap::new(),
             revoked: HashMap::new(),
+            fp_cache: HashMap::new(),
+            by_signer: HashMap::new(),
             clock: 0,
             cache,
             stats: StoreStats::default(),
@@ -609,10 +645,14 @@ impl CertStore {
                 }
             })
             .collect();
-        let mut revoked: Vec<(Symbol, CertDigest)> = self
+        let mut revoked: Vec<(Symbol, CertDigest, Vec<u8>)> = self
             .revoked
             .iter()
-            .flat_map(|(target, issuers)| issuers.iter().map(move |i| (*i, *target)))
+            .flat_map(|(target, issuers)| {
+                issuers
+                    .iter()
+                    .map(move |(i, sig)| (*i, *target, sig.clone()))
+            })
             .collect();
         revoked.sort_by(|a, b| (a.1, a.0.as_str()).cmp(&(b.1, b.0.as_str())));
         CheckpointState {
@@ -700,6 +740,62 @@ impl CertStore {
         self.active_cache.len()
     }
 
+    /// The store's anti-entropy revocation summary: for every signer
+    /// with at least one remembered, re-servable revocation object, the
+    /// XOR fold of the revoked target digests, sorted by signer name.
+    /// XOR is order-independent and incremental — the fold is
+    /// maintained as objects land, so this is O(signers) — and two
+    /// stores holding the same object set fingerprint identically
+    /// regardless of arrival order; distinct sets collide with
+    /// SHA-256-collision probability. Objects restored without their
+    /// signature (a pre-signature checkpoint) are excluded — they
+    /// cannot be served to a pulling peer, so advertising them would
+    /// gossip forever without converging.
+    pub fn revocation_fingerprints(&self) -> Vec<(Symbol, lbtrust_net::WireDigest)> {
+        let mut out: Vec<(Symbol, lbtrust_net::WireDigest)> =
+            self.fp_cache.iter().map(|(s, fp)| (*s, *fp)).collect();
+        out.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
+        out
+    }
+
+    /// Records a newly re-servable `(signer, target)` object in the
+    /// maintained summary structures: XOR-folds the target into the
+    /// signer's fingerprint and files it in the per-signer serve index.
+    fn index_servable(&mut self, signer: Symbol, target: CertDigest) {
+        let fp = self.fp_cache.entry(signer).or_default();
+        for (acc, byte) in fp.iter_mut().zip(target.as_bytes()) {
+            *acc ^= byte;
+        }
+        self.by_signer.entry(signer).or_default().insert(target);
+    }
+
+    /// Every remembered revocation object signed by `signer`, sorted by
+    /// target digest — what this store serves when an anti-entropy peer
+    /// pulls `signer`'s revocations. Objects whose signature did not
+    /// survive (pre-signature checkpoints) are skipped; they still
+    /// block local imports but cannot be relayed. Answered from the
+    /// maintained per-signer index: O(that signer's objects).
+    pub fn revocations_by(&self, signer: Symbol) -> Vec<Revocation> {
+        let Some(targets) = self.by_signer.get(&signer) else {
+            return Vec::new();
+        };
+        targets
+            .iter()
+            .map(|target| {
+                let signature = self
+                    .revoked
+                    .get(target)
+                    .and_then(|signers| signers.get(&signer))
+                    .expect("by_signer indexes only objects present in revoked");
+                Revocation {
+                    issuer: signer,
+                    target: *target,
+                    signature: signature.clone(),
+                }
+            })
+            .collect()
+    }
+
     /// Imports one certificate: resolves its links against the store,
     /// verifies both signatures through the shared cache, appends the
     /// record to the backend, and files it under its content address.
@@ -719,7 +815,7 @@ impl CertStore {
         if self
             .revoked
             .get(&digest)
-            .is_some_and(|revokers| revokers.contains(&cert.issuer))
+            .is_some_and(|revokers| revokers.contains_key(&cert.issuer))
         {
             return Err(CertStoreError::Revoked(digest));
         }
@@ -876,12 +972,53 @@ impl CertStore {
     /// Applies a signed revocation. Verified revocations of unknown
     /// certificates are remembered and block their later import.
     /// Revocation is idempotent: re-revoking yields no new events and
-    /// no new log record.
+    /// no new log record. (Compatibility wrapper over
+    /// [`CertStore::revoke_with_outcome`].)
     pub fn revoke(
         &mut self,
         revocation: &Revocation,
         verifier: &dyn SignatureVerifier,
     ) -> Result<Vec<RetractionEvent>, CertStoreError> {
+        self.revoke_with_outcome(revocation, verifier)
+            .map(|o| o.events)
+    }
+
+    /// [`CertStore::revoke`], reporting whether the store actually
+    /// changed — callers maintaining counters use `applied` to stay
+    /// idempotent under duplicated deliveries.
+    pub fn revoke_with_outcome(
+        &mut self,
+        revocation: &Revocation,
+        verifier: &dyn SignatureVerifier,
+    ) -> Result<RevokeOutcome, CertStoreError> {
+        // Authority before authenticity: both are hard errors, and the
+        // delegated absorb path verifies the signature (through the
+        // shared cache) exactly once.
+        if let Some(entry) = self.entries.get(&revocation.target) {
+            if entry.cert.issuer != revocation.issuer {
+                return Err(CertStoreError::IssuerMismatch {
+                    cert: revocation.target,
+                    cert_issuer: entry.cert.issuer,
+                    revoker: revocation.issuer,
+                });
+            }
+        }
+        self.absorb_revocation(revocation, verifier)
+    }
+
+    /// Applies a revocation object tolerantly — the anti-entropy repair
+    /// path. Where [`CertStore::revoke`] rejects an object whose signer
+    /// is not the target certificate's issuer, this remembers it as
+    /// inert (no lifecycle change, no import gate — only the
+    /// certificate's own issuer ever gets either), so gossiping peers
+    /// converge on the full set of signed revocation objects regardless
+    /// of which certificates each store happens to hold. Bad signatures
+    /// are still rejected, and re-absorption is a no-op.
+    pub fn absorb_revocation(
+        &mut self,
+        revocation: &Revocation,
+        verifier: &dyn SignatureVerifier,
+    ) -> Result<RevokeOutcome, CertStoreError> {
         let target = revocation.target;
         {
             let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
@@ -889,24 +1026,34 @@ impl CertStore {
                 return Err(CertStoreError::BadRevocation(target));
             }
         }
-        if let Some(entry) = self.entries.get(&target) {
-            if entry.cert.issuer != revocation.issuer {
-                return Err(CertStoreError::IssuerMismatch {
-                    cert: target,
-                    cert_issuer: entry.cert.issuer,
-                    revoker: revocation.issuer,
-                });
-            }
-        }
-        // Idempotence gate: nothing changes, nothing is appended.
-        let known_revoker = self
+        // Idempotence gate: a known signer whose object can no longer
+        // change any lifecycle means nothing changes and nothing is
+        // appended — unless the incoming object carries the signature a
+        // checkpoint-restored one lost, in which case it re-applies to
+        // make the object re-servable (otherwise a legacy store could
+        // never converge and gossip would never go dormant). (An
+        // authoritative signer over a still-active entry also
+        // re-applies; that only happens when the first application is
+        // being retried.)
+        let authoritative = self
+            .entries
+            .get(&target)
+            .is_none_or(|e| e.cert.issuer == revocation.issuer);
+        let stored = self
             .revoked
             .get(&target)
-            .is_some_and(|r| r.contains(&revocation.issuer));
+            .and_then(|r| r.get(&revocation.issuer));
+        let known_revoker = stored.is_some();
+        let signature_upgrade =
+            stored.is_some_and(|s| s.is_empty()) && !revocation.signature.is_empty();
         let entry_active = self.status(&target) == Some(CertStatus::Active);
-        if known_revoker && !entry_active {
+        if known_revoker && !signature_upgrade && !(authoritative && entry_active) {
             self.dead_lru.touch(&target);
-            return Ok(Vec::new());
+            return Ok(RevokeOutcome {
+                applied: false,
+                authoritative,
+                events: Vec::new(),
+            });
         }
         self.backend.append(&LogRecord::Revoke {
             issuer: revocation.issuer,
@@ -915,15 +1062,35 @@ impl CertStore {
         })?;
         self.dirty = true;
         self.live_bytes += revoke_record_bytes(revocation.issuer, revocation.signature.len());
-        let events = self.apply_revoke(revocation.issuer, target);
+        let events = self.apply_revoke(revocation.issuer, target, &revocation.signature);
         self.refresh_active();
-        Ok(events)
+        Ok(RevokeOutcome {
+            applied: true,
+            authoritative,
+            events,
+        })
     }
 
     /// Applies a revocation whose signature already verified (or was
     /// recorded as verified in the log).
-    fn apply_revoke(&mut self, issuer: Symbol, target: CertDigest) -> Vec<RetractionEvent> {
-        self.revoked.entry(target).or_default().insert(issuer);
+    fn apply_revoke(
+        &mut self,
+        issuer: Symbol,
+        target: CertDigest,
+        signature: &[u8],
+    ) -> Vec<RetractionEvent> {
+        let prev = self
+            .revoked
+            .entry(target)
+            .or_default()
+            .insert(issuer, signature.to_vec());
+        // The maintained fingerprint covers re-servable objects only:
+        // fold when the (signer, target) pair first gains a signature
+        // (a re-apply with the signature already on file changes
+        // nothing; XOR-ing twice would un-fold it).
+        if prev.is_none_or(|s| s.is_empty()) && !signature.is_empty() {
+            self.index_servable(issuer, target);
+        }
         let Some(entry) = self.entries.get_mut(&target) else {
             // Pre-arrival revocation: remembered, blocks later import.
             self.stats.revocations += 1;
@@ -1134,7 +1301,7 @@ impl CertStore {
                     let blocked = self
                         .revoked
                         .get(&digest)
-                        .is_some_and(|r| r.contains(&cert.issuer));
+                        .is_some_and(|r| r.contains_key(&cert.issuer));
                     if blocked
                         || self.entries.contains_key(&digest)
                         || self.check_links(digest, &cert.links).is_err()
@@ -1157,15 +1324,15 @@ impl CertStore {
                             true,
                         );
                     }
-                    if self
-                        .entries
-                        .get(&target)
-                        .is_some_and(|e| e.cert.issuer != issuer)
-                    {
-                        continue; // foreign revocation object; no authority
-                    }
+                    // Foreign objects (signer ≠ the held certificate's
+                    // issuer) replay too: `absorb_revocation` logged
+                    // them, and `apply_revoke` already remembers them
+                    // without granting authority — dropping them here
+                    // would shrink a reopened store's fingerprint and
+                    // make gossip re-pull (and re-append) the same
+                    // object after every restart.
                     self.live_bytes += revoke_record_bytes(issuer, signature.len());
-                    events.extend(self.apply_revoke(issuer, target));
+                    events.extend(self.apply_revoke(issuer, target, &signature));
                 }
                 LogRecord::Tick(ticks) => events.extend(self.apply_advance(ticks)),
                 LogRecord::Checkpoint(state) => {
@@ -1198,6 +1365,8 @@ impl CertStore {
         self.order.clear();
         self.dependents.clear();
         self.revoked.clear();
+        self.fp_cache.clear();
+        self.by_signer.clear();
         self.expiry.clear();
         self.active_cache.clear();
         self.active_dirty = false;
@@ -1236,9 +1405,29 @@ impl CertStore {
             self.active_cache.push(digest);
             self.stats.replayed_from_checkpoint += 1;
         }
-        for (issuer, target) in state.revoked {
-            self.revoked.entry(target).or_default().insert(issuer);
-            self.live_bytes += REVOKE_RECORD_NOMINAL;
+        for (issuer, target, signature) in state.revoked {
+            self.live_bytes += if signature.is_empty() {
+                REVOKE_RECORD_NOMINAL
+            } else {
+                // The signature survives the checkpoint, so the object
+                // can be re-served to anti-entropy peers after a reopen
+                // — prime the cache like replaying its raw record would.
+                let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+                cache.prime(
+                    issuer,
+                    &lbtrust_net::revoke_signing_bytes(issuer, target.as_bytes()),
+                    &signature,
+                    true,
+                );
+                revoke_record_bytes(issuer, signature.len())
+            };
+            if !signature.is_empty() {
+                self.index_servable(issuer, target);
+            }
+            self.revoked
+                .entry(target)
+                .or_default()
+                .insert(issuer, signature);
             self.stats.replayed_from_checkpoint += 1;
         }
         self.enforce_capacity();
@@ -1310,6 +1499,143 @@ mod tests {
             target,
             signature: sign(issuer, &revoke_signing_bytes(issuer, target.as_bytes())),
         }
+    }
+
+    #[test]
+    fn revocation_fingerprints_are_order_independent_and_served_back() {
+        let order_a = [b"c1".as_slice(), b"c2", b"c3"];
+        let order_b = [b"c3".as_slice(), b"c1", b"c2"];
+        let build = |targets: &[&[u8]]| {
+            let mut store = CertStore::new();
+            for t in targets {
+                store
+                    .revoke(&revocation("alice", CertDigest::of(t)), &toy_verifier())
+                    .unwrap();
+            }
+            store
+        };
+        let a = build(&order_a);
+        let b = build(&order_b);
+        assert_eq!(
+            a.revocation_fingerprints(),
+            b.revocation_fingerprints(),
+            "the XOR fold must not depend on arrival order"
+        );
+        assert_eq!(a.revocation_fingerprints().len(), 1);
+        // Serving returns the exact signed objects, sorted by target.
+        let served = a.revocations_by(Symbol::intern("alice"));
+        assert_eq!(served.len(), 3);
+        assert!(served.windows(2).all(|w| w[0].target <= w[1].target));
+        for obj in &served {
+            assert_eq!(obj, &revocation("alice", obj.target));
+        }
+        // Unknown signer: nothing to serve.
+        assert!(a.revocations_by(Symbol::intern("nobody")).is_empty());
+        // A second signer fingerprints separately, sorted by name.
+        let mut c = build(&order_a);
+        c.revoke(&revocation("bob", CertDigest::of(b"x")), &toy_verifier())
+            .unwrap();
+        let fps = c.revocation_fingerprints();
+        assert_eq!(fps.len(), 2);
+        assert_eq!(fps[0].0.as_str(), "alice");
+        assert_eq!(fps[1].0.as_str(), "bob");
+    }
+
+    #[test]
+    fn revoke_outcome_reports_reapplication() {
+        let mut store = CertStore::new();
+        let c = cert("alice", "good(carol).", vec![], None);
+        let d = store.insert(c, &toy_verifier()).unwrap().digest;
+        let first = store
+            .revoke_with_outcome(&revocation("alice", d), &toy_verifier())
+            .unwrap();
+        assert!(first.applied);
+        assert_eq!(first.events.len(), 1);
+        let again = store
+            .revoke_with_outcome(&revocation("alice", d), &toy_verifier())
+            .unwrap();
+        assert!(!again.applied, "re-application must report a no-op");
+        assert!(again.events.is_empty());
+        assert_eq!(store.stats().revocations, 1);
+    }
+
+    #[test]
+    fn absorb_remembers_foreign_objects_inertly() {
+        let mut store = CertStore::new();
+        let c = cert("alice", "good(carol).", vec![], None);
+        let d = store.insert(c, &toy_verifier()).unwrap().digest;
+        // The strict path rejects mallory's object while the entry is
+        // held …
+        assert!(matches!(
+            store.revoke(&revocation("mallory", d), &toy_verifier()),
+            Err(CertStoreError::IssuerMismatch { .. })
+        ));
+        // … the gossip path absorbs it as inert: remembered and
+        // re-servable, but no lifecycle change and no import gate.
+        let outcome = store
+            .absorb_revocation(&revocation("mallory", d), &toy_verifier())
+            .unwrap();
+        assert!(outcome.applied);
+        assert!(
+            !outcome.authoritative,
+            "an inert absorption must not read as a revocation"
+        );
+        assert!(outcome.events.is_empty());
+        assert_eq!(store.status(&d), Some(CertStatus::Active));
+        assert_eq!(store.revocations_by(Symbol::intern("mallory")).len(), 1);
+        // Re-absorbing is a no-op.
+        assert!(
+            !store
+                .absorb_revocation(&revocation("mallory", d), &toy_verifier())
+                .unwrap()
+                .applied
+        );
+        // The issuer's own object still has full authority afterwards.
+        let real = store
+            .absorb_revocation(&revocation("alice", d), &toy_verifier())
+            .unwrap();
+        assert!(real.applied && real.authoritative);
+        assert_eq!(real.events.len(), 1);
+        assert_eq!(store.status(&d), Some(CertStatus::Revoked));
+        // Bad signatures are rejected even on the tolerant path.
+        let mut forged = revocation("eve", d);
+        forged.signature = b"garbage".to_vec();
+        assert!(matches!(
+            store.absorb_revocation(&forged, &toy_verifier()),
+            Err(CertStoreError::BadRevocation(_))
+        ));
+    }
+
+    #[test]
+    fn empty_signature_objects_upgrade_when_the_signed_object_arrives() {
+        // A pre-gossip checkpoint restores objects with empty
+        // signatures: invisible to fingerprints and unservable. The
+        // signed object arriving later (a gossip pull answer) must
+        // re-apply — otherwise the store could never converge and
+        // anti-entropy would never go dormant.
+        let mut store = CertStore::new();
+        let d = CertDigest::of(b"legacy");
+        let cp = crate::backend::CheckpointState {
+            clock: 0,
+            active: vec![],
+            revoked: vec![(Symbol::intern("alice"), d, Vec::new())],
+        };
+        store.restore_checkpoint(cp);
+        assert!(store.revocation_fingerprints().is_empty());
+        assert!(store.revocations_by(Symbol::intern("alice")).is_empty());
+        let outcome = store
+            .absorb_revocation(&revocation("alice", d), &toy_verifier())
+            .unwrap();
+        assert!(outcome.applied, "the signed object must upgrade the stub");
+        assert_eq!(store.revocation_fingerprints().len(), 1);
+        assert_eq!(store.revocations_by(Symbol::intern("alice")).len(), 1);
+        // And only once.
+        assert!(
+            !store
+                .absorb_revocation(&revocation("alice", d), &toy_verifier())
+                .unwrap()
+                .applied
+        );
     }
 
     #[test]

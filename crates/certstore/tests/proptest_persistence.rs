@@ -527,6 +527,76 @@ fn truncated_tail_then_append() {
 }
 
 /// Revocation durability: the acceptance-critical property that a
+/// Revocation objects stay *re-servable* across checkpoint, compaction
+/// and reopen: the checkpoint carries each object's signature, so a
+/// restarted store can still answer anti-entropy pulls and fingerprints
+/// identically to its pre-restart self.
+#[test]
+fn revocation_objects_survive_compaction_with_signatures() {
+    let certs = universe();
+    let path = fresh_log_path("gossip-objects");
+    let mut store = CertStore::open(&path, shared_verify_cache()).unwrap();
+    store.insert(certs[0].clone(), &toy_verifier()).unwrap();
+    // Two signers: alice's object covers the imported certificate,
+    // bob's arrived before its certificate ever did.
+    let imported = make_revocation(certs[0].issuer, certs[0].digest());
+    let pre_arrival = make_revocation(certs[1].issuer, certs[1].digest());
+    store.revoke(&imported, &toy_verifier()).unwrap();
+    store.revoke(&pre_arrival, &toy_verifier()).unwrap();
+    let fps_before = store.revocation_fingerprints();
+    let report = store.compact().unwrap();
+    assert!(report.performed, "log store must install the checkpoint");
+    store.sync().unwrap();
+    drop(store);
+
+    let store = CertStore::open(&path, shared_verify_cache()).unwrap();
+    assert!(store.replay_report().from_checkpoint);
+    assert_eq!(
+        store.revocation_fingerprints(),
+        fps_before,
+        "fingerprints must survive compaction + reopen"
+    );
+    // The exact signed objects are served back.
+    assert_eq!(
+        store.revocations_by(certs[0].issuer),
+        vec![imported.clone()]
+    );
+    assert_eq!(store.revocations_by(certs[1].issuer), vec![pre_arrival]);
+    assert_ne!(certs[0].issuer, certs[1].issuer);
+}
+
+/// A tolerantly absorbed foreign object (signer ≠ the held
+/// certificate's issuer) is durably logged and must replay: dropping
+/// it on reopen would shrink the store's gossip fingerprint and make
+/// every restart re-pull (and re-append) the same object.
+#[test]
+fn absorbed_foreign_objects_survive_reopen() {
+    let certs = universe();
+    let path = fresh_log_path("foreign-objects");
+    let mut store = CertStore::open(&path, shared_verify_cache()).unwrap();
+    store.insert(certs[0].clone(), &toy_verifier()).unwrap();
+    let foreign = make_revocation(Symbol::intern("mallory"), certs[0].digest());
+    assert!(
+        store
+            .absorb_revocation(&foreign, &toy_verifier())
+            .unwrap()
+            .applied
+    );
+    let fps = store.revocation_fingerprints();
+    store.sync().unwrap();
+    drop(store);
+
+    let store = CertStore::open(&path, shared_verify_cache()).unwrap();
+    assert_eq!(store.revocation_fingerprints(), fps);
+    assert_eq!(
+        store.revocations_by(Symbol::intern("mallory")),
+        vec![foreign]
+    );
+    // Still inert: the certificate the foreign object points at is
+    // alive and re-importable state is untouched.
+    assert_eq!(store.status(&certs[0].digest()), Some(CertStatus::Active));
+}
+
 /// revoked certificate stays rejected across reopen, including when it
 /// was revoked before ever arriving.
 #[test]

@@ -1,0 +1,251 @@
+//! The workspace-side contract of the anti-entropy revocation gossip
+//! layer (ROADMAP: "revocation gossip over sendlog").
+//!
+//! The gossip *logic* — which peers to advertise to, and when a
+//! received advertisement warrants a pull — is a SeNDlog program (see
+//! `lbtrust-sendlog::gossip`), loaded into every workspace and
+//! evaluated by the ordinary distributed fixpoint. This module defines
+//! the fact vocabulary that program is written against, shared between
+//! the [`crate::System`] runtime (which asserts inputs and reads
+//! derived messages) and the program itself:
+//!
+//! * `revfp(me, I, F)` — **input**: the local store's revocation
+//!   fingerprint for signer `I` (a hex string; [`ZERO_FP_HEX`] when the
+//!   store holds nothing signed by `I`). Refreshed by the runtime at
+//!   the start of every quiescence step.
+//! * `gsays(W, me, [| revsummary(W, I, F). |])` — **input**: peer `W`'s
+//!   latest advertised fingerprint for signer `I`, asserted when a
+//!   `revsummary` wire frame arrives (superseding any previous
+//!   advertisement from `W` about `I`).
+//! * `gsays(me, N, [| revsummary(me, I, F). |])` — **derived**: an
+//!   advertisement this node should send to peer `N`. The runtime ships
+//!   it as a compact `revsummary` frame.
+//! * `gsays(me, W, [| revpull(me, I). |])` — **derived**: a pull this
+//!   node should send to `W`, because `W`'s advertised fingerprint for
+//!   `I` differs from the local one. Shipped as a `revpull` frame; the
+//!   responder answers with `revgossip` frames carrying `I`'s signed
+//!   revocation objects.
+//!
+//! `gsays` is the gossip program's private communication predicate
+//! (the SeNDlog translation's `says` renamed): the payloads here are
+//! equality-compared fingerprints carried on their own wire frames, so
+//! routing them through the authenticated `says`/`export` pipeline
+//! would RSA-sign every advertisement each round for no gain.
+
+use crate::principal::Principal;
+use lbtrust_datalog::ast::{Atom, PredRef, Rule, Term};
+use lbtrust_datalog::{Symbol, Tuple, Value};
+use lbtrust_net::WireDigest;
+use std::sync::Arc;
+
+/// The gossip program's communication predicate (its translated
+/// `says`).
+pub const GOSSIP_SAYS: &str = "gsays";
+/// The local-fingerprint input predicate.
+pub const REVFP: &str = "revfp";
+/// The advertisement payload predicate (inside `gsays` quotes).
+pub const REVSUMMARY: &str = "revsummary";
+/// The pull-request payload predicate (inside `gsays` quotes).
+pub const REVPULL: &str = "revpull";
+
+/// The fingerprint of an empty revocation set (64 zero hex digits —
+/// the XOR fold of zero SHA-256 digests).
+pub const ZERO_FP_HEX: &str = "0000000000000000000000000000000000000000000000000000000000000000";
+
+/// Hex rendering of a store fingerprint, as carried in `revfp` facts
+/// and `revsummary` frames.
+pub fn fingerprint_hex(fp: &WireDigest) -> String {
+    lbtrust_net::to_hex(fp)
+}
+
+/// The `revfp(me, issuer, "fp-hex")` input fact.
+pub fn revfp_fact(me: Principal, issuer: Principal, fp_hex: &str) -> (Symbol, Tuple) {
+    (
+        Symbol::intern(REVFP),
+        vec![Value::Sym(me), Value::Sym(issuer), Value::str(fp_hex)],
+    )
+}
+
+/// The quoted `revsummary(sender, issuer, "fp-hex").` payload rule.
+fn summary_quote(sender: Principal, issuer: Principal, fp_hex: &str) -> Arc<Rule> {
+    Arc::new(Rule::fact(Atom {
+        pred: PredRef::Name(Symbol::intern(REVSUMMARY)),
+        key_args: vec![],
+        args: vec![
+            Term::Val(Value::Sym(sender)),
+            Term::Val(Value::Sym(issuer)),
+            Term::Val(Value::str(fp_hex)),
+        ],
+    }))
+}
+
+/// The `gsays(sender, me, [| revsummary(sender, issuer, "fp"). |])`
+/// input fact asserted when a `revsummary` frame from `sender` lands at
+/// `me` — the shape the gossip program's `W says revsummary(W, I, F)`
+/// body literal matches.
+pub fn advert_fact(
+    sender: Principal,
+    me: Principal,
+    issuer: Principal,
+    fp_hex: &str,
+) -> (Symbol, Tuple) {
+    (
+        Symbol::intern(GOSSIP_SAYS),
+        vec![
+            Value::Sym(sender),
+            Value::Sym(me),
+            Value::Quote(summary_quote(sender, issuer, fp_hex)),
+        ],
+    )
+}
+
+/// A message the gossip program derived for the runtime to ship.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GossipSend {
+    /// Advertise the local fingerprint for `issuer` to `to` (a
+    /// `revsummary` frame).
+    Summary {
+        /// Receiving peer.
+        to: Principal,
+        /// The signer the fingerprint covers.
+        issuer: Principal,
+        /// The advertised fingerprint (hex).
+        fingerprint: String,
+    },
+    /// Ask `to` for every signed revocation by `issuer` (a `revpull`
+    /// frame).
+    Pull {
+        /// Responding peer.
+        to: Principal,
+        /// The signer whose revocations are requested.
+        issuer: Principal,
+    },
+}
+
+impl GossipSend {
+    /// The receiving peer.
+    pub fn to(&self) -> Principal {
+        match self {
+            GossipSend::Summary { to, .. } | GossipSend::Pull { to, .. } => *to,
+        }
+    }
+}
+
+/// Decodes one derived `gsays` tuple at `me` into the message it asks
+/// the runtime to send. `None` for tuples that are not outgoing
+/// messages — incoming advertisements (first argument ≠ `me`),
+/// self-addressed derivations, or quotes outside the gossip vocabulary.
+pub fn parse_gossip_send(me: Principal, tuple: &[Value]) -> Option<GossipSend> {
+    let [Value::Sym(from), Value::Sym(to), Value::Quote(rule)] = tuple else {
+        return None;
+    };
+    if *from != me || *to == me {
+        return None;
+    }
+    let head = rule.heads.first()?;
+    let sym_arg = |t: &Term| match t {
+        Term::Val(Value::Sym(s)) => Some(*s),
+        _ => None,
+    };
+    match head.pred.name().map(|s| s.as_str()) {
+        Some(REVSUMMARY) => match head.args.as_slice() {
+            [sender, issuer, Term::Val(Value::Str(fp))] => {
+                // The quoted sender must be this node: the program only
+                // ever derives advertisements about local state.
+                if sym_arg(sender)? != me {
+                    return None;
+                }
+                Some(GossipSend::Summary {
+                    to: *to,
+                    issuer: sym_arg(issuer)?,
+                    fingerprint: fp.to_string(),
+                })
+            }
+            _ => None,
+        },
+        Some(REVPULL) => match head.args.as_slice() {
+            [sender, issuer] => {
+                if sym_arg(sender)? != me {
+                    return None;
+                }
+                Some(GossipSend::Pull {
+                    to: *to,
+                    issuer: sym_arg(issuer)?,
+                })
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Principal {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn advert_fact_parses_back_as_incoming_not_outgoing() {
+        let (pred, tuple) = advert_fact(sym("alice"), sym("bob"), sym("carol"), ZERO_FP_HEX);
+        assert_eq!(pred.as_str(), GOSSIP_SAYS);
+        // At bob, alice's advertisement is an input, not something to
+        // re-send.
+        assert_eq!(parse_gossip_send(sym("bob"), &tuple), None);
+        // At alice (hypothetically holding the same tuple), it *is* an
+        // outgoing summary for bob.
+        assert_eq!(
+            parse_gossip_send(sym("alice"), &tuple),
+            Some(GossipSend::Summary {
+                to: sym("bob"),
+                issuer: sym("carol"),
+                fingerprint: ZERO_FP_HEX.to_string(),
+            })
+        );
+    }
+
+    #[test]
+    fn pull_quote_parses() {
+        let quote = Arc::new(Rule::fact(Atom {
+            pred: PredRef::Name(Symbol::intern(REVPULL)),
+            key_args: vec![],
+            args: vec![
+                Term::Val(Value::Sym(sym("alice"))),
+                Term::Val(Value::Sym(sym("carol"))),
+            ],
+        }));
+        let tuple = vec![
+            Value::Sym(sym("alice")),
+            Value::Sym(sym("bob")),
+            Value::Quote(quote),
+        ];
+        assert_eq!(
+            parse_gossip_send(sym("alice"), &tuple),
+            Some(GossipSend::Pull {
+                to: sym("bob"),
+                issuer: sym("carol"),
+            })
+        );
+    }
+
+    #[test]
+    fn foreign_and_malformed_tuples_are_skipped() {
+        let me = sym("alice");
+        // Self-addressed.
+        let (_, t) = advert_fact(me, me, sym("carol"), ZERO_FP_HEX);
+        assert_eq!(parse_gossip_send(me, &t), None);
+        // Not a gossip quote.
+        let quote = Arc::new(lbtrust_datalog::parse_rule("good(x).").unwrap());
+        let t = vec![Value::Sym(me), Value::Sym(sym("bob")), Value::Quote(quote)];
+        assert_eq!(parse_gossip_send(me, &t), None);
+        // Wrong arity.
+        assert_eq!(parse_gossip_send(me, &[Value::Sym(me)]), None);
+    }
+
+    #[test]
+    fn zero_fp_is_the_empty_xor() {
+        assert_eq!(fingerprint_hex(&[0u8; 32]), ZERO_FP_HEX);
+    }
+}

@@ -53,6 +53,7 @@
 pub mod auth;
 pub mod authz;
 pub mod delegation;
+pub mod gossip;
 pub mod principal;
 pub mod pull;
 pub mod says;

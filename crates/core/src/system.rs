@@ -9,6 +9,10 @@
 //! distributed fixpoint of the declarative-networking execution model.
 
 use crate::auth::{register_crypto_builtins_cached, AuthScheme, KeyVerifier};
+use crate::gossip::{
+    advert_fact, fingerprint_hex, parse_gossip_send, revfp_fact, GossipSend, GOSSIP_SAYS,
+    ZERO_FP_HEX,
+};
 use crate::principal::{
     rsa_priv_handle, rsa_pub_handle, shared_keys, shared_secret_handle, Principal, SharedKeys,
 };
@@ -20,8 +24,11 @@ use lbtrust_certstore::{
     LinkedCert, Revocation, SharedVerifyCache, SignatureVerifier,
 };
 use lbtrust_datalog::{Symbol, Tuple, Value};
-use lbtrust_net::{NetworkConfig, NodeId, RevokeMessage, SimNetwork, WireMessage, WirePacket};
-use std::collections::{HashMap, HashSet};
+use lbtrust_net::{
+    NetworkConfig, NodeId, RevPullMessage, RevSummaryMessage, RevokeMessage, SimNetwork,
+    WireMessage, WirePacket,
+};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -105,6 +112,17 @@ pub struct SystemStats {
     /// Import bundles whose signature checks were fanned across worker
     /// threads before the store walked the bundle.
     pub parallel_verify_batches: usize,
+    /// Anti-entropy rounds in which gossip traffic was generated
+    /// (steps where at least two stores' revocation summaries
+    /// disagreed).
+    pub gossip_rounds: usize,
+    /// `revsummary` advertisements handed to the network.
+    pub gossip_summaries: usize,
+    /// `revpull` requests handed to the network.
+    pub gossip_pulls: usize,
+    /// Signed revocation objects relayed in answer to pulls
+    /// (`revgossip` frames handed to the network).
+    pub gossip_served: usize,
 }
 
 /// RSA modulus size used for principals (the paper's §6 uses 1024-bit).
@@ -181,6 +199,27 @@ pub struct System {
     /// of the registration order, evaluated by `std::thread::scope`
     /// workers. `1` (the default) is the serial engine.
     shards: usize,
+    /// The anti-entropy revocation gossip layer, when enabled (see
+    /// [`System::enable_gossip`]). `None` keeps the pre-gossip
+    /// behaviour: revocations propagate only through the eager
+    /// broadcast.
+    gossip: Option<GossipRuntime>,
+}
+
+/// Runtime bookkeeping of the gossip layer: the loaded program and, per
+/// principal, the workspace facts currently asserted on its behalf —
+/// so a changed fingerprint or a superseding advertisement retracts
+/// exactly the stale fact it replaces.
+struct GossipRuntime {
+    /// The propagation logic, as translated LBTrust source (authored in
+    /// SeNDlog; see `lbtrust-sendlog::gossip::REV_GOSSIP`). Loaded into
+    /// every workspace under the `gossip` tag.
+    program: String,
+    /// Last asserted `revfp` hex per principal per signer.
+    fps: HashMap<Principal, HashMap<Symbol, String>>,
+    /// Last asserted incoming advertisement per principal, keyed by
+    /// `(advertiser, signer)`.
+    inbox: HashMap<Principal, HashMap<(Symbol, Symbol), String>>,
 }
 
 /// Bundles at or above this size fan their signature checks across
@@ -217,6 +256,7 @@ impl System {
             rotate_bytes: None,
             auto_compact_dead_bytes: None,
             shards: 1,
+            gossip: None,
         }
     }
 
@@ -324,6 +364,46 @@ impl System {
     /// The configured shard count.
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Enables the anti-entropy revocation gossip layer. `program` is
+    /// the propagation logic as LBTrust source — author it in SeNDlog
+    /// and translate through `lbtrust-sendlog` (the crate's
+    /// `gossip::rev_gossip_program()` yields exactly this system's
+    /// protocol); it is loaded into every registered workspace (and
+    /// every workspace registered later) under the `gossip` tag.
+    ///
+    /// With gossip on, [`System::run_to_quiescence`] runs an
+    /// anti-entropy round each step while any two stores' revocation
+    /// summaries disagree: the runtime refreshes each workspace's
+    /// `revfp` facts from its store, ships the `revsummary`/`revpull`
+    /// messages the program derives, and answers pulls with the signed
+    /// revocation objects themselves — so a store that missed the
+    /// eager broadcast (packet loss, partition, late registration)
+    /// still converges. The eager point-to-point broadcast remains the
+    /// fast path; gossip is the repair layer.
+    pub fn enable_gossip(&mut self, program: &str) -> Result<(), SysError> {
+        for &p in &self.order {
+            let ws = self.workspaces.get_mut(&p).expect("registered");
+            ws.replace_tag("gossip", program)?;
+        }
+        self.gossip = Some(GossipRuntime {
+            program: program.to_string(),
+            fps: HashMap::new(),
+            inbox: HashMap::new(),
+        });
+        Ok(())
+    }
+
+    /// Builder form of [`System::enable_gossip`].
+    pub fn with_gossip(mut self, program: &str) -> Result<Self, SysError> {
+        self.enable_gossip(program)?;
+        Ok(self)
+    }
+
+    /// Whether the gossip repair layer is on.
+    pub fn gossip_enabled(&self) -> bool {
+        self.gossip.is_some()
     }
 
     /// Forces every store's buffered appends to durable storage — the
@@ -443,6 +523,11 @@ impl System {
         );
         ws.load("says-decls", SAYS_DECLS)?;
         ws.load("auth", &AuthScheme::Rsa.prelude())?;
+        // Late joiners run the gossip program from their first step, so
+        // revocations issued before they existed still reach them.
+        if let Some(gossip) = &self.gossip {
+            ws.load("gossip", &gossip.program)?;
+        }
         self.auth.insert(me, AuthScheme::Rsa);
 
         // Introduce everyone to everyone (prin facts + key handles).
@@ -857,16 +942,30 @@ impl System {
                 digest: *digest.as_bytes(),
                 auth: signature.clone(),
             });
-            self.net
-                .send(from_node, to_node, lbtrust_net::encode_packet(&packet));
-            self.stats.messages_sent += 1;
+            self.send_packet(from_node, to_node, lbtrust_net::encode_packet(&packet));
         }
         Ok(())
+    }
+
+    /// Hands one payload to the network, counting it in
+    /// [`SystemStats::messages_sent`] only when the network actually
+    /// enqueued it — the loss model's drops are the network's
+    /// [`lbtrust_net::NetworkStats::dropped`], not messages this system
+    /// sent, so `messages_sent == net.sent - net.dropped` holds by
+    /// construction (the reconciliation Figure 2's x-axis relies on).
+    fn send_packet(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) -> bool {
+        let enqueued = self.net.send(from, to, payload);
+        if enqueued {
+            self.stats.messages_sent += 1;
+        }
+        enqueued
     }
 
     /// Applies a verified revocation at one principal: marks the store,
     /// then retracts every workspace fact a dying certificate
     /// introduced — incrementally via DRed where the program admits it.
+    /// Re-applying an already-known revocation is a no-op that counts
+    /// nothing.
     fn apply_revocation(&mut self, at: Principal, revocation: &Revocation) -> Result<(), SysError> {
         let verifier = self.key_verifier();
         let eager = self.sync_policy == SyncPolicy::Eager;
@@ -874,12 +973,14 @@ impl System {
             .stores
             .get_mut(&at)
             .ok_or(SysError::UnknownPrincipal(at))?;
-        let events = store.revoke(revocation, &verifier)?;
+        let outcome = store.revoke_with_outcome(revocation, &verifier)?;
         if eager {
             store.sync()?;
         }
-        self.stats.revocations += 1;
-        self.retract_cert_facts(at, &events);
+        if outcome.applied && outcome.authoritative {
+            self.stats.revocations += 1;
+            self.retract_cert_facts(at, &outcome.events);
+        }
         Ok(())
     }
 
@@ -971,6 +1072,11 @@ impl System {
         let order = self.order.clone();
         for _ in 0..max_steps {
             self.stats.steps += 1;
+            // 0. Gossip inputs: refresh each workspace's `revfp` facts
+            // from its store and learn whether any two stores' summaries
+            // still disagree. Sequential in registration order (cheap:
+            // fingerprints are maintained per store).
+            let divergent = self.prepare_gossip(&order);
             // 1. Local fixpoints, one worker per shard. A constraint
             // violation rolls the offending workspace back to its last
             // good state (the paper's fail-with-error semantics) and
@@ -986,7 +1092,18 @@ impl System {
             // scan their workspaces in parallel, the send itself is a
             // sequential merge so delivery order stays deterministic.
             let shipped = self.drain_exports(&order, export);
-            // 3. Deliver and import, routed per destination shard.
+            // 2b. Gossip round: while stores disagree, ship the
+            // `revsummary`/`revpull` messages the gossip program
+            // derived. Dormant once every store holds the same
+            // revocation objects — the anti-entropy traffic stops, so
+            // the system can quiesce. Sequential merge, like phase 2.
+            let gossip_sent = if divergent {
+                self.gossip_sends(&order)
+            } else {
+                0
+            };
+            // 3. Deliver and import, routed per destination shard
+            // (answering gossip pulls with `revgossip` frames).
             let delivered = self.deliver_and_import(&order, export)?;
             // 4. Group commit: under `Batched`, every store that
             // appended during this step syncs exactly once, here.
@@ -994,12 +1111,133 @@ impl System {
                 self.sync_stores(&order)?;
             }
             // Quiescent when nothing was shipped or delivered this step
-            // (local fixpoints already ran).
-            if shipped == 0 && delivered == 0 {
+            // (local fixpoints already ran) and gossip is dormant.
+            if shipped == 0 && delivered == 0 && gossip_sent == 0 {
                 return Ok(self.stats);
             }
         }
         Err(SysError::NoQuiescence { steps: max_steps })
+    }
+
+    /// Gossip phase 0: recompute every store's revocation summary,
+    /// reconcile each workspace's `revfp` facts with it (retracting the
+    /// stale fingerprint fact a changed one replaces, so the program's
+    /// derivations repair through DRed), and report whether any two
+    /// stores disagree. A no-op returning `false` when gossip is off —
+    /// and cheap when it is on but converged: unchanged fingerprints
+    /// assert nothing.
+    fn prepare_gossip(&mut self, order: &[Principal]) -> bool {
+        let Some(gossip) = self.gossip.as_mut() else {
+            return false;
+        };
+        // Per-store summaries, registration order. Each is sorted by
+        // signer name, so plain equality compares the summaries.
+        let mut summaries: Vec<Vec<(Symbol, String)>> = Vec::with_capacity(order.len());
+        for p in order {
+            summaries.push(
+                self.stores
+                    .get(p)
+                    .expect("registered")
+                    .revocation_fingerprints()
+                    .into_iter()
+                    .map(|(signer, fp)| (signer, fingerprint_hex(&fp)))
+                    .collect(),
+            );
+        }
+        let divergent = summaries.windows(2).any(|w| w[0] != w[1]);
+        // Every signer any store has something for: each workspace
+        // carries a `revfp` fact per such signer ([`ZERO_FP_HEX`] where
+        // the local store holds nothing), so the program's diff rule
+        // can fire for signers the local store has never heard of.
+        let mut signers: BTreeSet<&str> = BTreeSet::new();
+        for summary in &summaries {
+            for (signer, _) in summary {
+                signers.insert(signer.as_str());
+            }
+        }
+        let signers: Vec<Symbol> = signers.into_iter().map(Symbol::intern).collect();
+        for (p, summary) in order.iter().zip(&summaries) {
+            let local: HashMap<Symbol, &str> = summary
+                .iter()
+                .map(|(signer, hex)| (*signer, hex.as_str()))
+                .collect();
+            let cache = gossip.fps.entry(*p).or_default();
+            let mut stale: Vec<(Symbol, Tuple)> = Vec::new();
+            let mut fresh: Vec<(Symbol, Tuple)> = Vec::new();
+            for &signer in &signers {
+                let desired = local.get(&signer).copied().unwrap_or(ZERO_FP_HEX);
+                match cache.get(&signer) {
+                    Some(prev) if prev == desired => continue,
+                    Some(prev) => stale.push(revfp_fact(*p, signer, prev)),
+                    None => {}
+                }
+                fresh.push(revfp_fact(*p, signer, desired));
+                cache.insert(signer, desired.to_string());
+            }
+            if stale.is_empty() && fresh.is_empty() {
+                continue;
+            }
+            let ws = self.workspaces.get_mut(p).expect("registered");
+            if !stale.is_empty() {
+                ws.retract_facts(&stale);
+            }
+            ws.assert_facts(&fresh);
+        }
+        divergent
+    }
+
+    /// Gossip phase 2b: ship every `revsummary`/`revpull` message the
+    /// program derived, sequentially in registration order (and in a
+    /// name-sorted order within each workspace), so the traffic —
+    /// and therefore the seeded network's loss pattern — is identical
+    /// for every shard count. Returns the number of messages handed to
+    /// the network (dropped or not: an attempt is a round's work, and
+    /// quiescence must wait for the retry).
+    fn gossip_sends(&mut self, order: &[Principal]) -> usize {
+        let gsays = Symbol::intern(GOSSIP_SAYS);
+        let mut total = 0usize;
+        for &p in order {
+            let tuples = self.workspaces.get(&p).expect("registered").tuples(gsays);
+            let mut sends: Vec<GossipSend> = tuples
+                .iter()
+                .filter_map(|t| parse_gossip_send(p, t))
+                .collect();
+            sends.sort_by(|a, b| gossip_send_key(a).cmp(&gossip_send_key(b)));
+            sends.dedup();
+            let from_node = self.node_of(p);
+            for send in sends {
+                let to_node = self.node_of(send.to());
+                let payload = match &send {
+                    GossipSend::Summary {
+                        to,
+                        issuer,
+                        fingerprint,
+                    } => {
+                        self.stats.gossip_summaries += 1;
+                        lbtrust_net::encode_packet(&WirePacket::RevSummary(RevSummaryMessage {
+                            from: p,
+                            to: *to,
+                            issuer: *issuer,
+                            fingerprint: fingerprint.clone(),
+                        }))
+                    }
+                    GossipSend::Pull { to, issuer } => {
+                        self.stats.gossip_pulls += 1;
+                        lbtrust_net::encode_packet(&WirePacket::RevPull(RevPullMessage {
+                            from: p,
+                            to: *to,
+                            issuer: *issuer,
+                        }))
+                    }
+                };
+                self.send_packet(from_node, to_node, payload);
+                total += 1;
+            }
+        }
+        if total > 0 {
+            self.stats.gossip_rounds += 1;
+        }
+        total
     }
 
     /// Phase 1: every workspace to its local fixpoint, partitioned
@@ -1091,8 +1329,11 @@ impl System {
             for msg in outgoing {
                 let from_node = self.node_of(me);
                 let to_node = self.node_of(msg.to);
-                self.net.send(from_node, to_node, lbtrust_net::encode(&msg));
-                self.stats.messages_sent += 1;
+                // A drop still counts as shipped for quiescence
+                // purposes (the workspace export moved into the
+                // network's hands this step), but not as a sent
+                // message — see `send_packet`.
+                self.send_packet(from_node, to_node, lbtrust_net::encode(&msg));
                 shipped += 1;
             }
         }
@@ -1114,7 +1355,18 @@ impl System {
     ) -> Result<usize, SysError> {
         let mut delivered = 0usize;
         let mut inbox: HashMap<Principal, Vec<Tuple>> = HashMap::new();
-        let mut revocations: HashMap<Principal, Vec<Revocation>> = HashMap::new();
+        // A wire revocation plus how to apply it: `false` for the eager
+        // broadcast (issuer-mismatch objects are rejected), `true` for
+        // gossip-relayed objects (absorbed tolerantly so anti-entropy
+        // converges).
+        let mut revocations: HashMap<Principal, Vec<(Revocation, bool)>> = HashMap::new();
+        // Gossip advertisements per destination, in delivery order.
+        let mut summaries: HashMap<Principal, Vec<(Symbol, Symbol, String)>> = HashMap::new();
+        // Gossip pulls `(responder, requester, issuer)`, in delivery
+        // order — answered sequentially after the destination shards
+        // ran, from each responder's then-current store.
+        let mut pulls: Vec<(Principal, Symbol, Symbol)> = Vec::new();
+        let gossip_on = self.gossip.is_some();
         while let Some(envelope) = self.net.deliver_next() {
             delivered += 1;
             let Ok(packet) = lbtrust_net::decode_packet(&envelope.payload) else {
@@ -1134,32 +1386,80 @@ impl System {
                         Value::bytes(&msg.auth),
                     ]);
                 }
+                // A revocation notice: applied to the receiver's store
+                // by its destination shard below. Unknown receivers
+                // count as rejections immediately, as do gossip frames
+                // while gossip is off.
                 WirePacket::Revoke(rev) => {
-                    // A revocation notice: applied to the receiver's
-                    // store by its destination shard below. Unknown
-                    // receivers count as rejections immediately.
                     if !self.workspaces.contains_key(&rev.to) {
                         self.stats.messages_rejected += 1;
                         continue;
                     }
-                    revocations.entry(rev.to).or_default().push(Revocation {
-                        issuer: rev.from,
-                        target: CertDigest(rev.digest),
-                        signature: rev.auth,
-                    });
+                    revocations.entry(rev.to).or_default().push((
+                        Revocation {
+                            issuer: rev.from,
+                            target: CertDigest(rev.digest),
+                            signature: rev.auth,
+                        },
+                        false,
+                    ));
+                }
+                WirePacket::RevGossip(rev) => {
+                    if !gossip_on || !self.workspaces.contains_key(&rev.to) {
+                        self.stats.messages_rejected += 1;
+                        continue;
+                    }
+                    revocations.entry(rev.to).or_default().push((
+                        Revocation {
+                            issuer: rev.from,
+                            target: CertDigest(rev.digest),
+                            signature: rev.auth,
+                        },
+                        true,
+                    ));
+                }
+                WirePacket::RevSummary(msg) => {
+                    if !gossip_on
+                        || !self.workspaces.contains_key(&msg.to)
+                        || !self.workspaces.contains_key(&msg.from)
+                    {
+                        self.stats.messages_rejected += 1;
+                        continue;
+                    }
+                    summaries.entry(msg.to).or_default().push((
+                        msg.from,
+                        msg.issuer,
+                        msg.fingerprint,
+                    ));
+                }
+                WirePacket::RevPull(msg) => {
+                    if !gossip_on
+                        || !self.workspaces.contains_key(&msg.to)
+                        || !self.workspaces.contains_key(&msg.from)
+                    {
+                        self.stats.messages_rejected += 1;
+                        continue;
+                    }
+                    pulls.push((msg.to, msg.from, msg.issuer));
                 }
             }
         }
-        if inbox.is_empty() && revocations.is_empty() {
+        if inbox.is_empty() && revocations.is_empty() && summaries.is_empty() {
+            self.serve_pulls(&pulls);
             return Ok(delivered);
         }
         let destinations: Vec<Principal> = order
             .iter()
             .copied()
-            .filter(|p| inbox.contains_key(p) || revocations.contains_key(p))
+            .filter(|p| {
+                inbox.contains_key(p) || revocations.contains_key(p) || summaries.contains_key(p)
+            })
             .collect();
         for &p in &destinations {
             self.cert_facts.entry(p).or_default();
+            if let Some(gossip) = self.gossip.as_mut() {
+                gossip.inbox.entry(p).or_default();
+            }
         }
         let shards = clamp_shards(self.shards, destinations.len());
         let verifier = self.key_verifier();
@@ -1174,7 +1474,12 @@ impl System {
                     ws: self.workspaces.get_mut(&p).expect("registered"),
                     store: self.stores.get_mut(&p).expect("registered"),
                     facts: self.cert_facts.get_mut(&p).expect("entry ensured above"),
+                    gossip_inbox: self
+                        .gossip
+                        .as_mut()
+                        .map(|g| g.inbox.get_mut(&p).expect("entry ensured above")),
                     revocations: revocations.remove(&p).unwrap_or_default(),
+                    summaries: summaries.remove(&p).unwrap_or_default(),
                     tuples: inbox.remove(&p).unwrap_or_default(),
                 };
                 let (outcome, error) = process_destination(task, &verifier, eager, export);
@@ -1183,6 +1488,7 @@ impl System {
                     return Err(e.into());
                 }
             }
+            self.serve_pulls(&pulls);
             return Ok(delivered);
         }
         let chunk = chunk_len(destinations.len(), shards);
@@ -1192,6 +1498,11 @@ impl System {
             self.stores.iter_mut().map(|(p, s)| (*p, s)).collect();
         let mut fact_refs: HashMap<Principal, &mut CertFactIndex> =
             self.cert_facts.iter_mut().map(|(p, m)| (*p, m)).collect();
+        let mut inbox_refs: HashMap<Principal, &mut HashMap<(Symbol, Symbol), String>> = self
+            .gossip
+            .as_mut()
+            .map(|g| g.inbox.iter_mut().map(|(p, m)| (*p, m)).collect())
+            .unwrap_or_default();
         let work: Vec<Vec<DeliveryTask>> = destinations
             .chunks(chunk)
             .map(|slice| {
@@ -1201,7 +1512,9 @@ impl System {
                         ws: ws_refs.remove(p).expect("registered"),
                         store: store_refs.remove(p).expect("registered"),
                         facts: fact_refs.remove(p).expect("entry ensured above"),
+                        gossip_inbox: inbox_refs.remove(p),
                         revocations: revocations.remove(p).unwrap_or_default(),
+                        summaries: summaries.remove(p).unwrap_or_default(),
                         tuples: inbox.remove(p).unwrap_or_default(),
                     })
                     .collect()
@@ -1232,7 +1545,43 @@ impl System {
         }
         match first_error {
             Some(e) => Err(e.into()),
-            None => Ok(delivered),
+            None => {
+                self.serve_pulls(&pulls);
+                Ok(delivered)
+            }
+        }
+    }
+
+    /// Answers gossip pull requests, sequentially in delivery order
+    /// (duplicates within the step collapse): for each distinct
+    /// `(responder, requester, issuer)`, the responder relays every
+    /// signed revocation object by `issuer` it holds as `revgossip`
+    /// frames. Served after the destination shards ran, so a responder
+    /// that learned new objects this very step already relays them.
+    fn serve_pulls(&mut self, pulls: &[(Principal, Symbol, Symbol)]) {
+        let mut seen: HashSet<(Principal, Symbol, Symbol)> = HashSet::new();
+        for &(responder, requester, issuer) in pulls {
+            self.stats.messages_accepted += 1;
+            if !seen.insert((responder, requester, issuer)) {
+                continue;
+            }
+            let objects = self
+                .stores
+                .get(&responder)
+                .expect("registered")
+                .revocations_by(issuer);
+            let from_node = self.node_of(responder);
+            let to_node = self.node_of(requester);
+            for object in objects {
+                let packet = WirePacket::RevGossip(RevokeMessage {
+                    from: object.issuer,
+                    to: requester,
+                    digest: *object.target.as_bytes(),
+                    auth: object.signature,
+                });
+                self.stats.gossip_served += 1;
+                self.send_packet(from_node, to_node, lbtrust_net::encode_packet(&packet));
+            }
         }
     }
 
@@ -1324,7 +1673,16 @@ struct DeliveryTask<'a> {
     ws: &'a mut Workspace,
     store: &'a mut CertStore,
     facts: &'a mut CertFactIndex,
-    revocations: Vec<Revocation>,
+    /// This destination's slice of the gossip advertisement inbox
+    /// (`None` when gossip is off; summaries are only routed when it
+    /// is on).
+    gossip_inbox: Option<&'a mut HashMap<(Symbol, Symbol), String>>,
+    /// Wire revocations routed here, each with its application mode
+    /// (`true` = tolerant gossip absorption).
+    revocations: Vec<(Revocation, bool)>,
+    /// Gossip advertisements routed here: `(advertiser, signer,
+    /// fingerprint)` in delivery order.
+    summaries: Vec<(Symbol, Symbol, String)>,
     tuples: Vec<Tuple>,
 }
 
@@ -1369,26 +1727,43 @@ fn process_destination(
         ws,
         store,
         facts,
+        gossip_inbox,
         revocations,
+        summaries,
         tuples,
     } = task;
     let mut out = DeliveryOutcome::default();
-    for revocation in revocations {
+    for (revocation, absorb) in revocations {
         // Bad signatures (and, under Eager, a failed commit) count as
-        // rejections, exactly like tampered exports.
-        let applied = store.revoke(&revocation, verifier).and_then(|events| {
+        // rejections, exactly like tampered exports. Gossip-relayed
+        // objects absorb tolerantly — an issuer-mismatch object is
+        // remembered as inert instead of rejected, so anti-entropy
+        // converges on the object set.
+        let applied = if absorb {
+            store.absorb_revocation(&revocation, verifier)
+        } else {
+            store.revoke_with_outcome(&revocation, verifier)
+        }
+        .and_then(|outcome| {
             if eager {
-                store.sync().map(|()| events)
+                store.sync().map(|()| outcome)
             } else {
-                Ok(events)
+                Ok(outcome)
             }
         });
         match applied {
-            Ok(events) => {
+            Ok(outcome) => {
                 out.accepted += 1;
+                // A duplicated packet (or a re-pulled object) applies
+                // nothing: no counters move, no retraction re-fires.
+                // An inert foreign absorption is stored but revoked
+                // nothing, so it does not count as a revocation either.
+                if !outcome.applied || !outcome.authoritative {
+                    continue;
+                }
                 out.revocations += 1;
                 let mut batch: Vec<(Symbol, Tuple)> = Vec::new();
-                for event in &events {
+                for event in &outcome.events {
                     if let Some(fs) = facts.remove(&event.digest) {
                         batch.extend(fs);
                     }
@@ -1403,6 +1778,28 @@ fn process_destination(
                 }
             }
             Err(_) => out.rejected += 1,
+        }
+    }
+    if !summaries.is_empty() {
+        let me = ws.me();
+        let inbox = gossip_inbox.expect("summaries are only routed while gossip is on");
+        for (from, issuer, fingerprint) in summaries {
+            let key = (from, issuer);
+            let prev = inbox.get(&key).cloned();
+            out.accepted += 1;
+            if prev.as_deref() == Some(fingerprint.as_str()) {
+                continue; // duplicate or unchanged advertisement
+            }
+            // A newer advertisement supersedes the remembered one: the
+            // stale `gsays` fact is retracted (its derived pulls repair
+            // through DRed) before the fresh one lands.
+            if let Some(prev) = prev {
+                let stale = vec![advert_fact(from, me, issuer, &prev)];
+                ws.retract_facts(&stale);
+            }
+            let fresh = vec![advert_fact(from, me, issuer, &fingerprint)];
+            ws.assert_facts(&fresh);
+            inbox.insert(key, fingerprint);
         }
     }
     if !tuples.is_empty() {
@@ -1427,6 +1824,22 @@ fn process_destination(
         }
     }
     (out, None)
+}
+
+/// Name-based ordering key for one gossip message, so the send order
+/// (and thus the seeded network's behaviour) is stable across runs and
+/// independent of symbol-interning order. Summaries sort before pulls
+/// to the same peer: a peer should hear this node's state before its
+/// request.
+fn gossip_send_key(send: &GossipSend) -> (&'static str, u8, &'static str, &str) {
+    match send {
+        GossipSend::Summary {
+            to,
+            issuer,
+            fingerprint,
+        } => (to.as_str(), 0, issuer.as_str(), fingerprint.as_str()),
+        GossipSend::Pull { to, issuer } => (to.as_str(), 1, issuer.as_str(), ""),
+    }
 }
 
 /// The shipped-dedup key: two independently seeded structural hashes

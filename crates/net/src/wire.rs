@@ -199,6 +199,39 @@ pub struct RevokeMessage {
     pub auth: Vec<u8>,
 }
 
+/// An anti-entropy revocation-summary advertisement: `from` tells `to`
+/// a compact fingerprint of every revocation it holds signed by
+/// `issuer`. Fingerprints are opaque at the wire level — receivers
+/// only ever compare them for equality (a mismatch triggers a
+/// [`RevPullMessage`]), so no authentication is carried: a forged
+/// summary can at worst provoke a redundant pull or suppress one
+/// round's repair, and the next round re-advertises.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RevSummaryMessage {
+    /// The advertising principal.
+    pub from: Symbol,
+    /// The receiving principal.
+    pub to: Symbol,
+    /// Whose revocations the fingerprint covers (the signer).
+    pub issuer: Symbol,
+    /// Digest-set fingerprint (hex), compared only for equality.
+    pub fingerprint: String,
+}
+
+/// An anti-entropy pull request: `from` asks `to` to send every signed
+/// revocation it holds issued by `issuer` (the responder replies with
+/// [`WirePacket::RevGossip`] frames, which carry the issuer's own
+/// signatures — the pull itself needs no authentication).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RevPullMessage {
+    /// The requesting principal.
+    pub from: Symbol,
+    /// The responding principal.
+    pub to: Symbol,
+    /// Whose revocations are requested.
+    pub issuer: Symbol,
+}
+
 /// Everything that travels between principals: exported rules and
 /// revocation notices share one self-describing canonical-text format.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -207,6 +240,19 @@ pub enum WirePacket {
     Export(WireMessage),
     /// A certificate revocation (`revoke[to](from, "digest-hex", S)`).
     Revoke(RevokeMessage),
+    /// A revocation-summary advertisement
+    /// (`revsummary[to](from, issuer, "fp-hex")`).
+    RevSummary(RevSummaryMessage),
+    /// A pull request for an issuer's signed revocations
+    /// (`revpull[to](from, issuer)`).
+    RevPull(RevPullMessage),
+    /// A revocation object relayed by the gossip repair layer
+    /// (`revgossip[to](from, "digest-hex", S)`). Same payload as
+    /// [`WirePacket::Revoke`], but receivers apply it tolerantly: a
+    /// relayed object whose signer is not the target certificate's
+    /// issuer is remembered as inert rather than rejected, so
+    /// anti-entropy converges on the full set of revocation objects.
+    RevGossip(RevokeMessage),
 }
 
 /// The canonical byte string of a rule — what gets signed/MACed.
@@ -228,10 +274,12 @@ pub fn encode(msg: &WireMessage) -> Vec<u8> {
     fact.to_string().into_bytes()
 }
 
-/// Encodes a revocation notice as the canonical text of a `revoke` fact.
-pub fn encode_revoke(msg: &RevokeMessage) -> Vec<u8> {
+/// Encodes a revocation payload under the given predicate (`revoke`
+/// for the eager broadcast, `revgossip` for the anti-entropy relay —
+/// identical layout, decoded by the same [`revoke_from_atom`]).
+fn encode_revoke_as(pred: &str, msg: &RevokeMessage) -> Vec<u8> {
     let fact = Rule::fact(Atom {
-        pred: lbtrust_datalog::ast::PredRef::Name(Symbol::intern("revoke")),
+        pred: lbtrust_datalog::ast::PredRef::Name(Symbol::intern(pred)),
         key_args: vec![Term::Val(Value::Sym(msg.to))],
         args: vec![
             Term::Val(Value::Sym(msg.from)),
@@ -242,11 +290,53 @@ pub fn encode_revoke(msg: &RevokeMessage) -> Vec<u8> {
     fact.to_string().into_bytes()
 }
 
+/// Encodes a revocation notice as the canonical text of a `revoke` fact.
+pub fn encode_revoke(msg: &RevokeMessage) -> Vec<u8> {
+    encode_revoke_as("revoke", msg)
+}
+
+/// Encodes a summary advertisement as the canonical text of a
+/// `revsummary` fact.
+pub fn encode_revsummary(msg: &RevSummaryMessage) -> Vec<u8> {
+    let fact = Rule::fact(Atom {
+        pred: lbtrust_datalog::ast::PredRef::Name(Symbol::intern("revsummary")),
+        key_args: vec![Term::Val(Value::Sym(msg.to))],
+        args: vec![
+            Term::Val(Value::Sym(msg.from)),
+            Term::Val(Value::Sym(msg.issuer)),
+            Term::Val(Value::str(&msg.fingerprint)),
+        ],
+    });
+    fact.to_string().into_bytes()
+}
+
+/// Encodes a pull request as the canonical text of a `revpull` fact.
+pub fn encode_revpull(msg: &RevPullMessage) -> Vec<u8> {
+    let fact = Rule::fact(Atom {
+        pred: lbtrust_datalog::ast::PredRef::Name(Symbol::intern("revpull")),
+        key_args: vec![Term::Val(Value::Sym(msg.to))],
+        args: vec![
+            Term::Val(Value::Sym(msg.from)),
+            Term::Val(Value::Sym(msg.issuer)),
+        ],
+    });
+    fact.to_string().into_bytes()
+}
+
+/// Encodes a gossiped revocation object as a `revgossip` fact (same
+/// argument structure as `revoke`).
+pub fn encode_revgossip(msg: &RevokeMessage) -> Vec<u8> {
+    encode_revoke_as("revgossip", msg)
+}
+
 /// Encodes either packet variant.
 pub fn encode_packet(packet: &WirePacket) -> Vec<u8> {
     match packet {
         WirePacket::Export(m) => encode(m),
         WirePacket::Revoke(m) => encode_revoke(m),
+        WirePacket::RevSummary(m) => encode_revsummary(m),
+        WirePacket::RevPull(m) => encode_revpull(m),
+        WirePacket::RevGossip(m) => encode_revgossip(m),
     }
 }
 
@@ -268,8 +358,46 @@ pub fn decode_packet(bytes: &[u8]) -> Result<WirePacket, WireError> {
     match head.pred.name().map(|s| s.as_str()) {
         Some("export") => Ok(WirePacket::Export(export_from_atom(head)?)),
         Some("revoke") => Ok(WirePacket::Revoke(revoke_from_atom(head)?)),
+        Some("revsummary") => Ok(WirePacket::RevSummary(revsummary_from_atom(head)?)),
+        Some("revpull") => Ok(WirePacket::RevPull(revpull_from_atom(head)?)),
+        Some("revgossip") => Ok(WirePacket::RevGossip(revoke_from_atom(head)?)),
         _ => Err(WireError {
             message: format!("unexpected predicate in '{head}'"),
+        }),
+    }
+}
+
+/// Decodes a `revsummary[to](from, issuer, "fp-hex")` fact.
+fn revsummary_from_atom(head: &Atom) -> Result<RevSummaryMessage, WireError> {
+    match (head.key_args.as_slice(), head.args.as_slice()) {
+        (
+            [Term::Val(Value::Sym(to))],
+            [Term::Val(Value::Sym(from)), Term::Val(Value::Sym(issuer)), Term::Val(Value::Str(fp))],
+        ) => Ok(RevSummaryMessage {
+            from: *from,
+            to: *to,
+            issuer: *issuer,
+            fingerprint: fp.to_string(),
+        }),
+        _ => Err(WireError {
+            message: format!("malformed revsummary fact '{head}'"),
+        }),
+    }
+}
+
+/// Decodes a `revpull[to](from, issuer)` fact.
+fn revpull_from_atom(head: &Atom) -> Result<RevPullMessage, WireError> {
+    match (head.key_args.as_slice(), head.args.as_slice()) {
+        (
+            [Term::Val(Value::Sym(to))],
+            [Term::Val(Value::Sym(from)), Term::Val(Value::Sym(issuer))],
+        ) => Ok(RevPullMessage {
+            from: *from,
+            to: *to,
+            issuer: *issuer,
+        }),
+        _ => Err(WireError {
+            message: format!("malformed revpull fact '{head}'"),
         }),
     }
 }
@@ -471,6 +599,50 @@ mod packet_tests {
     }
 
     #[test]
+    fn revsummary_and_revpull_roundtrip() {
+        let summary = RevSummaryMessage {
+            from: Symbol::intern("alice"),
+            to: Symbol::intern("bob"),
+            issuer: Symbol::intern("carol"),
+            fingerprint: to_hex(&digest_bytes(b"revoked set")),
+        };
+        assert_eq!(
+            decode_packet(&encode_revsummary(&summary)).unwrap(),
+            WirePacket::RevSummary(summary)
+        );
+        let pull = RevPullMessage {
+            from: Symbol::intern("bob"),
+            to: Symbol::intern("alice"),
+            issuer: Symbol::intern("carol"),
+        };
+        assert_eq!(
+            decode_packet(&encode_revpull(&pull)).unwrap(),
+            WirePacket::RevPull(pull)
+        );
+    }
+
+    #[test]
+    fn revgossip_roundtrips_and_stays_distinct_from_revoke() {
+        let m = RevokeMessage {
+            from: Symbol::intern("alice"),
+            to: Symbol::intern("bob"),
+            digest: digest_bytes(b"some certificate"),
+            auth: vec![3, 1, 4],
+        };
+        // Same payload, different predicate: the gossip repair channel
+        // must not decode as an eager broadcast (receivers apply the
+        // two with different strictness).
+        assert_eq!(
+            decode_packet(&encode_revgossip(&m)).unwrap(),
+            WirePacket::RevGossip(m.clone())
+        );
+        assert_eq!(
+            decode_packet(&encode_revoke(&m)).unwrap(),
+            WirePacket::Revoke(m)
+        );
+    }
+
+    #[test]
     fn packet_decode_dispatches_on_predicate() {
         let export = WireMessage {
             from: Symbol::intern("a"),
@@ -480,7 +652,7 @@ mod packet_tests {
         };
         match decode_packet(&encode(&export)).unwrap() {
             WirePacket::Export(m) => assert_eq!(m, export),
-            WirePacket::Revoke(_) => panic!("export decoded as revoke"),
+            other => panic!("export decoded as {other:?}"),
         }
         assert!(decode_packet(b"says(a,b,[| p. |]).").is_err());
     }

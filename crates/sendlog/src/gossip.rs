@@ -1,0 +1,157 @@
+//! Anti-entropy revocation gossip, expressed in SeNDlog.
+//!
+//! `System::revoke_certificate` broadcasts one eager `revoke` packet
+//! per peer — the fast path. On a lossy network a dropped packet used
+//! to leave the receiving store accepting the revoked credential
+//! *forever*, and a principal registered after the broadcast never
+//! heard of it at all. The paper's §5.2 position is that such protocols
+//! should be written declaratively; this module is the repair layer,
+//! written exactly that way:
+//!
+//! * every node advertises, to every peer, a per-signer fingerprint of
+//!   the revocation objects it holds (`revsummary@N`);
+//! * a node that hears a fingerprint differing from its own pulls the
+//!   signer's objects from the advertiser (`revpull@W`);
+//! * the responder ships the signed objects themselves (`revgossip`
+//!   wire frames — the data plane), which apply idempotently.
+//!
+//! Rounds repeat while any two stores disagree, so stores converge
+//! epidemically even when the original broadcast was dropped, the node
+//! was partitioned, or the principal joined late.
+//!
+//! The program below *is* the propagation logic: the runtime only
+//! asserts its inputs (`revfp`, incoming advertisements), ships the
+//! messages it derives, and serves pulls from the certificate store.
+//! See `lbtrust::gossip` for the shared fact vocabulary.
+
+use crate::translate::{sendlog_to_lbtrust_as, SendlogError};
+use lbtrust::gossip::GOSSIP_SAYS;
+
+/// The revocation-gossip protocol in SeNDlog.
+///
+/// * `g1` — the gossip topology: every registered principal is a peer
+///   (the `prin` table is maintained by the runtime, so late joiners
+///   are covered the moment they register).
+/// * `g2` — push-style anti-entropy: advertise the local fingerprint
+///   for every signer to every peer.
+/// * `g3` — the diff: a peer's advertised fingerprint differing from
+///   the local one for the same signer warrants a pull.
+pub const REV_GOSSIP: &str = "\
+    At S:\n\
+    g1: gossippeer(S, N) :- prin(N), N != S.\n\
+    g2: revsummary(S, I, F)@N :- gossippeer(S, N), revfp(S, I, F).\n\
+    g3: revpull(S, I)@W :- W says revsummary(W, I, F), revfp(S, I, L), F != L.\n";
+
+/// The gossip program translated to LBTrust, ready for
+/// `System::enable_gossip`. The translation maps `@N` exports and
+/// `W says` imports onto the private [`GOSSIP_SAYS`] predicate rather
+/// than `says`, because gossip messages travel on their own compact
+/// wire frames (fingerprints compared for equality) instead of the
+/// RSA-signed `says`/`export` pipeline.
+pub fn rev_gossip_program() -> Result<String, SendlogError> {
+    Ok(sendlog_to_lbtrust_as(REV_GOSSIP, GOSSIP_SAYS)?.lbtrust_src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbtrust::gossip::{advert_fact, parse_gossip_send, revfp_fact, GossipSend, ZERO_FP_HEX};
+    use lbtrust::Workspace;
+    use lbtrust_datalog::{parse_program, Symbol};
+
+    #[test]
+    fn program_translates_to_the_expected_rules() {
+        let src = rev_gossip_program().unwrap();
+        let program = parse_program(&src).unwrap();
+        assert_eq!(program.rules.len(), 3);
+        assert_eq!(
+            program.rules[0].to_string(),
+            "gossippeer(me,N) <- prin(N), N != me."
+        );
+        assert_eq!(
+            program.rules[1].to_string(),
+            "gsays(me,N,[| revsummary(me,I,F). |]) <- gossippeer(me,N), revfp(me,I,F)."
+        );
+        assert_eq!(
+            program.rules[2].to_string(),
+            "gsays(me,W,[| revpull(me,I). |]) <- gsays(W,me,[| revsummary(W,I,F). |]), \
+             revfp(me,I,L), F != L."
+        );
+    }
+
+    /// The program, evaluated in a bare workspace, derives exactly the
+    /// messages the runtime contract expects: advertisements to every
+    /// peer, and pulls only where an advertised fingerprint differs.
+    #[test]
+    fn program_derives_adverts_and_diff_gated_pulls() {
+        let me = Symbol::intern("a");
+        let peer = Symbol::intern("b");
+        let issuer = Symbol::intern("alice");
+        let fp = "deadbeef";
+        let mut ws = Workspace::new("a");
+        ws.load("gossip", &rev_gossip_program().unwrap()).unwrap();
+        for p in ["a", "b"] {
+            ws.assert_src(&format!("prin({p}).")).unwrap();
+        }
+        // Local fingerprint for `alice` is non-zero; `b` advertised the
+        // zero fingerprint — a pull at `b` is warranted.
+        let facts = vec![
+            revfp_fact(me, issuer, fp),
+            advert_fact(peer, me, issuer, ZERO_FP_HEX),
+        ];
+        ws.assert_facts(&facts);
+        ws.evaluate().unwrap();
+        let mut sends: Vec<GossipSend> = ws
+            .tuples(Symbol::intern(GOSSIP_SAYS))
+            .iter()
+            .filter_map(|t| parse_gossip_send(me, t))
+            .collect();
+        sends.sort();
+        assert_eq!(
+            sends,
+            vec![
+                GossipSend::Summary {
+                    to: peer,
+                    issuer,
+                    fingerprint: fp.to_string(),
+                },
+                GossipSend::Pull { to: peer, issuer },
+            ]
+        );
+        // Once `b` advertises the matching fingerprint, the pull
+        // disappears (the diff is the declarative part).
+        let stale = vec![advert_fact(peer, me, issuer, ZERO_FP_HEX)];
+        ws.retract_facts(&stale);
+        let fresh = vec![advert_fact(peer, me, issuer, fp)];
+        ws.assert_facts(&fresh);
+        ws.evaluate().unwrap();
+        let sends: Vec<GossipSend> = ws
+            .tuples(Symbol::intern(GOSSIP_SAYS))
+            .iter()
+            .filter_map(|t| parse_gossip_send(me, t))
+            .collect();
+        assert_eq!(
+            sends,
+            vec![GossipSend::Summary {
+                to: peer,
+                issuer,
+                fingerprint: fp.to_string(),
+            }]
+        );
+    }
+
+    #[test]
+    fn says_based_translation_still_default() {
+        // The configurable predicate must not disturb the paper's
+        // `says` translation used everywhere else.
+        let (_, program) = crate::parse_sendlog(
+            "At S:\n\
+             s2: reachable(Z,D)@Z :- neighbor(S,Z), W says reachable(S,D).\n",
+        )
+        .unwrap();
+        assert_eq!(
+            program.rules[0].to_string(),
+            "says(me,Z,[| reachable(Z,D). |]) <- neighbor(me,Z), says(W,me,[| reachable(me,D). |])."
+        );
+    }
+}

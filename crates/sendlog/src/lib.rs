@@ -8,7 +8,10 @@
 //!   translated exactly as the paper's `ls1`/`ls2` example shows;
 //! * [`routing`] — authenticated reachability and an authenticated
 //!   path-vector protocol running on the multi-principal system runtime
-//!   over the simulated network.
+//!   over the simulated network;
+//! * [`gossip`] — the anti-entropy revocation-gossip protocol
+//!   (summaries, diff-gated pulls) whose propagation logic the system
+//!   runtime loads via `System::enable_gossip`.
 //!
 //! ```
 //! use lbtrust::AuthScheme;
@@ -26,10 +29,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gossip;
 pub mod routing;
 pub mod translate;
 
+pub use gossip::{rev_gossip_program, REV_GOSSIP};
 pub use routing::{
     register_path_builtins, RoutingError, SendlogNetwork, PATH_VECTOR, REACHABILITY,
 };
-pub use translate::{parse_sendlog, sendlog_to_lbtrust, SendlogError, SendlogProgram};
+pub use translate::{
+    parse_sendlog, sendlog_to_lbtrust, sendlog_to_lbtrust_as, SendlogError, SendlogProgram,
+};

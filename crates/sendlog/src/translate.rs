@@ -40,6 +40,21 @@ pub struct SendlogProgram {
 /// Translates a SeNDlog program. The source must start with an
 /// `At <Var>:` header; rule labels (`s1:`) are optional and stripped.
 pub fn sendlog_to_lbtrust(src: &str) -> Result<SendlogProgram, SendlogError> {
+    sendlog_to_lbtrust_as(src, "says")
+}
+
+/// [`sendlog_to_lbtrust`] with a custom communication predicate: `@X`
+/// heads become `<says_pred>(me, X, [| ... |])` and `W says p(..)`
+/// body literals become `<says_pred>(W, me, [| ... |])`.
+///
+/// The default `says` rides the workspace authentication pipeline
+/// (`exp1`–`exp3` sign, ship and verify every derived `says`). System
+/// protocols whose messages travel on their own wire frames — the
+/// revocation-gossip program in [`crate::gossip`], whose payloads are
+/// equality-compared fingerprints rather than authenticated rules —
+/// translate onto a private predicate instead, so each derived message
+/// is not also RSA-signed and re-shipped as a generic export.
+pub fn sendlog_to_lbtrust_as(src: &str, says_pred: &str) -> Result<SendlogProgram, SendlogError> {
     let (context_var, body) = split_header(src)?;
     let cleaned = strip_labels(&body);
     let tokens = lex(&cleaned).map_err(|e| SendlogError {
@@ -50,7 +65,7 @@ pub fn sendlog_to_lbtrust(src: &str) -> Result<SendlogProgram, SendlogError> {
     let mut start = 0;
     for (i, spanned) in tokens.iter().enumerate() {
         if spanned.token == Token::Dot {
-            translate_statement(&tokens[start..=i], &context_var, &mut out)?;
+            translate_statement(&tokens[start..=i], &context_var, says_pred, &mut out)?;
             out.push('\n');
             start = i + 1;
         }
@@ -129,6 +144,7 @@ fn strip_labels(src: &str) -> String {
 fn translate_statement(
     tokens: &[Spanned],
     context_var: &str,
+    says_pred: &str,
     out: &mut String,
 ) -> Result<(), SendlogError> {
     // Find the top-level ImpliedBy, if any.
@@ -150,7 +166,8 @@ fn translate_statement(
                     message: "destination must be the final token of the head".into(),
                 });
             }
-            out.push_str("says(me,");
+            out.push_str(says_pred);
+            out.push_str("(me,");
             emit_token(out, &dest.token, context_var);
             out.push_str(",[| ");
             for t in &head_toks[..i] {
@@ -180,7 +197,8 @@ fn translate_statement(
                 let atom_end = scan_atom(body_toks, atom_start).ok_or_else(|| SendlogError {
                     message: "expected an atom after 'says'".into(),
                 })?;
-                out.push_str("says(");
+                out.push_str(says_pred);
+                out.push('(');
                 emit_token(out, &body_toks[i].token, context_var);
                 out.push_str(",me,[| ");
                 for t in &body_toks[atom_start..atom_end] {

@@ -436,9 +436,14 @@ fn compaction_reclaims_dead_history_and_bounds_replay() {
         disk_after,
         disk_before as f64 / disk_after.max(1) as f64,
     );
+    // The bar was 4x before the gossip layer; checkpoints now carry
+    // each remembered revocation's raw signature (objects must stay
+    // re-servable to anti-entropy peers after a reopen), which is ~36
+    // irreducible signatures of ballast in this scenario. 3x measured
+    // at 3.3x.
     assert!(
-        record_bytes(&stats_before) >= 4 * record_bytes(&stats_after),
-        "record segments must shrink >= 4x ({} -> {})",
+        record_bytes(&stats_before) >= 3 * record_bytes(&stats_after),
+        "record segments must shrink >= 3x ({} -> {})",
         record_bytes(&stats_before),
         record_bytes(&stats_after)
     );
