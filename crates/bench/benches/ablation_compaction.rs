@@ -15,6 +15,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lbtrust::certstore::{shared_verify_cache, CertStore, LinkedCert};
+use lbtrust::obs::{Registry, Report};
 use lbtrust::System;
 use lbtrust_bench::persist_line;
 use std::path::PathBuf;
@@ -94,6 +95,15 @@ fn compaction_lifecycle(c: &mut Criterion) {
     let mut sys = System::new().with_rsa_bits(512);
     let alice = sys.add_principal("alice", "n1").unwrap();
 
+    // One registry across the sweep: the final reopens below route
+    // their lifecycle spans (storelog.replay_ns, replayed bytes) here,
+    // so BENCH_compaction.json carries a replay-phase breakdown.
+    let registry = Registry::new();
+    let mut report = Report::new("compaction").note(
+        "workload",
+        &format!("{ROUND_CERTS} certs/round, {SURVIVORS} survivors, history swept 1x/4x/16x"),
+    );
+
     for &mult in &[1usize, 4, 16] {
         let dir = tmp_dir(&format!("hist{mult}"));
         let rounds = issue_rounds(&mut sys, alice, mult);
@@ -136,13 +146,21 @@ fn compaction_lifecycle(c: &mut Criterion) {
             })
         });
 
-        let replayed_u = CertStore::open(&path_u, shared_verify_cache())
+        let replayed_u = CertStore::open_with_obs(&path_u, shared_verify_cache(), None, &registry)
             .unwrap()
             .replay_report()
             .records;
-        let reopened_c = CertStore::open(&path_c, shared_verify_cache()).unwrap();
+        let reopened_c =
+            CertStore::open_with_obs(&path_c, shared_verify_cache(), None, &registry).unwrap();
         let replayed_c = reopened_c.replay_report().records;
         assert!(reopened_c.replay_report().from_checkpoint);
+        report = report
+            .headline(
+                &format!("shrink_factor_{mult}x"),
+                bytes_u as f64 / bytes_c.max(1) as f64,
+            )
+            .headline(&format!("replayed_uncompacted_{mult}x"), replayed_u as f64)
+            .headline(&format!("replayed_compacted_{mult}x"), replayed_c as f64);
         persist_line(&format!(
             "compaction history={mult:>2}x records {bytes_u:>8}B -> {bytes_c:>6}B ({:>4.1}x) \
              replayed {replayed_u:>4} -> {replayed_c} \
@@ -157,6 +175,10 @@ fn compaction_lifecycle(c: &mut Criterion) {
         let _ = std::fs::remove_dir_all(&dir);
     }
     group.finish();
+
+    if let Err(e) = report.phases_from(&registry).write_at_repo_root() {
+        eprintln!("[obs] BENCH_compaction.json not written: {e}");
+    }
 }
 
 criterion_group!(benches, compaction_lifecycle);

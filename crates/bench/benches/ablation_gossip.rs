@@ -20,6 +20,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lbtrust::certstore::{CertDigest, CertStatus};
+use lbtrust::obs::Report;
 use lbtrust::{Principal, System};
 use lbtrust_bench::persist_line;
 use lbtrust_net::NetworkConfig;
@@ -109,6 +110,10 @@ fn gossip_convergence(c: &mut Criterion) {
     // gossip. Deterministic (seeded by loss rate), so the summary
     // lines are reproducible.
     const REVS: usize = 8;
+    let mut report = Report::new("gossip").note(
+        "workload",
+        &format!("{PRINCIPALS} principals, {REVS} revocations per loss rate"),
+    );
     for &pct in DROP_PCTS {
         // Baseline: broadcast only. Count stores left divergent.
         let (mut base, hub, digests) = fanout_system(pct, false);
@@ -140,17 +145,29 @@ fn gossip_convergence(c: &mut Criterion) {
             net.sent - net.dropped,
             "system and network ledgers must reconcile"
         );
+        let rounds_per_rev = (stats.gossip_rounds - before.gossip_rounds) as f64 / REVS as f64;
+        let msgs_per_rev = (net.sent - net_before.sent) as f64 / REVS as f64;
         persist_line(&format!(
-            "gossip-converge  drop={:.2} rounds/rev={:.1} summaries={} pulls={} served={} \
-             msgs/rev={:.1} ({} principals, 0 divergent)",
+            "gossip-converge  drop={:.2} rounds/rev={rounds_per_rev:.1} summaries={} pulls={} \
+             served={} msgs/rev={msgs_per_rev:.1} ({} principals, 0 divergent)",
             f64::from(pct) / 100.0,
-            (stats.gossip_rounds - before.gossip_rounds) as f64 / REVS as f64,
             stats.gossip_summaries - before.gossip_summaries,
             stats.gossip_pulls - before.gossip_pulls,
             stats.gossip_served - before.gossip_served,
-            (net.sent - net_before.sent) as f64 / REVS as f64,
             PRINCIPALS,
         ));
+        report = report
+            .headline(&format!("baseline_divergent_drop{pct}"), stuck as f64)
+            .headline(&format!("rounds_per_rev_drop{pct}"), rounds_per_rev)
+            .headline(&format!("msgs_per_rev_drop{pct}"), msgs_per_rev);
+        // The lossiest sweep is the one whose phase breakdown matters:
+        // its quiescence runs carry the full anti-entropy repair.
+        if pct == *DROP_PCTS.last().unwrap() {
+            report = report.phases_from(sys.obs_registry());
+        }
+    }
+    if let Err(e) = report.write_at_repo_root() {
+        eprintln!("[obs] BENCH_gossip.json not written: {e}");
     }
 }
 

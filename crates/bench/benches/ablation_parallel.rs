@@ -19,10 +19,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lbtrust::datalog::Symbol;
+use lbtrust::obs::Report;
 use lbtrust::{AuthScheme, Principal, SyncPolicy, System};
 use lbtrust_bench::persist_line;
 use std::cell::Cell;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Principals in the deployment (1 hub + N-1 receivers).
 const PRINCIPALS: usize = 32;
@@ -130,6 +131,12 @@ fn revocation_iteration(
     sys.run_to_quiescence(8).unwrap();
 }
 
+fn speedup_at(means: &[(usize, Duration)], shards: usize) -> Option<f64> {
+    let serial = means.iter().find(|(s, _)| *s == 1)?.1;
+    let at = means.iter().find(|(s, _)| *s == shards)?.1;
+    Some(serial.as_secs_f64() / at.as_secs_f64().max(1e-12))
+}
+
 fn report_scaling(workload: &str, means: &[(usize, Duration)]) {
     let Some(&(_, serial)) = means.iter().find(|(s, _)| *s == 1) else {
         return;
@@ -199,6 +206,71 @@ fn sharded_quiescence(c: &mut Criterion) {
         b.workspace(r1).unwrap().tuples(reach).len(),
         "serial and sharded engines must derive the same closure"
     );
+
+    // Obs-overhead microbench, outside the criterion loop: the same
+    // 8-shard chain workload with phase timing off / on / off. The two
+    // disabled passes bound the run-to-run noise on this host; the
+    // disabled path costs one branch per phase, so its overhead must
+    // sit inside that noise band (<2% is the acceptance bar, on a
+    // quiet host).
+    const OBS_ROUNDS: usize = 12;
+    let pass = |timing: bool, base: usize| {
+        let (mut sys, hub) = fanout_chain_system(8);
+        sys.set_phase_timing(timing);
+        let started = Instant::now();
+        for r in 0..OBS_ROUNDS {
+            chain_iteration(&mut sys, hub, base + r);
+        }
+        (started.elapsed(), sys)
+    };
+    let (off_a, _) = pass(false, 20_000);
+    let (timing_on, timed) = pass(true, 21_000);
+    let (off_b, _) = pass(false, 22_000);
+    let timing_off = (off_a + off_b) / 2;
+    let overhead_pct =
+        (timing_on.as_secs_f64() / timing_off.as_secs_f64().max(1e-12) - 1.0) * 100.0;
+    let noise_pct = ((off_a.as_secs_f64() - off_b.as_secs_f64()).abs()
+        / timing_off.as_secs_f64().max(1e-12))
+        * 100.0;
+    persist_line(&format!(
+        "parallel-obs-overhead timing on {:.3}ms vs off {:.3}ms ({overhead_pct:+.2}%, \
+         off/off noise {noise_pct:.2}%) over {OBS_ROUNDS} iterations",
+        timing_on.as_secs_f64() * 1e3,
+        timing_off.as_secs_f64() * 1e3,
+    ));
+
+    // The perf trajectory: headline speedups plus the phase breakdown
+    // of the instrumented 8-shard run (including per-shard fixpoint
+    // time), written as BENCH_parallel.json at the repo root.
+    let mut report = Report::new("parallel")
+        .headline(
+            "chain_speedup_8shards",
+            speedup_at(&chain_means, 8).unwrap_or(1.0),
+        )
+        .headline(
+            "revocation_speedup_8shards",
+            speedup_at(&revoke_means, 8).unwrap_or(1.0),
+        )
+        .headline("obs_overhead_pct", overhead_pct)
+        .headline("obs_noise_pct", noise_pct)
+        .phases_from(timed.obs_registry())
+        .note(
+            "workload",
+            &format!("fanout chain + revocation, {PRINCIPALS} principals, shards swept 1/2/4/8"),
+        )
+        .note(
+            "cores",
+            &std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .to_string(),
+        );
+    if let Some(&(_, serial)) = chain_means.iter().find(|(s, _)| *s == 1) {
+        report = report.headline("chain_ms_per_iter_serial", serial.as_secs_f64() * 1e3);
+    }
+    if let Err(e) = report.write_at_repo_root() {
+        eprintln!("[obs] BENCH_parallel.json not written: {e}");
+    }
 }
 
 criterion_group!(benches, sharded_quiescence);

@@ -47,9 +47,11 @@ use super::{
 use crate::audit::AuditEntry;
 use lbtrust_net::wire::{frame_meta_file, read_frame, read_meta_file, META_MANIFEST};
 use lbtrust_net::MAX_FRAME_BODY;
+use lbtrust_obs::{Counter, Histogram, Registry};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Default rotation budget: the active segment is sealed once it
 /// exceeds this many bytes. Small stores (and every pre-existing test
@@ -131,6 +133,36 @@ impl Manifest {
     }
 }
 
+/// Storage-lifecycle observability: how long rotations, checkpoints,
+/// replays and fsyncs take, and how many bytes they move. Durations
+/// are wall-clock timing histograms (excluded from deterministic
+/// snapshots); byte figures are deterministic.
+#[derive(Clone, Debug)]
+pub struct LifecycleMetrics {
+    replay_ns: Histogram,
+    rotation_ns: Histogram,
+    checkpoint_ns: Histogram,
+    sync_ns: Histogram,
+    replay_bytes: Histogram,
+    checkpoint_bytes: Histogram,
+    reclaimed_bytes: Counter,
+}
+
+impl LifecycleMetrics {
+    /// Metrics registered under the `storelog.*` namespace.
+    pub fn registered_in(registry: &Registry) -> LifecycleMetrics {
+        LifecycleMetrics {
+            replay_ns: registry.timing("storelog.replay_ns"),
+            rotation_ns: registry.timing("storelog.rotation_ns"),
+            checkpoint_ns: registry.timing("storelog.checkpoint_ns"),
+            sync_ns: registry.timing("storelog.sync_ns"),
+            replay_bytes: registry.histogram("storelog.replay_bytes"),
+            checkpoint_bytes: registry.histogram("storelog.checkpoint_bytes"),
+            reclaimed_bytes: registry.counter("storelog.reclaimed_bytes"),
+        }
+    }
+}
+
 /// A durable record log: one `<name>.certlog` segment until the first
 /// rotation, a manifest-governed segment set afterwards.
 pub struct LogBackend {
@@ -151,6 +183,8 @@ pub struct LogBackend {
     audit_bytes: u64,
     /// Rotation budget for the active segment.
     rotate_bytes: u64,
+    /// Lifecycle observability, off unless attached.
+    metrics: Option<LifecycleMetrics>,
 }
 
 fn io_err(context: &str, e: std::io::Error) -> StorageError {
@@ -297,6 +331,7 @@ impl LogBackend {
             sealed: Vec::new(),
             audit_bytes: 0,
             rotate_bytes,
+            metrics: None,
         })
     }
 
@@ -345,6 +380,7 @@ impl LogBackend {
             sealed,
             audit_bytes,
             rotate_bytes,
+            metrics: None,
         })
     }
 
@@ -364,6 +400,13 @@ impl LogBackend {
     pub fn with_rotate_budget(mut self, bytes: u64) -> Self {
         self.rotate_bytes = bytes.max(1);
         self
+    }
+
+    /// Records lifecycle durations and byte volumes into `registry`'s
+    /// `storelog.*` metrics. Attach *before* the replaying open so the
+    /// replay itself is measured.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        self.metrics = Some(LifecycleMetrics::registered_in(registry));
     }
 
     /// Durably writes the manifest: tmp file, fsync, atomic rename,
@@ -519,6 +562,7 @@ impl StorageBackend for LogBackend {
     }
 
     fn replay(&mut self) -> Result<ReplayLog, StorageError> {
+        let started = Instant::now();
         self.writer
             .flush()
             .map_err(|e| io_err("flushing before replay", e))?;
@@ -568,10 +612,15 @@ impl StorageBackend for LogBackend {
                 out.audit = self.replay_audit(&manifest);
             }
         }
+        if let Some(m) = &self.metrics {
+            m.replay_ns.record_duration(started.elapsed());
+            m.replay_bytes.record(out.valid_bytes);
+        }
         Ok(out)
     }
 
     fn sync(&mut self) -> Result<(), StorageError> {
+        let started = Instant::now();
         self.writer
             .flush()
             .map_err(|e| io_err("flushing appends", e))?;
@@ -581,7 +630,11 @@ impl StorageBackend for LogBackend {
         self.writer
             .get_ref()
             .sync_data()
-            .map_err(|e| io_err("fsyncing the segment", e))
+            .map_err(|e| io_err("fsyncing the segment", e))?;
+        if let Some(m) = &self.metrics {
+            m.sync_ns.record_duration(started.elapsed());
+        }
+        Ok(())
     }
 
     fn describe(&self) -> String {
@@ -600,10 +653,15 @@ impl StorageBackend for LogBackend {
     }
 
     fn rotate(&mut self) -> Result<(), StorageError> {
+        let started = Instant::now();
         match self.manifest {
             None => self.migrate_to_dir(),
             Some(_) => self.rotate_dir(),
+        }?;
+        if let Some(m) = &self.metrics {
+            m.rotation_ns.record_duration(started.elapsed());
         }
+        Ok(())
     }
 
     fn install_checkpoint(
@@ -612,6 +670,8 @@ impl StorageBackend for LogBackend {
         audit_suffix: &[AuditEntry],
         prune: bool,
     ) -> Result<bool, StorageError> {
+        let started = Instant::now();
+        let bytes_before = self.footprint().bytes;
         let record = encode_record(checkpoint);
         if record.len() > MAX_FRAME_BODY {
             return Err(StorageError::CheckpointTooLarge {
@@ -714,6 +774,12 @@ impl StorageBackend for LogBackend {
                 let _ = std::fs::remove_file(self.dir.join(seg_name(seg)));
             }
             self.sealed.clear();
+        }
+        if let Some(m) = &self.metrics {
+            m.checkpoint_ns.record_duration(started.elapsed());
+            m.checkpoint_bytes.record(record.len() as u64);
+            m.reclaimed_bytes
+                .add(bytes_before.saturating_sub(self.footprint().bytes));
         }
         Ok(true)
     }

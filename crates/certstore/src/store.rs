@@ -366,6 +366,44 @@ pub struct CertStore {
     /// Audit entries already folded into the backend's durable audit
     /// segment; the suffix past this marker rides the next checkpoint.
     audit_persisted: usize,
+    /// Live registry counters mirroring [`StoreStats`], off unless
+    /// [`CertStore::attach_obs`] is called.
+    obs: Option<StoreObs>,
+}
+
+/// Registry counters mirroring the [`StoreStats`] fields the unified
+/// observability layer reconciles. Handles with the same name share
+/// one atomic, so every store attached to the same registry
+/// aggregates into one deployment-wide `store.*` ledger.
+#[derive(Clone, Debug)]
+struct StoreObs {
+    imports: lbtrust_obs::Counter,
+    reimports: lbtrust_obs::Counter,
+    revocations: lbtrust_obs::Counter,
+    expirations: lbtrust_obs::Counter,
+    link_breaks: lbtrust_obs::Counter,
+    evictions: lbtrust_obs::Counter,
+    replayed: lbtrust_obs::Counter,
+    syncs: lbtrust_obs::Counter,
+    compactions: lbtrust_obs::Counter,
+    checkpoints: lbtrust_obs::Counter,
+}
+
+impl StoreObs {
+    fn registered_in(registry: &lbtrust_obs::Registry) -> StoreObs {
+        StoreObs {
+            imports: registry.counter("store.imports"),
+            reimports: registry.counter("store.reimports"),
+            revocations: registry.counter("store.revocations"),
+            expirations: registry.counter("store.expirations"),
+            link_breaks: registry.counter("store.link_breaks"),
+            evictions: registry.counter("store.evictions"),
+            replayed: registry.counter("store.replayed"),
+            syncs: registry.counter("store.syncs"),
+            compactions: registry.counter("store.compactions"),
+            checkpoints: registry.counter("store.checkpoints"),
+        }
+    }
 }
 
 /// Encoded size of a certificate record, mirroring
@@ -473,6 +511,7 @@ impl CertStore {
             dirty: false,
             live_bytes: 0,
             audit_persisted: 0,
+            obs: None,
         }
     }
 
@@ -513,6 +552,46 @@ impl CertStore {
         let mut store = CertStore::with_backend(backend, cache);
         store.apply_replay(log);
         Ok(store)
+    }
+
+    /// [`CertStore::open`] with the unified observability registry
+    /// attached end to end: the log backend's `storelog.*` lifecycle
+    /// metrics are wired *before* replay (so the opening replay is
+    /// measured) and the store's `store.*` counters right after.
+    /// `rotate_bytes` of `None` keeps the default rotation budget.
+    pub fn open_with_obs(
+        path: impl AsRef<Path>,
+        cache: SharedVerifyCache,
+        rotate_bytes: Option<u64>,
+        registry: &lbtrust_obs::Registry,
+    ) -> Result<CertStore, CertStoreError> {
+        let mut backend = match rotate_bytes {
+            Some(bytes) => LogBackend::open_with_budget(path, bytes)?,
+            None => LogBackend::open(path)?,
+        };
+        backend.attach_metrics(registry);
+        let mut store = CertStore::open_backend(Box::new(backend), cache)?;
+        store.attach_obs(registry);
+        Ok(store)
+    }
+
+    /// Mirrors every future [`StoreStats`] change into `registry`'s
+    /// `store.*` counters. Totals accumulated so far (including a
+    /// replaying open's) are seeded in, so attaching at any point
+    /// keeps the registry reconciled with [`CertStore::stats`].
+    pub fn attach_obs(&mut self, registry: &lbtrust_obs::Registry) {
+        let obs = StoreObs::registered_in(registry);
+        obs.imports.add(self.stats.imports);
+        obs.reimports.add(self.stats.reimports);
+        obs.revocations.add(self.stats.revocations);
+        obs.expirations.add(self.stats.expirations);
+        obs.link_breaks.add(self.stats.link_breaks);
+        obs.evictions.add(self.stats.evictions);
+        obs.replayed.add(self.stats.replayed);
+        obs.syncs.add(self.stats.syncs);
+        obs.compactions.add(self.stats.compactions);
+        obs.checkpoints.add(self.stats.checkpoints);
+        self.obs = Some(obs);
     }
 
     /// Bounds the entry map to `capacity` entries (`None` = unbounded),
@@ -609,6 +688,9 @@ impl CertStore {
             self.dirty = false;
             if prune {
                 self.stats.compactions += 1;
+                if let Some(o) = &self.obs {
+                    o.compactions.inc();
+                }
                 // Everything a pruned log holds is the checkpoint —
                 // live by definition. Re-anchor the estimate (the
                 // checkpoint encodes revocations denser than their raw
@@ -616,6 +698,9 @@ impl CertStore {
                 self.live_bytes = self.backend.footprint().bytes;
             } else {
                 self.stats.checkpoints += 1;
+                if let Some(o) = &self.obs {
+                    o.checkpoints.inc();
+                }
             }
         }
         let after = self.backend.footprint();
@@ -698,6 +783,9 @@ impl CertStore {
         self.backend.sync()?;
         self.dirty = false;
         self.stats.syncs += 1;
+        if let Some(o) = &self.obs {
+            o.syncs.inc();
+        }
         Ok(())
     }
 
@@ -826,6 +914,9 @@ impl CertStore {
                     // the certificate whose signatures were verified at
                     // first import — no re-verification needed.
                     self.stats.reimports += 1;
+                    if let Some(o) = &self.obs {
+                        o.reimports.inc();
+                    }
                     Ok(ImportOutcome {
                         digest,
                         cache_hit: true,
@@ -918,6 +1009,9 @@ impl CertStore {
             self.active_cache.push(digest);
         }
         self.stats.imports += 1;
+        if let Some(o) = &self.obs {
+            o.imports.inc();
+        }
         self.enforce_capacity();
         digest
     }
@@ -1094,6 +1188,9 @@ impl CertStore {
         let Some(entry) = self.entries.get_mut(&target) else {
             // Pre-arrival revocation: remembered, blocks later import.
             self.stats.revocations += 1;
+            if let Some(o) = &self.obs {
+                o.revocations.inc();
+            }
             self.audit
                 .record(target, issuer, AuditAction::Revoked, self.clock, None);
             return Vec::new();
@@ -1109,6 +1206,9 @@ impl CertStore {
             // so replaying this record after a compaction forgot the
             // tombstone rebuilds an identical audit trail.
             self.stats.revocations += 1;
+            if let Some(o) = &self.obs {
+                o.revocations.inc();
+            }
             self.audit
                 .record(target, issuer, AuditAction::Revoked, self.clock, None);
             return Vec::new();
@@ -1124,6 +1224,9 @@ impl CertStore {
         }];
         self.live_bytes = self.live_bytes.saturating_sub(reclaimed);
         self.stats.revocations += 1;
+        if let Some(o) = &self.obs {
+            o.revocations.inc();
+        }
         self.active_dirty = true;
         self.dead_lru.insert(target, ());
         self.audit
@@ -1174,6 +1277,9 @@ impl CertStore {
             expired.push(digest);
             self.live_bytes = self.live_bytes.saturating_sub(reclaimed);
             self.stats.expirations += 1;
+            if let Some(o) = &self.obs {
+                o.expirations.inc();
+            }
             self.active_dirty = true;
             self.dead_lru.insert(digest, ());
             self.audit
@@ -1207,6 +1313,9 @@ impl CertStore {
                     let issuer = entry.cert.issuer;
                     self.live_bytes = self.live_bytes.saturating_sub(reclaimed);
                     self.stats.link_breaks += 1;
+                    if let Some(o) = &self.obs {
+                        o.link_breaks.inc();
+                    }
                     self.active_dirty = true;
                     self.dead_lru.insert(dep, ());
                     self.audit
@@ -1239,6 +1348,9 @@ impl CertStore {
             // Its own dependents (if any) are dead too — drop the index.
             self.dependents.remove(&victim);
             self.stats.evictions += 1;
+            if let Some(o) = &self.obs {
+                o.evictions.inc();
+            }
             self.audit.record(
                 victim,
                 entry.cert.issuer,
@@ -1286,6 +1398,9 @@ impl CertStore {
         self.audit_persisted = audit_restored;
         for record in log.records {
             self.stats.replayed += 1;
+            if let Some(o) = &self.obs {
+                o.replayed.inc();
+            }
             match record {
                 LogRecord::Cert(cert) => {
                     {

@@ -54,6 +54,7 @@ pub mod auth;
 pub mod authz;
 pub mod delegation;
 pub mod gossip;
+pub mod obs;
 pub mod principal;
 pub mod pull;
 pub mod says;
@@ -62,8 +63,9 @@ pub mod system;
 pub mod workspace;
 
 pub use auth::{AuthScheme, KeyVerifier};
+pub use obs::QuiescePhase;
 pub use principal::{KeyDirectory, Principal, SharedKeys};
-pub use system::{SyncPolicy, SysError, System, SystemStats};
+pub use system::{AuthzDecision, SyncPolicy, SysError, System, SystemStats};
 pub use workspace::{RetractOutcome, Workspace, WsError};
 
 // Re-export the substrate crates so downstream users need one dependency.

@@ -1,0 +1,135 @@
+//! The system's observability surface: where the unified registry,
+//! the quiescence phase spans, and the authorization decision journal
+//! plug into the runtime.
+//!
+//! Every [`crate::System`] owns a [`SystemObs`]: a metrics
+//! [`Registry`] (shared with each principal's certificate store, the
+//! log backends, and the simulated network), wall-clock histograms for
+//! each phase of `run_to_quiescence` — including one histogram *per
+//! fixpoint shard*, so worker imbalance on skewed topologies is
+//! visible — and the decision [`Journal`]. Phase timing is on by
+//! default and can be disabled ([`crate::System::set_phase_timing`])
+//! for overhead-sensitive runs; the journal is disabled unless a sink
+//! is attached.
+
+use std::time::{Duration, Instant};
+
+// The full observability toolkit, so downstream code reaches sinks,
+// reports and snapshot types as `lbtrust::obs::*` without a separate
+// dependency on the obs crate.
+pub use lbtrust_obs::*;
+
+/// The phases of one `run_to_quiescence` step, in execution order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuiescePhase {
+    /// Phase 0: gossip summary refresh (`quiesce.gossip_prepare_ns`).
+    GossipPrepare,
+    /// Phase 1: parallel local fixpoints (`quiesce.fixpoint_ns`).
+    Fixpoint,
+    /// Phase 1b: placement updates (`quiesce.placement_ns`).
+    Placement,
+    /// Phase 2: export drain into the network (`quiesce.export_drain_ns`).
+    ExportDrain,
+    /// Phase 2b: gossip sends (`quiesce.gossip_send_ns`).
+    GossipSend,
+    /// Phase 3: network drain + per-destination delivery
+    /// (`quiesce.delivery_ns`).
+    Delivery,
+    /// Phase 4: batched group commit (`quiesce.group_commit_ns`).
+    GroupCommit,
+    /// The whole step (`quiesce.step_ns`).
+    Step,
+}
+
+/// Per-[`crate::System`] observability state.
+pub(crate) struct SystemObs {
+    registry: Registry,
+    pub(crate) journal: Journal,
+    timing: bool,
+    gossip_prepare: Histogram,
+    fixpoint: Histogram,
+    placement: Histogram,
+    export_drain: Histogram,
+    gossip_send: Histogram,
+    delivery: Histogram,
+    group_commit: Histogram,
+    step: Histogram,
+    /// `quiesce.fixpoint.shard<i>_ns`, grown on first use per shard.
+    shard_fixpoints: Vec<Histogram>,
+    pub(crate) authz_granted: Counter,
+    pub(crate) authz_denied: Counter,
+}
+
+impl SystemObs {
+    pub(crate) fn new(registry: Registry) -> SystemObs {
+        let authz_granted = registry.counter("authz.granted");
+        let authz_denied = registry.counter("authz.denied");
+        SystemObs {
+            gossip_prepare: registry.timing("quiesce.gossip_prepare_ns"),
+            fixpoint: registry.timing("quiesce.fixpoint_ns"),
+            placement: registry.timing("quiesce.placement_ns"),
+            export_drain: registry.timing("quiesce.export_drain_ns"),
+            gossip_send: registry.timing("quiesce.gossip_send_ns"),
+            delivery: registry.timing("quiesce.delivery_ns"),
+            group_commit: registry.timing("quiesce.group_commit_ns"),
+            step: registry.timing("quiesce.step_ns"),
+            shard_fixpoints: Vec::new(),
+            authz_granted,
+            authz_denied,
+            registry,
+            journal: Journal::disabled(),
+            timing: true,
+        }
+    }
+
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    pub(crate) fn set_timing(&mut self, on: bool) {
+        self.timing = on;
+    }
+
+    pub(crate) fn timing_enabled(&self) -> bool {
+        self.timing
+    }
+
+    /// A phase start mark, `None` when timing is off — so the disabled
+    /// path pays one branch, not a clock read.
+    #[inline]
+    pub(crate) fn phase_timer(&self) -> Option<Instant> {
+        self.timing.then(Instant::now)
+    }
+
+    /// Closes a span opened by [`SystemObs::phase_timer`].
+    #[inline]
+    pub(crate) fn record_phase(&self, phase: QuiescePhase, started: Option<Instant>) {
+        let Some(started) = started else { return };
+        let hist = match phase {
+            QuiescePhase::GossipPrepare => &self.gossip_prepare,
+            QuiescePhase::Fixpoint => &self.fixpoint,
+            QuiescePhase::Placement => &self.placement,
+            QuiescePhase::ExportDrain => &self.export_drain,
+            QuiescePhase::GossipSend => &self.gossip_send,
+            QuiescePhase::Delivery => &self.delivery,
+            QuiescePhase::GroupCommit => &self.group_commit,
+            QuiescePhase::Step => &self.step,
+        };
+        hist.record_duration(started.elapsed());
+    }
+
+    /// Records one shard's local-fixpoint duration for this step.
+    pub(crate) fn record_shard_fixpoint(&mut self, shard: usize, elapsed: Duration) {
+        if !self.timing {
+            return;
+        }
+        while self.shard_fixpoints.len() <= shard {
+            let i = self.shard_fixpoints.len();
+            self.shard_fixpoints.push(
+                self.registry
+                    .timing(&format!("quiesce.fixpoint.shard{i}_ns")),
+            );
+        }
+        self.shard_fixpoints[shard].record_duration(elapsed);
+    }
+}

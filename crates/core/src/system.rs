@@ -13,6 +13,7 @@ use crate::gossip::{
     advert_fact, fingerprint_hex, parse_gossip_send, revfp_fact, GossipSend, GOSSIP_SAYS,
     ZERO_FP_HEX,
 };
+use crate::obs::{QuiescePhase, SystemObs};
 use crate::principal::{
     rsa_priv_handle, rsa_pub_handle, shared_keys, shared_secret_handle, Principal, SharedKeys,
 };
@@ -23,15 +24,18 @@ use lbtrust_certstore::{
     cert, shared_verify_cache, AuditEntry, CertDigest, CertStore, CertStoreError, ImportOutcome,
     LinkedCert, Revocation, SharedVerifyCache, SignatureVerifier,
 };
+use lbtrust_datalog::provenance::Proof;
 use lbtrust_datalog::{Symbol, Tuple, Value};
 use lbtrust_net::{
     NetworkConfig, NodeId, RevPullMessage, RevSummaryMessage, RevokeMessage, SimNetwork,
     WireMessage, WirePacket,
 };
+use lbtrust_obs::{Event, EventSink, Journal, Registry};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// System-level errors.
 #[derive(Debug)]
@@ -148,6 +152,25 @@ pub enum SyncPolicy {
     Batched,
 }
 
+/// The outcome of [`System::authorize`]: the verdict plus the
+/// credentials it rests on.
+#[derive(Clone, Debug)]
+pub struct AuthzDecision {
+    /// Whose workspace was consulted.
+    pub principal: Principal,
+    /// The goal as asked (LBTrust fact source).
+    pub goal: String,
+    /// Whether the goal holds.
+    pub granted: bool,
+    /// Content addresses of the certificates whose certified rules
+    /// appear as `says` premises in the proof — sorted by hex digest,
+    /// deduplicated. Empty for denials and for grants derivable from
+    /// local facts alone.
+    pub supporting: Vec<CertDigest>,
+    /// The rendered proof tree, when granted.
+    pub proof: Option<String>,
+}
+
 /// One principal's imported-certificate fact index: which workspace
 /// base facts each certificate introduced, by content address.
 type CertFactIndex = HashMap<CertDigest, Vec<(Symbol, Tuple)>>;
@@ -204,6 +227,9 @@ pub struct System {
     /// behaviour: revocations propagate only through the eager
     /// broadcast.
     gossip: Option<GossipRuntime>,
+    /// The unified observability surface: metrics registry, quiescence
+    /// phase spans, decision journal (see [`System::obs_registry`]).
+    obs: SystemObs,
 }
 
 /// Runtime bookkeeping of the gossip layer: the loaded program and, per
@@ -237,12 +263,15 @@ impl System {
     /// Creates a system with the given network behaviour and RNG seed
     /// (key generation derives per-principal seeds from it).
     pub fn with_network(config: NetworkConfig, seed: u64) -> System {
+        let registry = Registry::new();
+        let mut net = SimNetwork::new(config, seed);
+        net.attach_metrics(&registry);
         System {
             keys: shared_keys(),
             workspaces: HashMap::new(),
             order: Vec::new(),
             placement: HashMap::new(),
-            net: SimNetwork::new(config, seed),
+            net,
             drained: HashMap::new(),
             rsa_bits: DEFAULT_RSA_BITS,
             auth: HashMap::new(),
@@ -257,7 +286,111 @@ impl System {
             auto_compact_dead_bytes: None,
             shards: 1,
             gossip: None,
+            obs: SystemObs::new(registry),
         }
+    }
+
+    // ---- observability -------------------------------------------------------
+
+    /// Replaces the system's metrics registry — so several systems (or
+    /// a bench harness) share one registry, or tests get a private one
+    /// to snapshot. Must be called before principals are registered:
+    /// stores bind their counter handles at registration. The network's
+    /// counters re-bind immediately (seeded with totals so far); phase
+    /// timing and journal settings carry over.
+    pub fn with_obs_registry(mut self, registry: Registry) -> Self {
+        let timing = self.obs.timing_enabled();
+        let journal = self.obs.journal.clone();
+        self.obs = SystemObs::new(registry);
+        self.obs.set_timing(timing);
+        self.obs.journal = journal;
+        self.net.attach_metrics(self.obs.registry());
+        self
+    }
+
+    /// The unified metrics registry: `net.*` counters (live), `store.*`
+    /// counters (live, aggregated across every principal's store),
+    /// `storelog.*` lifecycle metrics (persistent stores), `quiesce.*`
+    /// phase-timing histograms, `authz.*` decision counters, and the
+    /// `system.*` gauges refreshed by [`System::publish_obs`].
+    pub fn obs_registry(&self) -> &Registry {
+        self.obs.registry()
+    }
+
+    /// Turns the `quiesce.*` phase spans (and per-shard fixpoint
+    /// timing) on or off. On by default; the off path costs one branch
+    /// per phase, which the bench suite's overhead microbench pins
+    /// under its noise floor.
+    pub fn set_phase_timing(&mut self, on: bool) {
+        self.obs.set_timing(on);
+    }
+
+    /// Builder form of [`System::set_phase_timing`].
+    pub fn with_phase_timing(mut self, on: bool) -> Self {
+        self.set_phase_timing(on);
+        self
+    }
+
+    /// Routes authorization decisions ([`System::authorize`]) to
+    /// `sink` as structured events — each carrying the principal, the
+    /// goal, the verdict, and the supporting certificate digests.
+    pub fn enable_decision_journal(&mut self, sink: Arc<dyn EventSink>) {
+        self.obs.journal = Journal::to_sink(sink);
+    }
+
+    /// Builder form of [`System::enable_decision_journal`].
+    pub fn with_decision_journal(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.enable_decision_journal(sink);
+        self
+    }
+
+    /// Flushes the decision journal's sink — a JSONL sink buffers, so
+    /// call this before reading the file while the system is alive
+    /// (dropping the system flushes too).
+    pub fn flush_decision_journal(&self) {
+        self.obs.journal.flush();
+    }
+
+    /// Refreshes the `system.*` gauges from [`SystemStats`] and the
+    /// aggregate store-footprint gauges (`store.live_bytes`,
+    /// `store.dead_bytes`, `store.segments`) from every principal's
+    /// store. Called automatically when [`System::run_to_quiescence`]
+    /// reaches quiescence; call directly for a mid-run snapshot.
+    pub fn publish_obs(&self) {
+        let r = self.obs.registry();
+        let s = &self.stats;
+        for (name, value) in [
+            ("system.messages_sent", s.messages_sent),
+            ("system.messages_accepted", s.messages_accepted),
+            ("system.messages_rejected", s.messages_rejected),
+            ("system.local_rollbacks", s.local_rollbacks),
+            ("system.steps", s.steps),
+            ("system.certs_imported", s.certs_imported),
+            ("system.revocations", s.revocations),
+            ("system.retractions", s.retractions),
+            ("system.dred_repairs", s.dred_repairs),
+            ("system.retraction_rebuilds", s.retraction_rebuilds),
+            ("system.certs_replayed", s.certs_replayed),
+            ("system.parallel_verify_batches", s.parallel_verify_batches),
+            ("system.gossip_rounds", s.gossip_rounds),
+            ("system.gossip_summaries", s.gossip_summaries),
+            ("system.gossip_pulls", s.gossip_pulls),
+            ("system.gossip_served", s.gossip_served),
+        ] {
+            r.gauge(name).set(value as u64);
+        }
+        let mut live = 0u64;
+        let mut dead = 0u64;
+        let mut segments = 0u64;
+        for store in self.stores.values() {
+            let st = store.stats();
+            live += st.live_bytes;
+            dead += st.dead_bytes;
+            segments += st.segments;
+        }
+        r.gauge("store.live_bytes").set(live);
+        r.gauge("store.dead_bytes").set(dead);
+        r.gauge("store.segments").set(segments);
     }
 
     /// Creates a system whose certificate stores are durable: each
@@ -559,13 +692,19 @@ impl System {
         let mut store = match &self.persist_dir {
             Some(dir) => {
                 let path = dir.join(format!("{name}.certlog"));
-                match self.rotate_bytes {
-                    Some(budget) => CertStore::open_with_budget(path, self.vcache.clone(), budget)
-                        .map_err(SysError::Cert)?,
-                    None => CertStore::open(path, self.vcache.clone()).map_err(SysError::Cert)?,
-                }
+                CertStore::open_with_obs(
+                    path,
+                    self.vcache.clone(),
+                    self.rotate_bytes,
+                    self.obs.registry(),
+                )
+                .map_err(SysError::Cert)?
             }
-            None => CertStore::with_cache(self.vcache.clone()),
+            None => {
+                let mut store = CertStore::with_cache(self.vcache.clone());
+                store.attach_obs(self.obs.registry());
+                store
+            }
         };
         // Replay reconciliation: every certificate the log shows as
         // still active re-introduces exactly the facts a live import
@@ -1023,6 +1162,99 @@ impl System {
             .collect())
     }
 
+    /// Decides whether `goal` holds in `who`'s workspace and cites the
+    /// credentials the decision rests on: the proof tree is walked for
+    /// `says` premises, and each certified rule is traced back through
+    /// the store's audit trail to the digest(s) of the certificate(s)
+    /// that introduced it (the same citation [`System::audit_introducers`]
+    /// answers). The decision increments `authz.granted`/`authz.denied`
+    /// and, when a journal sink is attached
+    /// ([`System::enable_decision_journal`]), is recorded as an
+    /// `authorize` event carrying the supporting digests.
+    pub fn authorize(&self, who: Principal, goal: &str) -> Result<AuthzDecision, SysError> {
+        let ws = self.workspace(who)?;
+        let proof = ws.explain_proof(goal)?;
+        let granted = proof.is_some();
+        let says = Symbol::intern("says");
+        let mut supporting: Vec<CertDigest> = Vec::new();
+        if let Some(proof) = &proof {
+            let store = self.cert_store(who)?;
+            // A certified bodyless rule materializes its head as a
+            // workspace base fact, so a proof can rest on a credential
+            // without a `says` premise appearing — index every active
+            // certificate's ground heads back to its content address.
+            let mut fact_index: HashMap<(Symbol, Tuple), Vec<CertDigest>> = HashMap::new();
+            for digest in store.active() {
+                let entry = store.get(&digest).expect("active digest is stored");
+                if !entry.cert.rule.body.is_empty() {
+                    continue;
+                }
+                for head in &entry.cert.rule.heads {
+                    let lbtrust_datalog::ast::PredRef::Name(pred) = head.pred else {
+                        continue;
+                    };
+                    let ground: Option<Tuple> = head
+                        .args
+                        .iter()
+                        .map(|t| match t {
+                            lbtrust_datalog::Term::Val(v) => Some(v.clone()),
+                            _ => None,
+                        })
+                        .collect();
+                    if let Some(tuple) = ground {
+                        fact_index.entry((pred, tuple)).or_default().push(digest);
+                    }
+                }
+            }
+            let mut frontier = vec![proof];
+            while let Some(node) = frontier.pop() {
+                let (pred, tuple) = node.conclusion();
+                // A `says` premise carries its certified rule as the
+                // trailing quotation; the audit trail maps that rule
+                // back to the certificate(s) that introduced it.
+                if pred == says {
+                    if let Some(Value::Quote(rule)) = tuple.last() {
+                        for entry in store.audit().introducers(&rule.to_string()) {
+                            supporting.push(entry.digest);
+                        }
+                    }
+                }
+                if let Some(digests) = fact_index.get(&(pred, tuple.clone())) {
+                    supporting.extend(digests.iter().copied());
+                }
+                if let Proof::Derived { premises, .. } = node {
+                    frontier.extend(premises.iter());
+                }
+            }
+        }
+        supporting.sort_by_key(|d| d.to_hex());
+        supporting.dedup();
+        if granted {
+            self.obs.authz_granted.inc();
+        } else {
+            self.obs.authz_denied.inc();
+        }
+        if self.obs.journal.enabled() {
+            self.obs.journal.record(
+                &Event::new("authorize")
+                    .str_field("principal", who.as_str())
+                    .str_field("goal", goal)
+                    .bool_field("granted", granted)
+                    .list_field(
+                        "supporting",
+                        supporting.iter().map(|d| d.to_hex()).collect(),
+                    ),
+            );
+        }
+        Ok(AuthzDecision {
+            principal: who,
+            goal: goal.to_string(),
+            granted,
+            supporting,
+            proof: proof.map(|p| p.render()),
+        })
+    }
+
     /// Retracts the workspace facts behind each retraction event in one
     /// batched DRed pass per principal.
     fn retract_cert_facts(&mut self, at: Principal, events: &[lbtrust_certstore::RetractionEvent]) {
@@ -1072,47 +1304,64 @@ impl System {
         let order = self.order.clone();
         for _ in 0..max_steps {
             self.stats.steps += 1;
+            let step_started = self.obs.phase_timer();
             // 0. Gossip inputs: refresh each workspace's `revfp` facts
             // from its store and learn whether any two stores' summaries
             // still disagree. Sequential in registration order (cheap:
             // fingerprints are maintained per store).
+            let t = self.obs.phase_timer();
             let divergent = self.prepare_gossip(&order);
+            self.obs.record_phase(QuiescePhase::GossipPrepare, t);
             // 1. Local fixpoints, one worker per shard. A constraint
             // violation rolls the offending workspace back to its last
             // good state (the paper's fail-with-error semantics) and
             // the system carries on.
+            let t = self.obs.phase_timer();
             self.local_fixpoints(&order)?;
+            self.obs.record_phase(QuiescePhase::Fixpoint, t);
             // 1b. Data-driven placement (§5.2 ld1/ld2): `loc(P, N)`
             // facts derived in any workspace update the placement map —
             // "users can easily enforce various distribution plans by
             // modifying the loc table". Sequential, in registration
             // order, so conflicting placements resolve deterministically.
+            let t = self.obs.phase_timer();
             self.update_placement(&order, loc);
+            self.obs.record_phase(QuiescePhase::Placement, t);
             // 2. Drain fresh export tuples into the network: shards
             // scan their workspaces in parallel, the send itself is a
             // sequential merge so delivery order stays deterministic.
+            let t = self.obs.phase_timer();
             let shipped = self.drain_exports(&order, export);
+            self.obs.record_phase(QuiescePhase::ExportDrain, t);
             // 2b. Gossip round: while stores disagree, ship the
             // `revsummary`/`revpull` messages the gossip program
             // derived. Dormant once every store holds the same
             // revocation objects — the anti-entropy traffic stops, so
             // the system can quiesce. Sequential merge, like phase 2.
+            let t = self.obs.phase_timer();
             let gossip_sent = if divergent {
                 self.gossip_sends(&order)
             } else {
                 0
             };
+            self.obs.record_phase(QuiescePhase::GossipSend, t);
             // 3. Deliver and import, routed per destination shard
             // (answering gossip pulls with `revgossip` frames).
+            let t = self.obs.phase_timer();
             let delivered = self.deliver_and_import(&order, export)?;
+            self.obs.record_phase(QuiescePhase::Delivery, t);
             // 4. Group commit: under `Batched`, every store that
             // appended during this step syncs exactly once, here.
             if self.sync_policy == SyncPolicy::Batched {
+                let t = self.obs.phase_timer();
                 self.sync_stores(&order)?;
+                self.obs.record_phase(QuiescePhase::GroupCommit, t);
             }
+            self.obs.record_phase(QuiescePhase::Step, step_started);
             // Quiescent when nothing was shipped or delivered this step
             // (local fixpoints already ran) and gossip is dormant.
             if shipped == 0 && delivered == 0 && gossip_sent == 0 {
+                self.publish_obs();
                 return Ok(self.stats);
             }
         }
@@ -1248,6 +1497,7 @@ impl System {
         if shards <= 1 {
             // Serial fast path: iterate directly instead of building
             // the per-shard reference maps the parallel split needs.
+            let started = self.obs.phase_timer();
             for &p in order {
                 let ws = self.workspaces.get_mut(&p).expect("registered");
                 match ws.evaluate() {
@@ -1255,6 +1505,9 @@ impl System {
                     Err(WsError::Constraint(_)) => self.stats.local_rollbacks += 1,
                     Err(e) => return Err(e.into()),
                 }
+            }
+            if let Some(s) = started {
+                self.obs.record_shard_fixpoint(0, s.elapsed());
             }
             return Ok(());
         }
@@ -1270,18 +1523,22 @@ impl System {
                     .collect()
             })
             .collect();
+        // Each worker times its own slice, so the per-shard histograms
+        // expose fixpoint imbalance across the registration order.
         let results = map_shards(work, |workspaces| {
+            let started = Instant::now();
             let mut rollbacks = 0usize;
             for ws in workspaces {
                 match ws.evaluate() {
                     Ok(_) => {}
                     Err(WsError::Constraint(_)) => rollbacks += 1,
-                    Err(e) => return Err(e),
+                    Err(e) => return (Err(e), started.elapsed()),
                 }
             }
-            Ok(rollbacks)
+            (Ok(rollbacks), started.elapsed())
         });
-        for result in results {
+        for (shard, (result, elapsed)) in results.into_iter().enumerate() {
+            self.obs.record_shard_fixpoint(shard, elapsed);
             self.stats.local_rollbacks += result.map_err(SysError::Workspace)?;
         }
         Ok(())

@@ -516,6 +516,17 @@ impl Workspace {
     /// Explains how a fact was derived (provenance, §7 of the paper).
     /// Returns `None` if the fact does not hold.
     pub fn explain(&self, fact_src: &str) -> Result<Option<String>, WsError> {
+        Ok(self.explain_proof(fact_src)?.map(|proof| proof.render()))
+    }
+
+    /// [`Workspace::explain`], but returning the structured proof tree
+    /// instead of its rendering — callers that need the derivation's
+    /// *premises* (e.g. the decision journal collecting the `says`
+    /// facts an authorization rests on) walk this.
+    pub fn explain_proof(
+        &self,
+        fact_src: &str,
+    ) -> Result<Option<lbtrust_datalog::provenance::Proof>, WsError> {
         let atom = lbtrust_datalog::parse_atom(fact_src)?;
         let atom = atom.substitute_sym(Symbol::intern("me"), self.me);
         let pred = atom.pred.name().ok_or(WsError::Parse(ParseError {
@@ -535,10 +546,13 @@ impl Workspace {
             .map(|(_, r)| r.as_ref().clone())
             .chain(self.generated.iter().map(|r| r.as_ref().clone()))
             .collect();
-        Ok(
-            lbtrust_datalog::provenance::explain(&rules, &self.db, &self.builtins, pred, &tuple)
-                .map(|proof| proof.render()),
-        )
+        Ok(lbtrust_datalog::provenance::explain(
+            &rules,
+            &self.db,
+            &self.builtins,
+            pred,
+            &tuple,
+        ))
     }
 
     // ---- evaluation ---------------------------------------------------------

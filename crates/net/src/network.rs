@@ -8,6 +8,7 @@
 //! reproducible.
 
 use crate::node::NodeId;
+use lbtrust_obs::{Counter, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -66,6 +67,35 @@ pub struct NetworkStats {
     pub bytes_sent: usize,
 }
 
+/// Live registry counters mirroring [`NetworkStats`], so the unified
+/// observability snapshot reconciles against the ad-hoc struct.
+#[derive(Clone, Debug)]
+pub struct NetMetrics {
+    /// Mirrors `NetworkStats.sent` (`net.sent`).
+    pub sent: Counter,
+    /// Mirrors `NetworkStats.delivered` (`net.delivered`).
+    pub delivered: Counter,
+    /// Mirrors `NetworkStats.dropped` (`net.dropped`).
+    pub dropped: Counter,
+    /// Mirrors `NetworkStats.duplicated` (`net.duplicated`).
+    pub duplicated: Counter,
+    /// Mirrors `NetworkStats.bytes_sent` (`net.bytes_sent`).
+    pub bytes_sent: Counter,
+}
+
+impl NetMetrics {
+    /// Counters registered under the `net.*` namespace of `registry`.
+    pub fn registered_in(registry: &Registry) -> NetMetrics {
+        NetMetrics {
+            sent: registry.counter("net.sent"),
+            delivered: registry.counter("net.delivered"),
+            dropped: registry.counter("net.dropped"),
+            duplicated: registry.counter("net.duplicated"),
+            bytes_sent: registry.counter("net.bytes_sent"),
+        }
+    }
+}
+
 /// The discrete-event network simulator.
 #[derive(Debug)]
 pub struct SimNetwork {
@@ -76,6 +106,7 @@ pub struct SimNetwork {
     /// Min-heap on (delivery time, sequence) for deterministic order.
     queue: BinaryHeap<Reverse<(u64, u64, QueuedEnvelope)>>,
     stats: NetworkStats,
+    metrics: Option<NetMetrics>,
 }
 
 /// Envelope wrapper ordered by its position in the tuple above; the
@@ -99,7 +130,21 @@ impl SimNetwork {
             seq: 0,
             queue: BinaryHeap::new(),
             stats: NetworkStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Mirrors every future stat change into `registry`'s `net.*`
+    /// counters. Existing totals are seeded in so attaching mid-flight
+    /// still reconciles with [`SimNetwork::stats`].
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        let metrics = NetMetrics::registered_in(registry);
+        metrics.sent.add(self.stats.sent as u64);
+        metrics.delivered.add(self.stats.delivered as u64);
+        metrics.dropped.add(self.stats.dropped as u64);
+        metrics.duplicated.add(self.stats.duplicated as u64);
+        metrics.bytes_sent.add(self.stats.bytes_sent as u64);
+        self.metrics = Some(metrics);
     }
 
     /// A perfect network (no loss, fixed latency) with a fixed seed.
@@ -133,13 +178,23 @@ impl SimNetwork {
     pub fn send(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) -> bool {
         self.stats.sent += 1;
         self.stats.bytes_sent += payload.len();
+        if let Some(m) = &self.metrics {
+            m.sent.inc();
+            m.bytes_sent.add(payload.len() as u64);
+        }
         if self.config.drop_prob > 0.0 && self.rng.gen_bool(self.config.drop_prob) {
             self.stats.dropped += 1;
+            if let Some(m) = &self.metrics {
+                m.dropped.inc();
+            }
             return false;
         }
         self.enqueue(from, to, payload.clone());
         if self.config.duplicate_prob > 0.0 && self.rng.gen_bool(self.config.duplicate_prob) {
             self.stats.duplicated += 1;
+            if let Some(m) = &self.metrics {
+                m.duplicated.inc();
+            }
             self.enqueue(from, to, payload);
         }
         true
@@ -167,6 +222,9 @@ impl SimNetwork {
         let Reverse((time, _, queued)) = self.queue.pop()?;
         self.clock = self.clock.max(time);
         self.stats.delivered += 1;
+        if let Some(m) = &self.metrics {
+            m.delivered.inc();
+        }
         Some(Envelope {
             from: queued.from,
             to: queued.to,

@@ -1,0 +1,333 @@
+//! The structured event journal: typed events routed to a pluggable
+//! sink. The runtime records authorization decisions here — principal,
+//! goal, verdict, and the digests of the credentials the derivation
+//! rests on — so "why was X allowed?" is answerable from a log line.
+//!
+//! A [`Journal`] is disabled by default and costs one branch per call
+//! site when disabled (`enabled()` is checked before events are even
+//! constructed). Three sinks ship with the crate: [`NullSink`] (drop
+//! everything), [`RingSink`] (fixed-capacity in-memory buffer for
+//! tests and live inspection), and [`JsonlSink`] (one JSON object per
+//! line, append-only).
+
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::json::ObjectWriter;
+
+/// One typed field of an [`Event`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Field {
+    /// A string value.
+    Str(String),
+    /// An unsigned integer value.
+    U64(u64),
+    /// A boolean value.
+    Bool(bool),
+    /// A list of strings (e.g. supporting certificate digests).
+    List(Vec<String>),
+}
+
+/// A structured journal event: a kind plus ordered key/value fields.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// The event kind, e.g. `"authorize"`.
+    pub kind: String,
+    /// Ordered fields; keys are not deduplicated.
+    pub fields: Vec<(String, Field)>,
+}
+
+impl Event {
+    /// A new event of the given kind with no fields yet.
+    pub fn new(kind: &str) -> Event {
+        Event {
+            kind: kind.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds a string field.
+    pub fn str_field(mut self, key: &str, value: &str) -> Event {
+        self.fields
+            .push((key.to_string(), Field::Str(value.to_string())));
+        self
+    }
+
+    /// Adds an unsigned-integer field.
+    pub fn u64_field(mut self, key: &str, value: u64) -> Event {
+        self.fields.push((key.to_string(), Field::U64(value)));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool_field(mut self, key: &str, value: bool) -> Event {
+        self.fields.push((key.to_string(), Field::Bool(value)));
+        self
+    }
+
+    /// Adds a list-of-strings field.
+    pub fn list_field(mut self, key: &str, values: Vec<String>) -> Event {
+        self.fields.push((key.to_string(), Field::List(values)));
+        self
+    }
+
+    /// The first field with the given key, if any.
+    pub fn field(&self, key: &str) -> Option<&Field> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Renders the event as one JSON object (`{"event": kind, ...}`).
+    pub fn to_json(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.str_field("event", &self.kind);
+        for (key, value) in &self.fields {
+            match value {
+                Field::Str(s) => w.str_field(key, s),
+                Field::U64(n) => w.u64_field(key, *n),
+                Field::Bool(b) => w.bool_field(key, *b),
+                Field::List(l) => w.str_list_field(key, l),
+            };
+        }
+        w.finish()
+    }
+}
+
+/// Where journal events go. Implementations must tolerate concurrent
+/// `record` calls.
+pub trait EventSink: Send + Sync {
+    /// Records one event.
+    fn record(&self, event: &Event);
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// A sink that drops every event.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// A fixed-capacity in-memory ring buffer: once full, the oldest
+/// event is evicted to make room. Good for tests and for keeping the
+/// last N decisions inspectable in a long-running process.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    events: Mutex<VecDeque<Event>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// A copy of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for RingSink {
+    fn record(&self, event: &Event) {
+        let mut events = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event.clone());
+    }
+}
+
+/// A sink writing one JSON object per line to an append-only file.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Opens (creating or appending to) the JSONL file at `path`.
+    pub fn create(path: &Path) -> io::Result<JsonlSink> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // A full disk shouldn't take the trust runtime down with it.
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = w.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(w) = self.writer.get_mut() {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// A handle call sites record through. Disabled (the default) it is a
+/// `None` check; enabled it forwards to the configured sink.
+#[derive(Clone, Default)]
+pub struct Journal {
+    sink: Option<Arc<dyn EventSink>>,
+}
+
+impl Journal {
+    /// A disabled journal.
+    pub fn disabled() -> Journal {
+        Journal::default()
+    }
+
+    /// A journal forwarding to `sink`.
+    pub fn to_sink(sink: Arc<dyn EventSink>) -> Journal {
+        Journal { sink: Some(sink) }
+    }
+
+    /// Whether recording does anything — check before building events
+    /// so disabled call sites pay one branch, not an allocation.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records `event` if enabled.
+    pub fn record(&self, event: &Event) {
+        if let Some(sink) = &self.sink {
+            sink.record(event);
+        }
+    }
+
+    /// Flushes the sink if enabled.
+    pub fn flush(&self) {
+        if let Some(sink) = &self.sink {
+            sink.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_buffer_wraps_dropping_oldest() {
+        let ring = RingSink::new(3);
+        for i in 0..5u64 {
+            ring.record(&Event::new("tick").u64_field("i", i));
+        }
+        let kept: Vec<u64> = ring
+            .events()
+            .iter()
+            .map(|e| match e.field("i") {
+                Some(Field::U64(n)) => *n,
+                _ => panic!("missing i"),
+            })
+            .collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn ring_capacity_is_at_least_one() {
+        let ring = RingSink::new(0);
+        ring.record(&Event::new("a"));
+        ring.record(&Event::new("b"));
+        assert_eq!(ring.events().len(), 1);
+        assert_eq!(ring.events()[0].kind, "b");
+    }
+
+    #[test]
+    fn event_json_escapes_fields() {
+        let e = Event::new("authorize")
+            .str_field("goal", "enter(\"x\",\\y)")
+            .bool_field("granted", true)
+            .u64_field("n", 2)
+            .list_field("supporting", vec!["ab\ncd".into()]);
+        assert_eq!(
+            e.to_json(),
+            r#"{"event":"authorize","goal":"enter(\"x\",\\y)","granted":true,"n":2,"supporting":["ab\ncd"]}"#
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_escaped_object_per_line() {
+        let dir = std::env::temp_dir().join(format!(
+            "obs_jsonl_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.record(&Event::new("a").str_field("s", "line1\nline2"));
+            sink.record(&Event::new("b").u64_field("n", 9));
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "embedded newline must stay escaped");
+        assert_eq!(lines[0], r#"{"event":"a","s":"line1\nline2"}"#);
+        assert_eq!(lines[1], r#"{"event":"b","n":9}"#);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_journal_is_inert() {
+        let j = Journal::disabled();
+        assert!(!j.enabled());
+        j.record(&Event::new("never"));
+        j.flush();
+    }
+
+    #[test]
+    fn journal_forwards_to_sink() {
+        let ring = Arc::new(RingSink::new(8));
+        let j = Journal::to_sink(ring.clone());
+        assert!(j.enabled());
+        j.record(&Event::new("hit"));
+        assert_eq!(ring.events().len(), 1);
+    }
+}

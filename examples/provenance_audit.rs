@@ -9,8 +9,10 @@
 //!
 //! Run with: `cargo run -p lbtrust-examples --bin provenance_audit`
 
+use lbtrust::obs::JsonlSink;
 use lbtrust::System;
 use lbtrust_d1lp::D1lpPolicy;
+use std::sync::Arc;
 
 fn main() {
     let mut sys = System::new().with_rsa_bits(512);
@@ -50,6 +52,25 @@ fn main() {
 
     sys.run_to_quiescence(32).unwrap();
 
+    // Evan's badge arrives as a *certificate* — a signed, durable
+    // credential imported into hq's store — so the decision below can
+    // cite a content address, not just a derivation.
+    let badge_cert = sys
+        .issue_certificates(contractor, "badge(evan).", &[], None)
+        .unwrap();
+    sys.import_certificates(hq, badge_cert).unwrap();
+    sys.run_to_quiescence(32).unwrap();
+
+    // Every authorization decision from here on is journaled as one
+    // JSON object per line — principal, goal, verdict, and the digests
+    // of the certificates the proof rests on.
+    let journal_path = std::env::temp_dir().join(format!(
+        "provenance_audit_decisions_{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&journal_path);
+    sys.enable_decision_journal(Arc::new(JsonlSink::create(&journal_path).unwrap()));
+
     let hq_ws = sys.workspace(hq).unwrap();
     println!("== Access audit at hq ==\n");
     for (person, building) in [("dana", "hq_tower"), ("evan", "hq_tower")] {
@@ -73,4 +94,41 @@ fn main() {
 
     // Table dump — the stand-in for the paper's §9 visualizer.
     println!("\n{}", hq_ws.dump(&["badge", "scheduled", "enter"]));
+
+    // The officer's decision log: authorize() walks the proof for
+    // `says` premises and traces each certified rule back through the
+    // store's audit trail to the credential that introduced it.
+    println!("== Journaled decisions ==\n");
+    for goal in [
+        "enter(evan,hq_tower)",
+        "enter(dana,hq_tower)",
+        "enter(mallory,hq_tower)",
+    ] {
+        let decision = sys.authorize(hq, goal).unwrap();
+        let verdict = if decision.granted {
+            "GRANTED"
+        } else {
+            "denied"
+        };
+        println!("{goal}: {verdict}");
+        for digest in &decision.supporting {
+            println!("  supported by certificate {}", digest.to_hex());
+        }
+    }
+
+    // Evan's grant must cite the badge certificate the audit trail
+    // attributes to the contractor.
+    let audited = sys.audit_introducers(hq, "badge(evan).").unwrap();
+    assert!(!audited.is_empty(), "audit trail lost the badge credential");
+    let evan = sys.authorize(hq, "enter(evan,hq_tower)").unwrap();
+    assert!(evan.granted);
+    assert!(evan
+        .supporting
+        .iter()
+        .any(|d| audited.iter().any(|e| e.digest == *d)));
+
+    sys.flush_decision_journal();
+    println!("\n== Decision journal ({}) ==\n", journal_path.display());
+    print!("{}", std::fs::read_to_string(&journal_path).unwrap());
+    let _ = std::fs::remove_file(&journal_path);
 }

@@ -1,0 +1,328 @@
+//! The unified observability layer, end to end: registry counters must
+//! reconcile with the `SystemStats`/`NetworkStats`/`StoreStats` ledgers
+//! they mirror, deterministic snapshots must be identical across serial
+//! and sharded engines (wall-clock timing excluded), phase spans must
+//! actually record, and journaled authorization decisions must cite
+//! exactly the certificate digests the audit trail knows.
+
+use lbtrust::obs::{Journal, Registry, RingSink};
+use lbtrust::{Principal, SyncPolicy, System};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("obs-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A hub fanning `says` chains to `receivers` receivers, each folding
+/// them into a transitive closure — enough cross-principal traffic to
+/// exercise every quiescence phase.
+fn fanout_system(shards: usize, receivers: usize) -> System {
+    let mut sys = System::new()
+        .with_rsa_bits(512)
+        .with_shards(shards)
+        .with_sync_policy(SyncPolicy::Batched);
+    let hub = sys.add_principal("hub", "n0").unwrap();
+    for i in 0..receivers {
+        let name = format!("r{i}");
+        let p = sys.add_principal(&name, &format!("m{i}")).unwrap();
+        sys.workspace_mut(p)
+            .unwrap()
+            .load(
+                "policy",
+                "edge(X,Y) <- says(hub,me,[| ledge(X,Y) |]).\n\
+                 reach(X,Y) <- edge(X,Y).\n\
+                 reach(X,Z) <- reach(X,Y), edge(Y,Z).\n",
+            )
+            .unwrap();
+        sys.workspace_mut(hub)
+            .unwrap()
+            .load(
+                "policy",
+                &format!("says(me,{name},[| ledge(X,Y). |]) <- vedge(X,Y)."),
+            )
+            .unwrap();
+    }
+    sys.workspace_mut(hub)
+        .unwrap()
+        .assert_src("vedge(a,b). vedge(b,c). vedge(c,d).")
+        .unwrap();
+    sys.run_to_quiescence(16).unwrap();
+    sys
+}
+
+/// Satellite (a): the three ledgers and the registry agree. The
+/// engine-level guarantee `messages_sent == net.sent - net.dropped`
+/// must hold both between the stats structs and between the live
+/// registry counters they feed.
+#[test]
+fn registry_reconciles_with_stats_ledgers() {
+    let sys = fanout_system(1, 4);
+    let stats = sys.stats();
+    let net = sys.net_stats();
+    assert_eq!(stats.messages_sent, net.sent - net.dropped);
+
+    let snap = sys.obs_registry().snapshot();
+    assert_eq!(snap.counter("net.sent").unwrap(), net.sent as u64);
+    assert_eq!(snap.counter("net.dropped").unwrap(), net.dropped as u64);
+    assert_eq!(snap.counter("net.delivered").unwrap(), net.delivered as u64);
+    assert_eq!(
+        stats.messages_sent as u64,
+        snap.counter("net.sent").unwrap() - snap.counter("net.dropped").unwrap()
+    );
+    // publish_obs ran at quiescence: the system gauges mirror the
+    // stats struct.
+    assert_eq!(
+        snap.gauge("system.messages_sent").unwrap(),
+        stats.messages_sent as u64
+    );
+    assert_eq!(snap.gauge("system.steps").unwrap(), stats.steps as u64);
+}
+
+/// Satellite (a), durable half: `StoreStats::syncs` vs the registry's
+/// aggregate `store.syncs` counter, over persistent stores under group
+/// commit.
+#[test]
+fn store_sync_counter_reconciles_with_fsyncs() {
+    let dir = tmp_dir("syncs");
+    let mut sys = System::open_persistent(&dir)
+        .unwrap()
+        .with_rsa_bits(512)
+        .with_sync_policy(SyncPolicy::Batched);
+    let alice = sys.add_principal("alice", "n1").unwrap();
+    let bob = sys.add_principal("bob", "n2").unwrap();
+    sys.workspace_mut(bob)
+        .unwrap()
+        .load(
+            "policy",
+            "access(P,f,read) <- says(alice,me,[| good(P) |]).",
+        )
+        .unwrap();
+    let certs = sys
+        .issue_certificates(alice, "good(carol). good(dave).", &[], None)
+        .unwrap();
+    sys.import_certificates(bob, certs).unwrap();
+    sys.run_to_quiescence(16).unwrap();
+
+    let snap = sys.obs_registry().snapshot();
+    assert!(sys.fsyncs() > 0, "batched run must have group-committed");
+    assert_eq!(snap.counter("store.syncs").unwrap(), sys.fsyncs());
+    let imported: u64 = sys
+        .principals()
+        .iter()
+        .map(|p| sys.cert_store(*p).unwrap().stats().imports)
+        .sum();
+    assert_eq!(snap.counter("store.imports").unwrap(), imported);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Instrumentation must not perturb the engine: a serial and a sharded
+/// run of the same workload produce identical deterministic snapshots,
+/// and the wall-clock histograms (which legitimately differ) are
+/// excluded from exactly that comparison.
+#[test]
+fn deterministic_snapshot_is_shard_invariant_and_excludes_timing() {
+    let serial = fanout_system(1, 6);
+    let sharded = fanout_system(4, 6);
+    let a = serial.obs_registry().deterministic_snapshot();
+    let b = sharded.obs_registry().deterministic_snapshot();
+    assert_eq!(a, b, "serial and sharded deterministic snapshots diverge");
+
+    // The full snapshot does carry timing; the deterministic one must not.
+    let full = serial.obs_registry().snapshot();
+    assert!(full.histogram("quiesce.step_ns").is_some());
+    assert!(a.histogram("quiesce.step_ns").is_none());
+    assert!(a.histogram("quiesce.fixpoint.shard0_ns").is_none());
+}
+
+/// Phase spans record when timing is on (the default) — per phase and
+/// per shard — and stay silent when switched off.
+#[test]
+fn phase_timing_records_per_phase_and_per_shard() {
+    let sys = fanout_system(2, 6);
+    let timings = sys.obs_registry().timings();
+    let count_of = |name: &str| {
+        timings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.count)
+            .unwrap_or(0)
+    };
+    for name in [
+        "quiesce.step_ns",
+        "quiesce.fixpoint_ns",
+        "quiesce.export_drain_ns",
+        "quiesce.delivery_ns",
+        "quiesce.group_commit_ns",
+        "quiesce.fixpoint.shard0_ns",
+        "quiesce.fixpoint.shard1_ns",
+    ] {
+        assert!(count_of(name) > 0, "no samples recorded for {name}");
+    }
+
+    let mut quiet = fanout_system(2, 4);
+    quiet.set_phase_timing(false);
+    let before = quiet.obs_registry().timings();
+    quiet
+        .workspace_mut(Principal::from("hub"))
+        .unwrap()
+        .assert_src("vedge(d,e).")
+        .unwrap();
+    quiet.run_to_quiescence(16).unwrap();
+    let after = quiet.obs_registry().timings();
+    for ((name, b), (_, a)) in before.iter().zip(after.iter()) {
+        assert_eq!(b.count, a.count, "{name} recorded with timing disabled");
+    }
+}
+
+/// The decision journal: `authorize` must grant exactly what the
+/// workspace derives, cite the digests the audit trail attributes the
+/// supporting certified rule to, and journal the same digests to the
+/// attached sink.
+#[test]
+fn journaled_decisions_cite_audit_introducers() {
+    let mut sys = System::new().with_rsa_bits(512);
+    let ring = Arc::new(RingSink::new(16));
+    sys.enable_decision_journal(ring.clone());
+
+    let alice = sys.add_principal("alice", "n1").unwrap();
+    let bob = sys.add_principal("bob", "n2").unwrap();
+    sys.workspace_mut(bob)
+        .unwrap()
+        .load(
+            "policy",
+            "access(P,f,read) <- says(alice,me,[| good(P) |]).",
+        )
+        .unwrap();
+    let certs = sys
+        .issue_certificates(alice, "good(carol).", &[], None)
+        .unwrap();
+    sys.import_certificates(bob, certs).unwrap();
+    sys.run_to_quiescence(16).unwrap();
+
+    let granted = sys.authorize(bob, "access(carol,f,read)").unwrap();
+    assert!(granted.granted);
+    assert!(granted.proof.is_some());
+    assert!(
+        !granted.supporting.is_empty(),
+        "a says-backed grant must cite its credentials"
+    );
+    let audited: Vec<String> = sys
+        .audit_introducers(bob, "good(carol).")
+        .unwrap()
+        .iter()
+        .map(|e| e.digest.to_hex())
+        .collect();
+    let cited: Vec<String> = granted.supporting.iter().map(|d| d.to_hex()).collect();
+    for hex in &cited {
+        assert!(audited.contains(hex), "cited digest {hex} unknown to audit");
+    }
+
+    let denied = sys.authorize(bob, "access(mallory,f,read)").unwrap();
+    assert!(!denied.granted);
+    assert!(denied.supporting.is_empty());
+
+    // The sink saw both decisions, digests intact.
+    let events = ring.events();
+    assert_eq!(events.len(), 2);
+    assert_eq!(events[0].kind, "authorize");
+    let json = events[0].to_json();
+    assert!(json.contains("\"granted\":true"));
+    for hex in &cited {
+        assert!(json.contains(hex.as_str()));
+    }
+    assert!(events[1].to_json().contains("\"granted\":false"));
+
+    // Counter ledger: one grant, one denial.
+    let snap = sys.obs_registry().snapshot();
+    assert_eq!(snap.counter("authz.granted").unwrap(), 1);
+    assert_eq!(snap.counter("authz.denied").unwrap(), 1);
+}
+
+/// The JSONL sink round-trips through a real file: one JSON object per
+/// line, carrying the same digests the in-memory decision reported.
+#[test]
+fn jsonl_journal_round_trips_through_file() {
+    use lbtrust::obs::JsonlSink;
+
+    let dir = tmp_dir("jsonl");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("decisions.jsonl");
+    let mut sys = System::new().with_rsa_bits(512);
+    sys.enable_decision_journal(Arc::new(JsonlSink::create(&path).unwrap()));
+
+    let alice = sys.add_principal("alice", "n1").unwrap();
+    let bob = sys.add_principal("bob", "n2").unwrap();
+    sys.workspace_mut(bob)
+        .unwrap()
+        .load(
+            "policy",
+            "access(P,f,read) <- says(alice,me,[| good(P) |]).",
+        )
+        .unwrap();
+    let certs = sys
+        .issue_certificates(alice, "good(carol).", &[], None)
+        .unwrap();
+    sys.import_certificates(bob, certs).unwrap();
+    sys.run_to_quiescence(16).unwrap();
+
+    let decision = sys.authorize(bob, "access(carol,f,read)").unwrap();
+    assert!(decision.granted);
+    drop(sys); // flush-on-drop
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 1);
+    assert!(lines[0].starts_with("{\"event\":\"authorize\""));
+    assert!(lines[0].ends_with('}'));
+    for d in &decision.supporting {
+        assert!(lines[0].contains(&d.to_hex()));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A shared registry across systems accumulates (the bench-harness
+/// use), and `with_obs_registry` rebinds before principals register.
+#[test]
+fn shared_registry_accumulates_across_systems() {
+    let shared = Registry::new();
+    for _ in 0..2 {
+        let mut sys = System::new()
+            .with_rsa_bits(512)
+            .with_obs_registry(shared.clone());
+        let hub = sys.add_principal("hub", "n0").unwrap();
+        let r = sys.add_principal("r0", "m0").unwrap();
+        sys.workspace_mut(r)
+            .unwrap()
+            .load("policy", "seen(X) <- says(hub,me,[| ping(X) |]).")
+            .unwrap();
+        sys.workspace_mut(hub)
+            .unwrap()
+            .load("policy", "says(me,r0,[| ping(X). |]) <- go(X).")
+            .unwrap();
+        sys.workspace_mut(hub)
+            .unwrap()
+            .assert_src("go(a).")
+            .unwrap();
+        sys.run_to_quiescence(16).unwrap();
+        assert_eq!(sys.stats().messages_sent, 1);
+    }
+    // Two systems, one message each, one shared ledger.
+    assert_eq!(shared.snapshot().counter("net.sent").unwrap(), 2);
+}
+
+/// The journal fast path: a disabled journal records nothing and
+/// reports itself disabled; a sink makes it live.
+#[test]
+fn journal_disabled_is_inert() {
+    let journal = Journal::disabled();
+    assert!(!journal.enabled());
+    let ring = Arc::new(RingSink::new(4));
+    let journal = Journal::to_sink(ring.clone());
+    assert!(journal.enabled());
+    journal.record(&lbtrust::obs::Event::new("x"));
+    assert_eq!(ring.len(), 1);
+}
