@@ -99,10 +99,18 @@ fn compaction_lifecycle(c: &mut Criterion) {
     // their lifecycle spans (storelog.replay_ns, replayed bytes) here,
     // so BENCH_compaction.json carries a replay-phase breakdown.
     let registry = Registry::new();
-    let mut report = Report::new("compaction").note(
-        "workload",
-        &format!("{ROUND_CERTS} certs/round, {SURVIVORS} survivors, history swept 1x/4x/16x"),
-    );
+    let mut report = Report::new("compaction")
+        .note(
+            "workload",
+            &format!("{ROUND_CERTS} certs/round, {SURVIVORS} survivors, history swept 1x/4x/16x"),
+        )
+        .note(
+            "cores",
+            &std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .to_string(),
+        );
 
     for &mult in &[1usize, 4, 16] {
         let dir = tmp_dir(&format!("hist{mult}"));

@@ -110,10 +110,18 @@ fn gossip_convergence(c: &mut Criterion) {
     // gossip. Deterministic (seeded by loss rate), so the summary
     // lines are reproducible.
     const REVS: usize = 8;
-    let mut report = Report::new("gossip").note(
-        "workload",
-        &format!("{PRINCIPALS} principals, {REVS} revocations per loss rate"),
-    );
+    let mut report = Report::new("gossip")
+        .note(
+            "workload",
+            &format!("{PRINCIPALS} principals, {REVS} revocations per loss rate"),
+        )
+        .note(
+            "cores",
+            &std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .to_string(),
+        );
     for &pct in DROP_PCTS {
         // Baseline: broadcast only. Count stores left divergent.
         let (mut base, hub, digests) = fanout_system(pct, false);

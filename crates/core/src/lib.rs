@@ -55,15 +55,16 @@ pub mod authz;
 pub mod delegation;
 pub mod gossip;
 pub mod obs;
+mod pool;
 pub mod principal;
 pub mod pull;
 pub mod says;
-mod shard;
 pub mod system;
 pub mod workspace;
 
 pub use auth::{AuthScheme, KeyVerifier};
 pub use obs::QuiescePhase;
+pub use pool::{CostModel, PartitionStrategy};
 pub use principal::{KeyDirectory, Principal, SharedKeys};
 pub use system::{AuthzDecision, SyncPolicy, SysError, System, SystemStats};
 pub use workspace::{RetractOutcome, Workspace, WsError};

@@ -58,12 +58,26 @@ pub(crate) struct SystemObs {
     shard_fixpoints: Vec<Histogram>,
     pub(crate) authz_granted: Counter,
     pub(crate) authz_denied: Counter,
+    /// Pool tasks run by a worker other than the one they were queued
+    /// on. Volatile: scheduling-dependent, excluded from deterministic
+    /// snapshots.
+    pool_steals: Counter,
+    /// Total tasks dispatched through the worker pool. Volatile: the
+    /// serial engine dispatches none, so the count differs by shard
+    /// configuration.
+    pool_tasks: Counter,
+    /// max/mean per-worker fixpoint busy time, in thousandths (a gauge
+    /// holds a `u64`; `1000` = perfectly balanced). Volatile.
+    imbalance: Gauge,
 }
 
 impl SystemObs {
     pub(crate) fn new(registry: Registry) -> SystemObs {
         let authz_granted = registry.counter("authz.granted");
         let authz_denied = registry.counter("authz.denied");
+        let pool_steals = registry.volatile_counter("pool.steals");
+        let pool_tasks = registry.volatile_counter("pool.tasks");
+        let imbalance = registry.volatile_gauge("quiesce.imbalance_ratio");
         SystemObs {
             gossip_prepare: registry.timing("quiesce.gossip_prepare_ns"),
             fixpoint: registry.timing("quiesce.fixpoint_ns"),
@@ -76,6 +90,9 @@ impl SystemObs {
             shard_fixpoints: Vec::new(),
             authz_granted,
             authz_denied,
+            pool_steals,
+            pool_tasks,
+            imbalance,
             registry,
             journal: Journal::disabled(),
             timing: true,
@@ -131,5 +148,33 @@ impl SystemObs {
             );
         }
         self.shard_fixpoints[shard].record_duration(elapsed);
+    }
+
+    /// Folds one pool batch's steal/task counts into the volatile
+    /// `pool.*` counters. A no-op for empty batches so pool-free runs
+    /// register nothing.
+    pub(crate) fn record_pool_batch(&self, steals: u64, tasks: usize) {
+        if tasks == 0 {
+            return;
+        }
+        self.pool_steals.add(steals);
+        self.pool_tasks.add(tasks as u64);
+    }
+
+    /// Publishes `quiesce.imbalance_ratio`: max over mean of the
+    /// per-worker cumulative fixpoint busy time, in thousandths (so
+    /// `1000` means perfectly balanced workers and `3000` means the
+    /// slowest worker carried 3x the average). Left untouched when
+    /// phase timing is off or nothing has run.
+    pub(crate) fn publish_imbalance(&self) {
+        let sums: Vec<u64> = self.shard_fixpoints.iter().map(Histogram::sum).collect();
+        let total: u64 = sums.iter().sum();
+        if sums.is_empty() || total == 0 {
+            return;
+        }
+        let max = *sums.iter().max().expect("non-empty");
+        let mean = total as f64 / sums.len() as f64;
+        let ratio = max as f64 / mean.max(1e-9);
+        self.imbalance.set((ratio * 1000.0).round() as u64);
     }
 }

@@ -14,18 +14,20 @@ use crate::gossip::{
     ZERO_FP_HEX,
 };
 use crate::obs::{QuiescePhase, SystemObs};
+use crate::pool::{
+    clamp_shards, split_contiguous, split_lpt, CostModel, PartitionStrategy, WorkerPool,
+};
 use crate::principal::{
     rsa_priv_handle, rsa_pub_handle, shared_keys, shared_secret_handle, Principal, SharedKeys,
 };
 use crate::says::SAYS_DECLS;
-use crate::shard::{chunk_len, clamp_shards, map_shards};
 use crate::workspace::{RetractOutcome, Workspace, WsError};
 use lbtrust_certstore::{
     cert, shared_verify_cache, AuditEntry, CertDigest, CertStore, CertStoreError, ImportOutcome,
     LinkedCert, Revocation, SharedVerifyCache, SignatureVerifier,
 };
 use lbtrust_datalog::provenance::Proof;
-use lbtrust_datalog::{Symbol, Tuple, Value};
+use lbtrust_datalog::{EvalStats, Symbol, Tuple, Value};
 use lbtrust_net::{
     NetworkConfig, NodeId, RevPullMessage, RevSummaryMessage, RevokeMessage, SimNetwork,
     WireMessage, WirePacket,
@@ -35,7 +37,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// System-level errors.
 #[derive(Debug)]
@@ -217,11 +219,26 @@ pub struct System {
     /// store holding at least this many dead (compactable) bytes is
     /// compacted on its shard worker. `None` disables the trigger.
     auto_compact_dead_bytes: Option<u64>,
-    /// Worker shards for [`System::run_to_quiescence`]: workspaces (and
-    /// their stores) are partitioned into this many contiguous slices
-    /// of the registration order, evaluated by `std::thread::scope`
-    /// workers. `1` (the default) is the serial engine.
+    /// Worker count for [`System::run_to_quiescence`]: per-principal
+    /// tasks are dispatched to the persistent [`WorkerPool`] below.
+    /// `1` (the default) is the inline serial engine — no pool exists.
     shards: usize,
+    /// The persistent worker pool, created at [`System::set_shards`]
+    /// when `shards > 1` (resized by recreating) and joined when the
+    /// system drops. Tasks are *owned* values moved out of the maps
+    /// above for one batch and merged back in registration order.
+    pool: Option<WorkerPool<PoolTask, PoolDone>>,
+    /// How per-principal tasks map onto pool workers.
+    partition: PartitionStrategy,
+    /// Whether idle pool workers steal queued tasks from loaded ones.
+    stealing: bool,
+    /// Where the cost estimates driving `CostAware` partitioning come
+    /// from.
+    cost_model: CostModel,
+    /// Per-principal cost estimate from the last local fixpoint
+    /// (deterministic counters or opt-in wall time; see [`CostModel`]),
+    /// feeding the greedy LPT repartition recomputed between steps.
+    costs: HashMap<Principal, u64>,
     /// The anti-entropy revocation gossip layer, when enabled (see
     /// [`System::enable_gossip`]). `None` keeps the pre-gossip
     /// behaviour: revocations propagate only through the eager
@@ -285,6 +302,11 @@ impl System {
             rotate_bytes: None,
             auto_compact_dead_bytes: None,
             shards: 1,
+            pool: None,
+            partition: PartitionStrategy::default(),
+            stealing: true,
+            cost_model: CostModel::default(),
+            costs: HashMap::new(),
             gossip: None,
             obs: SystemObs::new(registry),
         }
@@ -391,6 +413,7 @@ impl System {
         r.gauge("store.live_bytes").set(live);
         r.gauge("store.dead_bytes").set(dead);
         r.gauge("store.segments").set(segments);
+        self.obs.publish_imbalance();
     }
 
     /// Creates a system whose certificate stores are durable: each
@@ -482,21 +505,96 @@ impl System {
         self
     }
 
-    /// Sets how many worker shards [`System::run_to_quiescence`] uses:
-    /// workspaces are partitioned into `shards` contiguous slices of
-    /// the registration order, each evaluated by its own scoped worker
-    /// thread during the local-fixpoint, export-drain and
-    /// delivery-import phases. `1` (the default) runs everything
-    /// inline. Any shard count reaches the same quiescent state — the
-    /// merge points (network sends, placement, statistics) are
-    /// sequential and ordered.
+    /// Sets how many pool workers [`System::run_to_quiescence`] uses.
+    /// `shards > 1` creates (or resizes, by recreating) the persistent
+    /// [`WorkerPool`]: long-lived threads that run the local-fixpoint,
+    /// delivery-import and store-maintenance phases at per-principal
+    /// task granularity, with work stealing
+    /// ([`System::set_stealing`]) and cost-aware repartitioning
+    /// ([`System::set_partition`]). `1` (the default) drops the pool
+    /// and runs everything inline — byte-for-byte the serial engine.
+    /// Any worker count reaches the same quiescent state: results
+    /// merge sequentially in registration order, so which worker ran a
+    /// task is unobservable.
     pub fn set_shards(&mut self, shards: usize) {
         self.shards = shards.max(1);
+        let wanted = if self.shards > 1 { self.shards } else { 0 };
+        let current = self.pool.as_ref().map_or(0, WorkerPool::workers);
+        if wanted != current {
+            self.pool = (wanted > 0).then(|| WorkerPool::new(wanted, Arc::new(run_pool_task)));
+        }
     }
 
-    /// The configured shard count.
+    /// The configured shard (pool worker) count.
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// The pool's thread-liveness witness, for shutdown tests.
+    #[cfg(test)]
+    pub(crate) fn pool_liveness(&self) -> Option<std::sync::Arc<()>> {
+        self.pool.as_ref().map(WorkerPool::liveness)
+    }
+
+    /// Builder form of [`System::set_partition`].
+    pub fn with_partition(mut self, strategy: PartitionStrategy) -> Self {
+        self.set_partition(strategy);
+        self
+    }
+
+    /// Chooses how per-principal tasks are assigned to pool workers:
+    /// [`PartitionStrategy::CostAware`] (the default) re-runs a greedy
+    /// LPT assignment between steps over the last step's per-principal
+    /// cost estimates; [`PartitionStrategy::Contiguous`] keeps the
+    /// original balanced registration-order slices. Either strategy
+    /// reaches the identical quiescent state.
+    pub fn set_partition(&mut self, strategy: PartitionStrategy) {
+        self.partition = strategy;
+    }
+
+    /// The configured partition strategy.
+    pub fn partition(&self) -> PartitionStrategy {
+        self.partition
+    }
+
+    /// Builder form of [`System::set_stealing`].
+    pub fn with_stealing(mut self, on: bool) -> Self {
+        self.set_stealing(on);
+        self
+    }
+
+    /// Turns pool work stealing on or off (on by default): with
+    /// stealing, an idle worker drains the back of the most-loaded
+    /// queue instead of sleeping, so a mis-partitioned hub's backlog
+    /// spreads. Stealing never changes the quiescent state — only
+    /// wall-clock and the volatile `pool.steals` counter.
+    pub fn set_stealing(&mut self, on: bool) {
+        self.stealing = on;
+    }
+
+    /// Whether pool work stealing is on.
+    pub fn stealing(&self) -> bool {
+        self.stealing
+    }
+
+    /// Builder form of [`System::set_cost_model`].
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.set_cost_model(model);
+        self
+    }
+
+    /// Chooses the per-principal cost estimate feeding the cost-aware
+    /// partition: [`CostModel::Deterministic`] (the default) uses the
+    /// last evaluation's rules-fired + facts-derived counters, so the
+    /// partition is identical across runs; [`CostModel::WallTime`]
+    /// opts into last-step wall-clock nanoseconds.
+    pub fn set_cost_model(&mut self, model: CostModel) {
+        self.cost_model = model;
+    }
+
+    /// The configured cost model.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost_model
     }
 
     /// Enables the anti-entropy revocation gossip layer. `program` is
@@ -576,38 +674,67 @@ impl System {
         self.maintain_stores(&order, false)
     }
 
-    /// Runs per-store checkpoint/compaction across the shard workers.
+    /// Runs per-store checkpoint/compaction across the pool workers
+    /// (inline when the system is serial).
     fn maintain_stores(&mut self, order: &[Principal], prune: bool) -> Result<usize, SysError> {
         if order.is_empty() {
             return Ok(0);
         }
-        let shards = clamp_shards(self.shards, order.len());
-        let chunk = chunk_len(order.len(), shards);
-        let mut refs: HashMap<Principal, &mut CertStore> =
-            self.stores.iter_mut().map(|(p, s)| (*p, s)).collect();
-        let work: Vec<Vec<&mut CertStore>> = order
-            .chunks(chunk)
-            .map(|slice| slice.iter().filter_map(|p| refs.remove(p)).collect())
+        let present: Vec<Principal> = order
+            .iter()
+            .copied()
+            .filter(|p| self.stores.contains_key(p))
             .collect();
-        let results = map_shards(work, |stores| {
+        let workers = clamp_shards(self.shards, present.len());
+        if workers <= 1 || self.pool.is_none() {
             let mut performed = 0usize;
-            for store in stores {
+            for p in &present {
+                let store = self.stores.get_mut(p).expect("filtered above");
                 let report = if prune {
-                    store.compact()?
+                    store.compact()
                 } else {
-                    store.checkpoint()?
-                };
+                    store.checkpoint()
+                }
+                .map_err(SysError::Cert)?;
                 if report.performed {
                     performed += 1;
                 }
             }
-            Ok::<_, CertStoreError>(performed)
-        });
-        let mut total = 0;
-        for result in results {
-            total += result?;
+            return Ok(performed);
         }
-        Ok(total)
+        let pool = self.pool.as_ref().expect("pool exists when shards > 1");
+        let tasks: Vec<PoolTask> = present
+            .iter()
+            .map(|p| PoolTask::Store {
+                store: self.stores.remove(p).expect("filtered above"),
+                op: StoreOp::Maintain { prune },
+            })
+            .collect();
+        // fsync-bound work with no per-store cost signal: a balanced
+        // contiguous split plus stealing is as good as LPT here.
+        let queues = split_contiguous(tasks, pool.workers());
+        let report = pool.run_batch(queues, self.stealing);
+        self.obs.record_pool_batch(report.steals, report.tasks);
+        let mut performed = 0usize;
+        let mut first_error: Option<CertStoreError> = None;
+        for (i, done) in report.results.into_iter().enumerate() {
+            let PoolDone::Store { store, result } = done else {
+                unreachable!("store batches return store results");
+            };
+            self.stores.insert(present[i], store);
+            match result {
+                Ok(did) => performed += usize::from(did),
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(SysError::Cert(e)),
+            None => Ok(performed),
+        }
     }
 
     /// Shared key directory (for inspection).
@@ -1493,16 +1620,27 @@ impl System {
     /// across shards. Constraint violations are rollbacks (counted);
     /// any other evaluation error aborts the run.
     fn local_fixpoints(&mut self, order: &[Principal]) -> Result<(), SysError> {
-        let shards = clamp_shards(self.shards, order.len());
-        if shards <= 1 {
-            // Serial fast path: iterate directly instead of building
-            // the per-shard reference maps the parallel split needs.
+        let workers = clamp_shards(self.shards, order.len());
+        if workers <= 1 || self.pool.is_none() {
+            // Serial fast path: iterate directly — no pool, no task
+            // moves. Costs still refresh so a later `set_shards` call
+            // starts from a real estimate.
             let started = self.obs.phase_timer();
             for &p in order {
                 let ws = self.workspaces.get_mut(&p).expect("registered");
+                let eval_started = (self.cost_model == CostModel::WallTime).then(Instant::now);
                 match ws.evaluate() {
-                    Ok(_) => {}
-                    Err(WsError::Constraint(_)) => self.stats.local_rollbacks += 1,
+                    Ok(stats) => {
+                        let cost = match eval_started {
+                            Some(t) => wall_cost(t),
+                            None => deterministic_cost(&stats),
+                        };
+                        self.costs.insert(p, cost);
+                    }
+                    Err(WsError::Constraint(_)) => {
+                        self.stats.local_rollbacks += 1;
+                        self.costs.insert(p, 1);
+                    }
                     Err(e) => return Err(e.into()),
                 }
             }
@@ -1511,37 +1649,63 @@ impl System {
             }
             return Ok(());
         }
-        let chunk = chunk_len(order.len(), shards);
-        let mut refs: HashMap<Principal, &mut Workspace> =
-            self.workspaces.iter_mut().map(|(p, ws)| (*p, ws)).collect();
-        let work: Vec<Vec<&mut Workspace>> = order
-            .chunks(chunk)
-            .map(|slice| {
-                slice
-                    .iter()
-                    .map(|p| refs.remove(p).expect("registered"))
-                    .collect()
+        let pool = self.pool.as_ref().expect("pool exists when shards > 1");
+        // Move each workspace out for the duration of the batch; the
+        // merge below reinserts in registration order.
+        let tasks: Vec<PoolTask> = order
+            .iter()
+            .map(|p| PoolTask::Fixpoint {
+                ws: self.workspaces.remove(p).expect("registered"),
+                time: self.cost_model == CostModel::WallTime,
             })
             .collect();
-        // Each worker times its own slice, so the per-shard histograms
-        // expose fixpoint imbalance across the registration order.
-        let results = map_shards(work, |workspaces| {
-            let started = Instant::now();
-            let mut rollbacks = 0usize;
-            for ws in workspaces {
-                match ws.evaluate() {
-                    Ok(_) => {}
-                    Err(WsError::Constraint(_)) => rollbacks += 1,
-                    Err(e) => return (Err(e), started.elapsed()),
+        let costs: Vec<u64> = order
+            .iter()
+            .map(|p| self.costs.get(p).copied().unwrap_or(1))
+            .collect();
+        let queues = match self.partition {
+            PartitionStrategy::Contiguous => split_contiguous(tasks, pool.workers()),
+            PartitionStrategy::CostAware => split_lpt(tasks, &costs, pool.workers()),
+        };
+        let report = pool.run_batch(queues, self.stealing);
+        self.obs.record_pool_batch(report.steals, report.tasks);
+        // Per-worker busy time feeds the shard histograms (and through
+        // them the imbalance gauge): with stealing on, this is the
+        // *actual* load each worker carried, not the planned partition.
+        for (w, nanos) in report.busy.iter().enumerate() {
+            self.obs
+                .record_shard_fixpoint(w, Duration::from_nanos(*nanos));
+        }
+        let mut first_error: Option<WsError> = None;
+        for (i, done) in report.results.into_iter().enumerate() {
+            let p = order[i];
+            let PoolDone::Fixpoint { ws, result, nanos } = done else {
+                unreachable!("fixpoint batches return fixpoint results");
+            };
+            self.workspaces.insert(p, ws);
+            match result {
+                Ok(stats) => {
+                    let cost = match self.cost_model {
+                        CostModel::Deterministic => deterministic_cost(&stats),
+                        CostModel::WallTime => nanos.max(1),
+                    };
+                    self.costs.insert(p, cost);
+                }
+                Err(WsError::Constraint(_)) => {
+                    self.stats.local_rollbacks += 1;
+                    self.costs.insert(p, 1);
+                }
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
                 }
             }
-            (Ok(rollbacks), started.elapsed())
-        });
-        for (shard, (result, elapsed)) in results.into_iter().enumerate() {
-            self.obs.record_shard_fixpoint(shard, elapsed);
-            self.stats.local_rollbacks += result.map_err(SysError::Workspace)?;
         }
-        Ok(())
+        match first_error {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        }
     }
 
     /// Phase 1b: fold derived `loc(P, N)` facts into the placement map.
@@ -1718,10 +1882,10 @@ impl System {
                 gossip.inbox.entry(p).or_default();
             }
         }
-        let shards = clamp_shards(self.shards, destinations.len());
+        let workers = clamp_shards(self.shards, destinations.len());
         let verifier = self.key_verifier();
         let eager = self.sync_policy == SyncPolicy::Eager;
-        if shards <= 1 {
+        if workers <= 1 || self.pool.is_none() {
             // Serial fast path: process destinations in registration
             // order without the per-shard reference maps. Outcomes are
             // merged before an error propagates, so the statistics
@@ -1748,53 +1912,70 @@ impl System {
             self.serve_pulls(&pulls);
             return Ok(delivered);
         }
-        let chunk = chunk_len(destinations.len(), shards);
-        let mut ws_refs: HashMap<Principal, &mut Workspace> =
-            self.workspaces.iter_mut().map(|(p, ws)| (*p, ws)).collect();
-        let mut store_refs: HashMap<Principal, &mut CertStore> =
-            self.stores.iter_mut().map(|(p, s)| (*p, s)).collect();
-        let mut fact_refs: HashMap<Principal, &mut CertFactIndex> =
-            self.cert_facts.iter_mut().map(|(p, m)| (*p, m)).collect();
-        let mut inbox_refs: HashMap<Principal, &mut HashMap<(Symbol, Symbol), String>> = self
-            .gossip
-            .as_mut()
-            .map(|g| g.inbox.iter_mut().map(|(p, m)| (*p, m)).collect())
-            .unwrap_or_default();
-        let work: Vec<Vec<DeliveryTask>> = destinations
-            .chunks(chunk)
-            .map(|slice| {
-                slice
-                    .iter()
-                    .map(|p| DeliveryTask {
-                        ws: ws_refs.remove(p).expect("registered"),
-                        store: store_refs.remove(p).expect("registered"),
-                        facts: fact_refs.remove(p).expect("entry ensured above"),
-                        gossip_inbox: inbox_refs.remove(p),
-                        revocations: revocations.remove(p).unwrap_or_default(),
-                        summaries: summaries.remove(p).unwrap_or_default(),
-                        tuples: inbox.remove(p).unwrap_or_default(),
-                    })
-                    .collect()
+        // Pooled path: each destination's state moves out as one owned
+        // job, runs on whichever worker claims (or steals) it, and
+        // merges back in registration order — so delivery statistics
+        // and workspace states are identical to the serial engine's.
+        let gossip_on = self.gossip.is_some();
+        let jobs: Vec<PoolTask> = destinations
+            .iter()
+            .map(|p| {
+                PoolTask::Delivery(Box::new(DeliveryJob {
+                    ws: self.workspaces.remove(p).expect("registered"),
+                    store: self.stores.remove(p).expect("registered"),
+                    facts: self.cert_facts.remove(p).expect("entry ensured above"),
+                    gossip_inbox: if gossip_on {
+                        Some(
+                            self.gossip
+                                .as_mut()
+                                .expect("gossip on")
+                                .inbox
+                                .remove(p)
+                                .expect("entry ensured above"),
+                        )
+                    } else {
+                        None
+                    },
+                    revocations: revocations.remove(p).unwrap_or_default(),
+                    summaries: summaries.remove(p).unwrap_or_default(),
+                    tuples: inbox.remove(p).unwrap_or_default(),
+                    verifier: verifier.clone(),
+                    eager,
+                    export,
+                }))
             })
             .collect();
-        let results = map_shards(work, |tasks| {
-            // A hard error stops this shard (matching the serial
-            // engine's stop-at-first-error), but the counters for
-            // everything already applied still come back for merging.
-            let mut outcome = DeliveryOutcome::default();
-            let mut error = None;
-            for task in tasks {
-                let (one, err) = process_destination(task, &verifier, eager, export);
-                outcome.absorb(one);
-                if err.is_some() {
-                    error = err;
-                    break;
-                }
+        let costs: Vec<u64> = destinations
+            .iter()
+            .map(|p| self.costs.get(p).copied().unwrap_or(1))
+            .collect();
+        let pool = self.pool.as_ref().expect("pool exists when shards > 1");
+        let queues = match self.partition {
+            PartitionStrategy::Contiguous => split_contiguous(jobs, pool.workers()),
+            PartitionStrategy::CostAware => split_lpt(jobs, &costs, pool.workers()),
+        };
+        let report = pool.run_batch(queues, self.stealing);
+        self.obs.record_pool_batch(report.steals, report.tasks);
+        let mut first_error: Option<WsError> = None;
+        for (i, done) in report.results.into_iter().enumerate() {
+            let p = destinations[i];
+            let PoolDone::Delivery {
+                ws,
+                store,
+                facts,
+                gossip_inbox,
+                outcome,
+                error,
+            } = done
+            else {
+                unreachable!("delivery batches return delivery results");
+            };
+            self.workspaces.insert(p, ws);
+            self.stores.insert(p, store);
+            self.cert_facts.insert(p, facts);
+            if let (Some(g), Some(ib)) = (self.gossip.as_mut(), gossip_inbox) {
+                g.inbox.insert(p, ib);
             }
-            (outcome, error)
-        });
-        let mut first_error = None;
-        for (outcome, error) in results {
             self.merge_delivery(outcome);
             if first_error.is_none() {
                 first_error = error;
@@ -1868,47 +2049,43 @@ impl System {
         if dirty.is_empty() {
             return Ok(());
         }
-        let shards = clamp_shards(self.shards, dirty.len());
-        let chunk = chunk_len(dirty.len(), shards);
-        let mut refs: HashMap<Principal, &mut CertStore> =
-            self.stores.iter_mut().map(|(p, s)| (*p, s)).collect();
-        let work: Vec<Vec<&mut CertStore>> = dirty
-            .chunks(chunk)
-            .map(|slice| {
-                slice
-                    .iter()
-                    .map(|p| refs.remove(p).expect("registered"))
-                    .collect()
+        let workers = clamp_shards(self.shards, dirty.len());
+        if workers <= 1 || self.pool.is_none() {
+            for p in &dirty {
+                let store = self.stores.get_mut(p).expect("registered");
+                group_commit_store(store, threshold)?;
+            }
+            return Ok(());
+        }
+        let pool = self.pool.as_ref().expect("pool exists when shards > 1");
+        let tasks: Vec<PoolTask> = dirty
+            .iter()
+            .map(|p| PoolTask::Store {
+                store: self.stores.remove(p).expect("registered"),
+                op: StoreOp::GroupCommit {
+                    auto_compact: threshold,
+                },
             })
             .collect();
-        let results = map_shards(work, |stores| {
-            for store in stores {
-                store.sync()?;
-                if let Some(dead) = threshold {
-                    if store.dead_bytes() >= dead {
-                        match store.compact() {
-                            Ok(_) => {}
-                            // A store whose live state outgrew the
-                            // checkpoint frame budget cannot be
-                            // compacted — but it is healthy, and the
-                            // opportunistic trigger must not wedge
-                            // every future group commit over it. An
-                            // explicit `System::compact()` still
-                            // surfaces the condition.
-                            Err(CertStoreError::Storage(
-                                lbtrust_certstore::StorageError::CheckpointTooLarge { .. },
-                            )) => {}
-                            Err(e) => return Err(e),
-                        }
-                    }
+        let queues = split_contiguous(tasks, pool.workers());
+        let report = pool.run_batch(queues, self.stealing);
+        self.obs.record_pool_batch(report.steals, report.tasks);
+        let mut first_error: Option<CertStoreError> = None;
+        for (i, done) in report.results.into_iter().enumerate() {
+            let PoolDone::Store { store, result } = done else {
+                unreachable!("store batches return store results");
+            };
+            self.stores.insert(dirty[i], store);
+            if let Err(e) = result {
+                if first_error.is_none() {
+                    first_error = Some(e);
                 }
             }
-            Ok::<_, CertStoreError>(())
-        });
-        for result in results {
-            result?;
         }
-        Ok(())
+        match first_error {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        }
     }
 
     /// The node hosting `p`, defaulting to a node named after the
@@ -1953,17 +2130,6 @@ struct DeliveryOutcome {
     retractions: usize,
     dred_repairs: usize,
     retraction_rebuilds: usize,
-}
-
-impl DeliveryOutcome {
-    fn absorb(&mut self, other: DeliveryOutcome) {
-        self.accepted += other.accepted;
-        self.rejected += other.rejected;
-        self.revocations += other.revocations;
-        self.retractions += other.retractions;
-        self.dred_repairs += other.dred_repairs;
-        self.retraction_rebuilds += other.retraction_rebuilds;
-    }
 }
 
 /// Applies one destination's routed packets: revocations first (store
@@ -2081,6 +2247,185 @@ fn process_destination(
         }
     }
     (out, None)
+}
+
+// ---- worker-pool task plumbing ------------------------------------------
+
+/// The deterministic per-principal cost estimate: rules fired plus
+/// facts derived in the last evaluation, floored at 1 so an idle
+/// principal still weighs something. Identical across runs, so the
+/// LPT partition built from it is reproducible.
+fn deterministic_cost(stats: &EvalStats) -> u64 {
+    (stats.rule_evals as u64)
+        .saturating_add(stats.derived as u64)
+        .max(1)
+}
+
+/// The opt-in wall-time cost: elapsed nanoseconds, floored at 1.
+fn wall_cost(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos())
+        .unwrap_or(u64::MAX)
+        .max(1)
+}
+
+/// One store's group-commit work: sync, then — with auto-compaction
+/// armed — compact if the dead-byte threshold is reached. Shared by
+/// the serial sweep and the pool workers.
+fn group_commit_store(
+    store: &mut CertStore,
+    auto_compact: Option<u64>,
+) -> Result<(), CertStoreError> {
+    store.sync()?;
+    if let Some(dead) = auto_compact {
+        if store.dead_bytes() >= dead {
+            match store.compact() {
+                Ok(_) => {}
+                // A store whose live state outgrew the checkpoint
+                // frame budget cannot be compacted — but it is
+                // healthy, and the opportunistic trigger must not
+                // wedge every future group commit over it. An explicit
+                // `System::compact()` still surfaces the condition.
+                Err(CertStoreError::Storage(
+                    lbtrust_certstore::StorageError::CheckpointTooLarge { .. },
+                )) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Which maintenance a [`PoolTask::Store`] performs.
+enum StoreOp {
+    /// The group-commit sweep: sync, plus opportunistic compaction.
+    GroupCommit { auto_compact: Option<u64> },
+    /// Explicit `compact()`/`checkpoint()`.
+    Maintain { prune: bool },
+}
+
+/// One unit of pool work: owned state moved out of the `System`'s maps
+/// for the duration of a batch. Ownership (instead of the old scoped
+/// `&mut` slices) is what lets the pool threads outlive any one phase
+/// without unsafe lifetime erasure.
+// A task moves exactly twice (into its queue, out at claim); a shallow
+// struct copy is cheaper than boxing each Workspace/CertStore per step.
+#[allow(clippy::large_enum_variant)]
+enum PoolTask {
+    /// Evaluate one workspace to its local fixpoint.
+    Fixpoint {
+        ws: Workspace,
+        /// Measure wall time for [`CostModel::WallTime`].
+        time: bool,
+    },
+    /// Apply one destination's routed packets (boxed: the job is the
+    /// fattest variant by far).
+    Delivery(Box<DeliveryJob>),
+    /// Sync/compact/checkpoint one certificate store.
+    Store { store: CertStore, op: StoreOp },
+}
+
+/// The matching results, each handing the moved state back for the
+/// sequential registration-order merge.
+// Same trade as [`PoolTask`]: two moves per result, no per-task boxing.
+#[allow(clippy::large_enum_variant)]
+enum PoolDone {
+    Fixpoint {
+        ws: Workspace,
+        result: Result<EvalStats, WsError>,
+        /// Wall nanoseconds of the evaluation (0 unless requested).
+        nanos: u64,
+    },
+    Delivery {
+        ws: Workspace,
+        store: CertStore,
+        facts: CertFactIndex,
+        gossip_inbox: Option<HashMap<(Symbol, Symbol), String>>,
+        outcome: DeliveryOutcome,
+        error: Option<WsError>,
+    },
+    Store {
+        store: CertStore,
+        /// Whether a maintenance pass actually installed (always
+        /// `false` for group commits).
+        result: Result<bool, CertStoreError>,
+    },
+}
+
+/// The owned form of [`DeliveryTask`]: everything one destination
+/// needs, including a clone of the (cheap, `Arc`-backed) verifier and
+/// the per-batch flags, so the task is `'static` and self-contained.
+struct DeliveryJob {
+    ws: Workspace,
+    store: CertStore,
+    facts: CertFactIndex,
+    gossip_inbox: Option<HashMap<(Symbol, Symbol), String>>,
+    revocations: Vec<(Revocation, bool)>,
+    summaries: Vec<(Symbol, Symbol, String)>,
+    tuples: Vec<Tuple>,
+    verifier: KeyVerifier,
+    eager: bool,
+    export: Symbol,
+}
+
+impl DeliveryJob {
+    fn run(&mut self) -> (DeliveryOutcome, Option<WsError>) {
+        let verifier = self.verifier.clone();
+        let task = DeliveryTask {
+            ws: &mut self.ws,
+            store: &mut self.store,
+            facts: &mut self.facts,
+            gossip_inbox: self.gossip_inbox.as_mut(),
+            revocations: std::mem::take(&mut self.revocations),
+            summaries: std::mem::take(&mut self.summaries),
+            tuples: std::mem::take(&mut self.tuples),
+        };
+        process_destination(task, &verifier, self.eager, self.export)
+    }
+}
+
+/// The pool workers' dispatch function — the single `fn` every
+/// [`WorkerPool`] thread runs on each task it claims.
+fn run_pool_task(task: PoolTask) -> PoolDone {
+    match task {
+        PoolTask::Fixpoint { mut ws, time } => {
+            let started = time.then(Instant::now);
+            let result = ws.evaluate();
+            let nanos = started.map_or(0, wall_cost);
+            PoolDone::Fixpoint { ws, result, nanos }
+        }
+        PoolTask::Delivery(mut job) => {
+            let (outcome, error) = job.run();
+            let DeliveryJob {
+                ws,
+                store,
+                facts,
+                gossip_inbox,
+                ..
+            } = *job;
+            PoolDone::Delivery {
+                ws,
+                store,
+                facts,
+                gossip_inbox,
+                outcome,
+                error,
+            }
+        }
+        PoolTask::Store { mut store, op } => {
+            let result = match op {
+                StoreOp::GroupCommit { auto_compact } => {
+                    group_commit_store(&mut store, auto_compact).map(|()| false)
+                }
+                StoreOp::Maintain { prune } => if prune {
+                    store.compact()
+                } else {
+                    store.checkpoint()
+                }
+                .map(|report| report.performed),
+            };
+            PoolDone::Store { store, result }
+        }
+    }
 }
 
 /// Name-based ordering key for one gossip message, so the send order
@@ -2467,5 +2812,39 @@ mod tests {
             .unwrap()
             .holds_src("access(eve,f,read)")
             .unwrap());
+    }
+
+    #[test]
+    fn dropping_a_sharded_system_joins_its_pool_threads() {
+        let mut sys = System::new().with_rsa_bits(512).with_shards(4);
+        let alice = sys.add_principal("alice", "n1").unwrap();
+        let _bob = sys.add_principal("bob", "n2").unwrap();
+        sys.workspace_mut(alice)
+            .unwrap()
+            .load("policy", "says(me,bob,[| good(X). |]) <- vouched(X).")
+            .unwrap();
+        sys.workspace_mut(alice)
+            .unwrap()
+            .assert_src("vouched(carol).")
+            .unwrap();
+        sys.run_to_quiescence(16).unwrap();
+        let alive = sys.pool_liveness().expect("sharded system owns a pool");
+        // 4 worker clones + the pool's own + this one.
+        assert_eq!(std::sync::Arc::strong_count(&alive), 6);
+        drop(sys);
+        // Drop joined every worker, so every thread-held clone is gone:
+        // no leaked pool threads.
+        assert_eq!(std::sync::Arc::strong_count(&alive), 1);
+    }
+
+    #[test]
+    fn resizing_shards_replaces_and_joins_the_old_pool() {
+        let mut sys = System::new().with_rsa_bits(512).with_shards(3);
+        let old = sys.pool_liveness().expect("pool exists at shards=3");
+        // 3 worker clones + the pool's own + this one.
+        assert_eq!(std::sync::Arc::strong_count(&old), 5);
+        sys.set_shards(1); // back to the inline serial engine
+        assert_eq!(std::sync::Arc::strong_count(&old), 1, "old workers joined");
+        assert!(sys.pool_liveness().is_none(), "shards=1 keeps no pool");
     }
 }

@@ -213,19 +213,24 @@ pub enum MetricValue {
     Histogram(HistogramSnapshot),
 }
 
-/// The registry-internal handle union.
+/// The registry-internal handle union. The `bool` on counters and
+/// gauges marks *volatile* metrics — values that legitimately differ
+/// between runs of the same deterministic workload (work-steal counts,
+/// imbalance ratios) and are therefore excluded from
+/// [`Registry::deterministic_snapshot`], exactly like wall-clock
+/// timing histograms.
 #[derive(Clone, Debug)]
 enum Metric {
-    Counter(Counter),
-    Gauge(Gauge),
+    Counter(Counter, bool),
+    Gauge(Gauge, bool),
     Histogram(Histogram),
 }
 
 impl Metric {
     fn kind(&self) -> &'static str {
         match self {
-            Metric::Counter(_) => "counter",
-            Metric::Gauge(_) => "gauge",
+            Metric::Counter(..) => "counter",
+            Metric::Gauge(..) => "gauge",
             Metric::Histogram(h) => {
                 if h.is_timing() {
                     "timing"
@@ -266,9 +271,26 @@ impl Registry {
     pub fn counter(&self, name: &str) -> Counter {
         self.get_or_insert(
             name,
-            || Metric::Counter(Counter::detached()),
+            || Metric::Counter(Counter::detached(), false),
             |m| match m {
-                Metric::Counter(c) => Some(c.clone()),
+                Metric::Counter(c, _) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// A counter handle for `name` marked *volatile*: its value depends
+    /// on scheduling (e.g. how many tasks idle pool workers stole), so
+    /// it is excluded from [`Registry::deterministic_snapshot`]. The
+    /// flag is fixed at first registration — a later plain
+    /// [`Registry::counter`] ask for the same name shares the atomic
+    /// and keeps the volatile marking.
+    pub fn volatile_counter(&self, name: &str) -> Counter {
+        self.get_or_insert(
+            name,
+            || Metric::Counter(Counter::detached(), true),
+            |m| match m {
+                Metric::Counter(c, _) => Some(c.clone()),
                 _ => None,
             },
         )
@@ -278,9 +300,23 @@ impl Registry {
     pub fn gauge(&self, name: &str) -> Gauge {
         self.get_or_insert(
             name,
-            || Metric::Gauge(Gauge::detached()),
+            || Metric::Gauge(Gauge::detached(), false),
             |m| match m {
-                Metric::Gauge(g) => Some(g.clone()),
+                Metric::Gauge(g, _) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// A gauge handle for `name` marked *volatile* (see
+    /// [`Registry::volatile_counter`]): excluded from
+    /// [`Registry::deterministic_snapshot`].
+    pub fn volatile_gauge(&self, name: &str) -> Gauge {
+        self.get_or_insert(
+            name,
+            || Metric::Gauge(Gauge::detached(), true),
+            |m| match m {
+                Metric::Gauge(g, _) => Some(g.clone()),
                 _ => None,
             },
         )
@@ -319,12 +355,16 @@ impl Registry {
         self.snapshot_filtered(|_| true)
     }
 
-    /// Snapshot excluding wall-clock timing histograms — the flavour
-    /// the serial ≡ sharded equivalence tests compare, since counts,
-    /// gauges and size histograms are deterministic while nanosecond
-    /// timings never are.
+    /// Snapshot excluding wall-clock timing histograms and volatile
+    /// counters/gauges — the flavour the serial ≡ sharded equivalence
+    /// tests compare, since counts, gauges and size histograms are
+    /// deterministic while nanosecond timings and scheduling-dependent
+    /// values (steal counts, imbalance ratios) never are.
     pub fn deterministic_snapshot(&self) -> Snapshot {
-        self.snapshot_filtered(|m| !matches!(m, Metric::Histogram(h) if h.is_timing()))
+        self.snapshot_filtered(|m| match m {
+            Metric::Histogram(h) => !h.is_timing(),
+            Metric::Counter(_, volatile) | Metric::Gauge(_, volatile) => !volatile,
+        })
     }
 
     fn snapshot_filtered(&self, keep: impl Fn(&Metric) -> bool) -> Snapshot {
@@ -335,8 +375,8 @@ impl Registry {
                 .filter(|(_, m)| keep(m))
                 .map(|(name, m)| {
                     let value = match m {
-                        Metric::Counter(c) => MetricValue::Counter(c.get()),
-                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Counter(c, _) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g, _) => MetricValue::Gauge(g.get()),
                         Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
                     };
                     (name.clone(), value)
@@ -484,6 +524,29 @@ mod tests {
         assert_eq!(det.counter("net.sent"), Some(7));
         assert_eq!(det.gauge("store.live_bytes"), Some(42));
         assert!(det.histogram("store.replay_bytes").is_some());
+    }
+
+    #[test]
+    fn deterministic_snapshot_excludes_volatile_metrics() {
+        let reg = Registry::new();
+        reg.volatile_counter("pool.steals").add(3);
+        reg.volatile_gauge("quiesce.imbalance_ratio").set(1200);
+        reg.counter("net.sent").add(1);
+
+        let full = reg.snapshot();
+        assert_eq!(full.counter("pool.steals"), Some(3));
+        assert_eq!(full.gauge("quiesce.imbalance_ratio"), Some(1200));
+
+        let det = reg.deterministic_snapshot();
+        assert_eq!(det.counter("pool.steals"), None);
+        assert_eq!(det.gauge("quiesce.imbalance_ratio"), None);
+        assert_eq!(det.counter("net.sent"), Some(1));
+
+        // The volatile flag sticks: a later plain ask shares the atomic
+        // and the metric stays excluded.
+        reg.counter("pool.steals").inc();
+        assert_eq!(reg.snapshot().counter("pool.steals"), Some(4));
+        assert_eq!(reg.deterministic_snapshot().counter("pool.steals"), None);
     }
 
     #[test]

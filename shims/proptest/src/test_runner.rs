@@ -11,16 +11,28 @@ pub struct Config {
 }
 
 impl Config {
-    /// A configuration running `cases` instances per property.
+    /// A configuration running `cases` instances per property. Like
+    /// upstream proptest, the `PROPTEST_CASES` environment variable
+    /// overrides the requested count — so CI can crank a suite up (or a
+    /// quick local run down) without editing the tests.
     pub fn with_cases(cases: u32) -> Self {
-        Config { cases }
+        Config {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
 }
 
 impl Default for Config {
     fn default() -> Self {
-        Config { cases: 64 }
+        Config {
+            cases: env_cases().unwrap_or(64),
+        }
     }
+}
+
+/// `PROPTEST_CASES` as a case count; `None` when unset or unparsable.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
 }
 
 /// The RNG handed to strategies: a [`StdRng`] seeded deterministically
@@ -49,6 +61,19 @@ impl RngCore for TestRng {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn proptest_cases_env_overrides_requested_count() {
+        // Edition 2021: set_var is safe. Serialized within this one
+        // test so no other shim test observes the variable.
+        std::env::set_var("PROPTEST_CASES", "7");
+        assert_eq!(Config::default().cases, 7);
+        assert_eq!(Config::with_cases(512).cases, 7);
+        std::env::set_var("PROPTEST_CASES", "not a number");
+        assert_eq!(Config::with_cases(512).cases, 512);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(Config::default().cases, 64);
+    }
 
     #[test]
     fn deterministic_per_name() {

@@ -178,6 +178,41 @@ fn phase_timing_records_per_phase_and_per_shard() {
     }
 }
 
+/// The worker pool's own telemetry: a sharded run counts dispatched
+/// tasks (and steals, when the scheduler takes any), publishes the
+/// per-worker fixpoint imbalance ratio, and keeps all three out of the
+/// deterministic snapshot — they are scheduling artifacts, not engine
+/// outputs.
+#[test]
+fn pool_metrics_record_tasks_steals_and_imbalance() {
+    let sharded = fanout_system(4, 6);
+    let snap = sharded.obs_registry().snapshot();
+    assert!(
+        snap.counter("pool.tasks").unwrap() > 0,
+        "a sharded run must dispatch work through the pool"
+    );
+    assert!(snap.counter("pool.steals").is_some());
+    let ratio = snap.gauge("quiesce.imbalance_ratio").unwrap();
+    assert!(
+        ratio >= 1000,
+        "max/mean busy time is at least 1.0 (got {ratio} per-mille)"
+    );
+
+    // The serial engine dispatches nothing through the pool.
+    let serial = fanout_system(1, 6);
+    let snap = serial.obs_registry().snapshot();
+    assert_eq!(snap.counter("pool.tasks").unwrap(), 0);
+    assert_eq!(snap.counter("pool.steals").unwrap(), 0);
+
+    // Volatile by design: present in the full snapshot (above), but
+    // excluded from the deterministic one — which is exactly what lets
+    // deterministic snapshots stay shard-invariant.
+    let det = sharded.obs_registry().deterministic_snapshot();
+    assert!(det.counter("pool.tasks").is_none());
+    assert!(det.counter("pool.steals").is_none());
+    assert!(det.gauge("quiesce.imbalance_ratio").is_none());
+}
+
 /// The decision journal: `authorize` must grant exactly what the
 /// workspace derives, cite the digests the audit trail attributes the
 /// supporting certified rule to, and journal the same digests to the

@@ -4,7 +4,7 @@
 //! statistics — because shards only ever own disjoint principals and
 //! every cross-shard effect merges sequentially in registration order.
 
-use lbtrust::{Principal, SyncPolicy, System};
+use lbtrust::{CostModel, PartitionStrategy, Principal, SyncPolicy, System};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -151,6 +151,164 @@ proptest! {
             );
         }
         prop_assert_eq!(stat_fingerprint(&serial), stat_fingerprint(&parallel));
+    }
+}
+
+/// A deliberately skewed hub-and-spoke workload: the hub principal
+/// carries roughly half of all rules (one `says` rule per spoke plus a
+/// transitive closure over the generated edges) and issues every
+/// certificate, while each spoke holds a single access rule. This is
+/// the shape where contiguous slices leave workers idle and work
+/// stealing matters.
+fn run_skewed(
+    shards: usize,
+    spokes: usize,
+    edges: &[(u8, u8)],
+    partition: PartitionStrategy,
+    stealing: bool,
+    cost_model: CostModel,
+) -> System {
+    let mut sys = System::new()
+        .with_rsa_bits(512)
+        .with_shards(shards)
+        .with_partition(partition)
+        .with_stealing(stealing)
+        .with_cost_model(cost_model);
+    let hub = sys.add_principal("hub", "n0").unwrap();
+    let mut recs: Vec<Principal> = Vec::new();
+    for i in 0..spokes {
+        recs.push(
+            sys.add_principal(&format!("s{i}"), &format!("m{i}"))
+                .unwrap(),
+        );
+    }
+    // The hub's heavy local program: closure plus a per-spoke export.
+    sys.workspace_mut(hub)
+        .unwrap()
+        .load(
+            "policy",
+            "reach(X,Y) <- edge(X,Y).\n\
+             reach(X,Z) <- reach(X,Y), edge(Y,Z).\n",
+        )
+        .unwrap();
+    for i in 0..spokes {
+        sys.workspace_mut(hub)
+            .unwrap()
+            .load(
+                "policy",
+                &format!("says(me,s{i},[| good(X). |]) <- reach(h0,X)."),
+            )
+            .unwrap();
+    }
+    sys.workspace_mut(hub)
+        .unwrap()
+        .assert_src("edge(h0,h1).")
+        .unwrap();
+    for (a, b) in edges {
+        sys.workspace_mut(hub)
+            .unwrap()
+            .assert_src(&format!("edge(h{a},h{b})."))
+            .unwrap();
+    }
+    // Each spoke: one lightweight rule.
+    for &r in &recs {
+        sys.workspace_mut(r)
+            .unwrap()
+            .load("policy", "access(P,f,read) <- says(hub,me,[| good(P) |]).")
+            .unwrap();
+    }
+    // All certificates originate at the hub too.
+    let certs = sys
+        .issue_certificates(hub, "cg(a). cg(b). cg(c).", &[], None)
+        .unwrap();
+    for &r in &recs {
+        sys.import_certificates(r, certs.clone()).unwrap();
+    }
+    sys.run_to_quiescence(32).unwrap();
+    sys.revoke_certificate(hub, certs[0].digest()).unwrap();
+    sys.run_to_quiescence(32).unwrap();
+    sys
+}
+
+fn assert_same_state(a: &System, b: &System, what: &str) {
+    assert_eq!(a.principals(), b.principals());
+    for &p in a.principals() {
+        assert_eq!(
+            workspace_snapshot(a, p),
+            workspace_snapshot(b, p),
+            "{what}: workspace {p} diverged"
+        );
+        assert_eq!(
+            a.cert_store(p).unwrap().active(),
+            b.cert_store(p).unwrap().active(),
+            "{what}: cert store {p} diverged"
+        );
+    }
+    assert_eq!(stat_fingerprint(a), stat_fingerprint(b), "{what}: stats");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Serial vs. stolen-pool equivalence on the skewed topology: the
+    /// default engine (cost-aware LPT partition + work stealing) must
+    /// reach byte-for-byte the serial state even when one principal
+    /// dominates the step cost.
+    #[test]
+    fn stolen_pool_equals_serial_on_skewed_hub(
+        spokes in 2usize..6,
+        edges in prop::collection::vec((0u8..8, 0u8..8), 0..12),
+    ) {
+        let serial = run_skewed(
+            1, spokes, &edges,
+            PartitionStrategy::CostAware, true, CostModel::Deterministic,
+        );
+        let pooled = run_skewed(
+            8, spokes, &edges,
+            PartitionStrategy::CostAware, true, CostModel::Deterministic,
+        );
+        let all: Vec<Principal> = serial.principals().to_vec();
+        prop_assert_eq!(pooled.principals(), all.as_slice());
+        for &p in &all {
+            prop_assert_eq!(
+                workspace_snapshot(&serial, p),
+                workspace_snapshot(&pooled, p),
+                "workspace {} diverged under the stolen pool", p
+            );
+            prop_assert_eq!(
+                serial.cert_store(p).unwrap().active(),
+                pooled.cert_store(p).unwrap().active()
+            );
+        }
+        prop_assert_eq!(stat_fingerprint(&serial), stat_fingerprint(&pooled));
+    }
+}
+
+/// Every engine configuration — contiguous or cost-aware partition,
+/// stealing on or off, deterministic or wall-time costs — reaches the
+/// identical quiescent state: scheduling is unobservable.
+#[test]
+fn partition_and_stealing_modes_are_equivalent() {
+    let edges = [(1, 2), (2, 3), (3, 4), (1, 5)];
+    let serial = run_skewed(
+        1,
+        4,
+        &edges,
+        PartitionStrategy::CostAware,
+        true,
+        CostModel::Deterministic,
+    );
+    for partition in [PartitionStrategy::Contiguous, PartitionStrategy::CostAware] {
+        for stealing in [false, true] {
+            for cost_model in [CostModel::Deterministic, CostModel::WallTime] {
+                let pooled = run_skewed(4, 4, &edges, partition, stealing, cost_model);
+                assert_same_state(
+                    &serial,
+                    &pooled,
+                    &format!("{partition:?}/stealing={stealing}/{cost_model:?}"),
+                );
+            }
+        }
     }
 }
 
