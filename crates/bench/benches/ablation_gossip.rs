@@ -23,7 +23,7 @@ use lbtrust::certstore::{CertDigest, CertStatus};
 use lbtrust::obs::Report;
 use lbtrust::{Principal, System};
 use lbtrust_bench::persist_line;
-use lbtrust_net::NetworkConfig;
+use lbtrust_net::{NetworkConfig, NodeId};
 use lbtrust_sendlog::rev_gossip_program;
 use std::cell::Cell;
 
@@ -150,7 +150,7 @@ fn gossip_convergence(c: &mut Criterion) {
         let net = sys.net_stats();
         assert_eq!(
             stats.messages_sent,
-            net.sent - net.dropped,
+            net.sent - net.dropped - net.blackholed,
             "system and network ledgers must reconcile"
         );
         let rounds_per_rev = (stats.gossip_rounds - before.gossip_rounds) as f64 / REVS as f64;
@@ -174,6 +174,54 @@ fn gossip_convergence(c: &mut Criterion) {
             report = report.phases_from(sys.obs_registry());
         }
     }
+
+    // Partition-duration axis: at a fixed 10% loss, blackhole the
+    // hub <-> m15 link for `dur` steps spanning a revocation and count
+    // the gossip rounds anti-entropy needs to heal the cut-off store.
+    // dur=0 is the control (no partition). Deterministic: the network
+    // RNG is seeded by the loss rate and partitions consume no rolls.
+    const PARTITION_DURATIONS: &[u64] = &[0, 2, 6];
+    report = report.note(
+        "partition_axis",
+        &format!(
+            "hub<->m{} cut bidirectionally for each duration (steps) at drop=0.10; \
+             rounds counted over one revocation; single-threaded quiesce loop, so \
+             host core count affects wall time only, never the round counts",
+            PRINCIPALS - 1
+        ),
+    );
+    for &dur in PARTITION_DURATIONS {
+        let (mut sys, hub, digests) = fanout_system(10, true);
+        let before = sys.stats();
+        if dur > 0 {
+            let hub_node = NodeId::new("n0");
+            let far = NodeId::new(&format!("m{}", PRINCIPALS - 1));
+            let heal_at = Some(sys.network_mut().step() + dur);
+            sys.network_mut()
+                .partition(hub_node, far, heal_at);
+            sys.network_mut().partition(far, hub_node, heal_at);
+        }
+        revoke_iteration(&mut sys, hub, &digests, 0);
+        assert_eq!(
+            divergent(&sys, &digests[0]),
+            0,
+            "gossip must heal the partitioned store"
+        );
+        assert_eq!(
+            sys.network_mut().active_partitions(),
+            0,
+            "timed partitions must have healed"
+        );
+        let rounds = (sys.stats().gossip_rounds - before.gossip_rounds) as f64;
+        persist_line(&format!(
+            "gossip-partition drop=0.10 partition_steps={dur} heal_rounds={rounds:.0} \
+             blackholed={} ({} principals, 0 divergent)",
+            sys.net_stats().blackholed,
+            PRINCIPALS,
+        ));
+        report = report.headline(&format!("partition_heal_rounds_dur{dur}"), rounds);
+    }
+
     if let Err(e) = report.write_at_repo_root() {
         eprintln!("[obs] BENCH_gossip.json not written: {e}");
     }

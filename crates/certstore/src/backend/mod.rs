@@ -22,6 +22,7 @@
 //!   signature checks, which is why reopening a store is much cheaper
 //!   than a cold import.
 
+pub mod fault;
 pub mod log;
 pub mod memory;
 
@@ -258,6 +259,44 @@ pub trait StorageBackend: Send {
     ) -> Result<bool, StorageError> {
         let _ = (checkpoint, audit_suffix, prune);
         Ok(false)
+    }
+}
+
+/// Boxed backends are backends too, so wrappers like
+/// [`fault::FaultingBackend`] can compose over `Box<dyn StorageBackend>`
+/// without knowing the concrete inner type.
+impl StorageBackend for Box<dyn StorageBackend> {
+    fn append(&mut self, record: &LogRecord) -> Result<(), StorageError> {
+        (**self).append(record)
+    }
+
+    fn replay(&mut self) -> Result<ReplayLog, StorageError> {
+        (**self).replay()
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        (**self).sync()
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+
+    fn footprint(&self) -> Footprint {
+        (**self).footprint()
+    }
+
+    fn rotate(&mut self) -> Result<(), StorageError> {
+        (**self).rotate()
+    }
+
+    fn install_checkpoint(
+        &mut self,
+        checkpoint: &LogRecord,
+        audit_suffix: &[AuditEntry],
+        prune: bool,
+    ) -> Result<bool, StorageError> {
+        (**self).install_checkpoint(checkpoint, audit_suffix, prune)
     }
 }
 

@@ -60,6 +60,7 @@ pub mod store;
 pub mod verify;
 
 pub use audit::{AuditAction, AuditEntry, AuditLog};
+pub use backend::fault::{Fault, FaultConfig, FaultCounts, FaultHandle, FaultingBackend};
 pub use backend::{
     CheckpointCert, CheckpointState, Footprint, LogRecord, StorageBackend, StorageError,
 };

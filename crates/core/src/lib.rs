@@ -66,7 +66,10 @@ pub use auth::{AuthScheme, KeyVerifier};
 pub use obs::QuiescePhase;
 pub use pool::{CostModel, PartitionStrategy};
 pub use principal::{KeyDirectory, Principal, SharedKeys};
-pub use system::{AuthzDecision, SyncPolicy, SysError, System, SystemStats};
+pub use system::{
+    AuthzDecision, DegradedError, RetryPolicy, StoreHealth, SyncPolicy, SysError, System,
+    SystemStats,
+};
 pub use workspace::{RetractOutcome, Workspace, WsError};
 
 // Re-export the substrate crates so downstream users need one dependency.

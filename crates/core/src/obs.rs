@@ -37,6 +37,9 @@ pub enum QuiescePhase {
     Delivery,
     /// Phase 4: batched group commit (`quiesce.group_commit_ns`).
     GroupCommit,
+    /// Phase 5: quarantine probes and store re-admission
+    /// (`quiesce.fault_recovery_ns`).
+    FaultRecovery,
     /// The whole step (`quiesce.step_ns`).
     Step,
 }
@@ -53,6 +56,7 @@ pub(crate) struct SystemObs {
     gossip_send: Histogram,
     delivery: Histogram,
     group_commit: Histogram,
+    fault_recovery: Histogram,
     step: Histogram,
     /// `quiesce.fixpoint.shard<i>_ns`, grown on first use per shard.
     shard_fixpoints: Vec<Histogram>,
@@ -69,6 +73,14 @@ pub(crate) struct SystemObs {
     /// max/mean per-worker fixpoint busy time, in thousandths (a gauge
     /// holds a `u64`; `1000` = perfectly balanced). Volatile.
     imbalance: Gauge,
+    /// Storage operations that failed with transient I/O and entered
+    /// the retry path (immediate, deferred, or probe). Volatile: the
+    /// fault schedule is seeded, but which phase absorbs a fault can
+    /// differ by shard configuration.
+    store_retries: Counter,
+    /// Stores moved into quarantine after exhausted retries. Volatile,
+    /// like `store.retries`.
+    store_quarantined: Counter,
 }
 
 impl SystemObs {
@@ -78,6 +90,8 @@ impl SystemObs {
         let pool_steals = registry.volatile_counter("pool.steals");
         let pool_tasks = registry.volatile_counter("pool.tasks");
         let imbalance = registry.volatile_gauge("quiesce.imbalance_ratio");
+        let store_retries = registry.volatile_counter("store.retries");
+        let store_quarantined = registry.volatile_counter("store.quarantined");
         SystemObs {
             gossip_prepare: registry.timing("quiesce.gossip_prepare_ns"),
             fixpoint: registry.timing("quiesce.fixpoint_ns"),
@@ -86,6 +100,7 @@ impl SystemObs {
             gossip_send: registry.timing("quiesce.gossip_send_ns"),
             delivery: registry.timing("quiesce.delivery_ns"),
             group_commit: registry.timing("quiesce.group_commit_ns"),
+            fault_recovery: registry.timing("quiesce.fault_recovery_ns"),
             step: registry.timing("quiesce.step_ns"),
             shard_fixpoints: Vec::new(),
             authz_granted,
@@ -93,6 +108,8 @@ impl SystemObs {
             pool_steals,
             pool_tasks,
             imbalance,
+            store_retries,
+            store_quarantined,
             registry,
             journal: Journal::disabled(),
             timing: true,
@@ -130,9 +147,20 @@ impl SystemObs {
             QuiescePhase::GossipSend => &self.gossip_send,
             QuiescePhase::Delivery => &self.delivery,
             QuiescePhase::GroupCommit => &self.group_commit,
+            QuiescePhase::FaultRecovery => &self.fault_recovery,
             QuiescePhase::Step => &self.step,
         };
         hist.record_duration(started.elapsed());
+    }
+
+    /// Counts one storage operation entering the retry path.
+    pub(crate) fn count_retry(&self) {
+        self.store_retries.inc();
+    }
+
+    /// Counts one store moving into quarantine.
+    pub(crate) fn count_quarantine(&self) {
+        self.store_quarantined.inc();
     }
 
     /// Records one shard's local-fixpoint duration for this step.

@@ -23,8 +23,9 @@ use crate::principal::{
 use crate::says::SAYS_DECLS;
 use crate::workspace::{RetractOutcome, Workspace, WsError};
 use lbtrust_certstore::{
-    cert, shared_verify_cache, AuditEntry, CertDigest, CertStore, CertStoreError, ImportOutcome,
-    LinkedCert, Revocation, SharedVerifyCache, SignatureVerifier,
+    cert, shared_verify_cache, AuditEntry, CertDigest, CertStore, CertStoreError, FaultConfig,
+    FaultHandle, ImportOutcome, LinkedCert, Revocation, SharedVerifyCache, SignatureVerifier,
+    StorageError,
 };
 use lbtrust_datalog::provenance::Proof;
 use lbtrust_datalog::{EvalStats, Symbol, Tuple, Value};
@@ -57,6 +58,11 @@ pub enum SysError {
     Issue(String),
     /// Setting up the persistence directory failed.
     Persist(String),
+    /// The principal's store is quarantined after persistent storage
+    /// failures: it still answers reads ([`System::authorize`] works),
+    /// but refuses writes until the fault heals and a step-based probe
+    /// re-admits it.
+    Degraded(DegradedError),
 }
 
 impl fmt::Display for SysError {
@@ -70,11 +76,107 @@ impl fmt::Display for SysError {
             SysError::Cert(e) => write!(f, "{e}"),
             SysError::Issue(m) => write!(f, "certificate issue failed: {m}"),
             SysError::Persist(m) => write!(f, "persistence setup failed: {m}"),
+            SysError::Degraded(d) => write!(f, "{d}"),
         }
     }
 }
 
 impl std::error::Error for SysError {}
+
+/// Structured refusal for writes against a quarantined store (see
+/// [`SysError::Degraded`]): who is degraded, since when, and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradedError {
+    /// The principal whose store is quarantined.
+    pub principal: Principal,
+    /// The distributed-fixpoint step at which quarantine began.
+    pub since_step: usize,
+    /// Storage attempts that failed before the store was quarantined.
+    pub attempts: u32,
+    /// The last storage error observed, rendered.
+    pub last_error: String,
+}
+
+impl fmt::Display for DegradedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "store for {} quarantined since step {} after {} failed attempts: {}",
+            self.principal, self.since_step, self.attempts, self.last_error
+        )
+    }
+}
+
+/// A principal store's position in the fault-handling lifecycle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StoreHealth {
+    /// All storage operations succeeding.
+    #[default]
+    Healthy,
+    /// A group commit failed transiently; the store stays writable and
+    /// is retried with step-based backoff.
+    Degraded,
+    /// Retries exhausted: the store serves reads, refuses writes with
+    /// [`DegradedError`], is skipped by group commit and
+    /// auto-compaction, and is probed for re-admission each step.
+    Quarantined,
+}
+
+/// Deterministic step-based retry policy for transient storage faults.
+///
+/// Attempts and backoff are counted in distributed-fixpoint *steps*
+/// (`SystemStats::steps`), never wall time, so runs replay exactly
+/// under a fixed seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Consecutive failed attempts before the store is quarantined.
+    pub max_attempts: u32,
+    /// Backoff after the first failure, in steps; doubles per failure.
+    pub backoff_base_steps: usize,
+    /// Upper bound on the per-retry backoff, in steps.
+    pub backoff_cap_steps: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_steps: 1,
+            backoff_cap_steps: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Steps to wait after `attempts` consecutive failures:
+    /// `min(cap, base << (attempts - 1))`, at least one step.
+    fn backoff_steps(&self, attempts: u32) -> usize {
+        let shift = attempts.saturating_sub(1).min(usize::BITS - 1);
+        self.backoff_base_steps
+            .max(1)
+            .checked_shl(shift)
+            .unwrap_or(usize::MAX)
+            .min(self.backoff_cap_steps.max(1))
+    }
+}
+
+/// Per-store fault bookkeeping (internal; surfaced as
+/// [`StoreHealth`] / [`DegradedError`]).
+#[derive(Clone, Debug, Default)]
+struct HealthState {
+    health: StoreHealth,
+    /// Consecutive failed storage attempts.
+    attempts: u32,
+    /// Step at which the next deferred retry / quarantine probe runs.
+    retry_at_step: usize,
+    /// Step at which the store left `Healthy`.
+    since_step: usize,
+    /// Last storage error observed, rendered.
+    last_error: String,
+    /// Clock ticks from [`System::advance_time`] deferred while
+    /// quarantined, applied on re-admission.
+    pending_ticks: u64,
+}
 
 impl From<WsError> for SysError {
     fn from(e: WsError) -> Self {
@@ -247,6 +349,19 @@ pub struct System {
     /// The unified observability surface: metrics registry, quiescence
     /// phase spans, decision journal (see [`System::obs_registry`]).
     obs: SystemObs,
+    /// Step-based retry/quarantine policy for storage faults.
+    retry_policy: RetryPolicy,
+    /// Per-principal fault-handling state (always has an entry per
+    /// registered principal).
+    health: HashMap<Principal, HealthState>,
+    /// When set (see [`System::with_storage_faults`]), every store
+    /// registered afterwards is wrapped in a seeded
+    /// [`lbtrust_certstore::FaultingBackend`], with a per-store
+    /// schedule derived from this spec and the principal's name.
+    fault_spec: Option<FaultConfig>,
+    /// Handles to the per-store fault schedules, for tests and the
+    /// quarantine probe (a persistently-failed handle cannot pass).
+    fault_handles: HashMap<Principal, FaultHandle>,
 }
 
 /// Runtime bookkeeping of the gossip layer: the loaded program and, per
@@ -309,7 +424,59 @@ impl System {
             costs: HashMap::new(),
             gossip: None,
             obs: SystemObs::new(registry),
+            retry_policy: RetryPolicy::default(),
+            health: HashMap::new(),
+            fault_spec: None,
+            fault_handles: HashMap::new(),
         }
+    }
+
+    /// Arms deterministic storage-fault injection: every principal
+    /// registered *after* this call gets a store wrapped in a seeded
+    /// [`lbtrust_certstore::FaultingBackend`], its schedule derived
+    /// from `spec` and the principal's name (registration-order and
+    /// shard-count invariant). Use [`System::fault_handle`] to inject
+    /// explicit faults or heal a store from tests.
+    pub fn with_storage_faults(mut self, spec: FaultConfig) -> System {
+        self.fault_spec = Some(spec);
+        self
+    }
+
+    /// Overrides the step-based retry/quarantine policy (builder form).
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> System {
+        self.retry_policy = policy;
+        self
+    }
+
+    /// Overrides the step-based retry/quarantine policy in place.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry_policy = policy;
+    }
+
+    /// The active retry/quarantine policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry_policy
+    }
+
+    /// The fault-schedule handle for `p`'s store, when fault injection
+    /// is armed (see [`System::with_storage_faults`]).
+    pub fn fault_handle(&self, p: Principal) -> Option<FaultHandle> {
+        self.fault_handles.get(&p).cloned()
+    }
+
+    /// Where `p`'s store sits in the fault-handling lifecycle.
+    /// Unregistered principals read as healthy.
+    pub fn store_health(&self, p: Principal) -> StoreHealth {
+        self.health.get(&p).map(|h| h.health).unwrap_or_default()
+    }
+
+    /// The currently quarantined principals, in registration order.
+    pub fn quarantined(&self) -> Vec<Principal> {
+        self.order
+            .iter()
+            .copied()
+            .filter(|p| self.store_health(*p) == StoreHealth::Quarantined)
+            .collect()
     }
 
     // ---- observability -------------------------------------------------------
@@ -680,24 +847,36 @@ impl System {
         if order.is_empty() {
             return Ok(0);
         }
+        // Quarantined stores are skipped outright — maintenance is a
+        // write (checkpoint append / segment rewrite) and the store is
+        // read-only until its fault heals.
         let present: Vec<Principal> = order
             .iter()
             .copied()
-            .filter(|p| self.stores.contains_key(p))
+            .filter(|p| {
+                self.stores.contains_key(p) && self.store_health(*p) != StoreHealth::Quarantined
+            })
             .collect();
         let workers = clamp_shards(self.shards, present.len());
         if workers <= 1 || self.pool.is_none() {
             let mut performed = 0usize;
             for p in &present {
+                // Invariant: `present` is filtered against `stores`
+                // membership above and nothing removes entries.
                 let store = self.stores.get_mut(p).expect("filtered above");
-                let report = if prune {
+                match if prune {
                     store.compact()
                 } else {
                     store.checkpoint()
-                }
-                .map_err(SysError::Cert)?;
-                if report.performed {
-                    performed += 1;
+                } {
+                    Ok(report) => {
+                        performed += usize::from(report.performed);
+                        self.note_store_ok(*p);
+                    }
+                    // Transient I/O degrades the store (retried by the
+                    // next group commit / maintenance pass) instead of
+                    // failing the whole sweep.
+                    Err(e) => self.note_store_failure(*p, e)?,
                 }
             }
             return Ok(performed);
@@ -716,25 +895,24 @@ impl System {
         let report = pool.run_batch(queues, self.stealing);
         self.obs.record_pool_batch(report.steals, report.tasks);
         let mut performed = 0usize;
-        let mut first_error: Option<CertStoreError> = None;
+        let mut failures: Vec<(Principal, CertStoreError)> = Vec::new();
         for (i, done) in report.results.into_iter().enumerate() {
             let PoolDone::Store { store, result } = done else {
                 unreachable!("store batches return store results");
             };
             self.stores.insert(present[i], store);
             match result {
-                Ok(did) => performed += usize::from(did),
-                Err(e) => {
-                    if first_error.is_none() {
-                        first_error = Some(e);
-                    }
+                Ok(did) => {
+                    performed += usize::from(did);
+                    self.note_store_ok(present[i]);
                 }
+                Err(e) => failures.push((present[i], e)),
             }
         }
-        match first_error {
-            Some(e) => Err(SysError::Cert(e)),
-            None => Ok(performed),
+        for (p, e) in failures {
+            self.note_store_failure(p, e)?;
         }
+        Ok(performed)
     }
 
     /// Shared key directory (for inspection).
@@ -745,6 +923,14 @@ impl System {
     /// Network statistics.
     pub fn net_stats(&self) -> lbtrust_net::NetworkStats {
         self.net.stats()
+    }
+
+    /// Mutable access to the simulated network — for fault-plane tests
+    /// and benches to install partitions or inspect the fault clock.
+    /// The network is part of the deterministic state: mutate it
+    /// between [`System::run_to_quiescence`] runs, not during one.
+    pub fn network_mut(&mut self) -> &mut SimNetwork {
+        &mut self.net
     }
 
     /// System statistics.
@@ -815,9 +1001,26 @@ impl System {
         }
 
         // The certificate store: ephemeral by default, a replayed
-        // segment log under persistence.
-        let mut store = match &self.persist_dir {
-            Some(dir) => {
+        // segment log under persistence. With fault injection armed,
+        // either backend is wrapped in a FaultingBackend whose schedule
+        // depends only on the spec seed and the principal's name.
+        let faults = self
+            .fault_spec
+            .as_ref()
+            .map(|spec| FaultHandle::seeded(spec.for_store(name)));
+        let mut store = match (&self.persist_dir, &faults) {
+            (Some(dir), Some(handle)) => {
+                let path = dir.join(format!("{name}.certlog"));
+                CertStore::open_with_obs_faults(
+                    path,
+                    self.vcache.clone(),
+                    self.rotate_bytes,
+                    self.obs.registry(),
+                    handle.clone(),
+                )
+                .map_err(SysError::Cert)?
+            }
+            (Some(dir), None) => {
                 let path = dir.join(format!("{name}.certlog"));
                 CertStore::open_with_obs(
                     path,
@@ -827,7 +1030,13 @@ impl System {
                 )
                 .map_err(SysError::Cert)?
             }
-            None => {
+            (None, Some(handle)) => {
+                let mut store = CertStore::with_cache_faults(self.vcache.clone(), handle.clone());
+                handle.attach_metrics(self.obs.registry());
+                store.attach_obs(self.obs.registry());
+                store
+            }
+            (None, None) => {
                 let mut store = CertStore::with_cache(self.vcache.clone());
                 store.attach_obs(self.obs.registry());
                 store
@@ -868,6 +1077,10 @@ impl System {
         self.order.push(me);
         self.drained.insert(me, HashSet::new());
         self.stores.insert(me, store);
+        self.health.insert(me, HealthState::default());
+        if let Some(handle) = faults {
+            self.fault_handles.insert(me, handle);
+        }
         Ok(me)
     }
 
@@ -1026,6 +1239,196 @@ impl System {
         Ok(out)
     }
 
+    // ---- fault plane ---------------------------------------------------------
+
+    /// Whether a store error is a storage I/O failure — the class the
+    /// step-based retry/quarantine policy covers. Semantic rejections
+    /// (bad signatures, broken links, …) and structural storage errors
+    /// (unsupported records, oversized checkpoints) are never retried.
+    fn is_storage_io(e: &CertStoreError) -> bool {
+        matches!(e, CertStoreError::Storage(StorageError::Io { .. }))
+    }
+
+    /// A [`DegradedError`] snapshot of `p`'s current health state.
+    fn degraded_info(&self, p: Principal) -> DegradedError {
+        let h = self.health.get(&p);
+        DegradedError {
+            principal: p,
+            since_step: h.map(|h| h.since_step).unwrap_or_default(),
+            attempts: h.map(|h| h.attempts).unwrap_or_default(),
+            last_error: h.map(|h| h.last_error.clone()).unwrap_or_default(),
+        }
+    }
+
+    /// Journals one degradation transition (`store.degraded`,
+    /// `store.quarantined`, `store.healed`) when a sink is attached.
+    fn journal_health(&self, kind: &str, p: Principal, attempts: u32, detail: &str) {
+        if !self.obs.journal.enabled() {
+            return;
+        }
+        let event = Event::new(kind)
+            .str_field("principal", &p.to_string())
+            .u64_field("step", self.stats.steps as u64)
+            .u64_field("attempts", u64::from(attempts))
+            .str_field("error", detail);
+        self.obs.journal.record(&event);
+    }
+
+    /// Moves `p` into quarantine: the store keeps serving reads,
+    /// refuses writes with [`DegradedError`], is skipped by group
+    /// commit and auto-compaction, and is probed for re-admission each
+    /// step once its backoff elapses.
+    fn quarantine_store(&mut self, p: Principal, last_error: String) {
+        let step = self.stats.steps;
+        let policy = self.retry_policy;
+        let h = self.health.entry(p).or_default();
+        if h.health != StoreHealth::Quarantined {
+            h.since_step = step;
+        }
+        h.health = StoreHealth::Quarantined;
+        h.last_error = last_error;
+        h.retry_at_step = step + policy.backoff_steps(h.attempts.max(1));
+        let attempts = h.attempts;
+        let detail = h.last_error.clone();
+        self.obs.count_quarantine();
+        self.journal_health("store.quarantined", p, attempts, &detail);
+    }
+
+    /// Runs one storage operation against `p`'s store, retrying
+    /// transient I/O failures immediately up to the policy's
+    /// `max_attempts` (safe because the store's durability contract
+    /// leaves memory untouched when an append fails). Returns
+    /// `Ok(None)` when retries were exhausted and the store was
+    /// quarantined; non-storage errors pass through as `Err`.
+    fn retry_store_op<T>(
+        &mut self,
+        p: Principal,
+        mut op: impl FnMut(&mut CertStore) -> Result<T, CertStoreError>,
+    ) -> Result<Option<T>, SysError> {
+        let max = self.retry_policy.max_attempts.max(1);
+        let mut failures = 0u32;
+        loop {
+            let store = self
+                .stores
+                .get_mut(&p)
+                .ok_or(SysError::UnknownPrincipal(p))?;
+            match op(store) {
+                Ok(v) => {
+                    if failures > 0 {
+                        let h = self.health.entry(p).or_default();
+                        h.attempts = 0;
+                        h.health = StoreHealth::Healthy;
+                    }
+                    return Ok(Some(v));
+                }
+                Err(e) if Self::is_storage_io(&e) => {
+                    failures += 1;
+                    self.obs.count_retry();
+                    {
+                        let h = self.health.entry(p).or_default();
+                        h.attempts = h.attempts.saturating_add(1);
+                        h.last_error = e.to_string();
+                    }
+                    if failures >= max {
+                        self.quarantine_store(p, e.to_string());
+                        return Ok(None);
+                    }
+                }
+                Err(e) => return Err(SysError::Cert(e)),
+            }
+        }
+    }
+
+    /// Refuses writes against a quarantined store with a structured
+    /// [`SysError::Degraded`], then runs `op` under immediate retry.
+    fn with_store_retry<T>(
+        &mut self,
+        p: Principal,
+        op: impl FnMut(&mut CertStore) -> Result<T, CertStoreError>,
+    ) -> Result<T, SysError> {
+        if self.store_health(p) == StoreHealth::Quarantined {
+            return Err(SysError::Degraded(self.degraded_info(p)));
+        }
+        match self.retry_store_op(p, op)? {
+            Some(v) => Ok(v),
+            None => Err(SysError::Degraded(self.degraded_info(p))),
+        }
+    }
+
+    /// Folds one deferred (group-commit / maintenance) storage failure
+    /// into `p`'s health state: transient I/O degrades the store with
+    /// step-based backoff and quarantines it once the policy's
+    /// `max_attempts` consecutive failures accumulate; any other error
+    /// propagates unchanged.
+    fn note_store_failure(&mut self, p: Principal, e: CertStoreError) -> Result<(), SysError> {
+        if !Self::is_storage_io(&e) {
+            return Err(SysError::Cert(e));
+        }
+        let step = self.stats.steps;
+        let policy = self.retry_policy;
+        self.obs.count_retry();
+        let (attempts, quarantine) = {
+            let h = self.health.entry(p).or_default();
+            h.attempts = h.attempts.saturating_add(1);
+            h.last_error = e.to_string();
+            if h.health == StoreHealth::Healthy {
+                h.since_step = step;
+            }
+            let quarantine = h.attempts >= policy.max_attempts.max(1);
+            if !quarantine {
+                h.health = StoreHealth::Degraded;
+                h.retry_at_step = step + policy.backoff_steps(h.attempts);
+            }
+            (h.attempts, quarantine)
+        };
+        if quarantine {
+            self.quarantine_store(p, e.to_string());
+        } else {
+            self.journal_health("store.degraded", p, attempts, &e.to_string());
+        }
+        Ok(())
+    }
+
+    /// Clears `p`'s degraded state after a successful deferred commit.
+    fn note_store_ok(&mut self, p: Principal) {
+        let recovered = {
+            let h = self.health.entry(p).or_default();
+            let was = h.health;
+            h.health = StoreHealth::Healthy;
+            h.attempts = 0;
+            was == StoreHealth::Degraded
+        };
+        if recovered {
+            self.journal_health("store.healed", p, 0, "deferred commit succeeded");
+        }
+    }
+
+    /// Whether any store is `Degraded` — a deferred group-commit retry
+    /// is pending, so the quiescence loop must keep stepping.
+    /// (`Quarantined` stores do *not* hold up quiescence: the system
+    /// runs degraded around them.)
+    fn retries_pending(&self) -> bool {
+        self.health
+            .values()
+            .any(|h| h.health == StoreHealth::Degraded)
+    }
+
+    /// Whether any quarantined store is *probe-eligible*: its fault
+    /// handle no longer reports a persistent failure (or it has none),
+    /// so an upcoming probe will re-admit it. The quiescence loop keeps
+    /// stepping until such stores are back in — while a store whose
+    /// fault is still armed lets the system settle into degraded
+    /// service instead.
+    fn heal_pending(&self) -> bool {
+        self.health.iter().any(|(p, h)| {
+            h.health == StoreHealth::Quarantined
+                && !self
+                    .fault_handles
+                    .get(p)
+                    .is_some_and(FaultHandle::is_persistent)
+        })
+    }
+
     /// Imports certificates into `to`'s store (links resolved within
     /// the batch and against already-stored credentials, signatures
     /// checked through the shared cache) and asserts the certified
@@ -1046,12 +1449,18 @@ impl System {
         // check from the shared cache.
         self.prewarm_verifications(&certs);
         let verifier = self.key_verifier();
-        let store = self.stores.get_mut(&to).expect("store per principal");
-        let outcomes = store.import_bundle(certs, &verifier)?;
+        // The bundle import retries as a unit on transient I/O: a
+        // failed insert left no trace (append-before-mutate), and
+        // already-Active members re-import through the no-append fast
+        // path, so a retry is idempotent.
+        let outcomes =
+            self.with_store_retry(to, |store| store.import_bundle(certs.clone(), &verifier))?;
         // One commit point per bundle under either policy: an
         // acknowledged import is durable, and the fsync amortizes over
-        // the whole bundle rather than per certificate.
-        store.sync()?;
+        // the whole bundle rather than per certificate. Retried
+        // separately from the import so a commit failure after a
+        // successful bundle walk cannot re-append anything.
+        self.with_store_retry(to, |store| store.sync())?;
         for outcome in &outcomes {
             // Assert facts for fresh imports *and* for live certificates
             // whose facts never landed (a bundle that failed part-way
@@ -1155,15 +1564,14 @@ impl System {
         certs: &[LinkedCert],
     ) -> Result<Vec<ImportOutcome>, SysError> {
         let verifier = self.key_verifier();
-        let store = self
-            .stores
-            .get_mut(&to)
-            .ok_or(SysError::UnknownPrincipal(to))?;
-        let mut outcomes = Vec::with_capacity(certs.len());
-        for cert in certs {
-            outcomes.push(store.insert(cert.clone(), &verifier)?);
-        }
-        store.sync()?;
+        let outcomes = self.with_store_retry(to, |store| {
+            let mut outcomes = Vec::with_capacity(certs.len());
+            for cert in certs {
+                outcomes.push(store.insert(cert.clone(), &verifier)?);
+            }
+            Ok(outcomes)
+        })?;
+        self.with_store_retry(to, |store| store.sync())?;
         Ok(outcomes)
     }
 
@@ -1235,17 +1643,20 @@ impl System {
     fn apply_revocation(&mut self, at: Principal, revocation: &Revocation) -> Result<(), SysError> {
         let verifier = self.key_verifier();
         let eager = self.sync_policy == SyncPolicy::Eager;
-        let store = self
-            .stores
-            .get_mut(&at)
-            .ok_or(SysError::UnknownPrincipal(at))?;
-        let outcome = store.revoke_with_outcome(revocation, &verifier)?;
-        if eager {
-            store.sync()?;
-        }
+        // The mutation and its fsync retry separately: once the revoke
+        // has appended and applied, a retried call would hit the
+        // idempotence gate and lose the retraction events.
+        let outcome =
+            self.with_store_retry(at, |store| store.revoke_with_outcome(revocation, &verifier))?;
         if outcome.applied && outcome.authoritative {
             self.stats.revocations += 1;
             self.retract_cert_facts(at, &outcome.events);
+        }
+        if eager {
+            // A persistent commit failure quarantines the store, but
+            // the revocation is applied in memory and the workspace
+            // already retracted — the heal-time flush makes it durable.
+            self.with_store_retry(at, |store| store.sync())?;
         }
         Ok(())
     }
@@ -1257,13 +1668,28 @@ impl System {
         let mut died = 0;
         let eager = self.sync_policy == SyncPolicy::Eager;
         for &p in &self.order.clone() {
-            let store = self.stores.get_mut(&p).expect("store per principal");
-            let events = store.advance_clock(ticks)?;
-            if eager {
-                store.sync()?;
+            // Quarantined stores must not lose time: the ticks
+            // accumulate and apply at re-admission — graceful
+            // degradation, not an error, since the caller is advancing
+            // the whole deployment.
+            if self.store_health(p) == StoreHealth::Quarantined {
+                self.health.entry(p).or_default().pending_ticks += ticks;
+                continue;
             }
+            let Some(events) = self.retry_store_op(p, |store| store.advance_clock(ticks))? else {
+                // Quarantined just now: the tick record never appended
+                // (append-before-mutate), so it joins the deferred
+                // balance like any other.
+                self.health.entry(p).or_default().pending_ticks += ticks;
+                continue;
+            };
             died += events.len();
             self.retract_cert_facts(p, &events);
+            if eager {
+                // Commit failure only defers durability: the expiry is
+                // applied in memory and the heal-time flush catches up.
+                let _ = self.retry_store_op(p, |store| store.sync())?;
+            }
         }
         Ok(died)
     }
@@ -1431,6 +1857,10 @@ impl System {
         let order = self.order.clone();
         for _ in 0..max_steps {
             self.stats.steps += 1;
+            // Advance the network's fault clock: heal partitions whose
+            // deadline arrived and release messages the delay model
+            // held for this step.
+            self.net.begin_step();
             let step_started = self.obs.phase_timer();
             // 0. Gossip inputs: refresh each workspace's `revfp` facts
             // from its store and learn whether any two stores' summaries
@@ -1484,10 +1914,31 @@ impl System {
                 self.sync_stores(&order)?;
                 self.obs.record_phase(QuiescePhase::GroupCommit, t);
             }
+            // 5. Fault-plane recovery: probe quarantined stores whose
+            // backoff elapsed and re-admit the ones whose fault healed
+            // (deferred group-commit retries already ran in phase 4).
+            let t = self.obs.phase_timer();
+            let healed = self.probe_quarantined(&order)?;
+            self.obs.record_phase(QuiescePhase::FaultRecovery, t);
             self.obs.record_phase(QuiescePhase::Step, step_started);
             // Quiescent when nothing was shipped or delivered this step
-            // (local fixpoints already ran) and gossip is dormant.
-            if shipped == 0 && delivered == 0 && gossip_sent == 0 {
+            // (local fixpoints already ran), gossip is dormant, no
+            // message sits delayed inside the network, no deferred
+            // commit retry is pending, and no store was just re-admitted
+            // (a fresh re-admission needs at least one more round so
+            // anti-entropy can repair what the store missed).
+            // Quarantined stores whose fault is still armed do NOT
+            // hold up quiescence — the system settles into degraded
+            // service around them; ones whose fault healed keep the
+            // loop alive until a probe re-admits them.
+            if shipped == 0
+                && delivered == 0
+                && gossip_sent == 0
+                && healed == 0
+                && !self.net.has_pending()
+                && !self.retries_pending()
+                && !self.heal_pending()
+            {
                 self.publish_obs();
                 return Ok(self.stats);
             }
@@ -1520,7 +1971,23 @@ impl System {
                     .collect(),
             );
         }
-        let divergent = summaries.windows(2).any(|w| w[0] != w[1]);
+        // The divergence oracle compares *writable* stores only: a
+        // quarantined store cannot absorb gossip (its appends fail), so
+        // letting it hold the oracle open would generate repair traffic
+        // forever and the system could never settle into degraded
+        // service. The moment the store heals it re-enters the
+        // comparison, the oracle trips, and anti-entropy repairs it.
+        let writable: Vec<&Vec<(Symbol, String)>> = order
+            .iter()
+            .zip(&summaries)
+            .filter(|(p, _)| {
+                self.health
+                    .get(*p)
+                    .is_none_or(|h| h.health != StoreHealth::Quarantined)
+            })
+            .map(|(_, s)| s)
+            .collect();
+        let divergent = writable.windows(2).any(|w| w[0] != w[1]);
         // Every signer any store has something for: each workspace
         // carries a `revfp` fact per such signer ([`ZERO_FP_HEX`] where
         // the local store holds nothing), so the program's diff rule
@@ -2041,10 +2508,22 @@ impl System {
     /// instead of adding a stop-the-world phase.
     fn sync_stores(&mut self, order: &[Principal]) -> Result<(), SysError> {
         let threshold = self.auto_compact_dead_bytes;
+        let step = self.stats.steps;
+        // Skip quarantined stores (read-only until their fault heals)
+        // and degraded stores whose step-based backoff has not elapsed
+        // — extending the opportunistic-skip pattern group commit
+        // already applies to oversized checkpoints.
         let dirty: Vec<Principal> = order
             .iter()
             .copied()
-            .filter(|p| self.stores.get(p).is_some_and(|s| s.is_dirty()))
+            .filter(|p| {
+                self.stores.get(p).is_some_and(|s| s.is_dirty())
+                    && match self.health.get(p).map(|h| (h.health, h.retry_at_step)) {
+                        Some((StoreHealth::Quarantined, _)) => false,
+                        Some((StoreHealth::Degraded, retry_at)) => retry_at <= step,
+                        _ => true,
+                    }
+            })
             .collect();
         if dirty.is_empty() {
             return Ok(());
@@ -2052,8 +2531,15 @@ impl System {
         let workers = clamp_shards(self.shards, dirty.len());
         if workers <= 1 || self.pool.is_none() {
             for p in &dirty {
+                // Invariant: `dirty` is filtered against `stores`
+                // membership above and nothing removes entries.
                 let store = self.stores.get_mut(p).expect("registered");
-                group_commit_store(store, threshold)?;
+                match group_commit_store(store, threshold) {
+                    Ok(()) => self.note_store_ok(*p),
+                    // Transient I/O degrades the store with deferred
+                    // retry instead of failing the whole sweep.
+                    Err(e) => self.note_store_failure(*p, e)?,
+                }
             }
             return Ok(());
         }
@@ -2070,22 +2556,99 @@ impl System {
         let queues = split_contiguous(tasks, pool.workers());
         let report = pool.run_batch(queues, self.stealing);
         self.obs.record_pool_batch(report.steals, report.tasks);
-        let mut first_error: Option<CertStoreError> = None;
+        let mut failures: Vec<(Principal, CertStoreError)> = Vec::new();
         for (i, done) in report.results.into_iter().enumerate() {
             let PoolDone::Store { store, result } = done else {
                 unreachable!("store batches return store results");
             };
             self.stores.insert(dirty[i], store);
-            if let Err(e) = result {
-                if first_error.is_none() {
-                    first_error = Some(e);
-                }
+            match result {
+                Ok(_) => self.note_store_ok(dirty[i]),
+                Err(e) => failures.push((dirty[i], e)),
             }
         }
-        match first_error {
-            Some(e) => Err(e.into()),
-            None => Ok(()),
+        // Health folds happen after every store is back in the map, in
+        // registration order, so serial and sharded runs record the
+        // identical degradation sequence.
+        for (p, e) in failures {
+            self.note_store_failure(p, e)?;
         }
+        Ok(())
+    }
+
+    /// Phase 5 of [`System::run_to_quiescence`]: probe each
+    /// quarantined store whose backoff elapsed and re-admit it when
+    /// its fault has healed. Re-admission flushes whatever the store
+    /// holds, applies clock ticks deferred while quarantined, and
+    /// journals a `store.healed` event; the next gossip rounds repair
+    /// any revocations the store missed (PR 5 anti-entropy). Returns
+    /// the number of stores re-admitted this step — a non-zero count
+    /// keeps the quiescence loop running so that repair actually
+    /// happens.
+    fn probe_quarantined(&mut self, order: &[Principal]) -> Result<usize, SysError> {
+        let step = self.stats.steps;
+        let policy = self.retry_policy;
+        let mut healed = 0usize;
+        for &p in order {
+            let due = self
+                .health
+                .get(&p)
+                .is_some_and(|h| h.health == StoreHealth::Quarantined && h.retry_at_step <= step);
+            if !due {
+                continue;
+            }
+            // An armed persistent fault cannot pass a probe; push the
+            // next one out (capped backoff) without touching the store.
+            if self
+                .fault_handles
+                .get(&p)
+                .is_some_and(FaultHandle::is_persistent)
+            {
+                let h = self.health.entry(p).or_default();
+                h.attempts = h.attempts.saturating_add(1);
+                h.retry_at_step = step + policy.backoff_steps(h.attempts);
+                continue;
+            }
+            // Probe: flush whatever the store buffered. On success the
+            // store is writable again; on transient failure the probe
+            // backs off and tries later.
+            // Invariant: quarantine never removes a registered store.
+            let store = self.stores.get_mut(&p).expect("registered");
+            match store.sync() {
+                Ok(()) => {
+                    let (attempts, pending) = {
+                        let h = self.health.entry(p).or_default();
+                        let attempts = h.attempts;
+                        h.health = StoreHealth::Healthy;
+                        h.attempts = 0;
+                        (attempts, std::mem::take(&mut h.pending_ticks))
+                    };
+                    self.journal_health("store.healed", p, attempts, "probe succeeded");
+                    if pending > 0 {
+                        // Apply the clock ticks the store missed. A
+                        // fresh failure here re-quarantines and puts
+                        // the balance back.
+                        match self.retry_store_op(p, |store| store.advance_clock(pending))? {
+                            Some(events) => self.retract_cert_facts(p, &events),
+                            None => {
+                                self.health.entry(p).or_default().pending_ticks += pending;
+                                continue;
+                            }
+                        }
+                    }
+                    healed += 1;
+                }
+                Err(e) if Self::is_storage_io(&e) => {
+                    self.obs.count_retry();
+                    let h = self.health.entry(p).or_default();
+                    h.attempts = h.attempts.saturating_add(1);
+                    h.last_error = e.to_string();
+                    h.retry_at_step = step + policy.backoff_steps(h.attempts);
+                }
+                Err(e) => return Err(SysError::Cert(e)),
+            }
+        }
+        Ok(healed)
     }
 
     /// The node hosting `p`, defaulting to a node named after the

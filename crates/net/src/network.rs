@@ -3,16 +3,20 @@
 //! The paper's evaluation ran alice and bob on a physical cluster; this
 //! reproduction exchanges the same messages through a simulated network
 //! (see the substitution table in DESIGN.md). The simulator is a discrete
-//! event queue with configurable latency jitter, loss, and duplication —
-//! all driven by a seeded RNG so every test and benchmark is
-//! reproducible.
+//! event queue with configurable latency jitter, loss, duplication,
+//! directed partitions (blackholes with an optional heal step), bounded
+//! random multi-step delay, and extra reorder jitter — all driven by a
+//! seeded RNG so every test and benchmark is reproducible. The fault
+//! knobs default to off and draw from the RNG only when enabled, so a
+//! fault-free configuration replays byte-for-byte the same schedule it
+//! did before the fault plane existed.
 
 use crate::node::NodeId;
 use lbtrust_obs::{Counter, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 /// A message in flight: opaque payload bytes between two nodes.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -39,6 +43,16 @@ pub struct NetworkConfig {
     pub drop_prob: f64,
     /// Probability a delivered message is duplicated.
     pub duplicate_prob: f64,
+    /// Probability a message is held for a bounded number of steps
+    /// (see [`SimNetwork::begin_step`]) before entering the delivery
+    /// queue. Zero (the default) draws nothing from the RNG.
+    pub delay_prob: f64,
+    /// Upper bound (inclusive) on the random hold, in steps. A held
+    /// message released at step `s` is delivered with fresh latency.
+    pub delay_steps_max: u64,
+    /// Probability an enqueued message gets extra reorder jitter on
+    /// top of its latency draw. Zero (the default) draws nothing.
+    pub reorder_prob: f64,
 }
 
 impl Default for NetworkConfig {
@@ -48,6 +62,9 @@ impl Default for NetworkConfig {
             latency_max: 1,
             drop_prob: 0.0,
             duplicate_prob: 0.0,
+            delay_prob: 0.0,
+            delay_steps_max: 0,
+            reorder_prob: 0.0,
         }
     }
 }
@@ -63,6 +80,12 @@ pub struct NetworkStats {
     pub dropped: usize,
     /// Extra deliveries from duplication.
     pub duplicated: usize,
+    /// Messages swallowed by an active partition (never enqueued).
+    pub blackholed: usize,
+    /// Messages held by the delay model before delivery.
+    pub delayed: usize,
+    /// Messages given extra reorder jitter.
+    pub reordered: usize,
     /// Total payload bytes accepted.
     pub bytes_sent: usize,
 }
@@ -79,6 +102,12 @@ pub struct NetMetrics {
     pub dropped: Counter,
     /// Mirrors `NetworkStats.duplicated` (`net.duplicated`).
     pub duplicated: Counter,
+    /// Mirrors `NetworkStats.blackholed` (`net.blackholed`).
+    pub blackholed: Counter,
+    /// Mirrors `NetworkStats.delayed` (`net.delayed`).
+    pub delayed: Counter,
+    /// Mirrors `NetworkStats.reordered` (`net.reordered`).
+    pub reordered: Counter,
     /// Mirrors `NetworkStats.bytes_sent` (`net.bytes_sent`).
     pub bytes_sent: Counter,
 }
@@ -91,6 +120,9 @@ impl NetMetrics {
             delivered: registry.counter("net.delivered"),
             dropped: registry.counter("net.dropped"),
             duplicated: registry.counter("net.duplicated"),
+            blackholed: registry.counter("net.blackholed"),
+            delayed: registry.counter("net.delayed"),
+            reordered: registry.counter("net.reordered"),
             bytes_sent: registry.counter("net.bytes_sent"),
         }
     }
@@ -105,6 +137,15 @@ pub struct SimNetwork {
     seq: u64,
     /// Min-heap on (delivery time, sequence) for deterministic order.
     queue: BinaryHeap<Reverse<(u64, u64, QueuedEnvelope)>>,
+    /// Step counter advanced by [`SimNetwork::begin_step`]; drives
+    /// partition healing and delayed-message release.
+    step: u64,
+    /// Directed blackholes: `(from, to)` → heal at step (`None` =
+    /// until healed explicitly).
+    partitions: HashMap<(NodeId, NodeId), Option<u64>>,
+    /// Messages held by the delay model, min-heap on (release step,
+    /// sequence). Released into `queue` by `begin_step`.
+    held: BinaryHeap<Reverse<(u64, u64, QueuedEnvelope)>>,
     stats: NetworkStats,
     metrics: Option<NetMetrics>,
 }
@@ -129,6 +170,9 @@ impl SimNetwork {
             clock: 0,
             seq: 0,
             queue: BinaryHeap::new(),
+            step: 0,
+            partitions: HashMap::new(),
+            held: BinaryHeap::new(),
             stats: NetworkStats::default(),
             metrics: None,
         }
@@ -143,6 +187,9 @@ impl SimNetwork {
         metrics.delivered.add(self.stats.delivered as u64);
         metrics.dropped.add(self.stats.dropped as u64);
         metrics.duplicated.add(self.stats.duplicated as u64);
+        metrics.blackholed.add(self.stats.blackholed as u64);
+        metrics.delayed.add(self.stats.delayed as u64);
+        metrics.reordered.add(self.stats.reordered as u64);
         metrics.bytes_sent.add(self.stats.bytes_sent as u64);
         self.metrics = Some(metrics);
     }
@@ -162,14 +209,67 @@ impl SimNetwork {
         self.stats
     }
 
-    /// Whether any message is still in flight.
+    /// Whether any message is still in flight (including messages the
+    /// delay model is holding for a future step).
     pub fn has_pending(&self) -> bool {
-        !self.queue.is_empty()
+        !self.queue.is_empty() || !self.held.is_empty()
     }
 
-    /// Number of messages in flight.
+    /// Number of messages in flight (held ones included).
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.held.len()
+    }
+
+    /// The current step (advanced by [`SimNetwork::begin_step`]).
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Advances the step counter, heals partitions whose heal step is
+    /// due, and releases delay-held messages whose step arrived into
+    /// the delivery queue (with a fresh latency draw). The runtime
+    /// calls this once per quiescence step; simulations without
+    /// partitions or delays are unaffected (no RNG draws).
+    pub fn begin_step(&mut self) {
+        self.step += 1;
+        let step = self.step;
+        self.partitions
+            .retain(|_, heal_at| heal_at.map(|h| h > step).unwrap_or(true));
+        while let Some(Reverse((release, _, _))) = self.held.peek() {
+            if *release > step {
+                break;
+            }
+            let Reverse((_, _, queued)) = self.held.pop().expect("peeked entry exists");
+            self.enqueue(queued.from, queued.to, queued.payload);
+        }
+    }
+
+    /// Blackholes every `from` → `to` message until healed (the
+    /// reverse direction keeps flowing; partition both ways for a full
+    /// cut). `heal_at_step` of `None` means until
+    /// [`SimNetwork::heal_link`] / [`SimNetwork::heal_all_partitions`].
+    pub fn partition(&mut self, from: NodeId, to: NodeId, heal_at_step: Option<u64>) {
+        self.partitions.insert((from, to), heal_at_step);
+    }
+
+    /// Removes a directed blackhole (no-op when absent).
+    pub fn heal_link(&mut self, from: NodeId, to: NodeId) {
+        self.partitions.remove(&(from, to));
+    }
+
+    /// Removes every active partition.
+    pub fn heal_all_partitions(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// Whether `from` → `to` is currently blackholed.
+    pub fn is_partitioned(&self, from: NodeId, to: NodeId) -> bool {
+        self.partitions.contains_key(&(from, to))
+    }
+
+    /// Number of directed blackholes currently active.
+    pub fn active_partitions(&self) -> usize {
+        self.partitions.len()
     }
 
     /// Sends `payload` from `from` to `to`, subject to the loss and
@@ -182,12 +282,33 @@ impl SimNetwork {
             m.sent.inc();
             m.bytes_sent.add(payload.len() as u64);
         }
+        if self.partitions.contains_key(&(from, to)) {
+            self.stats.blackholed += 1;
+            if let Some(m) = &self.metrics {
+                m.blackholed.inc();
+            }
+            return false;
+        }
         if self.config.drop_prob > 0.0 && self.rng.gen_bool(self.config.drop_prob) {
             self.stats.dropped += 1;
             if let Some(m) = &self.metrics {
                 m.dropped.inc();
             }
             return false;
+        }
+        if self.config.delay_prob > 0.0 && self.rng.gen_bool(self.config.delay_prob) {
+            self.stats.delayed += 1;
+            if let Some(m) = &self.metrics {
+                m.delayed.inc();
+            }
+            let hold = self.rng.gen_range(1..=self.config.delay_steps_max.max(1));
+            self.seq += 1;
+            self.held.push(Reverse((
+                self.step + hold,
+                self.seq,
+                QueuedEnvelope { from, to, payload },
+            )));
+            return true;
         }
         self.enqueue(from, to, payload.clone());
         if self.config.duplicate_prob > 0.0 && self.rng.gen_bool(self.config.duplicate_prob) {
@@ -207,7 +328,18 @@ impl SimNetwork {
         } else {
             self.config.latency_min
         };
-        let deliver_at = self.clock + latency;
+        let mut deliver_at = self.clock + latency;
+        if self.config.reorder_prob > 0.0 && self.rng.gen_bool(self.config.reorder_prob) {
+            self.stats.reordered += 1;
+            if let Some(m) = &self.metrics {
+                m.reordered.inc();
+            }
+            // Push the message past its cohort: jitter bounded by the
+            // configured latency spread (at least 4 µs so a fixed-
+            // latency config still reorders).
+            let spread = self.config.latency_max.max(4);
+            deliver_at += self.rng.gen_range(1..=spread);
+        }
         self.seq += 1;
         self.queue.push(Reverse((
             deliver_at,
@@ -332,6 +464,103 @@ mod tests {
         let mut sorted_order = order.clone();
         sorted_order.sort();
         assert_eq!(sorted_order, sorted);
+    }
+
+    #[test]
+    fn partitions_blackhole_directionally_and_heal_by_step() {
+        let mut net = SimNetwork::perfect();
+        net.partition(n("a"), n("b"), Some(2));
+        assert!(net.is_partitioned(n("a"), n("b")));
+        assert!(!net.send(n("a"), n("b"), b"eaten".to_vec()));
+        assert!(
+            net.send(n("b"), n("a"), b"reverse ok".to_vec()),
+            "directed cut"
+        );
+        net.begin_step(); // step 1: still cut
+        assert!(!net.send(n("a"), n("b"), b"still eaten".to_vec()));
+        net.begin_step(); // step 2: heal due
+        net.begin_step(); // step 3: healed
+        assert!(net.send(n("a"), n("b"), b"flows".to_vec()));
+        assert_eq!(net.stats().blackholed, 2);
+        assert_eq!(net.active_partitions(), 0);
+        // sent counts blackholed attempts; delivered excludes them.
+        let delivered = net.deliver_all().len();
+        let s = net.stats();
+        assert_eq!(delivered, s.sent - s.dropped - s.blackholed);
+    }
+
+    #[test]
+    fn manual_heal_reopens_link() {
+        let mut net = SimNetwork::perfect();
+        net.partition(n("a"), n("b"), None);
+        assert!(!net.send(n("a"), n("b"), b"x".to_vec()));
+        net.heal_all_partitions();
+        assert!(net.send(n("a"), n("b"), b"x".to_vec()));
+    }
+
+    #[test]
+    fn delay_model_holds_until_step_then_delivers() {
+        let mut net = SimNetwork::new(
+            NetworkConfig {
+                delay_prob: 1.0,
+                delay_steps_max: 3,
+                ..NetworkConfig::default()
+            },
+            9,
+        );
+        net.send(n("a"), n("b"), b"late".to_vec());
+        assert_eq!(net.stats().delayed, 1);
+        assert!(net.has_pending(), "held messages are still in flight");
+        assert!(net.deliver_all().is_empty(), "nothing deliverable yet");
+        for _ in 0..3 {
+            net.begin_step();
+        }
+        let msgs = net.deliver_all();
+        assert_eq!(msgs.len(), 1, "released by its step at the latest");
+        assert_eq!(net.stats().delivered, 1);
+        assert!(!net.has_pending());
+    }
+
+    #[test]
+    fn reorder_jitter_counts_and_keeps_every_message() {
+        let config = NetworkConfig {
+            reorder_prob: 1.0,
+            ..NetworkConfig::default()
+        };
+        let mut net = SimNetwork::new(config, 3);
+        for i in 0..10u8 {
+            net.send(n("a"), n("b"), vec![i]);
+        }
+        let msgs = net.deliver_all();
+        assert_eq!(msgs.len(), 10);
+        assert_eq!(net.stats().reordered, 10);
+        let mut seen: Vec<Vec<u8>> = msgs.into_iter().map(|e| e.payload).collect();
+        seen.sort();
+        assert_eq!(seen, (0..10u8).map(|i| vec![i]).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fault_free_config_schedule_is_unchanged_by_begin_step() {
+        // begin_step with no partitions/delays must not perturb the
+        // RNG stream: the same sends produce the same delivery order
+        // whether or not steps are announced.
+        let config = NetworkConfig {
+            latency_min: 1,
+            latency_max: 1000,
+            drop_prob: 0.2,
+            ..NetworkConfig::default()
+        };
+        let run = |announce: bool| -> Vec<Vec<u8>> {
+            let mut net = SimNetwork::new(config, 11);
+            for i in 0..30u8 {
+                if announce {
+                    net.begin_step();
+                }
+                net.send(n("a"), n("b"), vec![i]);
+            }
+            net.deliver_all().into_iter().map(|e| e.payload).collect()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -21,6 +21,7 @@ proptest! {
                 latency_max: 50,
                 drop_prob: drop_pct as f64 / 100.0,
                 duplicate_prob: dup_pct as f64 / 100.0,
+                ..NetworkConfig::default()
             },
             seed,
         );
@@ -50,6 +51,7 @@ proptest! {
                     latency_max: 500,
                     drop_prob: 0.2,
                     duplicate_prob: 0.2,
+                    ..NetworkConfig::default()
                 },
                 seed,
             );
@@ -63,6 +65,57 @@ proptest! {
                 .collect::<Vec<_>>()
         };
         prop_assert_eq!(run(), run());
+    }
+
+    /// Conservation extended to the fault plane: blackholed and
+    /// delayed messages are accounted distinctly, and once every
+    /// partition heals and every held message is released,
+    /// delivered = sent - dropped - blackholed + duplicated.
+    #[test]
+    fn fault_plane_conservation(
+        n in 1usize..60,
+        drop_pct in 0u32..50,
+        delay_pct in 0u32..100,
+        reorder_pct in 0u32..100,
+        cut_first in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut net = SimNetwork::new(
+            NetworkConfig {
+                latency_min: 1,
+                latency_max: 50,
+                drop_prob: drop_pct as f64 / 100.0,
+                delay_prob: delay_pct as f64 / 100.0,
+                delay_steps_max: 4,
+                reorder_prob: reorder_pct as f64 / 100.0,
+                ..NetworkConfig::default()
+            },
+            seed,
+        );
+        let (a, b) = (NodeId::new("a"), NodeId::new("b"));
+        if cut_first {
+            net.partition(a, b, Some(net.step() + 2));
+        }
+        let mut delivered = 0;
+        for i in 0..n {
+            net.begin_step();
+            net.send(a, b, vec![i as u8]);
+            delivered += net.deliver_all().len();
+        }
+        // Drain the delay queue: advance steps until nothing is held.
+        while net.has_pending() {
+            net.begin_step();
+            delivered += net.deliver_all().len();
+        }
+        let stats = net.stats();
+        prop_assert_eq!(stats.sent, n);
+        prop_assert_eq!(
+            delivered,
+            stats.sent - stats.dropped - stats.blackholed + stats.duplicated,
+            "sent {} dropped {} blackholed {} delayed {} duplicated {}",
+            stats.sent, stats.dropped, stats.blackholed, stats.delayed, stats.duplicated
+        );
+        prop_assert_eq!(net.active_partitions(), 0, "step-scheduled heal fired");
     }
 
     /// Delivery times never decrease.

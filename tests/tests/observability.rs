@@ -55,15 +55,15 @@ fn fanout_system(shards: usize, receivers: usize) -> System {
 }
 
 /// Satellite (a): the three ledgers and the registry agree. The
-/// engine-level guarantee `messages_sent == net.sent - net.dropped`
-/// must hold both between the stats structs and between the live
-/// registry counters they feed.
+/// engine-level guarantee `messages_sent == net.sent - net.dropped -
+/// net.blackholed` must hold both between the stats structs and
+/// between the live registry counters they feed.
 #[test]
 fn registry_reconciles_with_stats_ledgers() {
     let sys = fanout_system(1, 4);
     let stats = sys.stats();
     let net = sys.net_stats();
-    assert_eq!(stats.messages_sent, net.sent - net.dropped);
+    assert_eq!(stats.messages_sent, net.sent - net.dropped - net.blackholed);
 
     let snap = sys.obs_registry().snapshot();
     assert_eq!(snap.counter("net.sent").unwrap(), net.sent as u64);
@@ -211,6 +211,98 @@ fn pool_metrics_record_tasks_steals_and_imbalance() {
     assert!(det.counter("pool.tasks").is_none());
     assert!(det.counter("pool.steals").is_none());
     assert!(det.gauge("quiesce.imbalance_ratio").is_none());
+}
+
+/// The fault plane's ledger: under partitions + loss + delay the
+/// extended reconciliation invariant holds (`messages_sent ==
+/// net.sent - net.dropped - net.blackholed`), the new network
+/// counters mirror the stats struct, degradation transitions are
+/// journaled, and the fault/retry counters stay out of the
+/// deterministic snapshot.
+#[test]
+fn fault_plane_ledger_reconciles_and_stays_volatile() {
+    use lbtrust::certstore::FaultConfig;
+    use lbtrust::StoreHealth;
+    use lbtrust_net::{NetworkConfig, NodeId};
+
+    let config = NetworkConfig {
+        drop_prob: 0.2,
+        delay_prob: 0.3,
+        delay_steps_max: 2,
+        reorder_prob: 0.2,
+        ..NetworkConfig::default()
+    };
+    let mut sys = System::with_network(config, 5)
+        .with_rsa_bits(512)
+        .with_storage_faults(FaultConfig::uniform(5, 0));
+    let ring = Arc::new(RingSink::new(32));
+    sys.enable_decision_journal(ring.clone());
+    let hub = sys.add_principal("hub", "n0").unwrap();
+    let mut recs = Vec::new();
+    for i in 0..3 {
+        let name = format!("r{i}");
+        let p = sys.add_principal(&name, &format!("m{i}")).unwrap();
+        sys.workspace_mut(p)
+            .unwrap()
+            .load("policy", "edge(X,Y) <- says(hub,me,[| ledge(X,Y) |]).")
+            .unwrap();
+        sys.workspace_mut(hub)
+            .unwrap()
+            .load(
+                "policy",
+                &format!("says(me,{name},[| ledge(X,Y). |]) <- vedge(X,Y)."),
+            )
+            .unwrap();
+        recs.push(p);
+    }
+    // Blackhole the hub's link to one receiver for the whole run.
+    sys.network_mut()
+        .partition(NodeId::new("n0"), NodeId::new("m2"), None);
+    sys.workspace_mut(hub)
+        .unwrap()
+        .assert_src("vedge(a,b). vedge(b,c).")
+        .unwrap();
+    sys.run_to_quiescence(64).unwrap();
+
+    let stats = sys.stats();
+    let net = sys.net_stats();
+    assert!(net.blackholed >= 1, "the partition must have eaten traffic");
+    assert_eq!(
+        stats.messages_sent,
+        net.sent - net.dropped - net.blackholed,
+        "the extended reconciliation invariant"
+    );
+    let snap = sys.obs_registry().snapshot();
+    assert_eq!(
+        snap.counter("net.blackholed").unwrap(),
+        net.blackholed as u64
+    );
+    assert_eq!(snap.counter("net.delayed").unwrap(), net.delayed as u64);
+    assert_eq!(snap.counter("net.reordered").unwrap(), net.reordered as u64);
+
+    // Degradation transitions land in the journal …
+    sys.fault_handle(recs[0]).unwrap().fail_persistently();
+    let cert = sys
+        .issue_certificate(hub, "good(carol).", &[], None)
+        .unwrap();
+    assert!(sys.import_certificates(recs[0], vec![cert]).is_err());
+    assert_eq!(sys.store_health(recs[0]), StoreHealth::Quarantined);
+    sys.fault_handle(recs[0]).unwrap().heal();
+    sys.run_to_quiescence(64).unwrap();
+    assert_eq!(sys.store_health(recs[0]), StoreHealth::Healthy);
+    let kinds: Vec<String> = ring.events().iter().map(|e| e.kind.clone()).collect();
+    assert!(kinds.contains(&"store.quarantined".to_string()));
+    assert!(kinds.contains(&"store.healed".to_string()));
+
+    // … and the fault/retry counters are volatile by design.
+    let snap = sys.obs_registry().snapshot();
+    assert!(snap.counter("store.retries").unwrap() >= 1);
+    assert_eq!(snap.counter("store.quarantined").unwrap(), 1);
+    assert!(snap.counter("fault.injected.io").unwrap() >= 1);
+    let det = sys.obs_registry().deterministic_snapshot();
+    for name in ["store.retries", "store.quarantined", "fault.injected.io"] {
+        assert!(det.counter(name).is_none(), "{name} must stay volatile");
+    }
 }
 
 /// The decision journal: `authorize` must grant exactly what the
