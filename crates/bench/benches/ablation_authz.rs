@@ -1,0 +1,249 @@
+//! Experiment A11: the concurrent authorization read front-end. A
+//! hub-and-receivers deployment where 1/2/4/8 reader threads sweep a
+//! goal pool through `AuthzReader::authorize` — lock-free over
+//! atomically published snapshots, behind the versioned decision
+//! cache — while the writer thread streams certificate imports and
+//! revocations through repeated quiescence runs (each one publishing a
+//! fresh snapshot and surgically invalidating the poisoned decisions).
+//!
+//! Headlines land in `BENCH_authz.json` at the repo root: `qps_N` for
+//! each reader count, the serial `System::authorize` baseline, and the
+//! decision-cache hit rate under the revocation stream. The scaling
+//! assertion (>=1.5x at 4 readers vs 1) only means anything with a
+//! core per reader plus one for the writer, so on smaller hosts it is
+//! skipped — loudly, in the JSON notes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbtrust::certstore::CertDigest;
+use lbtrust::obs::Report;
+use lbtrust::{Principal, System};
+use lbtrust_bench::persist_line;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Receivers importing the certificate pool (plus the issuing hub).
+const RECEIVERS: usize = 4;
+/// Certificates pre-issued at the hub; the revocation stream retires
+/// them one per wave.
+const POOL: usize = 128;
+/// Subjects in the readers' goal sweep: a mix of certificates the
+/// stream will kill and certificates that stay live (cache-friendly).
+const GOAL_SUBJECTS: usize = 32;
+/// Reader-thread counts swept.
+const READERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Hub + receivers, every receiver holding the access policy and the
+/// full certificate pool, quiesced and ready for the stream.
+fn authz_system() -> (System, Principal, Vec<Principal>, Vec<CertDigest>) {
+    let mut sys = System::new().with_rsa_bits(512);
+    let hub = sys.add_principal("hub", "n0").unwrap();
+    let recs: Vec<Principal> = (0..RECEIVERS)
+        .map(|i| {
+            sys.add_principal(&format!("r{i}"), &format!("m{i}"))
+                .unwrap()
+        })
+        .collect();
+    let facts: String = (0..POOL).map(|i| format!("good(p{i}). ")).collect();
+    let certs = sys.issue_certificates(hub, &facts, &[], None).unwrap();
+    let digests: Vec<CertDigest> = certs.iter().map(|c| c.digest()).collect();
+    for &r in &recs {
+        sys.workspace_mut(r)
+            .unwrap()
+            .load("policy", "access(P,f,read) <- says(hub,me,[| good(P) |]).")
+            .unwrap();
+        sys.import_certificates(r, certs.clone()).unwrap();
+    }
+    sys.run_to_quiescence(16).unwrap();
+    (sys, hub, recs, digests)
+}
+
+/// One measured pass: `n` reader threads sweep the goal pool while the
+/// writer streams revocations (and periodic fresh imports) for
+/// `window`, publishing after every quiescence. Returns queries/sec.
+fn reader_pass(n: usize, window: Duration) -> f64 {
+    let (mut sys, hub, recs, digests) = authz_system();
+    let reader = sys.authz_reader();
+    let goals: Vec<String> = (0..GOAL_SUBJECTS)
+        .map(|i| format!("access(p{i},f,read)"))
+        .collect();
+    let stop = AtomicBool::new(false);
+    let queries = AtomicU64::new(0);
+
+    let started = Instant::now();
+    let elapsed = std::thread::scope(|scope| {
+        for t in 0..n {
+            let reader = reader.clone();
+            let stop = &stop;
+            let queries = &queries;
+            let goals = &goals;
+            let recs = &recs;
+            scope.spawn(move || {
+                let mut local = 0u64;
+                let mut i = t; // offset so threads spread over the pool
+                while !stop.load(Ordering::Relaxed) {
+                    let r = recs[i % recs.len()];
+                    let g = &goals[i % goals.len()];
+                    reader.authorize(r, g).unwrap();
+                    local += 1;
+                    i += 1;
+                }
+                queries.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+
+        // The writer: one revocation per wave (a retraction-only window
+        // for most publishes — the precise-invalidation path), a fresh
+        // import every fourth wave (a version-bumping change), and a
+        // snapshot publish at every quiescence.
+        let mut wave = 0usize;
+        while started.elapsed() < window && wave < digests.len() {
+            sys.revoke_certificate(hub, digests[wave]).unwrap();
+            if wave % 4 == 3 {
+                let cert = sys
+                    .issue_certificate(hub, &format!("good(x{wave})."), &[], None)
+                    .unwrap();
+                sys.import_certificates(recs[wave % recs.len()], vec![cert])
+                    .unwrap();
+            }
+            sys.run_to_quiescence(16).unwrap();
+            wave += 1;
+        }
+        let elapsed = started.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        elapsed
+    });
+
+    queries.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+/// The cache-facing pass: like `reader_pass` at 4 readers, but returns
+/// the decision-cache hit rate accumulated over the whole stream.
+fn cache_pass(window: Duration) -> f64 {
+    let (mut sys, hub, recs, digests) = authz_system();
+    let reader = sys.authz_reader();
+    let goals: Vec<String> = (0..GOAL_SUBJECTS)
+        .map(|i| format!("access(p{i},f,read)"))
+        .collect();
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..4usize {
+            let reader = reader.clone();
+            let stop = &stop;
+            let goals = &goals;
+            let recs = &recs;
+            scope.spawn(move || {
+                let mut i = t;
+                while !stop.load(Ordering::Relaxed) {
+                    reader
+                        .authorize(recs[i % recs.len()], &goals[i % goals.len()])
+                        .unwrap();
+                    i += 1;
+                }
+            });
+        }
+        let mut wave = 0usize;
+        while started.elapsed() < window && wave < digests.len() {
+            sys.revoke_certificate(hub, digests[wave]).unwrap();
+            sys.run_to_quiescence(16).unwrap();
+            wave += 1;
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let snap = sys.obs_registry().snapshot();
+    let hits = snap.counter("authz.cache_hits").unwrap_or(0) as f64;
+    let misses = snap.counter("authz.cache_misses").unwrap_or(0) as f64;
+    hits / (hits + misses).max(1.0)
+}
+
+/// Serial baseline: `System::authorize` (no cache, live workspaces)
+/// sweeping the same goal pool single-threaded, no stream.
+fn serial_pass(window: Duration) -> f64 {
+    let (sys, _hub, recs, _digests) = authz_system();
+    let goals: Vec<String> = (0..GOAL_SUBJECTS)
+        .map(|i| format!("access(p{i},f,read)"))
+        .collect();
+    let started = Instant::now();
+    let mut queries = 0u64;
+    let mut i = 0usize;
+    while started.elapsed() < window {
+        sys.authorize(recs[i % recs.len()], &goals[i % goals.len()])
+            .unwrap();
+        queries += 1;
+        i += 1;
+    }
+    queries as f64 / started.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn authz_read_path(_c: &mut Criterion) {
+    // The sweep is self-timed (threads + a duration window don't fit
+    // the shim's iteration loop); `--test` shrinks the window so CI's
+    // bench-smoke exercises every path quickly.
+    let smoke = std::env::args().any(|a| a == "--test");
+    let window = if smoke {
+        Duration::from_millis(150)
+    } else {
+        Duration::from_millis(600)
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut qps: Vec<(usize, f64)> = Vec::new();
+    for &n in &READERS {
+        let rate = reader_pass(n, window);
+        persist_line(&format!(
+            "authz-read readers={n} {rate:>12.0} qps under revocation stream ({cores} cores)"
+        ));
+        qps.push((n, rate));
+    }
+    let qps_at = |n: usize| qps.iter().find(|(k, _)| *k == n).map_or(0.0, |(_, q)| *q);
+    let scaling_4 = qps_at(4) / qps_at(1).max(1e-9);
+
+    let hit_rate = cache_pass(window);
+    let qps_serial = serial_pass(window);
+    persist_line(&format!(
+        "authz-read serial baseline {qps_serial:>12.0} qps, cache hit rate {:.1}% over stream",
+        hit_rate * 100.0
+    ));
+
+    // Core-honesty gate: 4 readers + the writer need 5 cores before
+    // the scaling bar is meaningful.
+    let assertions = if cores >= 5 {
+        assert!(
+            scaling_4 >= 1.5,
+            "4 reader threads must deliver >=1.5x the single-reader qps \
+             with a core per thread (got {scaling_4:.2}x)"
+        );
+        "enforced".to_string()
+    } else {
+        format!("SKIPPED (cores={cores} < 5)")
+    };
+    persist_line(&format!(
+        "authz-read scaling 4v1 {scaling_4:.2}x; assertion {assertions}"
+    ));
+
+    let mut report = Report::new("authz")
+        .headline("qps_serial", qps_serial)
+        .headline("scaling_4v1", scaling_4)
+        .headline("cache_hit_rate", hit_rate)
+        .note(
+            "workload",
+            &format!(
+                "{RECEIVERS} receivers x {GOAL_SUBJECTS} goals, {POOL}-cert pool retired \
+                 one per wave with periodic fresh imports, publish every quiescence"
+            ),
+        )
+        .note("cores", &cores.to_string())
+        .note("window_ms", &window.as_millis().to_string())
+        .note("scaling_assertion", &assertions);
+    for (n, rate) in &qps {
+        report = report.headline(&format!("qps_{n}"), *rate);
+    }
+    if let Err(e) = report.write_at_repo_root() {
+        eprintln!("[obs] BENCH_authz.json not written: {e}");
+    }
+}
+
+criterion_group!(benches, authz_read_path);
+criterion_main!(benches);

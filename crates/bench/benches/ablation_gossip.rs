@@ -197,8 +197,7 @@ fn gossip_convergence(c: &mut Criterion) {
             let hub_node = NodeId::new("n0");
             let far = NodeId::new(&format!("m{}", PRINCIPALS - 1));
             let heal_at = Some(sys.network_mut().step() + dur);
-            sys.network_mut()
-                .partition(hub_node, far, heal_at);
+            sys.network_mut().partition(hub_node, far, heal_at);
             sys.network_mut().partition(far, hub_node, heal_at);
         }
         revoke_iteration(&mut sys, hub, &digests, 0);

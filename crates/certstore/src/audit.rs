@@ -12,6 +12,7 @@
 use crate::digest::CertDigest;
 use lbtrust_datalog::ast::Rule;
 use lbtrust_datalog::Symbol;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -98,6 +99,11 @@ impl fmt::Display for AuditEntry {
 #[derive(Clone, Debug, Default)]
 pub struct AuditLog {
     entries: Vec<AuditEntry>,
+    /// Canonical rule text → indices of `Imported` entries carrying
+    /// that rule, in append order. Keeps [`AuditLog::introducers`] —
+    /// which sits on the authorization hot path — O(matches) instead
+    /// of a full-trail scan.
+    intro: HashMap<String, Vec<usize>>,
 }
 
 impl AuditLog {
@@ -110,7 +116,25 @@ impl AuditLog {
     /// segment (history folded away by checkpointing; replay of the log
     /// suffix appends the rest).
     pub(crate) fn restore(entries: Vec<AuditEntry>) -> AuditLog {
-        AuditLog { entries }
+        let mut log = AuditLog {
+            entries,
+            intro: HashMap::new(),
+        };
+        for i in 0..log.entries.len() {
+            log.index_entry(i);
+        }
+        log
+    }
+
+    /// Indexes entry `i` into the introducer map if it is an import
+    /// carrying a rule.
+    fn index_entry(&mut self, i: usize) {
+        let e = &self.entries[i];
+        if e.action == AuditAction::Imported {
+            if let Some(rule) = &e.rule {
+                self.intro.entry(rule.to_string()).or_default().push(i);
+            }
+        }
     }
 
     /// Appends one entry (the store's internal hook).
@@ -129,6 +153,7 @@ impl AuditLog {
             at,
             rule,
         });
+        self.index_entry(self.entries.len() - 1);
     }
 
     /// Every entry, oldest first.
@@ -160,11 +185,25 @@ impl AuditLog {
     /// parsed rule's `to_string()` or source they normalized the same
     /// way.
     pub fn introducers(&self, rule_src: &str) -> Vec<&AuditEntry> {
-        self.entries
+        self.intro
+            .get(rule_src)
+            .map(|is| is.iter().map(|&i| &self.entries[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// The full introducer map: canonical rule text → digests of the
+    /// import entries that introduced that rule, in append order. This
+    /// is the snapshot-extraction form of [`AuditLog::introducers`]:
+    /// one pass here captures every says-premise citation a concurrent
+    /// reader may need, without borrowing the trail.
+    pub fn introducer_digests(&self) -> HashMap<String, Vec<CertDigest>> {
+        self.intro
             .iter()
-            .filter(|e| {
-                e.action == AuditAction::Imported
-                    && e.rule.as_ref().is_some_and(|r| r.to_string() == rule_src)
+            .map(|(rule, is)| {
+                (
+                    rule.clone(),
+                    is.iter().map(|&i| self.entries[i].digest).collect(),
+                )
             })
             .collect()
     }

@@ -66,7 +66,7 @@ pub use backend::{
 };
 pub use cert::LinkedCert;
 pub use digest::CertDigest;
-pub use lru::EvictionPolicy;
+pub use lru::{EvictionPolicy, LruMap};
 pub use revocation::Revocation;
 pub use store::{
     CertStatus, CertStore, CertStoreError, ImportOutcome, MaintenanceReport, ReplayReport,

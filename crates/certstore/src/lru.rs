@@ -240,6 +240,15 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
         }
     }
 
+    /// Visits every live entry, in slab (not recency) order, without
+    /// touching recency. Used by callers that need a full sweep — e.g.
+    /// cache invalidation scans — where eviction order is irrelevant.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slab
+            .iter()
+            .filter_map(|n| n.value.as_ref().map(|v| (&n.key, v)))
+    }
+
     /// Removes an entry, returning its value.
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let i = self.index.remove(key)?;

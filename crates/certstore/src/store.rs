@@ -21,8 +21,8 @@ use crate::digest::CertDigest;
 use crate::lru::LruMap;
 use crate::revocation::Revocation;
 use crate::verify::{shared_verify_cache, CacheStats, SharedVerifyCache, SignatureVerifier};
-use lbtrust_datalog::ast::Rule;
-use lbtrust_datalog::Symbol;
+use lbtrust_datalog::ast::{PredRef, Rule, Term};
+use lbtrust_datalog::{Symbol, Tuple};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
@@ -347,6 +347,19 @@ pub struct CertStore {
     active_cache: Vec<CertDigest>,
     /// Whether `active_cache` needs a rebuild (set when an entry dies).
     active_dirty: bool,
+    /// Maintained ground-head index over *active* certificates:
+    /// predicate → ground head tuple → digests of the live bodyless
+    /// certificates asserting that fact. Kept incrementally at
+    /// import/revoke/expiry/link-break so authorization citation never
+    /// rebuilds it per query.
+    ground_heads: HashMap<Symbol, HashMap<Tuple, Vec<CertDigest>>>,
+    /// Monotone active-set version: bumped on every mutation of the
+    /// live certificate set (import, revocation death, expiry, link
+    /// break, checkpoint restore) and *not* on inert bookkeeping
+    /// (pre-arrival revocation memory, foreign objects, tombstone
+    /// eviction), so a cached read keyed on it stays valid exactly as
+    /// long as the facts it rests on.
+    version: u64,
     /// Bound on the entry map (`None` = unbounded). Only *dead*
     /// entries (tombstones) are ever evicted; live certificates are
     /// never dropped, so the bound is best-effort when the live set
@@ -505,6 +518,8 @@ impl CertStore {
             expiry: BinaryHeap::new(),
             active_cache: Vec::new(),
             active_dirty: false,
+            ground_heads: HashMap::new(),
+            version: 0,
             entry_capacity: None,
             dead_lru: LruMap::new(None),
             replay_report: ReplayReport::default(),
@@ -862,6 +877,91 @@ impl CertStore {
         self.active_cache.len()
     }
 
+    /// The store's active-set version: a monotone counter bumped on
+    /// every mutation of the live certificate set (import, revocation,
+    /// expiry, link break, checkpoint restore) and on nothing else.
+    /// Two reads of the same store at the same version saw the same
+    /// live set, so decisions keyed on it can be reused safely.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The maintained ground-head index: predicate → ground head tuple
+    /// → digests of the *live* bodyless certificates asserting that
+    /// fact. Maintained incrementally at every lifecycle transition, so
+    /// citation lookups ("which credential asserted this fact?") are a
+    /// hash probe, never a store rescan.
+    pub fn ground_heads(&self) -> &HashMap<Symbol, HashMap<Tuple, Vec<CertDigest>>> {
+        &self.ground_heads
+    }
+
+    /// Files every ground head of a bodyless certified rule under the
+    /// certificate's content address. Rules with bodies derive rather
+    /// than assert, and non-ground heads materialize per-binding — both
+    /// are cited through `says` premises instead, so neither is
+    /// indexed.
+    fn index_ground_heads(&mut self, digest: CertDigest, rule: &Rule) {
+        if !rule.body.is_empty() {
+            return;
+        }
+        for head in &rule.heads {
+            let PredRef::Name(pred) = head.pred else {
+                continue;
+            };
+            let ground: Option<Tuple> = head
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Val(v) => Some(v.clone()),
+                    _ => None,
+                })
+                .collect();
+            if let Some(tuple) = ground {
+                self.ground_heads
+                    .entry(pred)
+                    .or_default()
+                    .entry(tuple)
+                    .or_default()
+                    .push(digest);
+            }
+        }
+    }
+
+    /// Reverses [`CertStore::index_ground_heads`] when a certificate
+    /// leaves the active set, pruning emptied tuple and predicate
+    /// slots so the index tracks the live set's size, not history.
+    fn unindex_ground_heads(&mut self, digest: CertDigest, rule: &Rule) {
+        if !rule.body.is_empty() {
+            return;
+        }
+        for head in &rule.heads {
+            let PredRef::Name(pred) = head.pred else {
+                continue;
+            };
+            let ground: Option<Tuple> = head
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Val(v) => Some(v.clone()),
+                    _ => None,
+                })
+                .collect();
+            let Some(tuple) = ground else { continue };
+            let Some(by_tuple) = self.ground_heads.get_mut(&pred) else {
+                continue;
+            };
+            if let Some(digests) = by_tuple.get_mut(&tuple) {
+                digests.retain(|d| *d != digest);
+                if digests.is_empty() {
+                    by_tuple.remove(&tuple);
+                }
+            }
+            if by_tuple.is_empty() {
+                self.ground_heads.remove(&pred);
+            }
+        }
+    }
+
     /// The store's anti-entropy revocation summary: for every signer
     /// with at least one remembered, re-servable revocation object, the
     /// XOR fold of the revoked target digests, sorted by signer name.
@@ -1029,6 +1129,8 @@ impl CertStore {
             self.clock,
             Some(cert.rule.clone()),
         );
+        self.index_ground_heads(digest, &cert.rule);
+        self.version += 1;
         self.entries.insert(
             digest,
             Entry {
@@ -1263,6 +1365,9 @@ impl CertStore {
         }
         self.active_dirty = true;
         self.dead_lru.insert(target, ());
+        let rule = events[0].rule.clone();
+        self.unindex_ground_heads(target, &rule);
+        self.version += 1;
         self.audit
             .record(target, issuer, AuditAction::Revoked, self.clock, None);
         self.cascade_broken(&[target], &mut events);
@@ -1308,6 +1413,7 @@ impl CertStore {
                 reason: RetractReason::Expired,
             });
             let issuer = entry.cert.issuer;
+            let rule = entry.cert.rule.clone();
             expired.push(digest);
             self.live_bytes = self.live_bytes.saturating_sub(reclaimed);
             self.stats.expirations += 1;
@@ -1316,6 +1422,8 @@ impl CertStore {
             }
             self.active_dirty = true;
             self.dead_lru.insert(digest, ());
+            self.unindex_ground_heads(digest, &rule);
+            self.version += 1;
             self.audit
                 .record(digest, issuer, AuditAction::Expired, self.clock, None);
         }
@@ -1345,6 +1453,7 @@ impl CertStore {
                         reason: RetractReason::LinkBroken,
                     });
                     let issuer = entry.cert.issuer;
+                    let rule = entry.cert.rule.clone();
                     self.live_bytes = self.live_bytes.saturating_sub(reclaimed);
                     self.stats.link_breaks += 1;
                     if let Some(o) = &self.obs {
@@ -1352,6 +1461,8 @@ impl CertStore {
                     }
                     self.active_dirty = true;
                     self.dead_lru.insert(dep, ());
+                    self.unindex_ground_heads(dep, &rule);
+                    self.version += 1;
                     self.audit
                         .record(dep, issuer, AuditAction::LinkBroken, self.clock, None);
                     frontier.push(dep);
@@ -1519,6 +1630,11 @@ impl CertStore {
         self.expiry.clear();
         self.active_cache.clear();
         self.active_dirty = false;
+        self.ground_heads.clear();
+        // One bump for the whole swap: the restored live set replaces
+        // whatever was held, so any decision keyed on an older version
+        // is stale (the counter stays monotone — it never resets).
+        self.version += 1;
         self.dead_lru = LruMap::new(None);
         self.live_bytes = 0;
         self.clock = state.clock;
@@ -1541,6 +1657,7 @@ impl CertStore {
                 self.expiry.push(Reverse((deadline, digest)));
             }
             self.live_bytes += cert_record_bytes(&cert);
+            self.index_ground_heads(digest, &cert.rule);
             self.entries.insert(
                 digest,
                 Entry {

@@ -1,0 +1,491 @@
+//! The concurrent authorization read front-end: immutable snapshots,
+//! `Send + Sync` reader handles, and a precisely-invalidated decision
+//! cache.
+//!
+//! Production trust management is read-dominated — millions of "may X
+//! do Y" queries against a slowly-mutating credential set — yet
+//! [`crate::System::authorize`] needs `&System`, so every query
+//! contends with the fixpoint writer. This module splits the read path
+//! off: at each quiescent point the system publishes an
+//! [`AuthzSnapshot`] — an immutable, `Arc`-shared view of every
+//! principal's materialized database, active-certificate ground-head
+//! index, and audit introducer map — and any number of
+//! [`AuthzReader`] handles evaluate `authorize()` against it from
+//! other threads while imports and revocations keep streaming through
+//! the writer.
+//!
+//! Three pieces, all `std`-only (the crate stays
+//! `#![forbid(unsafe_code)]`):
+//!
+//! * **[`AuthzSnapshot`]** — the published view. Readers see the exact
+//!   state of the last quiescent point: every decision a reader makes
+//!   equals the serial `authorize()` answer at that store version.
+//! * **`SnapshotCell`** — a `Mutex<Arc<_>>` slot paired with an
+//!   `AtomicU64` generation. Readers keep a per-handle cached `Arc`
+//!   and compare generations with one atomic load per query; only a
+//!   generation change takes the slot lock (clone-on-read arc-swap).
+//!   Queries then run against the *handle-local* `Arc`, so reader
+//!   threads never contend on a shared refcount cache line.
+//! * **`DecisionCache`** — a sharded, 2Q-evicted map keyed
+//!   `(principal, authz-version, goal)`. Each entry records the
+//!   supporting certificate digests of the cached decision, so a DRed
+//!   retraction (revocation or TTL expiry) invalidates exactly the
+//!   poisoned decisions: a cached grant never survives the revocation
+//!   of a certificate it rests on. Any change the invalidation
+//!   bookkeeping cannot attribute precisely (fresh imports, rule
+//!   changes, non-monotonic rebuilds) bumps the principal's
+//!   authz-version instead, orphaning every older key at once (the 2Q
+//!   eviction ages them out).
+//!
+//! Cache traffic is counted in the volatile `authz.cache_hits` /
+//! `authz.cache_misses` / `authz.cache_invalidations` counters and
+//! publication cost in the `snapshot.publish_ns` histogram — all
+//! excluded from deterministic snapshots, since they depend on reader
+//! scheduling.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use lbtrust_certstore::{CertDigest, EvictionPolicy, LruMap};
+use lbtrust_datalog::ast::Rule;
+use lbtrust_datalog::provenance::{explain, Proof};
+use lbtrust_datalog::{Builtins, Database, ParseError, Symbol, Tuple, Value};
+use lbtrust_obs::{Counter, Histogram, Registry};
+
+use crate::principal::Principal;
+use crate::system::{AuthzDecision, SysError};
+use crate::workspace::WsError;
+
+/// Decision-cache shard count: enough to keep reader threads off each
+/// other's locks at typical core counts, few enough that invalidation
+/// sweeps stay cheap.
+const CACHE_SHARDS: usize = 16;
+
+/// Per-shard decision-cache capacity (2Q-evicted).
+const CACHE_SHARD_CAPACITY: usize = 1024;
+
+/// One principal's share of a published snapshot: everything a reader
+/// needs to decide and cite an authorization without touching the live
+/// workspace or store.
+pub(crate) struct PrincipalSnapshot {
+    pub(crate) me: Principal,
+    /// Installed user + generated rules at the quiescent point.
+    pub(crate) rules: Vec<Rule>,
+    /// The materialized database at the quiescent point.
+    pub(crate) db: Database,
+    pub(crate) builtins: Builtins,
+    /// The store's incrementally-maintained ground-head index:
+    /// predicate → ground head tuple → digests of live bodyless
+    /// certificates asserting that fact.
+    pub(crate) ground_heads: HashMap<Symbol, HashMap<Tuple, Vec<CertDigest>>>,
+    /// Audit introducer map: canonical rule text → digests of the
+    /// certificates that imported that rule.
+    pub(crate) introducers: HashMap<String, Vec<CertDigest>>,
+    /// The cache-key version: decisions cached under it stay servable
+    /// until it bumps (or a poisoned-digest invalidation removes them).
+    pub(crate) authz_version: u64,
+    /// The store's active-set version at publication, for diagnostics
+    /// and the equivalence tests.
+    pub(crate) store_version: u64,
+}
+
+impl PrincipalSnapshot {
+    /// Proves `goal` against the snapshot — the snapshot-side twin of
+    /// `Workspace::explain_proof`, over captured rules/db/builtins.
+    fn proof(&self, goal: &str) -> Result<Option<Proof>, WsError> {
+        let atom = lbtrust_datalog::parse_atom(goal)?;
+        let atom = atom.substitute_sym(Symbol::intern("me"), self.me);
+        let pred = atom.pred.name().ok_or(WsError::Parse(ParseError {
+            message: "authorize takes a concrete fact".into(),
+            line: 0,
+        }))?;
+        let tuple: Option<Tuple> = atom.all_args().map(|t| t.as_val().cloned()).collect();
+        let Some(tuple) = tuple else {
+            return Err(WsError::Parse(ParseError {
+                message: "authorize takes a ground fact".into(),
+                line: 0,
+            }));
+        };
+        Ok(explain(&self.rules, &self.db, &self.builtins, pred, &tuple))
+    }
+
+    /// Decides `goal`: grant/deny, supporting digests, rendered proof.
+    fn decide(&self, goal: &str) -> Result<CachedDecision, SysError> {
+        let proof = self.proof(goal)?;
+        let granted = proof.is_some();
+        let (supporting, rendered) = match &proof {
+            Some(proof) => (
+                collect_supporting(proof, &self.ground_heads, |rule_src, out| {
+                    if let Some(ds) = self.introducers.get(rule_src) {
+                        out.extend(ds.iter().copied());
+                    }
+                }),
+                Some(proof.render()),
+            ),
+            None => (Vec::new(), None),
+        };
+        Ok(CachedDecision {
+            granted,
+            supporting,
+            proof: rendered,
+        })
+    }
+}
+
+/// Walks a proof tree collecting the digests of every certificate the
+/// derivation rests on: ground-head index hits for cert-materialized
+/// facts, introducer citations for `says` premises. Shared by the
+/// serial [`crate::System::authorize`] and the snapshot readers, so
+/// both cite identically. The result is sorted on raw digest bytes
+/// (identical order to the old hex-string sort — lowercase hex is
+/// monotone in the bytes — without a `String` per comparison) and
+/// deduplicated.
+pub(crate) fn collect_supporting<F>(
+    proof: &Proof,
+    ground_heads: &HashMap<Symbol, HashMap<Tuple, Vec<CertDigest>>>,
+    mut cite_introducers: F,
+) -> Vec<CertDigest>
+where
+    F: FnMut(&str, &mut Vec<CertDigest>),
+{
+    let says = Symbol::intern("says");
+    let mut supporting: Vec<CertDigest> = Vec::new();
+    let mut frontier = vec![proof];
+    while let Some(node) = frontier.pop() {
+        let (pred, tuple) = node.conclusion();
+        // A `says` premise carries its certified rule as the trailing
+        // quotation; the introducer map cites the certificate(s) that
+        // imported that rule.
+        if pred == says {
+            if let Some(Value::Quote(rule)) = tuple.last() {
+                cite_introducers(&rule.to_string(), &mut supporting);
+            }
+        }
+        // A certified bodyless rule materializes its head as a base
+        // fact, so a proof can rest on a credential without a `says`
+        // premise appearing — the ground-head index maps the fact back
+        // to its content address. Borrow-keyed probe: no tuple clone.
+        if let Some(digests) = ground_heads.get(&pred).and_then(|m| m.get(tuple)) {
+            supporting.extend(digests.iter().copied());
+        }
+        if let Proof::Derived { premises, .. } = node {
+            frontier.extend(premises.iter());
+        }
+    }
+    supporting.sort_unstable();
+    supporting.dedup();
+    supporting
+}
+
+/// The atomically-published view of every principal at the last
+/// quiescent point. Immutable once published; readers share it by
+/// `Arc`.
+pub struct AuthzSnapshot {
+    /// Publication generation (monotone; generation 0 is the empty
+    /// pre-publication snapshot). Stamped by `SnapshotCell::publish`.
+    pub(crate) generation: u64,
+    pub(crate) principals: HashMap<Principal, Arc<PrincipalSnapshot>>,
+}
+
+impl AuthzSnapshot {
+    /// The publication generation this snapshot was installed under.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The store version captured for `who`, if registered.
+    pub fn store_version(&self, who: Principal) -> Option<u64> {
+        self.principals.get(&who).map(|p| p.store_version)
+    }
+}
+
+/// A std-only arc-swap: a mutex-guarded `Arc` slot plus an atomic
+/// generation readers poll without the lock. The generation is bumped
+/// *inside* the slot lock, so a reader that re-reads both under the
+/// lock always gets a consistent pair.
+pub(crate) struct SnapshotCell {
+    generation: AtomicU64,
+    slot: Mutex<Arc<AuthzSnapshot>>,
+}
+
+impl SnapshotCell {
+    fn new() -> SnapshotCell {
+        SnapshotCell {
+            generation: AtomicU64::new(0),
+            slot: Mutex::new(Arc::new(AuthzSnapshot {
+                generation: 0,
+                principals: HashMap::new(),
+            })),
+        }
+    }
+
+    /// Atomically installs `snap` as the current snapshot, stamping it
+    /// with the next generation. Readers observe either the old pair or
+    /// the new pair, never a mix.
+    pub(crate) fn publish(&self, mut snap: AuthzSnapshot) -> u64 {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        let generation = self.generation.load(Ordering::Relaxed) + 1;
+        snap.generation = generation;
+        *slot = Arc::new(snap);
+        self.generation.store(generation, Ordering::Release);
+        generation
+    }
+
+    /// The current generation — one atomic load, no lock.
+    fn current_generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// The current `(generation, snapshot)` pair, consistently.
+    fn load(&self) -> (u64, Arc<AuthzSnapshot>) {
+        let slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        (self.generation.load(Ordering::Acquire), slot.clone())
+    }
+}
+
+/// A cached decision: everything needed to answer a repeat query
+/// byte-for-byte, plus the supporting digests the invalidation sweep
+/// matches poisoned certificates against.
+#[derive(Clone)]
+struct CachedDecision {
+    granted: bool,
+    supporting: Vec<CertDigest>,
+    proof: Option<String>,
+}
+
+impl CachedDecision {
+    fn into_decision(self, who: Principal, goal: String) -> AuthzDecision {
+        AuthzDecision {
+            principal: who,
+            goal,
+            granted: self.granted,
+            supporting: self.supporting,
+            proof: self.proof,
+        }
+    }
+}
+
+/// Cache key: `(principal, authz-version, goal)`. The version
+/// component orphans every stale entry at once when a principal's
+/// decision function changes in a way the precise invalidation cannot
+/// attribute (2Q eviction reclaims the orphans).
+type CacheKey = (Principal, u64, String);
+
+/// The sharded 2Q decision cache.
+struct DecisionCache {
+    shards: Vec<Mutex<LruMap<CacheKey, CachedDecision>>>,
+}
+
+impl DecisionCache {
+    fn new() -> DecisionCache {
+        DecisionCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| {
+                    Mutex::new(LruMap::with_policy(
+                        Some(CACHE_SHARD_CAPACITY),
+                        EvictionPolicy::TwoQueue,
+                    ))
+                })
+                .collect(),
+        }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &Mutex<LruMap<CacheKey, CachedDecision>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % CACHE_SHARDS]
+    }
+
+    fn get(&self, key: &CacheKey) -> Option<CachedDecision> {
+        let mut shard = self.shard_of(key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.get(key).cloned()
+    }
+
+    fn insert(&self, key: CacheKey, value: CachedDecision) {
+        let mut shard = self
+            .shard_of(&key)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        shard.insert(key, value);
+    }
+
+    /// Removes every cached decision of `who` at `version` that rests
+    /// on a poisoned certificate, returning how many died. Decisions
+    /// not citing a poisoned digest survive: a retraction-only change
+    /// cannot flip them (facts only disappear, and any fact that could
+    /// disappear is cited by its digest).
+    fn invalidate_poisoned(
+        &self,
+        who: Principal,
+        version: u64,
+        poisoned: &HashSet<CertDigest>,
+    ) -> u64 {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            let victims: Vec<CacheKey> = shard
+                .iter()
+                .filter(|(key, value)| {
+                    key.0 == who
+                        && key.1 == version
+                        && value.supporting.iter().any(|d| poisoned.contains(d))
+                })
+                .map(|(key, _)| key.clone())
+                .collect();
+            for key in victims {
+                shard.remove(&key);
+                removed += 1;
+            }
+        }
+        removed
+    }
+}
+
+/// State shared between the owning [`crate::System`] (publisher) and
+/// every [`AuthzReader`] handle.
+pub(crate) struct AuthzShared {
+    pub(crate) cell: SnapshotCell,
+    cache: DecisionCache,
+    hits: Counter,
+    misses: Counter,
+    pub(crate) invalidations: Counter,
+    pub(crate) publish_ns: Histogram,
+}
+
+impl AuthzShared {
+    pub(crate) fn new(registry: &Registry) -> AuthzShared {
+        AuthzShared {
+            cell: SnapshotCell::new(),
+            cache: DecisionCache::new(),
+            hits: registry.volatile_counter("authz.cache_hits"),
+            misses: registry.volatile_counter("authz.cache_misses"),
+            invalidations: registry.volatile_counter("authz.cache_invalidations"),
+            publish_ns: registry.timing("snapshot.publish_ns"),
+        }
+    }
+
+    /// Drops every cached decision of `who` at `version` resting on a
+    /// poisoned certificate (see [`DecisionCache::invalidate_poisoned`]),
+    /// counting the casualties in `authz.cache_invalidations`.
+    pub(crate) fn invalidate_poisoned(
+        &self,
+        who: Principal,
+        version: u64,
+        poisoned: &HashSet<CertDigest>,
+    ) {
+        let removed = self.cache.invalidate_poisoned(who, version, poisoned);
+        if removed > 0 {
+            self.invalidations.add(removed);
+        }
+    }
+}
+
+/// Per-principal publication bookkeeping the system keeps between
+/// quiescent points: what was last published, and what happened since.
+#[derive(Default)]
+pub(crate) struct AuthzPublishState {
+    /// The workspace epoch captured at the last publish.
+    pub(crate) published_epoch: u64,
+    /// The store version captured at the last publish.
+    pub(crate) published_store_version: u64,
+    /// Workspace-epoch bumps since the last publish attributable to
+    /// *incremental DRed retraction repairs*. When every epoch bump in
+    /// the window is one of these, cached decisions stay sound except
+    /// those resting on the retracted certificates.
+    pub(crate) retraction_bumps: u64,
+    /// Digests of certificates that died (revocation, expiry, link
+    /// break) at this principal since the last publish.
+    pub(crate) poisoned: Vec<CertDigest>,
+    /// The principal's current cache-key version.
+    pub(crate) authz_version: u64,
+    /// The last published per-principal snapshot, reused (Arc-shared)
+    /// when nothing changed.
+    pub(crate) snap: Option<Arc<PrincipalSnapshot>>,
+}
+
+/// A `Send + Sync` handle evaluating `authorize()` against the last
+/// published [`AuthzSnapshot`], lock-free with respect to the writer:
+/// the system keeps importing and revoking while readers decide. Each
+/// handle caches the snapshot `Arc` locally and revalidates it with
+/// one atomic generation load per query, so handles on different
+/// threads share no hot cache line. Decisions hit the shared decision
+/// cache first; misses are proved against the snapshot and cached.
+///
+/// Reader decisions deliberately do **not** move the deterministic
+/// `authz.granted`/`authz.denied` counters or the decision journal —
+/// both are single-writer surfaces whose contents must not depend on
+/// reader thread scheduling. Reader traffic shows up in the volatile
+/// `authz.cache_*` counters instead.
+pub struct AuthzReader {
+    shared: Arc<AuthzShared>,
+    /// `(generation, snapshot)` this handle last validated. Queries
+    /// borrow the Arc under this *handle-local* mutex (uncontended
+    /// unless the handle itself is shared across threads).
+    local: Mutex<(u64, Arc<AuthzSnapshot>)>,
+}
+
+impl AuthzReader {
+    pub(crate) fn new(shared: Arc<AuthzShared>) -> AuthzReader {
+        let local = shared.cell.load();
+        AuthzReader {
+            shared,
+            local: Mutex::new(local),
+        }
+    }
+
+    /// Decides whether `goal` holds for `who` in the last published
+    /// snapshot, citing supporting certificate digests exactly like
+    /// [`crate::System::authorize`] does at the same store version.
+    pub fn authorize(&self, who: Principal, goal: &str) -> Result<AuthzDecision, SysError> {
+        let mut local = self.local.lock().unwrap_or_else(|e| e.into_inner());
+        if self.shared.cell.current_generation() != local.0 {
+            *local = self.shared.cell.load();
+        }
+        let snapshot = &local.1;
+        let ps = snapshot
+            .principals
+            .get(&who)
+            .ok_or(SysError::UnknownPrincipal(who))?;
+        let key: CacheKey = (who, ps.authz_version, goal.to_string());
+        if let Some(hit) = self.shared.cache.get(&key) {
+            self.shared.hits.inc();
+            return Ok(hit.into_decision(who, key.2));
+        }
+        self.shared.misses.inc();
+        let decided = ps.decide(goal)?;
+        self.shared.cache.insert(key, decided.clone());
+        Ok(decided.into_decision(who, goal.to_string()))
+    }
+
+    /// The generation of the snapshot this handle would answer from
+    /// right now (revalidates first).
+    pub fn generation(&self) -> u64 {
+        self.shared.cell.current_generation()
+    }
+
+    /// The store version the current snapshot captured for `who`.
+    pub fn store_version(&self, who: Principal) -> Option<u64> {
+        let mut local = self.local.lock().unwrap_or_else(|e| e.into_inner());
+        if self.shared.cell.current_generation() != local.0 {
+            *local = self.shared.cell.load();
+        }
+        local.1.store_version(who)
+    }
+}
+
+impl Clone for AuthzReader {
+    fn clone(&self) -> AuthzReader {
+        AuthzReader::new(self.shared.clone())
+    }
+}
+
+// Readers are handed to arbitrary threads; a field that silently loses
+// `Send + Sync` (an `Rc`, a non-Sync interior) must fail here at
+// compile time, not in downstream thread spawns.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AuthzReader>();
+    assert_send_sync::<AuthzSnapshot>();
+};

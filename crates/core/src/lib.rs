@@ -52,6 +52,7 @@
 
 pub mod auth;
 pub mod authz;
+pub mod authz_read;
 pub mod delegation;
 pub mod gossip;
 pub mod obs;
@@ -63,6 +64,7 @@ pub mod system;
 pub mod workspace;
 
 pub use auth::{AuthScheme, KeyVerifier};
+pub use authz_read::{AuthzReader, AuthzSnapshot};
 pub use obs::QuiescePhase;
 pub use pool::{CostModel, PartitionStrategy};
 pub use principal::{KeyDirectory, Principal, SharedKeys};

@@ -9,6 +9,9 @@
 //! distributed fixpoint of the declarative-networking execution model.
 
 use crate::auth::{register_crypto_builtins_cached, AuthScheme, KeyVerifier};
+use crate::authz_read::{
+    collect_supporting, AuthzPublishState, AuthzReader, AuthzShared, PrincipalSnapshot,
+};
 use crate::gossip::{
     advert_fact, fingerprint_hex, parse_gossip_send, revfp_fact, GossipSend, GOSSIP_SAYS,
     ZERO_FP_HEX,
@@ -27,7 +30,6 @@ use lbtrust_certstore::{
     FaultHandle, ImportOutcome, LinkedCert, Revocation, SharedVerifyCache, SignatureVerifier,
     StorageError,
 };
-use lbtrust_datalog::provenance::Proof;
 use lbtrust_datalog::{EvalStats, Symbol, Tuple, Value};
 use lbtrust_net::{
     NetworkConfig, NodeId, RevPullMessage, RevSummaryMessage, RevokeMessage, SimNetwork,
@@ -267,9 +269,10 @@ pub struct AuthzDecision {
     /// Whether the goal holds.
     pub granted: bool,
     /// Content addresses of the certificates whose certified rules
-    /// appear as `says` premises in the proof — sorted by hex digest,
-    /// deduplicated. Empty for denials and for grants derivable from
-    /// local facts alone.
+    /// appear as `says` premises in the proof or whose certified facts
+    /// ground a proof step — sorted by digest bytes, deduplicated.
+    /// Empty for denials and for grants derivable from local facts
+    /// alone.
     pub supporting: Vec<CertDigest>,
     /// The rendered proof tree, when granted.
     pub proof: Option<String>,
@@ -362,6 +365,13 @@ pub struct System {
     /// Handles to the per-store fault schedules, for tests and the
     /// quarantine probe (a persistently-failed handle cannot pass).
     fault_handles: HashMap<Principal, FaultHandle>,
+    /// Per-principal snapshot-publication bookkeeping: what the last
+    /// published [`crate::AuthzSnapshot`] captured, and which
+    /// retractions/certificate deaths happened since.
+    authz_pub: HashMap<Principal, AuthzPublishState>,
+    /// State shared with [`crate::AuthzReader`] handles: the snapshot
+    /// cell, the decision cache, and the volatile cache counters.
+    authz_shared: Arc<AuthzShared>,
 }
 
 /// Runtime bookkeeping of the gossip layer: the loaded program and, per
@@ -398,6 +408,7 @@ impl System {
         let registry = Registry::new();
         let mut net = SimNetwork::new(config, seed);
         net.attach_metrics(&registry);
+        let authz_shared = Arc::new(AuthzShared::new(&registry));
         System {
             keys: shared_keys(),
             workspaces: HashMap::new(),
@@ -428,6 +439,8 @@ impl System {
             health: HashMap::new(),
             fault_spec: None,
             fault_handles: HashMap::new(),
+            authz_pub: HashMap::new(),
+            authz_shared,
         }
     }
 
@@ -494,6 +507,14 @@ impl System {
         self.obs.set_timing(timing);
         self.obs.journal = journal;
         self.net.attach_metrics(self.obs.registry());
+        // The reader-side counters bind at construction too; existing
+        // reader handles (there are none this early — see the doc
+        // comment) would keep the old shared state, so the cell and
+        // cache are recreated alongside.
+        self.authz_shared = Arc::new(AuthzShared::new(self.obs.registry()));
+        for st in self.authz_pub.values_mut() {
+            st.snap = None;
+        }
         self
     }
 
@@ -1728,60 +1749,23 @@ impl System {
         let ws = self.workspace(who)?;
         let proof = ws.explain_proof(goal)?;
         let granted = proof.is_some();
-        let says = Symbol::intern("says");
-        let mut supporting: Vec<CertDigest> = Vec::new();
-        if let Some(proof) = &proof {
-            let store = self.cert_store(who)?;
-            // A certified bodyless rule materializes its head as a
-            // workspace base fact, so a proof can rest on a credential
-            // without a `says` premise appearing — index every active
-            // certificate's ground heads back to its content address.
-            let mut fact_index: HashMap<(Symbol, Tuple), Vec<CertDigest>> = HashMap::new();
-            for digest in store.active() {
-                let entry = store.get(&digest).expect("active digest is stored");
-                if !entry.cert.rule.body.is_empty() {
-                    continue;
-                }
-                for head in &entry.cert.rule.heads {
-                    let lbtrust_datalog::ast::PredRef::Name(pred) = head.pred else {
-                        continue;
-                    };
-                    let ground: Option<Tuple> = head
-                        .args
-                        .iter()
-                        .map(|t| match t {
-                            lbtrust_datalog::Term::Val(v) => Some(v.clone()),
-                            _ => None,
-                        })
-                        .collect();
-                    if let Some(tuple) = ground {
-                        fact_index.entry((pred, tuple)).or_default().push(digest);
+        let supporting: Vec<CertDigest> = match &proof {
+            Some(proof) => {
+                // The store maintains the ground-head index (bodyless
+                // certificates' head facts → content address) and the
+                // audit trail maintains the introducer index
+                // incrementally, so citation is hash probes — no
+                // per-call rescan of the active set, no tuple clones,
+                // and the digest sort runs on raw bytes.
+                let store = self.cert_store(who)?;
+                collect_supporting(proof, store.ground_heads(), |rule_src, out| {
+                    for entry in store.audit().introducers(rule_src) {
+                        out.push(entry.digest);
                     }
-                }
+                })
             }
-            let mut frontier = vec![proof];
-            while let Some(node) = frontier.pop() {
-                let (pred, tuple) = node.conclusion();
-                // A `says` premise carries its certified rule as the
-                // trailing quotation; the audit trail maps that rule
-                // back to the certificate(s) that introduced it.
-                if pred == says {
-                    if let Some(Value::Quote(rule)) = tuple.last() {
-                        for entry in store.audit().introducers(&rule.to_string()) {
-                            supporting.push(entry.digest);
-                        }
-                    }
-                }
-                if let Some(digests) = fact_index.get(&(pred, tuple.clone())) {
-                    supporting.extend(digests.iter().copied());
-                }
-                if let Proof::Derived { premises, .. } = node {
-                    frontier.extend(premises.iter());
-                }
-            }
-        }
-        supporting.sort_by_key(|d| d.to_hex());
-        supporting.dedup();
+            None => Vec::new(),
+        };
         if granted {
             self.obs.authz_granted.inc();
         } else {
@@ -1808,9 +1792,118 @@ impl System {
         })
     }
 
+    /// Publishes a fresh [`crate::AuthzSnapshot`] of every principal's
+    /// current state for the concurrent read path: [`AuthzReader`]
+    /// handles answer against it lock-free while this system keeps
+    /// mutating. Called automatically at every quiescent point of
+    /// [`System::run_to_quiescence`]; callers streaming imports or
+    /// revocations outside the fixpoint (e.g. [`System::apply_revocation`]
+    /// via [`System::revoke_certificate`]) publish explicitly to make
+    /// those changes visible to readers.
+    ///
+    /// Publication also settles the decision cache: a window in which a
+    /// principal changed *only* by incremental DRed retractions keeps
+    /// its cache version and drops exactly the decisions citing a dead
+    /// certificate, while any other change (imports, rule changes,
+    /// non-monotonic rebuilds — detected by comparing workspace-epoch
+    /// movement against the counted retraction repairs) bumps the
+    /// version and orphans the principal's older entries wholesale.
+    /// Either way a cached grant never outlives a revocation of its
+    /// support.
+    pub fn publish_authz_snapshot(&mut self) {
+        let started = Instant::now();
+        let mut principals = HashMap::with_capacity(self.order.len());
+        for &p in &self.order {
+            let ws = self.workspaces.get(&p).expect("registered");
+            // Quarantined stores stay registered and keep serving
+            // reads (the PR 8 degradation contract), so they publish
+            // like healthy ones.
+            let store = self.stores.get(&p).expect("registered");
+            let pub_state = self.authz_pub.entry(p).or_default();
+            let epoch = ws.epoch();
+            let store_version = store.version();
+            if pub_state.snap.is_some()
+                && epoch == pub_state.published_epoch
+                && store_version == pub_state.published_store_version
+            {
+                // Unchanged since the last publish: share the Arc.
+                pub_state.poisoned.clear();
+                pub_state.retraction_bumps = 0;
+                let snap = pub_state.snap.clone().expect("checked above");
+                principals.insert(p, snap);
+                continue;
+            }
+            let epoch_delta = epoch.wrapping_sub(pub_state.published_epoch);
+            if pub_state.snap.is_some() && epoch_delta == pub_state.retraction_bumps {
+                // Retraction-only window: every workspace change was an
+                // incremental DRed repair (facts only disappeared), so
+                // a cached deny cannot have flipped and a cached grant
+                // is stale exactly when it cites a dead certificate.
+                // Drop precisely those; the version (and every other
+                // cached decision) survives.
+                if !pub_state.poisoned.is_empty() {
+                    let poisoned: HashSet<CertDigest> = pub_state.poisoned.drain(..).collect();
+                    self.authz_shared
+                        .invalidate_poisoned(p, pub_state.authz_version, &poisoned);
+                }
+            } else {
+                // Arbitrary change (fresh imports, rule loads, a
+                // non-monotonic rebuild, a rollback): no per-entry
+                // attribution is possible, so the version bump orphans
+                // the principal's cached decisions wholesale and the
+                // 2Q eviction reclaims them.
+                pub_state.authz_version += 1;
+            }
+            pub_state.poisoned.clear();
+            pub_state.retraction_bumps = 0;
+            pub_state.published_epoch = epoch;
+            pub_state.published_store_version = store_version;
+            let snap = Arc::new(PrincipalSnapshot {
+                me: p,
+                rules: ws
+                    .active_rules()
+                    .iter()
+                    .map(|r| r.as_ref().clone())
+                    .collect(),
+                db: ws.db().clone(),
+                builtins: ws.builtins().clone(),
+                ground_heads: store.ground_heads().clone(),
+                introducers: store.audit().introducer_digests(),
+                authz_version: pub_state.authz_version,
+                store_version,
+            });
+            pub_state.snap = Some(snap.clone());
+            principals.insert(p, snap);
+        }
+        self.authz_shared.cell.publish(crate::AuthzSnapshot {
+            generation: 0, // stamped by the cell
+            principals,
+        });
+        if self.obs.timing_enabled() {
+            self.authz_shared
+                .publish_ns
+                .record_duration(started.elapsed());
+        }
+    }
+
+    /// Publishes the current state and hands out a `Send + Sync`
+    /// [`AuthzReader`] evaluating `authorize()` against published
+    /// snapshots from any thread, without borrowing the system. Clone
+    /// the handle (or call this again) for more reader threads; all
+    /// handles share one decision cache and see each newly published
+    /// snapshot within one atomic load.
+    pub fn authz_reader(&mut self) -> AuthzReader {
+        self.publish_authz_snapshot();
+        AuthzReader::new(self.authz_shared.clone())
+    }
+
     /// Retracts the workspace facts behind each retraction event in one
     /// batched DRed pass per principal.
     fn retract_cert_facts(&mut self, at: Principal, events: &[lbtrust_certstore::RetractionEvent]) {
+        // Every dying certificate poisons the cached decisions citing
+        // it, whether or not its facts were still asserted here.
+        let pub_state = self.authz_pub.entry(at).or_default();
+        pub_state.poisoned.extend(events.iter().map(|e| e.digest));
         let mut batch: Vec<(Symbol, Tuple)> = Vec::new();
         if let Some(my_facts) = self.cert_facts.get_mut(&at) {
             for event in events {
@@ -1825,7 +1918,14 @@ impl System {
         let ws = self.workspaces.get_mut(&at).expect("registered");
         self.stats.retractions += batch.len();
         match ws.retract_facts(&batch) {
-            RetractOutcome::Incremental(_) => self.stats.dred_repairs += 1,
+            RetractOutcome::Incremental(_) => {
+                self.stats.dred_repairs += 1;
+                // One incremental repair = exactly one workspace epoch
+                // bump; the publish path matches these totals to tell
+                // "retraction-only" windows (precise cache
+                // invalidation) from arbitrary change (version bump).
+                self.authz_pub.entry(at).or_default().retraction_bumps += 1;
+            }
             RetractOutcome::Deferred => self.stats.retraction_rebuilds += 1,
             RetractOutcome::Noop => {}
         }
@@ -1940,6 +2040,7 @@ impl System {
                 && !self.heal_pending()
             {
                 self.publish_obs();
+                self.publish_authz_snapshot();
                 return Ok(self.stats);
             }
         }
@@ -2371,7 +2472,7 @@ impl System {
                     tuples: inbox.remove(&p).unwrap_or_default(),
                 };
                 let (outcome, error) = process_destination(task, &verifier, eager, export);
-                self.merge_delivery(outcome);
+                self.merge_delivery(p, outcome);
                 if let Some(e) = error {
                     return Err(e.into());
                 }
@@ -2443,7 +2544,7 @@ impl System {
             if let (Some(g), Some(ib)) = (self.gossip.as_mut(), gossip_inbox) {
                 g.inbox.insert(p, ib);
             }
-            self.merge_delivery(outcome);
+            self.merge_delivery(p, outcome);
             if first_error.is_none() {
                 first_error = error;
             }
@@ -2490,14 +2591,22 @@ impl System {
         }
     }
 
-    /// Folds one delivery outcome into the system counters.
-    fn merge_delivery(&mut self, outcome: DeliveryOutcome) {
+    /// Folds one delivery outcome into the system counters and the
+    /// destination's snapshot-publication bookkeeping.
+    fn merge_delivery(&mut self, at: Principal, outcome: DeliveryOutcome) {
         self.stats.messages_accepted += outcome.accepted;
         self.stats.messages_rejected += outcome.rejected;
         self.stats.revocations += outcome.revocations;
         self.stats.retractions += outcome.retractions;
         self.stats.dred_repairs += outcome.dred_repairs;
         self.stats.retraction_rebuilds += outcome.retraction_rebuilds;
+        if outcome.dred_repairs > 0 || !outcome.poisoned.is_empty() {
+            let pub_state = self.authz_pub.entry(at).or_default();
+            // `dred_repairs` counts exactly the incremental retraction
+            // repairs, each of which bumped the workspace epoch once.
+            pub_state.retraction_bumps += outcome.dred_repairs as u64;
+            pub_state.poisoned.extend(outcome.poisoned);
+        }
     }
 
     /// Syncs every dirty store once — the group-commit sweep. Shards
@@ -2693,6 +2802,10 @@ struct DeliveryOutcome {
     retractions: usize,
     dred_repairs: usize,
     retraction_rebuilds: usize,
+    /// Digests of certificates that died at this destination during
+    /// the delivery — fed to the decision cache's poisoned-entry
+    /// invalidation at the next snapshot publish.
+    poisoned: Vec<CertDigest>,
 }
 
 /// Applies one destination's routed packets: revocations first (store
@@ -2750,6 +2863,7 @@ fn process_destination(
                 out.revocations += 1;
                 let mut batch: Vec<(Symbol, Tuple)> = Vec::new();
                 for event in &outcome.events {
+                    out.poisoned.push(event.digest);
                     if let Some(fs) = facts.remove(&event.digest) {
                         batch.extend(fs);
                     }

@@ -128,6 +128,13 @@ pub struct Workspace {
     /// offending assertions — the paper's "terminates with an error"
     /// transaction semantics.
     committed: Option<Snapshot>,
+    /// Monotone database-change counter: bumped whenever the
+    /// materialized database (or the base it will be rebuilt from) may
+    /// differ from what a reader last saw — fact assertion, incremental
+    /// retraction repair, rollback restore, and any evaluation that
+    /// rebuilt, reflected, or derived. Never decremented, so snapshot
+    /// publishers can compare epochs across time.
+    epoch: u64,
 }
 
 /// A snapshot for rollback. Rules and constraints only ever grow
@@ -168,6 +175,7 @@ impl Workspace {
             seeds: HashMap::new(),
             stats: EvalStats::default(),
             committed: None,
+            epoch: 0,
         }
     }
 
@@ -195,6 +203,14 @@ impl Workspace {
     /// Accumulated evaluation statistics.
     pub fn stats(&self) -> EvalStats {
         self.stats
+    }
+
+    /// The workspace's database-change epoch (see the field doc). Two
+    /// equal epochs bracket a window in which the materialized database
+    /// did not change, so derived state captured at the first read is
+    /// still exact at the second.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Currently installed user + generated rules (for inspection).
@@ -278,6 +294,7 @@ impl Workspace {
         self.base_facts.push((pred, tuple.clone()));
         self.db.insert(pred, tuple);
         self.seeds.entry(pred).or_insert(mark);
+        self.epoch += 1;
     }
 
     /// Asserts a batch of base facts (one supporting copy each) — the
@@ -387,6 +404,7 @@ impl Workspace {
         match outcome {
             Ok(stats) => {
                 self.seeds.clear();
+                self.epoch += 1;
                 // The repaired state is the new committed baseline.
                 self.committed = Some(self.snapshot());
                 RetractOutcome::Incremental(stats)
@@ -581,6 +599,9 @@ impl Workspace {
         self.base_facts = snap.base_facts;
         self.dirty = snap.dirty;
         self.seeds = snap.seeds;
+        // A rollback changes the database; the epoch stays monotone (it
+        // counts changes, it does not identify states).
+        self.epoch += 1;
     }
 
     /// Runs `f` transactionally: on error the workspace is rolled back to
@@ -649,8 +670,18 @@ impl Workspace {
     /// workspace rolls back to the state after its last *successful*
     /// evaluation, undoing the offending assertions.
     pub fn evaluate(&mut self) -> Result<EvalStats, WsError> {
+        // Captured before `evaluate_inner` clears `dirty`: a rebuild
+        // replaces the database wholesale, and the first evaluation's
+        // reflection fast path inserts `active` facts — both change the
+        // database even when zero tuples are "derived".
+        let was_rebuild = self.dirty || self.non_monotonic();
+        let maybe_reflect =
+            !was_rebuild && self.db.count(self.meta.active) == 0 && !self.rules.is_empty();
         match self.evaluate_inner() {
             Ok(stats) => {
+                if was_rebuild || maybe_reflect || stats.derived > 0 {
+                    self.epoch += 1;
+                }
                 self.committed = Some(self.snapshot());
                 Ok(stats)
             }
@@ -665,6 +696,7 @@ impl Workspace {
                         self.db = Database::new();
                         self.seeds.clear();
                         self.dirty = true;
+                        self.epoch += 1;
                     }
                 }
                 Err(e)

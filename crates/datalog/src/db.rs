@@ -8,8 +8,8 @@
 
 use crate::intern::Symbol;
 use crate::value::Value;
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::sync::RwLock;
 
 /// A stored tuple.
 pub type Tuple = Vec<Value>;
@@ -18,11 +18,16 @@ pub type Tuple = Vec<Value>;
 type IndexMap = HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<usize>>>;
 
 /// One relation: the extension of a single predicate.
+///
+/// Lazy indices live behind an `RwLock` (not a `RefCell`) so a
+/// `Relation` — and therefore a snapshot of a whole [`Database`] — is
+/// `Sync`: concurrent authorization readers probe shared snapshots
+/// from many threads, taking the read lock once an index is warm.
 #[derive(Debug, Default)]
 pub struct Relation {
     tuples: Vec<Tuple>,
     dedup: HashSet<Tuple>,
-    indices: RefCell<IndexMap>,
+    indices: RwLock<IndexMap>,
 }
 
 impl Clone for Relation {
@@ -31,7 +36,7 @@ impl Clone for Relation {
         Relation {
             tuples: self.tuples.clone(),
             dedup: self.dedup.clone(),
-            indices: RefCell::new(HashMap::new()),
+            indices: RwLock::new(HashMap::new()),
         }
     }
 }
@@ -64,7 +69,8 @@ impl Relation {
             return false;
         }
         let pos = self.tuples.len();
-        for (cols, index) in self.indices.get_mut().iter_mut() {
+        let indices = self.indices.get_mut().expect("index lock poisoned");
+        for (cols, index) in indices.iter_mut() {
             // Tuples too short for this index (mixed arity in an untyped
             // store) can never be selected through it; skip them.
             let Some(key) = index_key(cols, &tuple) else {
@@ -100,7 +106,12 @@ impl Relation {
         if cols.is_empty() {
             return (0..self.tuples.len()).collect();
         }
-        let mut indices = self.indices.borrow_mut();
+        // Fast path: a warm index needs only the shared lock, so
+        // concurrent readers over a published snapshot don't serialize.
+        if let Some(index) = self.indices.read().expect("index lock poisoned").get(cols) {
+            return index.get(key).cloned().unwrap_or_default();
+        }
+        let mut indices = self.indices.write().expect("index lock poisoned");
         let index = indices.entry(cols.to_vec()).or_insert_with(|| {
             let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
             for (pos, tuple) in self.tuples.iter().enumerate() {
@@ -117,7 +128,7 @@ impl Relation {
     pub fn clear(&mut self) {
         self.tuples.clear();
         self.dedup.clear();
-        self.indices.get_mut().clear();
+        self.indices.get_mut().expect("index lock poisoned").clear();
     }
 
     /// Removes every tuple in `doomed`, returning how many were removed.
@@ -129,7 +140,7 @@ impl Relation {
         let removed = before - self.tuples.len();
         if removed > 0 {
             self.dedup.retain(|t| !doomed.contains(t));
-            self.indices.get_mut().clear();
+            self.indices.get_mut().expect("index lock poisoned").clear();
         }
         removed
     }

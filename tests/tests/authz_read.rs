@@ -1,0 +1,372 @@
+//! The concurrent authorization read path: `Send + Sync` reader
+//! handles answering `authorize()` against atomically published
+//! snapshots while the system keeps importing and revoking, the
+//! versioned decision cache, and its revocation-invalidation contract
+//! (a cached grant never survives the retraction that killed its
+//! support past the next snapshot publish).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use lbtrust::certstore::{CertDigest, FaultConfig};
+use lbtrust::{Principal, StoreHealth, SysError, System};
+use proptest::prelude::*;
+
+const ACCESS_POLICY: &str = "access(P,file1,read) <- says(alice,me,[| good(P) |]).";
+
+/// One issuer, `receivers` importing principals with the access policy,
+/// one certificate per subject `s0..s{subjects}` imported everywhere.
+fn cert_fanout(
+    receivers: usize,
+    subjects: usize,
+) -> (System, Principal, Vec<Principal>, Vec<CertDigest>) {
+    let mut sys = System::new().with_rsa_bits(512);
+    let alice = sys.add_principal("alice", "n0").unwrap();
+    let recs: Vec<Principal> = (0..receivers)
+        .map(|i| {
+            sys.add_principal(&format!("r{i}"), &format!("node{i}"))
+                .unwrap()
+        })
+        .collect();
+    let facts: String = (0..subjects).map(|i| format!("good(s{i}). ")).collect();
+    let certs = sys.issue_certificates(alice, &facts, &[], None).unwrap();
+    let digests: Vec<CertDigest> = certs.iter().map(|c| c.digest()).collect();
+    for &r in &recs {
+        sys.workspace_mut(r)
+            .unwrap()
+            .load("policy", ACCESS_POLICY)
+            .unwrap();
+        sys.import_certificates(r, certs.clone()).unwrap();
+    }
+    sys.run_to_quiescence(64).unwrap();
+    (sys, alice, recs, digests)
+}
+
+fn volatile_counter(sys: &System, name: &str) -> u64 {
+    sys.obs_registry().snapshot().counter(name).unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    /// Equivalence: for every (principal, goal) pair, a reader thread's
+    /// decision over the published snapshot is identical — grant bit
+    /// and supporting digests — to the serial `System::authorize` at
+    /// the same store version, for arbitrary fanout shapes and an
+    /// arbitrary subset of the certificates revoked beforehand.
+    #[test]
+    fn reader_decisions_match_serial_authorize(
+        receivers in 1usize..4,
+        subjects in 1usize..5,
+        revoke_mask in 0usize..32,
+    ) {
+        let (mut sys, alice, recs, digests) = cert_fanout(receivers, subjects);
+        for (i, d) in digests.iter().enumerate() {
+            if revoke_mask & (1 << i) != 0 {
+                sys.revoke_certificate(alice, *d).unwrap();
+            }
+        }
+        sys.run_to_quiescence(64).unwrap();
+
+        let goals: Vec<String> = (0..subjects + 1) // one never-certified subject
+            .map(|i| format!("access(s{i},file1,read)"))
+            .collect();
+        let mut serial = Vec::new();
+        for &r in &recs {
+            for g in &goals {
+                serial.push((r, g.clone(), sys.authorize(r, g).unwrap()));
+            }
+        }
+
+        let reader = sys.authz_reader();
+        for &r in &recs {
+            // The snapshot is of exactly the store state serial saw.
+            prop_assert_eq!(
+                reader.store_version(r),
+                Some(sys.cert_store(r).unwrap().version())
+            );
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let reader = reader.clone();
+                let serial = &serial;
+                scope.spawn(move || {
+                    for (r, g, want) in serial {
+                        let got = reader.authorize(*r, g).unwrap();
+                        assert_eq!(got.granted, want.granted, "{r}: {g}");
+                        assert_eq!(got.supporting, want.supporting, "{r}: {g}");
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The revocation-invalidation regression at the heart of the cache
+/// contract: a decision cached from a published snapshot must flip to
+/// deny in the first snapshot published after the retraction — and in a
+/// retraction-only window the invalidation is surgical: the poisoned
+/// entry dies, unrelated cached decisions (and the cache version)
+/// survive.
+#[test]
+fn cached_grant_dies_with_its_certificate_and_nothing_else_does() {
+    let (mut sys, alice, recs, digests) = cert_fanout(1, 2);
+    let bob = recs[0];
+    let reader = sys.authz_reader();
+
+    // Prime the cache: one miss then hits for both subjects.
+    assert!(
+        reader
+            .authorize(bob, "access(s0,file1,read)")
+            .unwrap()
+            .granted
+    );
+    assert!(
+        reader
+            .authorize(bob, "access(s1,file1,read)")
+            .unwrap()
+            .granted
+    );
+    let misses_primed = volatile_counter(&sys, "authz.cache_misses");
+    reader.authorize(bob, "access(s0,file1,read)").unwrap();
+    assert_eq!(volatile_counter(&sys, "authz.cache_misses"), misses_primed);
+    assert!(volatile_counter(&sys, "authz.cache_hits") >= 1);
+
+    // Revoke s0's certificate; the next quiescence delivers the notice,
+    // retracts the derived access through DRed, and publishes.
+    let generation_before = reader.generation();
+    sys.revoke_certificate(alice, digests[0]).unwrap();
+    sys.run_to_quiescence(64).unwrap();
+    assert!(reader.generation() > generation_before);
+
+    // The poisoned grant is gone — the reader denies, no stale answer.
+    assert!(
+        !reader
+            .authorize(bob, "access(s0,file1,read)")
+            .unwrap()
+            .granted,
+        "a cached grant must not survive the revocation of its support"
+    );
+    // And it was a surgical kill, not a wholesale flush: the entry was
+    // invalidated by digest intersection…
+    assert!(
+        volatile_counter(&sys, "authz.cache_invalidations") >= 1,
+        "retraction-only window must take the precise invalidation path"
+    );
+    // …while the unrelated cached decision is still served from cache
+    // under the same version.
+    let hits_before = volatile_counter(&sys, "authz.cache_hits");
+    let d = reader.authorize(bob, "access(s1,file1,read)").unwrap();
+    assert!(d.granted);
+    assert!(
+        volatile_counter(&sys, "authz.cache_hits") > hits_before,
+        "unrelated decisions must survive a precise invalidation"
+    );
+}
+
+/// TTL expiry is a retraction like any other: the cached grant dies at
+/// the first publish after the certificate's deadline passes.
+#[test]
+fn ttl_expiry_invalidates_the_cached_grant() {
+    let mut sys = System::new().with_rsa_bits(512);
+    let alice = sys.add_principal("alice", "n0").unwrap();
+    let bob = sys.add_principal("bob", "n1").unwrap();
+    sys.workspace_mut(bob)
+        .unwrap()
+        .load("policy", ACCESS_POLICY)
+        .unwrap();
+    let cert = sys
+        .issue_certificate(alice, "good(erin).", &[], Some(5))
+        .unwrap();
+    sys.import_certificates(bob, vec![cert]).unwrap();
+    sys.run_to_quiescence(64).unwrap();
+
+    let reader = sys.authz_reader();
+    assert!(
+        reader
+            .authorize(bob, "access(erin,file1,read)")
+            .unwrap()
+            .granted
+    );
+
+    assert!(sys.advance_time(6).unwrap() >= 1, "certificate must expire");
+    sys.run_to_quiescence(64).unwrap();
+    assert!(
+        !reader
+            .authorize(bob, "access(erin,file1,read)")
+            .unwrap()
+            .granted,
+        "expired certificate's cached grant must not be served"
+    );
+}
+
+/// The PR 8 degradation contract carries over to the read front-end: a
+/// quarantined store keeps publishing and its reader keeps answering —
+/// including the stale state the store could not absorb revocations
+/// into — while healthy principals move on.
+#[test]
+fn quarantined_store_keeps_serving_reads_through_snapshots() {
+    let mut sys = System::new()
+        .with_rsa_bits(512)
+        .with_storage_faults(FaultConfig::uniform(7, 0));
+    let alice = sys.add_principal("alice", "n0").unwrap();
+    let bob = sys.add_principal("bob", "n1").unwrap();
+    let carol = sys.add_principal("carol", "n2").unwrap();
+    for &r in &[bob, carol] {
+        sys.workspace_mut(r)
+            .unwrap()
+            .load("policy", ACCESS_POLICY)
+            .unwrap();
+    }
+    let cert = sys
+        .issue_certificate(alice, "good(dave).", &[], None)
+        .unwrap();
+    let digest = cert.digest();
+    sys.import_certificates(bob, vec![cert.clone()]).unwrap();
+    sys.import_certificates(carol, vec![cert]).unwrap();
+    sys.run_to_quiescence(64).unwrap();
+
+    // Quarantine bob's store with a persistent fault + failed write.
+    sys.fault_handle(bob).unwrap().fail_persistently();
+    let extra = sys
+        .issue_certificate(alice, "good(frank).", &[], None)
+        .unwrap();
+    let err = sys.import_certificates(bob, vec![extra]).unwrap_err();
+    assert!(matches!(err, SysError::Degraded(_)), "got {err}");
+    assert_eq!(sys.store_health(bob), StoreHealth::Quarantined);
+
+    // The revocation storm converges carol and skips bob's store.
+    sys.revoke_certificate(alice, digest).unwrap();
+    sys.run_to_quiescence(400).unwrap();
+
+    // The post-storm snapshot still covers the quarantined principal:
+    // reads are served, reflecting the stale state it is stuck with.
+    let reader = sys.authz_reader();
+    assert!(
+        reader.store_version(bob).is_some(),
+        "quarantined stores must stay in the published snapshot"
+    );
+    assert!(
+        !reader
+            .authorize(carol, "access(dave,file1,read)")
+            .unwrap()
+            .granted,
+        "healthy principals see the revocation"
+    );
+    let stale = reader.authorize(bob, "access(dave,file1,read)").unwrap();
+    assert_eq!(
+        stale.granted,
+        sys.authorize(bob, "access(dave,file1,read)")
+            .unwrap()
+            .granted,
+        "reader and serial path must agree on the quarantined store"
+    );
+}
+
+/// Smoke: four reader threads hammer the cache while the writer streams
+/// imports and revocations through repeated quiescence runs. Readers
+/// must never error, never see a grant for a subject whose certificate
+/// was revoked before their snapshot's generation, and converge to the
+/// final state once the stream ends.
+#[test]
+fn concurrent_readers_survive_a_live_revocation_stream() {
+    let (mut sys, alice, recs, _digests) = cert_fanout(2, 1);
+    let reader = sys.authz_reader();
+    let stop = AtomicBool::new(false);
+    let goals: Vec<String> = (0..8).map(|i| format!("access(w{i},file1,read)")).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let reader = reader.clone();
+            let stop = &stop;
+            let goals = &goals;
+            let recs = &recs;
+            scope.spawn(move || {
+                let mut queries = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for &r in recs {
+                        for g in goals {
+                            reader.authorize(r, g).unwrap();
+                            queries += 1;
+                        }
+                    }
+                }
+                assert!(queries > 0);
+            });
+        }
+
+        // Writer: certify each wave subject, spread it, then kill it.
+        let mut live: HashSet<usize> = HashSet::new();
+        for wave in 0..8usize {
+            let cert = sys
+                .issue_certificate(alice, &format!("good(w{wave})."), &[], None)
+                .unwrap();
+            let digest = cert.digest();
+            for &r in &recs {
+                sys.import_certificates(r, vec![cert.clone()]).unwrap();
+            }
+            sys.run_to_quiescence(64).unwrap();
+            live.insert(wave);
+            if wave % 2 == 0 {
+                sys.revoke_certificate(alice, digest).unwrap();
+                sys.run_to_quiescence(64).unwrap();
+                live.remove(&wave);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+
+        // Convergence: the final snapshot answers exactly the live set.
+        sys.publish_authz_snapshot();
+        for &r in &recs {
+            for (i, g) in goals.iter().enumerate() {
+                let got = reader.authorize(r, g).unwrap();
+                assert_eq!(got.granted, live.contains(&i), "{r}: {g}");
+                assert_eq!(got.granted, sys.authorize(r, g).unwrap().granted);
+            }
+        }
+    });
+}
+
+/// Republishing without intervening changes reuses the per-principal
+/// snapshots (same store version, cache still warm) and a fresh reader
+/// handle sees the current generation immediately.
+#[test]
+fn republish_without_changes_is_stable() {
+    let (mut sys, _alice, recs, _digests) = cert_fanout(1, 1);
+    let bob = recs[0];
+    let reader = sys.authz_reader();
+    assert!(
+        reader
+            .authorize(bob, "access(s0,file1,read)")
+            .unwrap()
+            .granted
+    );
+
+    let hits_before = volatile_counter(&sys, "authz.cache_hits");
+    sys.publish_authz_snapshot();
+    let second = sys.authz_reader();
+    assert_eq!(second.store_version(bob), reader.store_version(bob));
+    assert!(
+        second
+            .authorize(bob, "access(s0,file1,read)")
+            .unwrap()
+            .granted
+    );
+    assert!(
+        volatile_counter(&sys, "authz.cache_hits") > hits_before,
+        "an unchanged republish must not orphan cached decisions"
+    );
+}
+
+/// Unknown principals are a structured error on the reader, exactly as
+/// on the serial path.
+#[test]
+fn reader_rejects_unknown_principals() {
+    let (mut sys, _alice, _recs, _digests) = cert_fanout(1, 1);
+    let reader = sys.authz_reader();
+    let ghost = Principal::from("ghost");
+    assert!(matches!(
+        reader.authorize(ghost, "access(s0,file1,read)"),
+        Err(SysError::UnknownPrincipal(_))
+    ));
+}
