@@ -1,0 +1,512 @@
+//! Cross-principal predicate dependency extraction.
+//!
+//! The analyzer's shared substrate: one walk over the program classifies
+//! every rule's productions and dependencies, *including the edges that
+//! cross principals through communication literals*. A `says`/`gsays`
+//! head exports its quoted payload predicates (the rule produces them at
+//! the destination); a `says`/`gsays` body literal imports its payload
+//! predicates (the rule consumes what a remote principal derived). Since
+//! SeNDlog programs run symmetrically at every node, stitching exports
+//! to imports on the local names yields the whole-program dependency
+//! graph — e.g. `reachable → reachable` through `s2`'s export is a real
+//! recursion even though no single node's rules close the cycle.
+
+use crate::config::AnalyzerConfig;
+use lbtrust_datalog::ast::{Atom, BodyItem, PredRef, Program, Rule, Term};
+use lbtrust_datalog::{Span, Symbol, Value};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A communication head: `says(me, Dest, [| payload |])`.
+#[derive(Clone, Debug)]
+pub struct CommHead {
+    /// The channel predicate (`says`, `gsays`, ...).
+    pub channel: Symbol,
+    /// Whether the channel is authenticated per the configuration.
+    pub authenticated: bool,
+    /// The destination term (second argument).
+    pub dest: Term,
+    /// Head atoms of the quoted payload.
+    pub payload_atoms: Vec<Atom>,
+    /// Head predicates of the quoted payload.
+    pub payload_preds: Vec<Symbol>,
+    /// All variables of the quoted payload.
+    pub payload_vars: Vec<Symbol>,
+}
+
+/// A communication body literal: `says(Sender, me, [| payload |])`.
+#[derive(Clone, Debug)]
+pub struct CommImport {
+    /// The channel predicate.
+    pub channel: Symbol,
+    /// Whether the channel is authenticated per the configuration.
+    pub authenticated: bool,
+    /// Whether the literal is negated.
+    pub negated: bool,
+    /// The sender term (first argument).
+    pub sender: Term,
+    /// Head predicates of the quoted payload (empty when the payload is
+    /// a bare variable, as in the runtime's activation rule).
+    pub payload_preds: Vec<Symbol>,
+}
+
+/// Per-rule classification.
+#[derive(Clone, Debug, Default)]
+pub struct RuleInfo {
+    /// Source position of the rule.
+    pub span: Span,
+    /// Whether the rule contains meta-programming constructs; pattern
+    /// rules are excluded from most passes.
+    pub is_pattern: bool,
+    /// Local (non-communication) head predicates.
+    pub produces: Vec<Symbol>,
+    /// Payload predicates exported through communication heads.
+    pub exports: Vec<Symbol>,
+    /// Positive non-communication, non-builtin body predicates.
+    pub pos_deps: Vec<Symbol>,
+    /// Negated non-communication body predicates.
+    pub neg_deps: Vec<Symbol>,
+    /// Payload predicates imported through positive communication
+    /// literals.
+    pub import_deps: Vec<Symbol>,
+    /// Positive builtin body predicates (satisfiable by the runtime,
+    /// never guards).
+    pub builtin_deps: Vec<Symbol>,
+    /// Communication heads of the rule.
+    pub comm_heads: Vec<CommHead>,
+    /// Communication body literals of the rule.
+    pub imports: Vec<CommImport>,
+    /// Positive non-communication body atoms (builtins included), kept
+    /// whole for the variable-correlation checks of the trust passes.
+    pub pos_atoms: Vec<Atom>,
+}
+
+impl RuleInfo {
+    /// Whether the rule has no body at all (a fact or a disjunction-free
+    /// unconditional head).
+    pub fn body_is_empty(&self) -> bool {
+        self.pos_deps.is_empty()
+            && self.neg_deps.is_empty()
+            && self.builtin_deps.is_empty()
+            && self.imports.is_empty()
+    }
+}
+
+/// The extracted whole-program view shared by every pass.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramGraph {
+    /// Per-rule classification, parallel to `program.rules`.
+    pub rules: Vec<RuleInfo>,
+    /// Predicate → rules that locally derive it.
+    pub defined: HashMap<Symbol, Vec<usize>>,
+    /// Predicate → rules that export it as a communication payload.
+    pub exported: HashMap<Symbol, Vec<usize>>,
+    /// Predicate → rules that import it as a communication payload.
+    pub imported: HashMap<Symbol, Vec<usize>>,
+    /// Predicate → rules that consume it (positive, negated, or as an
+    /// imported payload).
+    pub consumed: HashMap<Symbol, Vec<usize>>,
+    /// Predicate → arity → source position of the first occurrence at
+    /// that arity (quoted occurrences included).
+    pub arities: HashMap<Symbol, BTreeMap<usize, Span>>,
+    /// Every predicate mentioned inside quoted code anywhere (exempt
+    /// from the liveness lints: quoted code is data until installed).
+    pub quoted_mentions: HashSet<Symbol>,
+    /// Predicates referenced by schema constraints (observable sinks).
+    pub constraint_preds: HashSet<Symbol>,
+    /// Forward edges `dependency → produced`, communication included.
+    /// An export edge is only added when the payload can re-enter the
+    /// program: some rule imports the predicate explicitly, or the
+    /// shipped payload can match a local premise after `me` resolution.
+    pub edges: HashMap<Symbol, HashSet<Symbol>>,
+}
+
+impl ProgramGraph {
+    /// Builds the graph for `program` under `config`.
+    pub fn build(program: &Program, config: &AnalyzerConfig) -> ProgramGraph {
+        let mut graph = ProgramGraph::default();
+        for (ri, rule) in program.rules.iter().enumerate() {
+            let info = classify_rule(rule, program.rule_span(ri), config, &mut graph);
+            for &p in &info.produces {
+                graph.defined.entry(p).or_default().push(ri);
+            }
+            for &p in &info.exports {
+                graph.exported.entry(p).or_default().push(ri);
+            }
+            for &p in &info.import_deps {
+                graph.imported.entry(p).or_default().push(ri);
+            }
+            for &p in info
+                .pos_deps
+                .iter()
+                .chain(&info.neg_deps)
+                .chain(&info.import_deps)
+            {
+                graph.consumed.entry(p).or_default().push(ri);
+            }
+            graph.rules.push(info);
+        }
+        for (ci, constraint) in program.constraints.iter().enumerate() {
+            let span = program.constraint_span(ci);
+            for item in &constraint.body {
+                collect_constraint_item(item, span, &mut graph);
+            }
+            collect_constraint_formula(&constraint.requires, span, &mut graph);
+        }
+        graph.build_edges();
+        graph
+    }
+
+    /// Forward edges. Local heads always receive their body deps; an
+    /// exported payload predicate only does when the program can consume
+    /// the shipped copy (see the field docs on `edges`).
+    fn build_edges(&mut self) {
+        // Premise atoms per predicate, across all rules, for the
+        // re-entry check on exported fact payloads.
+        let mut premises: HashMap<Symbol, Vec<Atom>> = HashMap::new();
+        for info in &self.rules {
+            for atom in &info.pos_atoms {
+                if let Some(p) = atom.pred.name() {
+                    premises.entry(p).or_default().push(atom.clone());
+                }
+            }
+        }
+        let mut edges: HashMap<Symbol, HashSet<Symbol>> = HashMap::new();
+        for info in &self.rules {
+            let deps: Vec<Symbol> = info
+                .pos_deps
+                .iter()
+                .chain(&info.import_deps)
+                .copied()
+                .collect();
+            for &out in &info.produces {
+                for &dep in &deps {
+                    edges.entry(dep).or_default().insert(out);
+                }
+            }
+            for head in &info.comm_heads {
+                for atom in &head.payload_atoms {
+                    let Some(out) = atom.pred.name() else {
+                        continue;
+                    };
+                    let reenters = self.imported.contains_key(&out)
+                        || premises
+                            .get(&out)
+                            .into_iter()
+                            .flatten()
+                            .any(|premise| payload_can_match(atom, premise));
+                    if reenters {
+                        for &dep in &deps {
+                            edges.entry(dep).or_default().insert(out);
+                        }
+                    }
+                }
+            }
+        }
+        self.edges = edges;
+    }
+
+    /// Whether `pred` can reach itself through one or more forward
+    /// edges — i.e. participates in (cross-principal) recursion.
+    pub fn is_recursive(&self, pred: Symbol) -> bool {
+        let mut queue: Vec<Symbol> = self
+            .edges
+            .get(&pred)
+            .into_iter()
+            .flatten()
+            .copied()
+            .collect();
+        let mut seen: HashSet<Symbol> = queue.iter().copied().collect();
+        while let Some(node) = queue.pop() {
+            if node == pred {
+                return true;
+            }
+            for &next in self.edges.get(&node).into_iter().flatten() {
+                if seen.insert(next) {
+                    queue.push(next);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Whether a shipped payload atom could match a local premise atom at
+/// the *receiving* node. The payload's `me` resolves to the sender, the
+/// premise's `me` to the receiver — distinct principals — so a `me`
+/// constant in the same position on both sides can never unify, and
+/// unequal constants never unify.
+fn payload_can_match(payload: &Atom, premise: &Atom) -> bool {
+    if payload.arity() != premise.arity() {
+        return false;
+    }
+    payload
+        .all_args()
+        .zip(premise.all_args())
+        .all(|(a, b)| match (a, b) {
+            (Term::Val(x), Term::Val(y)) => {
+                if is_me(x) && is_me(y) {
+                    // Sender on the left, receiver on the right.
+                    false
+                } else {
+                    // A lone `me` may resolve to the other side's
+                    // constant; distinct plain constants never unify.
+                    is_me(x) || is_me(y) || x == y
+                }
+            }
+            _ => true,
+        })
+}
+
+fn is_me(v: &Value) -> bool {
+    matches!(v, Value::Sym(s) if s.as_str() == "me")
+}
+
+/// The quoted rule inside a term, whether pattern (`Term::Quote`) or
+/// ground data (`Term::Val(Value::Quote)`).
+fn quote_of(term: &Term) -> Option<&Rule> {
+    match term {
+        Term::Quote(r) => Some(r),
+        Term::Val(Value::Quote(r)) => Some(r),
+        _ => None,
+    }
+}
+
+/// Records arity observations and quoted mentions for `atom`, recursing
+/// into quoted arguments. `in_quote` marks occurrences inside quoted
+/// code.
+fn observe_atom(atom: &Atom, span: Span, in_quote: bool, graph: &mut ProgramGraph) {
+    if let PredRef::Name(p) = atom.pred {
+        if in_quote {
+            graph.quoted_mentions.insert(p);
+        }
+        // Sequence variables stand for zero-or-more terms, so atoms
+        // containing one do not pin an arity.
+        let has_seq = atom.all_args().any(|t| matches!(t, Term::SeqVar(_)));
+        if !has_seq {
+            graph
+                .arities
+                .entry(p)
+                .or_default()
+                .entry(atom.arity())
+                .or_insert(span);
+        }
+    }
+    for term in atom.all_args() {
+        if let Some(rule) = quote_of(term) {
+            observe_rule_quoted(rule, span, graph);
+        }
+    }
+}
+
+fn observe_rule_quoted(rule: &Rule, span: Span, graph: &mut ProgramGraph) {
+    for head in &rule.heads {
+        observe_atom(head, span, true, graph);
+    }
+    for item in &rule.body {
+        if let BodyItem::Lit { atom, .. } = item {
+            observe_atom(atom, span, true, graph);
+        }
+    }
+}
+
+fn classify_rule(
+    rule: &Rule,
+    span: Span,
+    config: &AnalyzerConfig,
+    graph: &mut ProgramGraph,
+) -> RuleInfo {
+    let mut info = RuleInfo {
+        span,
+        is_pattern: rule.is_pattern(),
+        ..RuleInfo::default()
+    };
+    for head in &rule.heads {
+        observe_atom(head, span, false, graph);
+        let Some(pred) = head.pred.name() else {
+            continue;
+        };
+        // A communication head `ch(me, Dest, [| payload |])` exports its
+        // payload rather than deriving `ch` as a relation of interest.
+        if config.is_comm(pred.as_str()) && head.args.len() == 3 {
+            let payload_atoms: Vec<Atom> = quote_of(&head.args[2])
+                .map(|r| r.heads.clone())
+                .unwrap_or_default();
+            let payload_preds: Vec<Symbol> =
+                payload_atoms.iter().filter_map(|a| a.pred.name()).collect();
+            let payload_vars = quote_of(&head.args[2])
+                .map(|r| r.collect_vars())
+                .unwrap_or_default();
+            info.exports.extend(payload_preds.iter().copied());
+            info.comm_heads.push(CommHead {
+                channel: pred,
+                authenticated: config.is_authenticated(pred.as_str()),
+                dest: head.args[1].clone(),
+                payload_atoms,
+                payload_preds,
+                payload_vars,
+            });
+        } else {
+            info.produces.push(pred);
+        }
+    }
+    for item in &rule.body {
+        let BodyItem::Lit { negated, atom } = item else {
+            continue;
+        };
+        observe_atom(atom, span, false, graph);
+        let Some(pred) = atom.pred.name() else {
+            continue;
+        };
+        if config.is_comm(pred.as_str()) && atom.args.len() == 3 {
+            let payload_preds: Vec<Symbol> = quote_of(&atom.args[2])
+                .map(|r| r.heads.iter().filter_map(|a| a.pred.name()).collect())
+                .unwrap_or_default();
+            if !*negated {
+                info.import_deps.extend(payload_preds.iter().copied());
+            }
+            info.imports.push(CommImport {
+                channel: pred,
+                authenticated: config.is_authenticated(pred.as_str()),
+                negated: *negated,
+                sender: atom.args[0].clone(),
+                payload_preds,
+            });
+        } else if *negated {
+            info.neg_deps.push(pred);
+        } else if config.is_builtin(pred.as_str()) {
+            info.builtin_deps.push(pred);
+            info.pos_atoms.push(atom.clone());
+        } else {
+            info.pos_deps.push(pred);
+            info.pos_atoms.push(atom.clone());
+        }
+    }
+    info
+}
+
+fn collect_constraint_item(item: &BodyItem, span: Span, graph: &mut ProgramGraph) {
+    if let BodyItem::Lit { atom, .. } = item {
+        observe_atom(atom, span, false, graph);
+        if let Some(p) = atom.pred.name() {
+            graph.constraint_preds.insert(p);
+        }
+    }
+}
+
+fn collect_constraint_formula(
+    formula: &lbtrust_datalog::ast::Formula,
+    span: Span,
+    graph: &mut ProgramGraph,
+) {
+    use lbtrust_datalog::ast::Formula;
+    match formula {
+        Formula::Item(item) => collect_constraint_item(item, span, graph),
+        Formula::And(fs) | Formula::Or(fs) => {
+            for f in fs {
+                collect_constraint_formula(f, span, graph);
+            }
+        }
+        Formula::Not(f) => collect_constraint_formula(f, span, graph),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbtrust_datalog::parse_program;
+
+    fn graph_of(src: &str) -> ProgramGraph {
+        let program = parse_program(src).unwrap();
+        ProgramGraph::build(&program, &AnalyzerConfig::default())
+    }
+
+    #[test]
+    fn comm_heads_export_and_imports_consume() {
+        let g = graph_of(
+            "says(me,Z,[| reachable(Z,D). |]) <- neighbor(me,Z), reachable(me,D), Z != D.\n\
+             reachable(me,D) <- neighbor(me,D).",
+        );
+        let reachable = Symbol::intern("reachable");
+        let neighbor = Symbol::intern("neighbor");
+        assert_eq!(g.exported[&reachable], vec![0]);
+        assert_eq!(g.defined[&reachable], vec![1]);
+        assert_eq!(g.consumed[&reachable], vec![0]);
+        // The shipped `reachable(Z,D)` can rejoin the local premise
+        // `reachable(me,D)` at the destination (`Z` grounds to it), so
+        // the cross-principal edge closes the recursion.
+        assert!(g.is_recursive(reachable));
+        assert!(!g.is_recursive(neighbor));
+        let head = &g.rules[0].comm_heads[0];
+        assert_eq!(head.dest, Term::var("Z"));
+        assert_eq!(head.payload_preds, vec![reachable]);
+        assert!(head.authenticated);
+    }
+
+    #[test]
+    fn self_addressed_payload_does_not_close_a_cycle() {
+        // The payload `alert(me)` arrives as `alert(<sender>)`, which can
+        // never match the local premise `alert(me)` — no feedback loop.
+        let g = graph_of(
+            "says(me,Z,[| alert(me). |]) <- peer(me,Z), alert(me).\n\
+             alert(me) <- tripped(me).",
+        );
+        assert!(!g.is_recursive(Symbol::intern("alert")));
+    }
+
+    #[test]
+    fn explicit_import_closes_a_cycle() {
+        let g = graph_of(
+            "alarm(me,D) <- says(W,me,[| alarm(W,D). |]).\n\
+             says(me,N,[| alarm(me,D). |]) <- peer(me,N), alarm(me,D).",
+        );
+        assert!(g.is_recursive(Symbol::intern("alarm")));
+        assert_eq!(g.imported[&Symbol::intern("alarm")], vec![0]);
+    }
+
+    #[test]
+    fn imports_carry_sender_and_channel() {
+        let g = graph_of(
+            "revpull(me,I) <- gsays(W,me,[| revsummary(W,I,F). |]), revfp(me,I,L), F != L.",
+        );
+        let info = &g.rules[0];
+        assert_eq!(info.imports.len(), 1);
+        let import = &info.imports[0];
+        assert!(!import.authenticated);
+        assert_eq!(import.sender, Term::var("W"));
+        assert_eq!(import.payload_preds, vec![Symbol::intern("revsummary")]);
+        assert_eq!(info.import_deps, vec![Symbol::intern("revsummary")]);
+        assert_eq!(info.pos_deps, vec![Symbol::intern("revfp")]);
+    }
+
+    #[test]
+    fn arities_and_quoted_mentions() {
+        let g = graph_of(
+            "p(a,b).\n\
+             q(X) <- p(X).\n\
+             note([| w(X) <- v(X). |]) <- q(X).",
+        );
+        let p = Symbol::intern("p");
+        let arities: Vec<usize> = g.arities[&p].keys().copied().collect();
+        assert_eq!(arities, vec![1, 2]);
+        assert!(g.quoted_mentions.contains(&Symbol::intern("w")));
+        assert!(g.quoted_mentions.contains(&Symbol::intern("v")));
+        assert!(!g.quoted_mentions.contains(&p));
+    }
+
+    #[test]
+    fn constraints_mark_observable_preds() {
+        let program = parse_program("access(U,P,M) -> prin(U).").unwrap();
+        let g = ProgramGraph::build(&program, &AnalyzerConfig::default());
+        assert!(g.constraint_preds.contains(&Symbol::intern("access")));
+        assert!(g.constraint_preds.contains(&Symbol::intern("prin")));
+    }
+
+    #[test]
+    fn bare_variable_payload_is_opaque() {
+        let g = graph_of("active(R) <- says(W,me,R).");
+        let info = &g.rules[0];
+        assert_eq!(info.imports.len(), 1);
+        assert!(info.imports[0].payload_preds.is_empty());
+        assert!(info.import_deps.is_empty());
+    }
+}

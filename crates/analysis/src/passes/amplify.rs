@@ -1,0 +1,169 @@
+//! Pass 3: communication amplification.
+//!
+//! The measured pathology this pass targets: a broadcast head whose
+//! destination ranges over a relation, joined with a recursive premise,
+//! turns every new derivation into a fresh round of messages to every
+//! destination — the shape behind multi-thousand-message revocation
+//! storms on gossip topologies.
+//!
+//! A communication head `ch(me, X, [| payload |])` is flagged when all
+//! four hold:
+//!
+//! 1. the destination `X` is a variable;
+//! 2. `X` is bound by a positive non-communication, non-builtin premise
+//!    (it ranges over a relation rather than echoing a sender);
+//! 3. the send is *uncorrelated*: `X` does not occur in the payload,
+//!    and no premise mentions both `X` and a payload variable (a
+//!    correlated send scales with the join, not the product);
+//! 4. some positive premise (imported payloads included) is recursive
+//!    in the cross-principal dependency graph, so the volume of
+//!    payloads grows as messages feed derivations feed messages.
+
+use crate::config::{AnalyzerConfig, DiagKind};
+use crate::diag::Diagnostic;
+use crate::graph::ProgramGraph;
+use lbtrust_datalog::ast::{Program, Term};
+use lbtrust_datalog::Symbol;
+
+/// Runs the amplification pass, appending to `out`.
+pub fn run(
+    program: &Program,
+    graph: &ProgramGraph,
+    config: &AnalyzerConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (ri, info) in graph.rules.iter().enumerate() {
+        for head in &info.comm_heads {
+            // (1) variable destination.
+            let Term::Var(dest) = &head.dest else {
+                continue;
+            };
+            let mentions = |atom: &lbtrust_datalog::ast::Atom, v: &Symbol| {
+                atom.all_args().any(|t| matches!(t, Term::Var(x) if x == v))
+            };
+            // (2) destination bound by a positive non-comm, non-builtin
+            // premise.
+            let ranges = info.pos_atoms.iter().any(|atom| {
+                !atom
+                    .pred
+                    .name()
+                    .is_some_and(|p| config.is_builtin(p.as_str()))
+                    && mentions(atom, dest)
+            });
+            if !ranges {
+                continue;
+            }
+            // (3) destination uncorrelated with the payload.
+            let correlated = head.payload_vars.contains(dest)
+                || info.pos_atoms.iter().any(|atom| {
+                    mentions(atom, dest) && head.payload_vars.iter().any(|v| mentions(atom, v))
+                });
+            if correlated {
+                continue;
+            }
+            // (4) a recursive premise keeps feeding the broadcast.
+            let recursive: Vec<&Symbol> = info
+                .pos_deps
+                .iter()
+                .chain(&info.import_deps)
+                .filter(|p| graph.is_recursive(**p))
+                .collect();
+            if recursive.is_empty() {
+                continue;
+            }
+            out.push(Diagnostic {
+                kind: DiagKind::CommAmplification,
+                level: config.level(DiagKind::CommAmplification),
+                span: info.span,
+                pred: Some(recursive[0].to_string()),
+                rule: Some(program.rules[ri].to_string()),
+                message: format!(
+                    "`{}` head broadcasts to every `{dest}` while recursive premise \
+                     `{}` keeps growing — every derivation round re-sends to every \
+                     destination",
+                    head.channel, recursive[0]
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{analyze, AnalyzerConfig, DiagKind};
+    use lbtrust_datalog::{parse_program, Span};
+
+    fn amplifying(src: &str) -> Vec<(Span, String)> {
+        let program = parse_program(src).unwrap();
+        analyze(&program, &AnalyzerConfig::default())
+            .diagnostics
+            .into_iter()
+            .filter(|d| d.kind == DiagKind::CommAmplification)
+            .map(|d| (d.span, d.message))
+            .collect()
+    }
+
+    /// The seeded violation: re-broadcast everything heard, to every
+    /// peer, with the destination uncorrelated with the payload.
+    const ALARM_STORM: &str = "\
+        alarm(me,D) <- says(W,me,[| alarm(W,D). |]).\n\
+        says(me,N,[| alarm(me,D). |]) <- peer(me,N), alarm(me,D).";
+
+    #[test]
+    fn uncorrelated_broadcast_over_recursive_premise_flagged() {
+        let found = amplifying(ALARM_STORM);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].0, Span::new(2, 1));
+        assert!(
+            found[0].1.contains("recursive premise `alarm`"),
+            "{}",
+            found[0].1
+        );
+    }
+
+    #[test]
+    fn payload_correlated_destination_is_exempt() {
+        // REACHABILITY's s2 shape: the destination appears in the
+        // payload, so each destination receives only facts about itself.
+        let found = amplifying(
+            "says(me,Z,[| reachable(Z,D). |]) <- neighbor(me,Z), reachable(me,D), Z != D.\n\
+             reachable(me,D) <- neighbor(me,D).",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn join_correlated_destination_is_exempt() {
+        // PATH_VECTOR's pv3 shape: `offpath(P,Z2)` ties the destination
+        // to the payload variable `P`.
+        let found = amplifying(
+            "path(me,D,P) <- neighbor(me,D), mkpath(me,D,P).\n\
+             path(me,D,P2) <- says(Z,me,[| path(Z,D,P). |]), neighbor(me,Z), offpath(P,me), \
+             extendpath(me,P,P2).\n\
+             says(me,Z2,[| path(me,D,P). |]) <- neighbor(me,Z2), path(me,D,P), offpath(P,Z2).",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn non_recursive_premises_are_exempt() {
+        // REV_GOSSIP's g2 shape: fingerprints are runtime inputs, not
+        // derived from the messages, so rounds do not compound.
+        let found = amplifying(
+            "gossippeer(me,N) <- prin(N), N != me.\n\
+             gsays(me,N,[| revsummary(me,I,F). |]) <- gossippeer(me,N), revfp(me,I,F).\n\
+             gsays(me,W,[| revpull(me,I). |]) <- gsays(W,me,[| revsummary(W,I,F). |]), \
+             revfp(me,I,L), F != L.",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn constant_destination_is_exempt() {
+        let found = amplifying(
+            "alarm(me,D) <- says(W,me,[| alarm(W,D). |]).\n\
+             says(me,hub,[| alarm(me,D). |]) <- alarm(me,D).",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Pass 2: authority flow.
+//!
+//! Walks backward from grant-shaped heads (the configured
+//! `grant_preds`) through the local derivation graph, collecting every
+//! rule that can contribute to a grant. Within that closure, two shapes
+//! surrender authority to the network:
+//!
+//! * an **unauthenticated import** — a `gsays`-style literal feeding a
+//!   grant path carries no signature, so anyone on the wire can forge
+//!   it;
+//! * an **unguarded sender** — a `says(W, me, ...)` import whose sender
+//!   `W` is a variable constrained by nothing else in the body. The
+//!   signature proves *someone* said it, but the rule never pins down
+//!   who, so any principal can trigger the grant by asserting the
+//!   payload about itself.
+//!
+//! A sender is guarded when it is a constant, or when the sender
+//! variable also occurs in another positive non-communication,
+//! non-builtin premise (a membership or certificate table lookup).
+
+use crate::config::{AnalyzerConfig, DiagKind};
+use crate::diag::Diagnostic;
+use crate::graph::ProgramGraph;
+use lbtrust_datalog::ast::{Program, Term};
+use lbtrust_datalog::Symbol;
+use std::collections::HashSet;
+
+/// Runs the authority-flow pass, appending to `out`.
+pub fn run(
+    program: &Program,
+    graph: &ProgramGraph,
+    config: &AnalyzerConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Backward closure: predicates whose derivation feeds a grant, and
+    // the rules deriving them.
+    let mut authority_preds: HashSet<Symbol> = graph
+        .defined
+        .keys()
+        .chain(graph.exported.keys())
+        .filter(|p| config.grant_preds.contains(p.as_str()))
+        .copied()
+        .collect();
+    let mut authority_rules: HashSet<usize> = HashSet::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (ri, info) in graph.rules.iter().enumerate() {
+            let contributes = info
+                .produces
+                .iter()
+                .chain(&info.exports)
+                .any(|p| authority_preds.contains(p));
+            if !contributes || !authority_rules.insert(ri) {
+                continue;
+            }
+            changed = true;
+            for &p in info.pos_deps.iter().chain(&info.import_deps) {
+                authority_preds.insert(p);
+            }
+        }
+    }
+
+    let mut rules: Vec<usize> = authority_rules.into_iter().collect();
+    rules.sort_unstable();
+    for ri in rules {
+        let info = &graph.rules[ri];
+        for import in &info.imports {
+            if import.negated {
+                continue;
+            }
+            if !import.authenticated {
+                out.push(Diagnostic {
+                    kind: DiagKind::UnsignedAuthority,
+                    level: config.level(DiagKind::UnsignedAuthority),
+                    span: info.span,
+                    pred: Some(import.channel.to_string()),
+                    rule: Some(program.rules[ri].to_string()),
+                    message: format!(
+                        "authority-relevant derivation depends on unauthenticated \
+                         channel `{}`",
+                        import.channel
+                    ),
+                });
+                continue;
+            }
+            let Term::Var(sender) = &import.sender else {
+                // Constant senders (a named principal, or `me`) are
+                // pinned by the signature check.
+                continue;
+            };
+            let guarded = info.pos_atoms.iter().any(|atom| {
+                !atom
+                    .pred
+                    .name()
+                    .is_some_and(|p| config.is_builtin(p.as_str()))
+                    && atom
+                        .all_args()
+                        .any(|t| matches!(t, Term::Var(v) if v == sender))
+            });
+            if !guarded {
+                out.push(Diagnostic {
+                    kind: DiagKind::UnsignedAuthority,
+                    level: config.level(DiagKind::UnsignedAuthority),
+                    span: info.span,
+                    pred: Some(sender.to_string()),
+                    rule: Some(program.rules[ri].to_string()),
+                    message: format!(
+                        "grant path accepts `says` from unconstrained sender `{sender}` — \
+                         any principal can trigger it"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{analyze, AnalyzerConfig, DiagKind, LintLevel};
+    use lbtrust_datalog::{parse_program, Span};
+
+    fn unsigned(src: &str) -> Vec<(Span, String)> {
+        let program = parse_program(src).unwrap();
+        analyze(&program, &AnalyzerConfig::default())
+            .diagnostics
+            .into_iter()
+            .filter(|d| d.kind == DiagKind::UnsignedAuthority)
+            .map(|d| (d.span, d.message))
+            .collect()
+    }
+
+    #[test]
+    fn unconstrained_sender_on_grant_path_denied() {
+        let program = parse_program("access(P,file1,read) <- says(W,me,[| good(P). |]).").unwrap();
+        let analysis = analyze(&program, &AnalyzerConfig::default());
+        let found: Vec<_> = analysis.denials().collect();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, DiagKind::UnsignedAuthority);
+        assert_eq!(found[0].level, LintLevel::Deny);
+        assert_eq!(found[0].span, Span::new(1, 1));
+        assert!(found[0].message.contains("unconstrained sender `W`"));
+    }
+
+    #[test]
+    fn membership_guard_clears_the_sender() {
+        let found = unsigned("access(P,file1,read) <- says(W,me,[| good(P). |]), trustedca(W).");
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn constant_sender_is_pinned() {
+        let found = unsigned("mayRead(U,P) <- says(root,me,[| mayRead(U,P). |]).");
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn builtins_do_not_guard() {
+        let found = unsigned("access(P,file1,read) <- says(W,me,[| good(P). |]), offpath(W,P).");
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+
+    #[test]
+    fn gossip_channel_feeding_a_grant_denied() {
+        let found = unsigned(
+            "grant(P,O) <- allowed(P,O).\n\
+             allowed(P,O) <- gsays(W,me,[| allowed(P,O). |]), prin(W).",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].0, Span::new(2, 1));
+        assert!(found[0].1.contains("unauthenticated channel `gsays`"));
+    }
+
+    #[test]
+    fn unguarded_sender_off_grant_paths_is_fine() {
+        // Same shape, but nothing grant-shaped downstream: the
+        // reachability protocol trusts any neighbor's announcement by
+        // design.
+        let found = unsigned(
+            "reachable(me,D) <- says(W,me,[| reachable(W,D). |]).\n\
+             fail() <- reachable(X,X).",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn transitive_grant_paths_are_walked() {
+        let found = unsigned(
+            "mayWrite(U,P) <- endorsed(U,P).\n\
+             endorsed(U,P) <- vouched(U,P).\n\
+             vouched(U,P) <- says(W,me,[| vouch(U,P). |]).",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].0, Span::new(3, 1));
+    }
+}

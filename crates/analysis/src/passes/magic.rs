@@ -1,0 +1,119 @@
+//! Pass 4: magic-set applicability.
+//!
+//! Mirrors the preconditions of `lbtrust_datalog::magic::magic_rewrite`
+//! without committing to a query: a rule is specializable when it does
+//! not aggregate, does not negate an IDB predicate, and contains no
+//! meta-programming constructs. The structured [`MagicReport`] feeds
+//! goal-directed evaluation planning; each blocker additionally surfaces
+//! as an `Allow`-level diagnostic so `lbtrust-lint` can print it.
+
+use crate::config::{AnalyzerConfig, DiagKind};
+use crate::diag::{Diagnostic, MagicBlockReason, MagicBlocker, MagicReport};
+use crate::graph::ProgramGraph;
+use lbtrust_datalog::ast::Program;
+
+/// Runs the applicability analysis, appending blocker diagnostics to
+/// `out` and returning the structured report.
+pub fn run(
+    program: &Program,
+    graph: &ProgramGraph,
+    config: &AnalyzerConfig,
+    out: &mut Vec<Diagnostic>,
+) -> MagicReport {
+    let mut report = MagicReport {
+        total_rules: program.rules.len(),
+        ..MagicReport::default()
+    };
+    for (ri, rule) in program.rules.iter().enumerate() {
+        let info = &graph.rules[ri];
+        let reason = if rule.agg.is_some() {
+            Some(MagicBlockReason::Aggregation)
+        } else if info.is_pattern {
+            Some(MagicBlockReason::Pattern)
+        } else {
+            info.neg_deps
+                .iter()
+                .find(|p| graph.defined.contains_key(p))
+                .map(|p| MagicBlockReason::NegatedIdb(p.to_string()))
+        };
+        match reason {
+            None => report.applicable.push(ri),
+            Some(reason) => {
+                out.push(Diagnostic {
+                    kind: DiagKind::MagicInapplicable,
+                    level: config.level(DiagKind::MagicInapplicable),
+                    span: info.span,
+                    pred: None,
+                    rule: Some(rule.to_string()),
+                    message: format!("magic-set rewrite cannot specialize this rule: {reason}"),
+                });
+                report.blockers.push(MagicBlocker {
+                    rule: ri,
+                    span: info.span,
+                    reason,
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::diag::MagicBlockReason;
+    use crate::{analyze, AnalyzerConfig, DiagKind, LintLevel};
+    use lbtrust_datalog::{parse_program, Span};
+
+    #[test]
+    fn clean_recursion_is_fully_applicable() {
+        let program = parse_program(
+            "reach(X,Y) <- edge(X,Y).\n\
+             reach(X,Z) <- reach(X,Y), edge(Y,Z).\n\
+             fail() <- reach(X,X).",
+        )
+        .unwrap();
+        let analysis = analyze(&program, &AnalyzerConfig::default());
+        assert!(analysis.magic.fully_applicable());
+        assert_eq!(analysis.magic.applicable, vec![0, 1, 2]);
+        assert_eq!(analysis.magic.total_rules, 3);
+    }
+
+    #[test]
+    fn aggregation_and_negated_idb_block() {
+        let program = parse_program(
+            "tally(C,N) <- agg<<N = count(U)>> vote(U,C).\n\
+             vote(U,C) <- ballot(U,C).\n\
+             odd(U) <- prin(U), !vote(U,C).\n\
+             fail() <- tally(C,N), odd(U), N > 3.",
+        )
+        .unwrap();
+        let analysis = analyze(&program, &AnalyzerConfig::default());
+        let reasons: Vec<_> = analysis.magic.blockers.iter().map(|b| &b.reason).collect();
+        assert_eq!(
+            reasons,
+            vec![
+                &MagicBlockReason::Aggregation,
+                &MagicBlockReason::NegatedIdb("vote".into()),
+            ]
+        );
+        assert_eq!(analysis.magic.blockers[0].span, Span::new(1, 1));
+        assert_eq!(analysis.magic.blockers[1].span, Span::new(3, 1));
+        // Blockers surface as Allow-level diagnostics by default.
+        let diags: Vec<_> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.kind == DiagKind::MagicInapplicable)
+            .collect();
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.level == LintLevel::Allow));
+    }
+
+    #[test]
+    fn negated_edb_does_not_block() {
+        let program =
+            parse_program("safe(X) <- node(X), !compromised(X).\nfail() <- safe(X), bad(X).")
+                .unwrap();
+        let analysis = analyze(&program, &AnalyzerConfig::default());
+        assert!(analysis.magic.fully_applicable());
+    }
+}

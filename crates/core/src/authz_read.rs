@@ -100,12 +100,14 @@ impl PrincipalSnapshot {
         let pred = atom.pred.name().ok_or(WsError::Parse(ParseError {
             message: "authorize takes a concrete fact".into(),
             line: 0,
+            col: 0,
         }))?;
         let tuple: Option<Tuple> = atom.all_args().map(|t| t.as_val().cloned()).collect();
         let Some(tuple) = tuple else {
             return Err(WsError::Parse(ParseError {
                 message: "authorize takes a ground fact".into(),
                 line: 0,
+                col: 0,
             }));
         };
         Ok(explain(&self.rules, &self.db, &self.builtins, pred, &tuple))

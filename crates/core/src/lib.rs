@@ -69,12 +69,13 @@ pub use obs::QuiescePhase;
 pub use pool::{CostModel, PartitionStrategy};
 pub use principal::{KeyDirectory, Principal, SharedKeys};
 pub use system::{
-    AuthzDecision, DegradedError, RetryPolicy, StoreHealth, SyncPolicy, SysError, System,
-    SystemStats,
+    AuthzDecision, DegradedError, LintError, RetryPolicy, StoreHealth, SyncPolicy, SysError,
+    System, SystemStats,
 };
 pub use workspace::{RetractOutcome, Workspace, WsError};
 
 // Re-export the substrate crates so downstream users need one dependency.
+pub use lbtrust_analysis as analysis;
 pub use lbtrust_certstore as certstore;
 pub use lbtrust_crypto as crypto;
 pub use lbtrust_datalog as datalog;

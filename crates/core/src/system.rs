@@ -25,12 +25,13 @@ use crate::principal::{
 };
 use crate::says::SAYS_DECLS;
 use crate::workspace::{RetractOutcome, Workspace, WsError};
+use lbtrust_analysis::{analyze, Analysis, AnalyzerConfig, Diagnostic, LintLevel};
 use lbtrust_certstore::{
     cert, shared_verify_cache, AuditEntry, CertDigest, CertStore, CertStoreError, FaultConfig,
     FaultHandle, ImportOutcome, LinkedCert, Revocation, SharedVerifyCache, SignatureVerifier,
     StorageError,
 };
-use lbtrust_datalog::{EvalStats, Symbol, Tuple, Value};
+use lbtrust_datalog::{parse_program, EvalStats, Symbol, Tuple, Value};
 use lbtrust_net::{
     NetworkConfig, NodeId, RevPullMessage, RevSummaryMessage, RevokeMessage, SimNetwork,
     WireMessage, WirePacket,
@@ -65,6 +66,10 @@ pub enum SysError {
     /// but refuses writes until the fault heals and a step-based probe
     /// re-admits it.
     Degraded(DegradedError),
+    /// Static analysis refused the program: one or more findings at
+    /// [`LintLevel::Deny`] under the system's lint configuration (see
+    /// [`System::load_program`] and [`System::set_lint_level`]).
+    Lint(LintError),
 }
 
 impl fmt::Display for SysError {
@@ -79,11 +84,58 @@ impl fmt::Display for SysError {
             SysError::Issue(m) => write!(f, "certificate issue failed: {m}"),
             SysError::Persist(m) => write!(f, "persistence setup failed: {m}"),
             SysError::Degraded(d) => write!(f, "{d}"),
+            SysError::Lint(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for SysError {}
+impl std::error::Error for SysError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SysError::Workspace(e) => Some(e),
+            SysError::Cert(e) => Some(e),
+            SysError::Lint(e) => Some(e),
+            SysError::UnknownPrincipal(_)
+            | SysError::NoQuiescence { .. }
+            | SysError::Issue(_)
+            | SysError::Persist(_)
+            | SysError::Degraded(_) => None,
+        }
+    }
+}
+
+/// Structured refusal from the static-analysis preflight (see
+/// [`SysError::Lint`]): which program was refused and every deny-level
+/// finding, each carrying its lint kind and source position.
+#[derive(Clone, Debug)]
+pub struct LintError {
+    /// The tag the program was being installed under.
+    pub tag: String,
+    /// The deny-level findings (never empty).
+    pub denials: Vec<Diagnostic>,
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "program `{}` refused by static analysis ({} deny-level finding{}):",
+            self.tag,
+            self.denials.len(),
+            if self.denials.len() == 1 { "" } else { "s" },
+        )?;
+        for d in &self.denials {
+            write!(f, "\n  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for LintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.denials.first().map(|d| d as _)
+    }
+}
 
 /// Structured refusal for writes against a quarantined store (see
 /// [`SysError::Degraded`]): who is degraded, since when, and why.
@@ -372,6 +424,9 @@ pub struct System {
     /// State shared with [`crate::AuthzReader`] handles: the snapshot
     /// cell, the decision cache, and the volatile cache counters.
     authz_shared: Arc<AuthzShared>,
+    /// Lint levels and predicate vocabulary for the static-analysis
+    /// preflight ([`System::load_program`], [`System::enable_gossip`]).
+    lint: AnalyzerConfig,
 }
 
 /// Runtime bookkeeping of the gossip layer: the loaded program and, per
@@ -441,6 +496,7 @@ impl System {
             fault_handles: HashMap::new(),
             authz_pub: HashMap::new(),
             authz_shared,
+            lint: AnalyzerConfig::default(),
         }
     }
 
@@ -802,6 +858,10 @@ impl System {
     /// still converges. The eager point-to-point broadcast remains the
     /// fast path; gossip is the repair layer.
     pub fn enable_gossip(&mut self, program: &str) -> Result<(), SysError> {
+        // Static-analysis preflight: gossip logic reaches every
+        // workspace, so a deny-level finding refuses it for all of them
+        // before any workspace is touched.
+        self.preflight("gossip", program)?;
         for &p in &self.order {
             let ws = self.workspaces.get_mut(&p).expect("registered");
             ws.replace_tag("gossip", program)?;
@@ -1172,6 +1232,67 @@ impl System {
         self.workspaces
             .get_mut(&who)
             .ok_or(SysError::UnknownPrincipal(who))
+    }
+
+    // ---- static-analysis preflight -------------------------------------------
+
+    /// The lint configuration the preflight analyses run under.
+    pub fn lint_config(&self) -> &AnalyzerConfig {
+        &self.lint
+    }
+
+    /// Replaces the lint configuration.
+    pub fn set_lint_config(&mut self, config: AnalyzerConfig) {
+        self.lint = config;
+    }
+
+    /// Sets one lint's level (builder form).
+    pub fn with_lint_level(mut self, kind: lbtrust_analysis::DiagKind, level: LintLevel) -> Self {
+        self.lint.set_level(kind, level);
+        self
+    }
+
+    /// Sets one lint's level, e.g. demoting a deny-level lint to `Warn`
+    /// for a program that is trusted by construction.
+    pub fn set_lint_level(&mut self, kind: lbtrust_analysis::DiagKind, level: LintLevel) {
+        self.lint.set_level(kind, level);
+    }
+
+    /// Parses and analyzes `src` under the system's lint configuration,
+    /// refusing it when any finding is at [`LintLevel::Deny`].
+    fn preflight(&self, tag: &str, src: &str) -> Result<Analysis, SysError> {
+        let program = parse_program(src).map_err(WsError::from)?;
+        let analysis = analyze(&program, &self.lint);
+        if analysis.has_denials() {
+            return Err(SysError::Lint(LintError {
+                tag: tag.to_string(),
+                denials: analysis.denials().cloned().collect(),
+            }));
+        }
+        Ok(analysis)
+    }
+
+    /// Installs a program into `who`'s workspace under `tag`, with a
+    /// static-analysis preflight: the program is parsed and analyzed
+    /// first, and refused outright ([`SysError::Lint`]) if any finding
+    /// reaches [`LintLevel::Deny`] under the system's lint
+    /// configuration — before the workspace sees it. On success the
+    /// [`Analysis`] is returned so callers can surface warn-level
+    /// findings and the magic-set applicability report.
+    ///
+    /// This is the vetted front door for program installation;
+    /// [`System::workspace_mut`] + [`Workspace::load`] remains the
+    /// unvetted escape hatch (still safety- and stratification-checked,
+    /// but not linted).
+    pub fn load_program(
+        &mut self,
+        who: Principal,
+        tag: &str,
+        src: &str,
+    ) -> Result<Analysis, SysError> {
+        let analysis = self.preflight(tag, src)?;
+        self.workspace_mut(who)?.load(tag, src)?;
+        Ok(analysis)
     }
 
     // ---- the certificate store -----------------------------------------------
@@ -3235,6 +3356,83 @@ mod tests {
         assert_eq!(sys.stats().messages_sent, 1);
         assert_eq!(sys.stats().messages_accepted, 1);
         assert_eq!(sys.stats().messages_rejected, 0);
+    }
+
+    /// The static-analysis preflight refuses a deny-level program
+    /// before the workspace sees it, with the finding kind and source
+    /// position in the structured error.
+    #[test]
+    fn load_program_refuses_deny_level_findings() {
+        let mut sys = System::new().with_rsa_bits(512);
+        let bob = sys.add_principal("bob", "n1").unwrap();
+        // Registration pre-loads the `says` scaffolding; the refusal
+        // must leave exactly that.
+        let baseline = sys.workspace(bob).unwrap().active_rules().len();
+        // A grant head fed by an unconstrained `says` sender — the
+        // canonical UnsignedAuthority shape, Deny by default.
+        let err = sys
+            .load_program(
+                bob,
+                "policy",
+                "access(P,file1,read) <- says(W,me,[| good(P). |]).",
+            )
+            .unwrap_err();
+        match &err {
+            SysError::Lint(e) => {
+                assert_eq!(e.tag, "policy");
+                assert_eq!(e.denials.len(), 1);
+                assert_eq!(
+                    e.denials[0].kind,
+                    lbtrust_analysis::DiagKind::UnsignedAuthority
+                );
+                assert_eq!(e.denials[0].span, lbtrust_datalog::Span::new(1, 1));
+            }
+            other => panic!("expected Lint, got {other}"),
+        }
+        assert!(std::error::Error::source(&err).is_some());
+        // Nothing was installed.
+        assert_eq!(sys.workspace(bob).unwrap().active_rules().len(), baseline);
+
+        // Guarding the sender clears the lint; the analysis comes back
+        // for the caller to inspect.
+        let analysis = sys
+            .load_program(
+                bob,
+                "policy",
+                "access(P,file1,read) <- says(W,me,[| good(P). |]), trustedca(W).",
+            )
+            .unwrap();
+        assert!(!analysis.has_denials());
+        assert_eq!(
+            sys.workspace(bob).unwrap().active_rules().len(),
+            baseline + 1
+        );
+    }
+
+    /// Demoting the lint admits the same program (trusted-by-
+    /// construction escape hatch), without touching other levels.
+    #[test]
+    fn lint_levels_are_configurable_per_system() {
+        let mut sys = System::new().with_rsa_bits(512).with_lint_level(
+            lbtrust_analysis::DiagKind::UnsignedAuthority,
+            LintLevel::Warn,
+        );
+        let bob = sys.add_principal("bob", "n1").unwrap();
+        let baseline = sys.workspace(bob).unwrap().active_rules().len();
+        let analysis = sys
+            .load_program(
+                bob,
+                "policy",
+                "access(P,file1,read) <- says(W,me,[| good(P). |]).",
+            )
+            .unwrap();
+        assert!(analysis
+            .warnings()
+            .any(|d| d.kind == lbtrust_analysis::DiagKind::UnsignedAuthority));
+        assert_eq!(
+            sys.workspace(bob).unwrap().active_rules().len(),
+            baseline + 1
+        );
     }
 
     #[test]

@@ -16,8 +16,9 @@
 use crate::principal::Principal;
 use lbtrust_datalog::ast::{BodyItem, Constraint, Rule};
 use lbtrust_datalog::eval::{Engine, EvalError, EvalStats};
-use lbtrust_datalog::safety::{check_rule, SafetyError};
-use lbtrust_datalog::{parse_program, Builtins, Database, ParseError, Symbol, Tuple, Value};
+use lbtrust_datalog::safety::{check_rule, check_rule_at, SafetyError};
+use lbtrust_datalog::strata::{stratify_spanned, StratifyError};
+use lbtrust_datalog::{parse_program, Builtins, Database, ParseError, Span, Symbol, Tuple, Value};
 use lbtrust_metamodel::constraintcheck::{check_constraints, check_fail, CheckError};
 use lbtrust_metamodel::reflect::reflect_into;
 use lbtrust_metamodel::{generated_rules, MetaPreds};
@@ -32,6 +33,10 @@ pub enum WsError {
     Parse(ParseError),
     /// A rule failed the safety (range-restriction) check.
     Safety(SafetyError),
+    /// The program (combined with the rules already installed) is not
+    /// stratifiable — rejected at load time, before any fact is
+    /// asserted or evaluation attempted.
+    Stratify(StratifyError),
     /// Evaluation failed.
     Eval(EvalError),
     /// A constraint (or `fail()`) was violated; the workspace rolled
@@ -49,6 +54,7 @@ impl fmt::Display for WsError {
         match self {
             WsError::Parse(e) => write!(f, "{e}"),
             WsError::Safety(e) => write!(f, "{e}"),
+            WsError::Stratify(e) => write!(f, "{e}"),
             WsError::Eval(e) => write!(f, "{e}"),
             WsError::Constraint(e) => write!(f, "{e}"),
             WsError::MetaDivergence { stages } => {
@@ -61,11 +67,27 @@ impl fmt::Display for WsError {
     }
 }
 
-impl std::error::Error for WsError {}
+impl std::error::Error for WsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WsError::Parse(e) => Some(e),
+            WsError::Safety(e) => Some(e),
+            WsError::Stratify(e) => Some(e),
+            WsError::Eval(e) => Some(e),
+            WsError::Constraint(e) => Some(e),
+            WsError::MetaDivergence { .. } => None,
+        }
+    }
+}
 
 impl From<ParseError> for WsError {
     fn from(e: ParseError) -> Self {
         WsError::Parse(e)
+    }
+}
+impl From<StratifyError> for WsError {
+    fn from(e: StratifyError) -> Self {
+        WsError::Stratify(e)
     }
 }
 impl From<SafetyError> for WsError {
@@ -227,14 +249,40 @@ impl Workspace {
     /// Parses and installs a program under `tag`. The `me` keyword is
     /// resolved to this workspace's principal everywhere, including
     /// inside quoted code.
+    ///
+    /// Install-time checks run *before* any state changes: every rule
+    /// must be safe (range-restricted), and the program combined with
+    /// the rules already installed must be stratifiable. A rejected
+    /// program leaves the workspace untouched, and the structured error
+    /// cites the offending rule's source position.
     pub fn load(&mut self, tag: &str, src: &str) -> Result<(), WsError> {
         let program = parse_program(src)?;
         let me_sym = Symbol::intern("me");
-        for rule in program.rules {
-            let rule = Arc::new(rule.substitute_sym(me_sym, self.me));
-            check_rule(&rule, &self.builtins)?;
-            self.rules.push((tag.to_string(), rule.clone()));
+        let mut pending: Vec<(Arc<Rule>, Span)> = Vec::with_capacity(program.rules.len());
+        for (i, rule) in program.rules.iter().enumerate() {
+            let span = program.rule_span(i);
+            let rule = Arc::new(rule.clone().substitute_sym(me_sym, self.me));
+            check_rule_at(&rule, &self.builtins, span)?;
+            pending.push((rule, span));
+        }
+        // Stratify the combined rule set (already-installed rules carry
+        // no source position; new rules cite theirs).
+        let mut combined: Vec<Rule> = Vec::with_capacity(self.rules.len() + pending.len());
+        let mut spans: Vec<Span> = Vec::with_capacity(combined.capacity());
+        for (_, rule) in &self.rules {
+            combined.push((**rule).clone());
+            spans.push(Span::UNKNOWN);
+        }
+        for (rule, span) in &pending {
+            combined.push((**rule).clone());
+            spans.push(*span);
+        }
+        let builtins = &self.builtins;
+        stratify_spanned(&combined, &spans, &|p| builtins.contains(p))?;
+
+        for (rule, _) in pending {
             self.installed.insert(rule.content_id());
+            self.rules.push((tag.to_string(), rule));
         }
         for constraint in program.constraints {
             let constraint = substitute_constraint(&constraint, me_sym, self.me);
@@ -326,6 +374,7 @@ impl Workspace {
                 return Err(WsError::Parse(ParseError {
                     message: format!("'{rule}' is not a ground fact"),
                     line: 0,
+                    col: 0,
                 }));
             };
             self.assert_fact(pred, tuple);
@@ -334,6 +383,7 @@ impl Workspace {
             return Err(WsError::Parse(ParseError {
                 message: "assert_src takes facts only".into(),
                 line: 0,
+                col: 0,
             }));
         }
         Ok(())
@@ -452,6 +502,7 @@ impl Workspace {
         let pred = atom.pred.name().ok_or(WsError::Parse(ParseError {
             message: "pattern queries not supported here".into(),
             line: 0,
+            col: 0,
         }))?;
         let tuple: Option<Tuple> = atom.all_args().map(|t| t.as_val().cloned()).collect();
         match tuple {
@@ -550,12 +601,14 @@ impl Workspace {
         let pred = atom.pred.name().ok_or(WsError::Parse(ParseError {
             message: "explain takes a concrete fact".into(),
             line: 0,
+            col: 0,
         }))?;
         let tuple: Option<Tuple> = atom.all_args().map(|t| t.as_val().cloned()).collect();
         let Some(tuple) = tuple else {
             return Err(WsError::Parse(ParseError {
                 message: "explain takes a ground fact".into(),
                 line: 0,
+                col: 0,
             }));
         };
         let rules: Vec<Rule> = self
@@ -979,6 +1032,45 @@ mod tests {
         assert!(ws.holds(sym("mode"), &vals(&["hmac"])));
         // The old derivation is gone after the rebuild.
         assert!(!ws.holds(sym("mode"), &vals(&["rsa"])));
+    }
+
+    #[test]
+    fn unstratifiable_program_rejected_at_load() {
+        // Negation through recursion is refused at install time — before
+        // any rule or constraint is added — and the error cites the
+        // offending rule's source position.
+        let mut ws = Workspace::new("w");
+        ws.load("base", "win(X) <- move(X,Y), lose(Y).").unwrap();
+        let err = ws.load("bad", "lose(X) <- pos(X), !win(X).").unwrap_err();
+        match &err {
+            WsError::Stratify(e) => {
+                assert!(e.negation);
+                assert_eq!(e.span, lbtrust_datalog::Span::new(1, 1));
+            }
+            other => panic!("expected Stratify, got {other}"),
+        }
+        // Structured error chain is intact.
+        assert!(std::error::Error::source(&err).is_some());
+        // The rejected program left no trace: the workspace still
+        // evaluates, and only the first program's rule is installed.
+        assert_eq!(ws.active_rules().len(), 1);
+        ws.assert_src("move(a,b). pos(a).").unwrap();
+        ws.evaluate().unwrap();
+    }
+
+    #[test]
+    fn unsafe_rule_rejected_at_load_with_span() {
+        let mut ws = Workspace::new("w");
+        let err = ws
+            .load("bad", "ok(X) <- good(Y).\nbad(X) <- !seen(X).")
+            .unwrap_err();
+        match &err {
+            WsError::Safety(e) => {
+                assert_eq!(e.span(), lbtrust_datalog::Span::new(1, 1));
+            }
+            other => panic!("expected Safety, got {other}"),
+        }
+        assert_eq!(ws.active_rules().len(), 0);
     }
 
     #[test]

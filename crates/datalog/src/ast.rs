@@ -14,6 +14,7 @@
 //!    remain as object-level variables of the generated code.
 
 use crate::intern::Symbol;
+use crate::lexer::Span;
 use crate::value::Value;
 use std::fmt;
 use std::sync::Arc;
@@ -678,18 +679,58 @@ impl fmt::Display for Constraint {
 }
 
 /// A parsed program: rules plus constraints, in source order.
+///
+/// Source positions live in side tables parallel to `rules` /
+/// `constraints` (rather than inside [`Rule`], whose equality and
+/// content identity are position-independent). Programs built by hand
+/// may leave the tables empty; [`Program::rule_span`] then reports
+/// [`Span::UNKNOWN`].
 #[derive(Clone, Default, Debug)]
 pub struct Program {
     /// The rules (facts included).
     pub rules: Vec<Rule>,
     /// The schema constraints.
     pub constraints: Vec<Constraint>,
+    /// `line:col` of each rule's statement, parallel to `rules`.
+    pub rule_spans: Vec<Span>,
+    /// `line:col` of each constraint's statement, parallel to `constraints`.
+    pub constraint_spans: Vec<Span>,
 }
 
 impl Program {
     /// An empty program.
     pub fn new() -> Program {
         Program::default()
+    }
+
+    /// Appends a rule with its source span.
+    pub fn push_rule(&mut self, rule: Rule, span: Span) {
+        // Keep the side table aligned even if earlier rules were pushed
+        // directly onto `rules` without spans.
+        self.rule_spans.resize(self.rules.len(), Span::UNKNOWN);
+        self.rules.push(rule);
+        self.rule_spans.push(span);
+    }
+
+    /// Appends a constraint with its source span.
+    pub fn push_constraint(&mut self, constraint: Constraint, span: Span) {
+        self.constraint_spans
+            .resize(self.constraints.len(), Span::UNKNOWN);
+        self.constraints.push(constraint);
+        self.constraint_spans.push(span);
+    }
+
+    /// The source span of `rules[i]` (`Span::UNKNOWN` if unrecorded).
+    pub fn rule_span(&self, i: usize) -> Span {
+        self.rule_spans.get(i).copied().unwrap_or(Span::UNKNOWN)
+    }
+
+    /// The source span of `constraints[i]` (`Span::UNKNOWN` if unrecorded).
+    pub fn constraint_span(&self, i: usize) -> Span {
+        self.constraint_spans
+            .get(i)
+            .copied()
+            .unwrap_or(Span::UNKNOWN)
     }
 }
 

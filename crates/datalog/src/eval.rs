@@ -83,7 +83,15 @@ impl fmt::Display for EvalError {
     }
 }
 
-impl std::error::Error for EvalError {}
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Stratify(e) => Some(e),
+            EvalError::Builtin(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<StratifyError> for EvalError {
     fn from(e: StratifyError) -> Self {

@@ -116,13 +116,60 @@ impl fmt::Display for Token {
     }
 }
 
-/// A token with its source position (byte offset and 1-based line).
+/// A token with its source position (1-based line and column).
 #[derive(Clone, Debug)]
 pub struct Spanned {
     /// The token.
     pub token: Token,
     /// 1-based source line.
     pub line: usize,
+    /// 1-based source column (byte offset within the line).
+    pub col: usize,
+}
+
+impl Spanned {
+    /// The `line:col` position of this token.
+    pub fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+/// A `line:col` source position (both 1-based). `Span::UNKNOWN` (0:0)
+/// marks synthesized code with no source location.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Span {
+    /// 1-based source line (0 = unknown).
+    pub line: usize,
+    /// 1-based source column (0 = unknown).
+    pub col: usize,
+}
+
+impl Span {
+    /// A span for code with no source location (e.g. generated rules).
+    pub const UNKNOWN: Span = Span { line: 0, col: 0 };
+
+    /// Builds a span from a 1-based line and column.
+    pub fn new(line: usize, col: usize) -> Span {
+        Span { line, col }
+    }
+
+    /// True when this span carries a real position.
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_known() {
+            write!(f, "{}:{}", self.line, self.col)
+        } else {
+            write!(f, "?:?")
+        }
+    }
 }
 
 /// A lexical error with position information.
@@ -132,11 +179,17 @@ pub struct LexError {
     pub message: String,
     /// 1-based source line.
     pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "lex error at line {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -149,11 +202,23 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
     let mut out = Vec::new();
     let mut i = 0;
     let mut line = 1;
+    // Byte index of the first character of the current line; the column of
+    // the token starting at `i` is `i - line_start + 1`.
+    let mut line_start = 0;
     macro_rules! push {
         ($tok:expr, $len:expr) => {{
-            out.push(Spanned { token: $tok, line });
+            out.push(Spanned {
+                token: $tok,
+                line,
+                col: i - line_start + 1,
+            });
             i += $len;
         }};
+    }
+    macro_rules! col {
+        () => {
+            i - line_start + 1
+        };
     }
     while i < bytes.len() {
         let c = bytes[i] as char;
@@ -162,6 +227,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             ' ' | '\t' | '\r' => i += 1,
             '/' if next == Some('/') => {
@@ -198,7 +264,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             '@' => push!(Token::At, 1),
             '_' if next.is_none_or(|n| !is_ident_char(n)) => push!(Token::Underscore, 1),
             '"' => {
-                let (s, len) = lex_string(&src[i..], line)?;
+                let (s, len) = lex_string(&src[i..], line, col!())?;
                 push!(Token::Str(s), len);
             }
             '#' => {
@@ -213,6 +279,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     return Err(LexError {
                         message: format!("invalid byte literal '#{hex}'"),
                         line,
+                        col: col!(),
                     });
                 }
                 let b = (0..hex.len())
@@ -230,6 +297,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 let v: i64 = text.parse().map_err(|_| LexError {
                     message: format!("integer literal '{text}' out of range"),
                     line,
+                    col: col!(),
                 })?;
                 push!(Token::Int(v), j - i);
             }
@@ -260,6 +328,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 return Err(LexError {
                     message: format!("unexpected character '{other}'"),
                     line,
+                    col: col!(),
                 })
             }
         }
@@ -273,7 +342,7 @@ fn is_ident_char(c: char) -> bool {
 
 /// Lexes a double-quoted string starting at `src[0] == '"'`. Returns the
 /// unescaped contents and the byte length consumed (including quotes).
-fn lex_string(src: &str, line: usize) -> Result<(String, usize), LexError> {
+fn lex_string(src: &str, line: usize, col: usize) -> Result<(String, usize), LexError> {
     let bytes = src.as_bytes();
     let mut out = String::new();
     let mut i = 1;
@@ -284,6 +353,7 @@ fn lex_string(src: &str, line: usize) -> Result<(String, usize), LexError> {
                 let esc = bytes.get(i + 1).map(|&b| b as char).ok_or(LexError {
                     message: "unterminated escape".into(),
                     line,
+                    col,
                 })?;
                 out.push(match esc {
                     'n' => '\n',
@@ -295,6 +365,7 @@ fn lex_string(src: &str, line: usize) -> Result<(String, usize), LexError> {
                         return Err(LexError {
                             message: format!("unknown escape '\\{other}'"),
                             line,
+                            col,
                         })
                     }
                 });
@@ -304,6 +375,7 @@ fn lex_string(src: &str, line: usize) -> Result<(String, usize), LexError> {
                 return Err(LexError {
                     message: "unterminated string".into(),
                     line,
+                    col,
                 })
             }
             c => {
@@ -315,6 +387,7 @@ fn lex_string(src: &str, line: usize) -> Result<(String, usize), LexError> {
     Err(LexError {
         message: "unterminated string".into(),
         line,
+        col,
     })
 }
 
@@ -451,6 +524,34 @@ mod tests {
         let spanned = lex("p.\nq.\n\nr.").unwrap();
         let lines: Vec<usize> = spanned.iter().map(|s| s.line).collect();
         assert_eq!(lines, vec![1, 1, 2, 2, 4, 4]);
+    }
+
+    #[test]
+    fn col_tracking() {
+        let spanned = lex("p(X).\n  q(Y).").unwrap();
+        let spans: Vec<(usize, usize)> = spanned.iter().map(|s| (s.line, s.col)).collect();
+        assert_eq!(
+            spans,
+            vec![
+                (1, 1), // p
+                (1, 2), // (
+                (1, 3), // X
+                (1, 4), // )
+                (1, 5), // .
+                (2, 3), // q
+                (2, 4), // (
+                (2, 5), // Y
+                (2, 6), // )
+                (2, 7), // .
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_error_spans() {
+        let err = lex("p.\n  $").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 3));
+        assert!(err.to_string().contains("2:3"));
     }
 
     #[test]

@@ -36,7 +36,7 @@ use crate::ast::{
 };
 use crate::dnf::to_dnf;
 use crate::intern::Symbol;
-use crate::lexer::{lex, Spanned, Token};
+use crate::lexer::{lex, Span, Spanned, Token};
 use crate::value::Value;
 use std::fmt;
 use std::sync::Arc;
@@ -48,11 +48,31 @@ pub struct ParseError {
     pub message: String,
     /// 1-based line number (0 when at end of input).
     pub line: usize,
+    /// 1-based column number (0 when at end of input).
+    pub col: usize,
+}
+
+impl ParseError {
+    /// The `line:col` position of the error.
+    pub fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
+        if self.col != 0 {
+            write!(
+                f,
+                "parse error at line {}:{}: {}",
+                self.line, self.col, self.message
+            )
+        } else {
+            write!(f, "parse error at line {}: {}", self.line, self.message)
+        }
     }
 }
 
@@ -70,6 +90,7 @@ pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
         return Err(ParseError {
             message: "expected a rule, found a constraint".into(),
             line: 0,
+            col: 0,
         });
     }
     match <[Rule; 1]>::try_from(program.rules) {
@@ -77,6 +98,7 @@ pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
         Err(rules) => Err(ParseError {
             message: format!("expected exactly one rule, found {}", rules.len()),
             line: 0,
+            col: 0,
         }),
     }
 }
@@ -104,6 +126,7 @@ impl Parser {
         let toks = lex(src).map_err(|e| ParseError {
             message: e.message,
             line: e.line,
+            col: e.col,
         })?;
         Ok(Parser {
             toks,
@@ -122,11 +145,12 @@ impl Parser {
         self.toks.get(self.pos + 1).map(|s| &s.token)
     }
 
-    fn line(&self) -> usize {
+    /// The span of the token at the cursor (or the last token at EOF).
+    fn span(&self) -> Span {
         self.toks
             .get(self.pos)
             .or_else(|| self.toks.last())
-            .map_or(0, |s| s.line)
+            .map_or(Span::UNKNOWN, |s| s.span())
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -165,9 +189,11 @@ impl Parser {
     }
 
     fn error(&self, message: String) -> ParseError {
+        let span = self.span();
         ParseError {
             message,
-            line: self.line(),
+            line: span.line,
+            col: span.col,
         }
     }
 
@@ -196,6 +222,9 @@ impl Parser {
 
     fn statement(&mut self, program: &mut Program) -> Result<(), ParseError> {
         debug_assert!(self.hoisted.is_empty());
+        // The statement's source position: the first token of its head.
+        // Rules split out of a disjunctive body all share this span.
+        let span = self.span();
         // Parse the left side as a conjunction of body items: it serves as
         // rule heads (facts/rules) or constraint premise.
         let lhs = self.conjunction()?;
@@ -211,11 +240,14 @@ impl Parser {
                         BodyItem::Lit {
                             negated: false,
                             atom,
-                        } => program.rules.push(Rule {
-                            heads: vec![atom],
-                            body: Vec::new(),
-                            agg: None,
-                        }),
+                        } => program.push_rule(
+                            Rule {
+                                heads: vec![atom],
+                                body: Vec::new(),
+                                agg: None,
+                            },
+                            span,
+                        ),
                         other => {
                             return Err(
                                 self.error(format!("'{other}' cannot stand alone as a fact"))
@@ -249,11 +281,14 @@ impl Parser {
                 }
                 for mut body in disjuncts {
                     body.extend(hoisted.iter().cloned());
-                    program.rules.push(Rule {
-                        heads: heads.clone(),
-                        body,
-                        agg: agg.clone(),
-                    });
+                    program.push_rule(
+                        Rule {
+                            heads: heads.clone(),
+                            body,
+                            agg: agg.clone(),
+                        },
+                        span,
+                    );
                 }
                 Ok(())
             }
@@ -267,7 +302,7 @@ impl Parser {
                 self.expect(&Token::Dot)?;
                 let mut body = lhs;
                 body.extend(std::mem::take(&mut self.hoisted));
-                program.constraints.push(Constraint { body, requires });
+                program.push_constraint(Constraint { body, requires }, span);
                 Ok(())
             }
             _ => Err(self.error(format!(
@@ -925,6 +960,26 @@ mod tests {
         assert_eq!(err.line, 2); // missing dot noticed at line 2
         assert!(parse_program("p(X) <- .").is_err());
         assert!(parse_program("p(X) <- q(X),.").is_err());
+    }
+
+    #[test]
+    fn statement_spans_recorded() {
+        let p = parse_program("good(alice).\n  p(X) <- q(X); r(X).\nq(X) -> p(X).").unwrap();
+        assert_eq!(p.rules.len(), 3);
+        assert_eq!(p.rule_span(0), Span::new(1, 1));
+        // Both disjunct-split rules share the statement's span.
+        assert_eq!(p.rule_span(1), Span::new(2, 3));
+        assert_eq!(p.rule_span(2), Span::new(2, 3));
+        assert_eq!(p.constraint_span(0), Span::new(3, 1));
+        // Out-of-range indices report an unknown span rather than panic.
+        assert!(!p.rule_span(99).is_known());
+    }
+
+    #[test]
+    fn parse_error_has_col() {
+        let err = parse_program("p(X) <- q(X)\n   r(Y).").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 4));
+        assert!(err.to_string().contains("2:4"));
     }
 
     #[test]

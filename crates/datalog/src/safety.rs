@@ -9,10 +9,13 @@
 use crate::ast::{BodyItem, CmpOp, Expr, PredRef, Rule, Term};
 use crate::builtins::Builtins;
 use crate::intern::Symbol;
+use crate::lexer::Span;
 use std::collections::HashSet;
 use std::fmt;
 
-/// A rule safety violation.
+/// A rule safety violation. The `span` is the statement's `line:col` when
+/// the rule came from [`crate::parser::parse_program`] (via
+/// [`check_rule_at`]); `Span::UNKNOWN` otherwise.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SafetyError {
     /// A head variable does not occur in any positive body literal.
@@ -21,6 +24,8 @@ pub enum SafetyError {
         var: Symbol,
         /// The rule, printed.
         rule: String,
+        /// Source position of the rule.
+        span: Span,
     },
     /// A variable of a negated literal does not occur positively.
     UnsafeNegation {
@@ -28,6 +33,8 @@ pub enum SafetyError {
         var: Symbol,
         /// The rule, printed.
         rule: String,
+        /// Source position of the rule.
+        span: Span,
     },
     /// A comparison can never have both sides bound under left-to-right
     /// evaluation.
@@ -36,6 +43,8 @@ pub enum SafetyError {
         item: String,
         /// The rule, printed.
         rule: String,
+        /// Source position of the rule.
+        span: Span,
     },
     /// The aggregated variable does not occur in the body.
     UnboundAggregate {
@@ -43,28 +52,57 @@ pub enum SafetyError {
         var: Symbol,
         /// The rule, printed.
         rule: String,
+        /// Source position of the rule.
+        span: Span,
     },
+}
+
+impl SafetyError {
+    /// Source position of the offending rule (`Span::UNKNOWN` when the
+    /// rule was built programmatically).
+    pub fn span(&self) -> Span {
+        match self {
+            SafetyError::UnrestrictedHeadVar { span, .. }
+            | SafetyError::UnsafeNegation { span, .. }
+            | SafetyError::UnboundComparison { span, .. }
+            | SafetyError::UnboundAggregate { span, .. } => *span,
+        }
+    }
+
+    fn with_span(mut self, span: Span) -> SafetyError {
+        match &mut self {
+            SafetyError::UnrestrictedHeadVar { span: s, .. }
+            | SafetyError::UnsafeNegation { span: s, .. }
+            | SafetyError::UnboundComparison { span: s, .. }
+            | SafetyError::UnboundAggregate { span: s, .. } => *s = span,
+        }
+        self
+    }
 }
 
 impl fmt::Display for SafetyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SafetyError::UnrestrictedHeadVar { var, rule } => {
-                write!(f, "head variable {var} not bound by the body in '{rule}'")
+            SafetyError::UnrestrictedHeadVar { var, rule, .. } => {
+                write!(f, "head variable {var} not bound by the body in '{rule}'")?;
             }
-            SafetyError::UnsafeNegation { var, rule } => {
-                write!(f, "variable {var} occurs only under negation in '{rule}'")
+            SafetyError::UnsafeNegation { var, rule, .. } => {
+                write!(f, "variable {var} occurs only under negation in '{rule}'")?;
             }
-            SafetyError::UnboundComparison { item, rule } => {
-                write!(f, "comparison '{item}' can never be evaluated in '{rule}'")
+            SafetyError::UnboundComparison { item, rule, .. } => {
+                write!(f, "comparison '{item}' can never be evaluated in '{rule}'")?;
             }
-            SafetyError::UnboundAggregate { var, rule } => {
+            SafetyError::UnboundAggregate { var, rule, .. } => {
                 write!(
                     f,
                     "aggregated variable {var} not bound by the body in '{rule}'"
-                )
+                )?;
             }
         }
+        if self.span().is_known() {
+            write!(f, " at line {}", self.span())?;
+        }
+        Ok(())
     }
 }
 
@@ -201,6 +239,7 @@ pub fn check_rule(rule: &Rule, builtins: &Builtins) -> Result<(), SafetyError> {
                     return Err(SafetyError::UnsafeNegation {
                         var: v,
                         rule: rule.to_string(),
+                        span: Span::UNKNOWN,
                     });
                 }
             }
@@ -218,6 +257,7 @@ pub fn check_rule(rule: &Rule, builtins: &Builtins) -> Result<(), SafetyError> {
                 return Err(SafetyError::UnboundComparison {
                     item: item.to_string(),
                     rule: rule.to_string(),
+                    span: Span::UNKNOWN,
                 });
             }
         }
@@ -229,6 +269,7 @@ pub fn check_rule(rule: &Rule, builtins: &Builtins) -> Result<(), SafetyError> {
             return Err(SafetyError::UnboundAggregate {
                 var: agg.over,
                 rule: rule.to_string(),
+                span: Span::UNKNOWN,
             });
         }
         // The result variable is bound by the aggregation itself.
@@ -251,6 +292,7 @@ pub fn check_rule(rule: &Rule, builtins: &Builtins) -> Result<(), SafetyError> {
                 return Err(SafetyError::UnrestrictedHeadVar {
                     var: v,
                     rule: rule.to_string(),
+                    span: Span::UNKNOWN,
                 });
             }
         }
@@ -258,9 +300,28 @@ pub fn check_rule(rule: &Rule, builtins: &Builtins) -> Result<(), SafetyError> {
     Ok(())
 }
 
+/// Like [`check_rule`], but stamps `span` onto any violation so the
+/// error cites the rule's `line:col` in the original source.
+pub fn check_rule_at(rule: &Rule, builtins: &Builtins, span: Span) -> Result<(), SafetyError> {
+    check_rule(rule, builtins).map_err(|e| e.with_span(span))
+}
+
 /// Checks every rule of a program.
 pub fn check_rules(rules: &[Rule], builtins: &Builtins) -> Result<(), SafetyError> {
     rules.iter().try_for_each(|r| check_rule(r, builtins))
+}
+
+/// Checks every rule of a parsed [`crate::ast::Program`], citing each
+/// rule's recorded source span on failure.
+pub fn check_program(
+    program: &crate::ast::Program,
+    builtins: &Builtins,
+) -> Result<(), SafetyError> {
+    program
+        .rules
+        .iter()
+        .enumerate()
+        .try_for_each(|(i, r)| check_rule_at(r, builtins, program.rule_span(i)))
 }
 
 #[cfg(test)]
@@ -331,5 +392,16 @@ mod tests {
     #[test]
     fn facts_are_safe() {
         assert!(check("p(a). q(1,\"s\").").is_ok());
+    }
+
+    #[test]
+    fn violations_cite_line_and_col() {
+        let program = parse_program("ok(X) <- q(X).\n  p(X,Y) <- q(X).").unwrap();
+        let err = check_program(&program, &Builtins::new()).unwrap_err();
+        assert_eq!(err.span(), crate::lexer::Span::new(2, 3));
+        assert!(err.to_string().contains("at line 2:3"), "{err}");
+        // The plain entry point keeps reporting, just without a position.
+        let err = check_rules(&program.rules, &Builtins::new()).unwrap_err();
+        assert!(!err.span().is_known());
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::ast::{BodyItem, PredRef, Rule};
 use crate::intern::Symbol;
+use crate::lexer::Span;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -17,6 +18,9 @@ pub struct StratifyError {
     pub cycle: Vec<Symbol>,
     /// Whether the offending edge is negation (vs. aggregation).
     pub negation: bool,
+    /// Source position of the rule carrying the offending edge
+    /// (`Span::UNKNOWN` when rules were not parsed with spans).
+    pub span: Span,
 }
 
 impl fmt::Display for StratifyError {
@@ -30,7 +34,11 @@ impl fmt::Display for StratifyError {
         write!(
             f,
             "unstratifiable program: {kind} in recursive cycle {names:?}"
-        )
+        )?;
+        if self.span.is_known() {
+            write!(f, " at line {}", self.span)?;
+        }
+        Ok(())
     }
 }
 
@@ -94,6 +102,17 @@ pub fn stratify(
     rules: &[Rule],
     is_builtin: &dyn Fn(Symbol) -> bool,
 ) -> Result<Strata, StratifyError> {
+    stratify_spanned(rules, &[], is_builtin)
+}
+
+/// Like [`stratify`], but `spans[i]` (where present) gives the source
+/// position of `rules[i]`, so a stratification failure can cite the
+/// `line:col` of the rule carrying the offending negative edge.
+pub fn stratify_spanned(
+    rules: &[Rule],
+    spans: &[Span],
+    is_builtin: &dyn Fn(Symbol) -> bool,
+) -> Result<Strata, StratifyError> {
     // Collect IDB predicates.
     let mut idb: HashSet<Symbol> = HashSet::new();
     for rule in rules {
@@ -101,13 +120,13 @@ pub fn stratify(
     }
 
     // Dependency edges head <- body among IDB predicates.
-    // edge (from=body pred, to=head pred, negative)
-    let mut edges: Vec<(Symbol, Symbol, bool)> = Vec::new();
-    for rule in rules {
+    // edge (from=body pred, to=head pred, negative, rule index)
+    let mut edges: Vec<(Symbol, Symbol, bool, usize)> = Vec::new();
+    for (ri, rule) in rules.iter().enumerate() {
         for head in head_preds(rule) {
             for (dep, neg) in body_deps(rule) {
                 if idb.contains(&dep) && !is_builtin(dep) {
-                    edges.push((dep, head, neg));
+                    edges.push((dep, head, neg, ri));
                 }
             }
         }
@@ -125,9 +144,9 @@ pub fn stratify(
         if rounds > max_rounds {
             // A stratum exceeded |IDB|: some negative edge lies in a
             // cycle. Recover the offending cycle for the error message.
-            return Err(find_bad_cycle(&edges));
+            return Err(find_bad_cycle(&edges, spans));
         }
-        for &(from, to, neg) in &edges {
+        for &(from, to, neg, _) in &edges {
             let need = stratum[&from] + usize::from(neg);
             if stratum[&to] < need {
                 stratum.insert(to, need);
@@ -162,15 +181,15 @@ pub fn stratify(
 }
 
 /// Finds a cycle containing a negative edge, for error reporting.
-fn find_bad_cycle(edges: &[(Symbol, Symbol, bool)]) -> StratifyError {
+fn find_bad_cycle(edges: &[(Symbol, Symbol, bool, usize)], spans: &[Span]) -> StratifyError {
     // Adjacency over all edges.
     let mut adj: HashMap<Symbol, Vec<Symbol>> = HashMap::new();
-    for &(from, to, _) in edges {
+    for &(from, to, _, _) in edges {
         adj.entry(from).or_default().push(to);
     }
     // For each negative edge (from, to), check whether `from` is reachable
     // back from `to`; if so the negative edge is in a cycle.
-    for &(from, to, neg) in edges {
+    for &(from, to, neg, ri) in edges {
         if !neg {
             continue;
         }
@@ -191,6 +210,7 @@ fn find_bad_cycle(edges: &[(Symbol, Symbol, bool)]) -> StratifyError {
                 return StratifyError {
                     cycle,
                     negation: true,
+                    span: spans.get(ri).copied().unwrap_or(Span::UNKNOWN),
                 };
             }
             for &next in adj.get(&node).into_iter().flatten() {
@@ -205,6 +225,7 @@ fn find_bad_cycle(edges: &[(Symbol, Symbol, bool)]) -> StratifyError {
     StratifyError {
         cycle: Vec::new(),
         negation: true,
+        span: Span::UNKNOWN,
     }
 }
 
@@ -302,5 +323,22 @@ mod tests {
         let s = strata_of("p(a). p(b).").unwrap();
         assert_eq!(s.len(), 1);
         assert_eq!(s.rules_by_stratum[0].len(), 2);
+    }
+
+    #[test]
+    fn cycle_error_cites_span() {
+        let program = parse_program(
+            "r(X) <- p(X).\n\
+             p(X) <- q(X), !r(X).",
+        )
+        .unwrap();
+        let err = stratify_spanned(&program.rules, &program.rule_spans, &|_| false).unwrap_err();
+        assert!(err.negation);
+        // The rule carrying the negative edge is on line 2.
+        assert_eq!(err.span, Span::new(2, 1));
+        assert!(err.to_string().contains("at line 2:1"), "{err}");
+        // The unspanned entry point still works, with no position.
+        let err = stratify(&program.rules, &|_| false).unwrap_err();
+        assert!(!err.span.is_known());
     }
 }

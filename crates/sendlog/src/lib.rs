@@ -38,5 +38,6 @@ pub use routing::{
     register_path_builtins, RoutingError, SendlogNetwork, PATH_VECTOR, REACHABILITY,
 };
 pub use translate::{
-    parse_sendlog, sendlog_to_lbtrust, sendlog_to_lbtrust_as, SendlogError, SendlogProgram,
+    parse_sendlog, sendlog_to_lbtrust, sendlog_to_lbtrust_as, SendlogCause, SendlogError,
+    SendlogProgram,
 };

@@ -9,15 +9,47 @@
 //! * a body literal `W says p(args)` becomes `says(W, me, [| p(args) |])`;
 //! * a head `p(args)@X` becomes `says(me, X, [| p(args). |])`.
 
-use lbtrust_datalog::lexer::{lex, Spanned, Token};
-use lbtrust_datalog::{parse_program, Program};
+use lbtrust_datalog::lexer::{lex, LexError, Spanned, Token};
+use lbtrust_datalog::{parse_program, ParseError, Program};
 use std::fmt;
+
+/// The underlying failure behind a [`SendlogError`], exposed through
+/// `std::error::Error::source()`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SendlogCause {
+    /// The SeNDlog source failed to tokenize.
+    Lex(LexError),
+    /// The translated LBTrust program failed to parse.
+    Parse(ParseError),
+}
+
+impl fmt::Display for SendlogCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendlogCause::Lex(e) => write!(f, "{e}"),
+            SendlogCause::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SendlogCause {}
 
 /// Translation failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SendlogError {
     /// Description.
     pub message: String,
+    /// Underlying lex/parse failure, when there is one.
+    pub cause: Option<SendlogCause>,
+}
+
+impl SendlogError {
+    fn new(message: impl Into<String>) -> SendlogError {
+        SendlogError {
+            message: message.into(),
+            cause: None,
+        }
+    }
 }
 
 impl fmt::Display for SendlogError {
@@ -26,7 +58,14 @@ impl fmt::Display for SendlogError {
     }
 }
 
-impl std::error::Error for SendlogError {}
+impl std::error::Error for SendlogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.cause {
+            Some(c) => Some(c),
+            None => None,
+        }
+    }
+}
 
 /// A parsed SeNDlog program: the context variable and the statements.
 #[derive(Clone, Debug)]
@@ -59,21 +98,29 @@ pub fn sendlog_to_lbtrust_as(src: &str, says_pred: &str) -> Result<SendlogProgra
     let cleaned = strip_labels(&body);
     let tokens = lex(&cleaned).map_err(|e| SendlogError {
         message: e.to_string(),
+        cause: Some(SendlogCause::Lex(e)),
     })?;
     let mut out = String::new();
-    // Process one statement (up to Dot) at a time.
+    // Process one statement (up to Dot) at a time. Each translated
+    // statement is emitted on the line its SeNDlog original occupied
+    // (padding with blank lines as needed), so `line` positions in the
+    // parsed LBTrust program refer back to the SeNDlog source.
     let mut start = 0;
+    let mut out_line = 1;
     for (i, spanned) in tokens.iter().enumerate() {
         if spanned.token == Token::Dot {
+            while out_line < tokens[start].line {
+                out.push('\n');
+                out_line += 1;
+            }
             translate_statement(&tokens[start..=i], &context_var, says_pred, &mut out)?;
             out.push('\n');
+            out_line += 1;
             start = i + 1;
         }
     }
     if start != tokens.len() {
-        return Err(SendlogError {
-            message: "trailing tokens after final '.'".into(),
-        });
+        return Err(SendlogError::new("trailing tokens after final '.'"));
     }
     Ok(SendlogProgram {
         context_var,
@@ -89,6 +136,7 @@ pub fn parse_sendlog(src: &str) -> Result<(SendlogProgram, Program), SendlogErro
             "translated program does not parse: {e}\n{}",
             translated.lbtrust_src
         ),
+        cause: Some(SendlogCause::Parse(e)),
     })?;
     Ok((translated, program))
 }
@@ -100,20 +148,18 @@ fn split_header(src: &str) -> Result<(String, String), SendlogError> {
         .strip_prefix("At ")
         .or_else(|| trimmed.strip_prefix("at "))
     else {
-        return Err(SendlogError {
-            message: "SeNDlog programs start with an 'At <Var>:' header".into(),
-        });
+        return Err(SendlogError::new(
+            "SeNDlog programs start with an 'At <Var>:' header",
+        ));
     };
     let Some((var, body)) = rest.split_once(':') else {
-        return Err(SendlogError {
-            message: "missing ':' after the context variable".into(),
-        });
+        return Err(SendlogError::new("missing ':' after the context variable"));
     };
     let var = var.trim();
     if var.is_empty() || !var.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
-        return Err(SendlogError {
-            message: format!("'{var}' is not a context variable"),
-        });
+        return Err(SendlogError::new(format!(
+            "'{var}' is not a context variable"
+        )));
     }
     Ok((var.to_string(), body.to_string()))
 }
@@ -158,13 +204,13 @@ fn translate_statement(
     let at = head_toks.iter().position(|s| s.token == Token::At);
     match at {
         Some(i) => {
-            let dest = head_toks.get(i + 1).ok_or_else(|| SendlogError {
-                message: "missing destination after '@'".into(),
-            })?;
+            let dest = head_toks
+                .get(i + 1)
+                .ok_or_else(|| SendlogError::new("missing destination after '@'"))?;
             if i + 2 != head_toks.len() {
-                return Err(SendlogError {
-                    message: "destination must be the final token of the head".into(),
-                });
+                return Err(SendlogError::new(
+                    "destination must be the final token of the head",
+                ));
             }
             out.push_str(says_pred);
             out.push_str("(me,");
@@ -194,9 +240,8 @@ fn translate_statement(
         if let Some(Token::Ident(kw)) = body_toks.get(i + 1).map(|s| &s.token) {
             if kw == "says" && matches!(body_toks[i].token, Token::Ident(_) | Token::UIdent(_)) {
                 let atom_start = i + 2;
-                let atom_end = scan_atom(body_toks, atom_start).ok_or_else(|| SendlogError {
-                    message: "expected an atom after 'says'".into(),
-                })?;
+                let atom_end = scan_atom(body_toks, atom_start)
+                    .ok_or_else(|| SendlogError::new("expected an atom after 'says'"))?;
                 out.push_str(says_pred);
                 out.push('(');
                 emit_token(out, &body_toks[i].token, context_var);
@@ -253,7 +298,7 @@ fn emit_token(out: &mut String, tok: &Token, context_var: &str) {
         tok,
         Token::LParen | Token::RParen | Token::Comma | Token::Dot
     );
-    if !out.is_empty() && !out.ends_with(['(', '[', ' ', ',']) && !no_space_before {
+    if !out.is_empty() && !out.ends_with(['(', '[', ' ', ',', '\n']) && !no_space_before {
         out.push(' ');
     }
     out.push_str(&text);
@@ -321,5 +366,32 @@ mod tests {
     fn at_must_terminate_head() {
         assert!(sendlog_to_lbtrust("At S: p(X)@Z q :- r(X).").is_err());
         assert!(sendlog_to_lbtrust("At S: p(X)@ :- r(X).").is_err());
+    }
+
+    #[test]
+    fn translation_preserves_line_numbers() {
+        // REACHABLE has s1 on source line 2 and s2 on source line 3;
+        // translation emits each statement on its original line so parsed
+        // spans point back into the SeNDlog text.
+        let (_, program) = parse_sendlog(REACHABLE).unwrap();
+        assert_eq!(program.rule_span(0).line, 2);
+        assert_eq!(program.rule_span(1).line, 3);
+        // A blank line between statements survives too.
+        let (_, program) = parse_sendlog("At S:\n\np(S) :- q(S).\n\nr(S) :- p(S).\n").unwrap();
+        assert_eq!(program.rule_span(0).line, 3);
+        assert_eq!(program.rule_span(1).line, 5);
+    }
+
+    #[test]
+    fn error_source_chains() {
+        use std::error::Error;
+        // A lex failure carries its LexError as source.
+        let err = parse_sendlog("At S: p($).").unwrap_err();
+        assert!(err.source().is_some(), "{err}");
+        // An unparseable translation carries the ParseError.
+        let err = parse_sendlog("At S: p(S) :- , q(S).").unwrap_err();
+        assert!(err.source().is_some(), "{err}");
+        let err = sendlog_to_lbtrust("no header here.").unwrap_err();
+        assert!(err.source().is_none());
     }
 }
